@@ -1,0 +1,78 @@
+//! End-to-end benchmarks of the brokerage engine: put/get throughput
+//! (cached and uncached) and the parallel periodic-optimisation sweep.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use scalia_engine::cluster::ScaliaCluster;
+use scalia_types::object::ObjectKey;
+use scalia_types::reliability::Reliability;
+use scalia_types::rules::StorageRule;
+use scalia_types::time::SimTime;
+use scalia_types::zone::ZoneSet;
+
+fn rule() -> StorageRule {
+    StorageRule::new(
+        "bench",
+        Reliability::from_percent(99.999),
+        Reliability::from_percent(99.99),
+        ZoneSet::all(),
+        0.5,
+    )
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+
+    group.bench_function("put_64KB", |b| {
+        let cluster = ScaliaCluster::builder().build();
+        let payload = Bytes::from(vec![7u8; 64 * 1024]);
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = ObjectKey::new("bench", format!("obj-{i}"));
+            i += 1;
+            cluster
+                .put(&key, payload.clone(), "application/octet-stream", rule(), None)
+                .unwrap()
+        })
+    });
+
+    group.bench_function("get_64KB_cached", |b| {
+        let cluster = ScaliaCluster::builder().build();
+        let key = ObjectKey::new("bench", "hot");
+        cluster
+            .put(&key, vec![7u8; 64 * 1024], "application/octet-stream", rule(), None)
+            .unwrap();
+        cluster.get(&key).unwrap();
+        b.iter(|| cluster.get(&key).unwrap())
+    });
+
+    group.bench_function("get_64KB_uncached", |b| {
+        let cluster = ScaliaCluster::builder()
+            .cache_capacity(scalia_types::size::ByteSize::ZERO)
+            .build();
+        let key = ObjectKey::new("bench", "cold");
+        cluster
+            .put(&key, vec![7u8; 64 * 1024], "application/octet-stream", rule(), None)
+            .unwrap();
+        b.iter(|| cluster.get(&key).unwrap())
+    });
+
+    group.bench_function("periodic_optimization_100_objects", |b| {
+        let cluster = ScaliaCluster::builder().build();
+        for i in 0..100 {
+            let key = ObjectKey::new("bench", format!("obj-{i}"));
+            cluster
+                .put(&key, vec![1u8; 16 * 1024], "image/png", rule(), None)
+                .unwrap();
+            cluster.get(&key).unwrap();
+        }
+        cluster.tick(SimTime::from_hours(1));
+        b.iter(|| cluster.run_optimization(true))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

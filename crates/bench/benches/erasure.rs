@@ -1,0 +1,38 @@
+//! Benchmarks of the erasure-coding substrate: encode and decode throughput
+//! for the (m, n) configurations the evaluation actually uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scalia_erasure::codec::{decode_object, encode_object};
+use scalia_types::ErasureParams;
+
+fn bench_erasure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erasure");
+    group.sample_size(20);
+    let data: Vec<u8> = (0..1_000_000).map(|i| (i * 31) as u8).collect();
+
+    for (m, n) in [(1u32, 2u32), (2, 3), (3, 4), (4, 5)] {
+        let params = ErasureParams::new(m, n).unwrap();
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode_1MB", format!("{m}-{n}")),
+            &params,
+            |b, &params| b.iter(|| encode_object(&data, params).unwrap()),
+        );
+
+        let encoded = encode_object(&data, params).unwrap();
+        // Decode from the last m chunks (forces matrix inversion, the
+        // non-systematic path).
+        let subset: Vec<_> = encoded.chunks[(n - m) as usize..].to_vec();
+        group.bench_with_input(
+            BenchmarkId::new("decode_1MB_worst_case", format!("{m}-{n}")),
+            &params,
+            |b, &params| {
+                b.iter(|| decode_object(&subset, params, encoded.original_len).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_erasure);
+criterion_main!(benches);

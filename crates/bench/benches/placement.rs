@@ -1,0 +1,89 @@
+//! Benchmarks of Algorithm 1: exhaustive search vs the pruning heuristic as
+//! the number of providers grows (the scalability argument of §III-A2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalia_core::cost::PredictedUsage;
+use scalia_core::placement::{PlacementEngine, PlacementOptions, SearchStrategy};
+use scalia_providers::catalog::{azure, google, rackspace, s3_high, s3_low};
+use scalia_providers::descriptor::ProviderDescriptor;
+use scalia_providers::pricing::PricingPolicy;
+use scalia_providers::sla::ProviderSla;
+use scalia_types::ids::ProviderId;
+use scalia_types::reliability::Reliability;
+use scalia_types::rules::StorageRule;
+use scalia_types::size::ByteSize;
+use scalia_types::zone::{Zone, ZoneSet};
+
+fn catalog_of(n: usize) -> Vec<ProviderDescriptor> {
+    let mut v = vec![
+        s3_high(ProviderId::new(0)),
+        s3_low(ProviderId::new(1)),
+        rackspace(ProviderId::new(2)),
+        azure(ProviderId::new(3)),
+        google(ProviderId::new(4)),
+    ];
+    for i in 5..n as u32 {
+        v.push(ProviderDescriptor::public(
+            ProviderId::new(i),
+            format!("P{i}"),
+            "synthetic provider",
+            ProviderSla::from_percent(99.9999, 99.9),
+            PricingPolicy::from_dollars(
+                0.09 + 0.005 * i as f64,
+                0.10,
+                0.14 + 0.002 * i as f64,
+                0.01,
+            ),
+            ZoneSet::of(&[Zone::US, Zone::EU]),
+        ));
+    }
+    v.truncate(n);
+    v
+}
+
+fn rule() -> StorageRule {
+    StorageRule::new(
+        "bench",
+        Reliability::from_percent(99.999),
+        Reliability::from_percent(99.99),
+        ZoneSet::all(),
+        0.5,
+    )
+}
+
+fn usage() -> PredictedUsage {
+    PredictedUsage {
+        size: ByteSize::from_mb(1),
+        bw_in: ByteSize::from_mb(1),
+        bw_out: ByteSize::from_mb(500),
+        reads: 500,
+        writes: 1,
+        duration_hours: 24.0,
+    }
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(20);
+    for n in [5usize, 8, 10, 12] {
+        let catalog = catalog_of(n);
+        let exhaustive = PlacementEngine::new();
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
+            b.iter(|| {
+                exhaustive
+                    .best_placement(&rule(), &usage(), &catalog)
+                    .unwrap()
+            })
+        });
+        let heuristic = PlacementEngine::with_options(PlacementOptions {
+            strategy: SearchStrategy::Heuristic { max_candidates: 6 },
+        });
+        group.bench_with_input(BenchmarkId::new("heuristic", n), &n, |b, _| {
+            b.iter(|| heuristic.best_placement(&rule(), &usage(), &catalog).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Benchmarks of the trend detector: the periodic optimiser calls `detect()`
+//! once per recently-accessed object, so it must be cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalia_core::trend::TrendDetector;
+use scalia_sim::scenarios::website_read_series;
+
+fn bench_trend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trend");
+    let detector = TrendDetector::default();
+    for periods in [24u64, 168, 720, 2160] {
+        let series = website_read_series(periods, 1, 3);
+        group.bench_with_input(
+            BenchmarkId::new("detect_tail", periods),
+            &series,
+            |b, series| b.iter(|| detector.detect(series)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("detection_points_full_scan", periods),
+            &series,
+            |b, series| b.iter(|| detector.detection_points(series)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trend);
+criterion_main!(benches);

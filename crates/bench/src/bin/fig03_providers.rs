@@ -1,0 +1,31 @@
+//! Fig. 3 (provider catalog) and Fig. 2 (example storage rules): prints the
+//! exact provider table and rule set used throughout the evaluation.
+
+use scalia_providers::catalog::ProviderCatalog;
+use scalia_types::rules::StorageRule;
+
+fn main() {
+    scalia_bench::header("Fig. 3", "Provider catalog (prices in USD/GB, ops in USD/1000)");
+    println!(
+        "{:<12} {:>15} {:>8} {:>14} {:>9} {:>8} {:>8} {:>8}",
+        "name", "durability", "avail", "zones", "storage", "bw_in", "bw_out", "ops"
+    );
+    for p in ProviderCatalog::paper_catalog().all() {
+        println!(
+            "{:<12} {:>15} {:>8} {:>14} {:>9.3} {:>8.2} {:>8.2} {:>8.2}",
+            p.name,
+            p.sla.durability.to_string(),
+            p.sla.availability.to_string(),
+            p.zones.to_string(),
+            p.pricing.storage_gb_month.dollars(),
+            p.pricing.bandwidth_in_gb.dollars(),
+            p.pricing.bandwidth_out_gb.dollars(),
+            p.pricing.ops_per_1000.dollars(),
+        );
+    }
+
+    scalia_bench::header("Fig. 2", "Example storage rules");
+    for rule in [StorageRule::rule1(), StorageRule::rule2(), StorageRule::rule3()] {
+        println!("{rule}  (min providers: {})", rule.min_providers());
+    }
+}

@@ -1,0 +1,22 @@
+//! Fig. 12: total amount of resources (storage, bandwidth in, bandwidth out)
+//! used by Scalia to store and serve the object of the Slashdot scenario,
+//! hour by hour over 7.5 days.
+
+use scalia_providers::catalog::ProviderCatalog;
+use scalia_sim::accounting::run_policy;
+use scalia_sim::experiment::format_resource_series;
+use scalia_sim::policy::ScaliaPolicy;
+use scalia_sim::scenarios;
+
+fn main() {
+    scalia_bench::header("Fig. 12", "Slashdot scenario — total resources used by Scalia");
+    let catalog = ProviderCatalog::paper_catalog().all();
+    let workload = scenarios::slashdot();
+    let mut policy = ScaliaPolicy::new(workload.sampling_period.as_hours());
+    let run = run_policy(&workload, &catalog, &mut policy);
+    print!("{}", format_resource_series(&run));
+    println!(
+        "\ntotal cost: {}   migrations: {}   feasible: {}",
+        run.total_cost, run.migrations, run.feasible
+    );
+}

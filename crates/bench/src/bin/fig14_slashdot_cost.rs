@@ -1,0 +1,28 @@
+//! Fig. 14 (and Fig. 13): % over the ideal cost of every feasible static
+//! provider set and of Scalia (set 27) for the Slashdot scenario.
+
+use scalia_providers::catalog::ProviderCatalog;
+use scalia_sim::experiment::{format_over_cost_table, run_cost_comparison};
+use scalia_sim::scenarios;
+use scalia_sim::static_sets::paper_static_sets;
+
+fn main() {
+    let catalog = ProviderCatalog::paper_catalog().all();
+
+    scalia_bench::header("Fig. 13", "Static provider sets");
+    for set in paper_static_sets(&catalog) {
+        println!("{:>2}  {}", set.index, set.label());
+    }
+    println!("27  Scalia (adaptive)");
+
+    scalia_bench::header("Fig. 14", "Slashdot scenario — % over the ideal cost");
+    let workload = scenarios::slashdot();
+    let result = run_cost_comparison(&workload, &catalog);
+    print!("{}", format_over_cost_table(&result));
+    println!(
+        "\nScalia: {:.2}% over ideal (paper: 0.12%) | best static: {:.2}% (paper: 0.4%) | worst static: {:.2}% (paper: 16%)",
+        result.scalia_over_cost(),
+        result.best_static_over_cost().unwrap_or(f64::NAN),
+        result.worst_static_over_cost().unwrap_or(f64::NAN)
+    );
+}

@@ -1,0 +1,21 @@
+//! Fig. 15: total amount of resources used by Scalia to store and serve the
+//! 200 pictures of the Gallery scenario over 7.5 days.
+
+use scalia_providers::catalog::ProviderCatalog;
+use scalia_sim::accounting::run_policy;
+use scalia_sim::experiment::format_resource_series;
+use scalia_sim::policy::ScaliaPolicy;
+use scalia_sim::scenarios;
+
+fn main() {
+    scalia_bench::header("Fig. 15", "Gallery scenario — total resources used by Scalia");
+    let catalog = ProviderCatalog::paper_catalog().all();
+    let workload = scenarios::gallery();
+    let mut policy = ScaliaPolicy::new(workload.sampling_period.as_hours());
+    let run = run_policy(&workload, &catalog, &mut policy);
+    print!("{}", format_resource_series(&run));
+    println!(
+        "\ntotal cost: {}   migrations: {}   feasible: {}",
+        run.total_cost, run.migrations, run.feasible
+    );
+}

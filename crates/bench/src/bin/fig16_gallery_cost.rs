@@ -1,0 +1,30 @@
+//! Fig. 16: % over the ideal cost of every feasible static provider set and
+//! of Scalia for the Gallery scenario.
+//!
+//! Optional argument: number of pictures (default 200; smaller values make
+//! quick sanity runs faster).
+
+use scalia_providers::catalog::ProviderCatalog;
+use scalia_sim::experiment::{format_over_cost_table, run_cost_comparison};
+use scalia_sim::scenarios;
+
+fn main() {
+    let pictures: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    scalia_bench::header(
+        "Fig. 16",
+        &format!("Gallery scenario ({pictures} pictures) — % over the ideal cost"),
+    );
+    let catalog = ProviderCatalog::paper_catalog().all();
+    let workload = scenarios::gallery_with(pictures, 4.0, 42);
+    let result = run_cost_comparison(&workload, &catalog);
+    print!("{}", format_over_cost_table(&result));
+    println!(
+        "\nScalia: {:.2}% over ideal (paper: 1.06%) | best static: {:.2}% (paper: 4.14%) | worst static: {:.2}% (paper: 31.58%)",
+        result.scalia_over_cost(),
+        result.best_static_over_cost().unwrap_or(f64::NAN),
+        result.worst_static_over_cost().unwrap_or(f64::NAN)
+    );
+}

@@ -1,0 +1,31 @@
+//! Fig. 17 and the §IV-D numbers: a 40 MB backup object is written every 5
+//! hours for 4 weeks; at hour 400 the cheaper provider CheapStor is
+//! registered. Prints the resources used by Scalia and the % over the ideal
+//! cost of Scalia and of every feasible static set (which cannot use the new
+//! provider).
+
+use scalia_providers::catalog::ProviderCatalog;
+use scalia_sim::experiment::{format_over_cost_table, format_resource_series, run_cost_comparison};
+use scalia_sim::scenarios;
+
+fn main() {
+    scalia_bench::header(
+        "Fig. 17 / §IV-D",
+        "Adding a storage provider — resources and % over ideal cost",
+    );
+    let catalog = ProviderCatalog::paper_catalog().all();
+    let workload = scenarios::adding_provider();
+    let result = run_cost_comparison(&workload, &catalog);
+
+    println!("-- Total resources used by Scalia (Fig. 17) --");
+    print!("{}", format_resource_series(&result.scalia));
+
+    println!("\n-- % over the ideal cost (§IV-D) --");
+    print!("{}", format_over_cost_table(&result));
+    println!(
+        "\nScalia: {:.2}% over ideal (paper: 0.35%) | best static: {:.2}% (paper: 7.88%) | worst static: {:.2}% (paper: 96.35%)",
+        result.scalia_over_cost(),
+        result.best_static_over_cost().unwrap_or(f64::NAN),
+        result.worst_static_over_cost().unwrap_or(f64::NAN)
+    );
+}

@@ -1,0 +1,26 @@
+//! # scalia-bench
+//!
+//! Experiment binaries and Criterion benchmarks for the Scalia
+//! reproduction.
+//!
+//! Each `fig*` binary regenerates the data behind one table or figure of the
+//! paper's evaluation (see `DESIGN.md` §4 for the full index); the Criterion
+//! benches in `benches/` measure the performance of the system itself
+//! (placement search, erasure coding, trend detection, metadata store,
+//! end-to-end engine throughput).
+
+/// Prints a section header used by all experiment binaries, so their output
+/// is easy to scan and to diff against `EXPERIMENTS.md`.
+pub fn header(figure: &str, title: &str) {
+    println!("==============================================================");
+    println!("{figure} — {title}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn header_does_not_panic() {
+        super::header("Fig. X", "smoke test");
+    }
+}

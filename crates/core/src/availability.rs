@@ -1,0 +1,119 @@
+//! `getAvailability`: the availability a provider set offers for an object.
+//!
+//! With threshold `m`, the object can be served as long as at least `m`
+//! providers are reachable. The offered availability is therefore the
+//! probability that at least `m` of the `n` providers are up simultaneously,
+//! using each provider's availability SLA and assuming independent outages
+//! (the paper's assumption, §IV-A).
+
+use crate::combinations::k_combinations;
+use scalia_providers::descriptor::ProviderDescriptor;
+use scalia_types::reliability::Reliability;
+
+/// Probability that an object with threshold `m` stored on `pset` can be
+/// reassembled (at least `m` providers reachable).
+pub fn get_availability(pset: &[ProviderDescriptor], m: u32) -> Reliability {
+    let n = pset.len();
+    if m == 0 {
+        return Reliability::ONE;
+    }
+    if m as usize > n {
+        return Reliability::ZERO;
+    }
+    let mut prob = 0.0f64;
+    // Sum over the number of unreachable providers we can tolerate.
+    for down_count in 0..=(n - m as usize) {
+        for down in k_combinations(pset, down_count) {
+            let mut p = 1.0f64;
+            for provider in pset {
+                let availability = provider.sla.availability.probability();
+                if down.iter().any(|d| d.id == provider.id) {
+                    p *= 1.0 - availability;
+                } else {
+                    p *= availability;
+                }
+            }
+            prob += p;
+        }
+    }
+    Reliability::from_probability(prob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalia_providers::catalog::{azure, rackspace, s3_high, s3_low};
+    use scalia_types::ids::ProviderId;
+
+    fn two_providers() -> Vec<ProviderDescriptor> {
+        vec![s3_high(ProviderId::new(0)), s3_low(ProviderId::new(1))]
+    }
+
+    #[test]
+    fn single_provider_availability_is_its_sla() {
+        let pset = vec![s3_high(ProviderId::new(0))];
+        let av = get_availability(&pset, 1);
+        assert!((av.probability() - 0.999).abs() < 1e-12);
+        // A single 99.9 provider cannot meet the paper's 99.99 requirement…
+        assert!(!av.meets(Reliability::from_percent(99.99)));
+    }
+
+    #[test]
+    fn mirroring_over_two_providers_meets_four_nines() {
+        // …but two mirrored 99.9 providers give 1 − 0.001² = 99.9999 ≥ 99.99,
+        // exactly the Slashdot-scenario argument.
+        let av = get_availability(&two_providers(), 1);
+        assert!((av.probability() - (1.0 - 0.001 * 0.001)).abs() < 1e-12);
+        assert!(av.meets(Reliability::from_percent(99.99)));
+    }
+
+    #[test]
+    fn pure_striping_availability_is_product() {
+        // m = n: every provider must be up.
+        let pset = two_providers();
+        let av = get_availability(&pset, 2);
+        assert!((av.probability() - 0.999 * 0.999).abs() < 1e-12);
+        assert!(!av.meets(Reliability::from_percent(99.9)));
+    }
+
+    #[test]
+    fn four_providers_m3_meets_four_nines() {
+        // The Slashdot pre-peak set [S3(h), S3(l), Azure, RS; m:3]:
+        // P(at least 3 of 4 up) with p = 0.999 each.
+        let pset = vec![
+            s3_high(ProviderId::new(0)),
+            s3_low(ProviderId::new(1)),
+            azure(ProviderId::new(2)),
+            rackspace(ProviderId::new(3)),
+        ];
+        let av = get_availability(&pset, 3);
+        let p: f64 = 0.999;
+        let expected = p.powi(4) + 4.0 * p.powi(3) * (1.0 - p);
+        assert!((av.probability() - expected).abs() < 1e-12);
+        assert!(av.meets(Reliability::from_percent(99.99)));
+    }
+
+    #[test]
+    fn availability_is_monotone_in_m() {
+        let pset = vec![
+            s3_high(ProviderId::new(0)),
+            s3_low(ProviderId::new(1)),
+            azure(ProviderId::new(2)),
+            rackspace(ProviderId::new(3)),
+        ];
+        let mut last = Reliability::ONE;
+        for m in 1..=4u32 {
+            let av = get_availability(&pset, m);
+            assert!(av <= last, "availability must not increase with m");
+            last = av;
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        let pset = two_providers();
+        assert_eq!(get_availability(&pset, 0), Reliability::ONE);
+        assert_eq!(get_availability(&pset, 3), Reliability::ZERO);
+        assert_eq!(get_availability(&[], 1), Reliability::ZERO);
+    }
+}

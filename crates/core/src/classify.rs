@@ -1,0 +1,73 @@
+//! Object classification.
+//!
+//! Scalia groups objects into classes by metadata: `C(obj) = MD5(mime |
+//! discretize(size))`, where `discretize` rounds the size up to the closest
+//! megabyte (§III-A1). Per-class statistics then drive the first placement
+//! of new objects and the lifetime / time-left-to-live estimation.
+
+use scalia_types::md5::md5_hex;
+use scalia_types::size::ByteSize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The class of an object, identified by a stable hash of its metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectClass(String);
+
+impl ObjectClass {
+    /// Classifies an object from its MIME type and size:
+    /// `C(obj) = MD5(mime | discretize(size))`.
+    pub fn of(mime: &str, size: ByteSize) -> Self {
+        let discretized = size.discretize_mb();
+        ObjectClass(md5_hex(format!("{mime}|{discretized}").as_bytes()))
+    }
+
+    /// The class identifier (hex string), used as a statistics row key.
+    pub fn id(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class:{}", &self.0[..8.min(self.0.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_mime_and_size_class_share_a_class() {
+        // A 250 KB and a 700 KB image both round up to 1 MB.
+        let a = ObjectClass::of("image/gif", ByteSize::from_kb(250));
+        let b = ObjectClass::of("image/gif", ByteSize::from_kb(700));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_mime_types_get_different_classes() {
+        let img = ObjectClass::of("image/gif", ByteSize::from_kb(250));
+        let tar = ObjectClass::of("application/x-tar", ByteSize::from_kb(250));
+        assert_ne!(img, tar);
+    }
+
+    #[test]
+    fn different_size_buckets_get_different_classes() {
+        // 1 MB vs 40 MB backups are different classes (a large archive is
+        // "most probably a backup", a small image "will have plenty of
+        // reads" — the paper's §III-A2 intuition requires separating them).
+        let small = ObjectClass::of("application/x-tar", ByteSize::from_mb(1));
+        let large = ObjectClass::of("application/x-tar", ByteSize::from_mb(40));
+        assert_ne!(small, large);
+    }
+
+    #[test]
+    fn id_is_stable_md5() {
+        let c = ObjectClass::of("image/gif", ByteSize::from_kb(250));
+        assert_eq!(c.id(), md5_hex(b"image/gif|1"));
+        assert_eq!(c.id().len(), 32);
+        assert!(c.to_string().starts_with("class:"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Adaptive decision-period controller.
+//!
+//! The decision period `D_obj` is the window of historical statistics used
+//! to predict the next window and choose the placement. The paper adapts it
+//! with a dichotomic search: when it is time to adjust, the three candidate
+//! windows `D/2`, `D` and `2D` are evaluated in parallel and the one whose
+//! best provider set is cheapest becomes the new `D`. The adjustment itself
+//! runs every `T` optimisation procedures: `T` starts at 1, doubles whenever
+//! `D` is found adequate (unchanged), and resets to 1 otherwise, with an
+//! upper bound of a few weeks' worth of procedures. `D` is further bounded
+//! above by the object's expected remaining lifetime (TTL) and by the amount
+//! of history actually available.
+
+use scalia_types::money::Money;
+use scalia_types::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Controller for one object's decision period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionPeriodController {
+    current: Duration,
+    /// Adjust every `t` optimisation procedures.
+    t: u32,
+    /// Procedures elapsed since the last adjustment.
+    since_adjust: u32,
+    /// Upper bound on `t`.
+    max_t: u32,
+    /// Lower bound on the decision period (one sampling period).
+    min_period: Duration,
+}
+
+/// The outcome of an adjustment attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdjustOutcome {
+    /// It was not yet time to adjust (fewer than `T` procedures elapsed).
+    NotDue,
+    /// The decision period was evaluated and kept; `T` was doubled.
+    Kept,
+    /// The decision period changed to a new value; `T` was reset to 1.
+    Changed(Duration),
+}
+
+impl DecisionPeriodController {
+    /// Creates a controller with an initial decision period.
+    ///
+    /// `min_period` is the sampling period (the decision period never drops
+    /// below one sample); `max_t` bounds the doubling schedule (the paper
+    /// suggests a period of weeks — with 5-minute optimisation procedures a
+    /// `max_t` of 4096 ≈ two weeks).
+    pub fn new(initial: Duration, min_period: Duration, max_t: u32) -> Self {
+        DecisionPeriodController {
+            current: initial.max(min_period),
+            t: 1,
+            since_adjust: 0,
+            max_t: max_t.max(1),
+            min_period,
+        }
+    }
+
+    /// The current decision period.
+    pub fn current(&self) -> Duration {
+        self.current
+    }
+
+    /// The current adjustment interval `T`.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// Records that an optimisation procedure ran and, if due, adjusts the
+    /// decision period by evaluating the candidates `D/2`, `D`, `2D`
+    /// (clamped to `[min_period, upper_bound]`).
+    ///
+    /// `evaluate` must return the expected cost **per hour** of the best
+    /// placement found when using the given window of history, so that
+    /// windows of different lengths are comparable. `upper_bound` is
+    /// `min(TTL_obj, |H_obj|)` — pass the available history length when the
+    /// object's lifetime is unknown.
+    pub fn on_optimization(
+        &mut self,
+        upper_bound: Duration,
+        mut evaluate: impl FnMut(Duration) -> Money,
+    ) -> AdjustOutcome {
+        self.since_adjust += 1;
+        if self.since_adjust < self.t {
+            return AdjustOutcome::NotDue;
+        }
+        self.since_adjust = 0;
+
+        let upper = upper_bound.max(self.min_period);
+        let clamp = |d: Duration| d.max(self.min_period).min(upper);
+
+        let candidates = [
+            clamp(self.current.halved()),
+            clamp(self.current),
+            clamp(self.current.doubled()),
+        ];
+
+        let mut best = candidates[1];
+        let mut best_cost = Money::MAX;
+        for &candidate in &candidates {
+            let cost = evaluate(candidate);
+            if cost < best_cost {
+                best_cost = cost;
+                best = candidate;
+            }
+        }
+
+        if best == self.current {
+            self.t = (self.t * 2).min(self.max_t);
+            AdjustOutcome::Kept
+        } else {
+            self.current = best;
+            self.t = 1;
+            AdjustOutcome::Changed(best)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> DecisionPeriodController {
+        DecisionPeriodController::new(Duration::from_hours(24), Duration::HOUR, 64)
+    }
+
+    #[test]
+    fn keeps_period_and_doubles_t_when_current_is_best() {
+        let mut c = controller();
+        // Cost per hour is minimised exactly at 24 h.
+        let eval = |d: Duration| Money::from_dollars((d.as_hours() - 24.0).abs() + 1.0);
+        assert_eq!(c.on_optimization(Duration::from_days(30), eval), AdjustOutcome::Kept);
+        assert_eq!(c.current(), Duration::from_hours(24));
+        assert_eq!(c.t(), 2);
+        // The next adjustment is only due after 2 procedures.
+        assert_eq!(
+            c.on_optimization(Duration::from_days(30), eval),
+            AdjustOutcome::NotDue
+        );
+        assert_eq!(c.on_optimization(Duration::from_days(30), eval), AdjustOutcome::Kept);
+        assert_eq!(c.t(), 4);
+    }
+
+    #[test]
+    fn shrinks_period_when_shorter_window_is_cheaper() {
+        let mut c = controller();
+        // Cheaper with shorter windows (e.g. bursty, short-lived object).
+        let eval = |d: Duration| Money::from_dollars(d.as_hours());
+        let outcome = c.on_optimization(Duration::from_days(30), eval);
+        assert_eq!(outcome, AdjustOutcome::Changed(Duration::from_hours(12)));
+        assert_eq!(c.current(), Duration::from_hours(12));
+        assert_eq!(c.t(), 1);
+        // Keeps shrinking on subsequent adjustments, but never below the
+        // sampling period.
+        for _ in 0..10 {
+            c.on_optimization(Duration::from_days(30), eval);
+        }
+        assert_eq!(c.current(), Duration::HOUR);
+    }
+
+    #[test]
+    fn grows_period_when_longer_window_is_cheaper() {
+        let mut c = controller();
+        let eval = |d: Duration| Money::from_dollars(1000.0 - d.as_hours());
+        let outcome = c.on_optimization(Duration::from_days(30), eval);
+        assert_eq!(outcome, AdjustOutcome::Changed(Duration::from_hours(48)));
+    }
+
+    #[test]
+    fn ttl_bounds_the_candidate_windows() {
+        let mut c = controller();
+        // Longer is always "cheaper", but the object is expected to live
+        // only 30 more hours → 2D is clamped to 30 h.
+        let eval = |d: Duration| Money::from_dollars(1000.0 - d.as_hours());
+        let outcome = c.on_optimization(Duration::from_hours(30), eval);
+        assert_eq!(outcome, AdjustOutcome::Changed(Duration::from_hours(30)));
+        assert_eq!(c.current(), Duration::from_hours(30));
+    }
+
+    #[test]
+    fn t_is_capped_and_resets_on_change() {
+        let mut c = DecisionPeriodController::new(Duration::from_hours(24), Duration::HOUR, 4);
+        let keep = |d: Duration| Money::from_dollars((d.as_hours() - 24.0).abs());
+        // Drive T to its cap.
+        for _ in 0..20 {
+            c.on_optimization(Duration::from_days(30), keep);
+        }
+        assert_eq!(c.t(), 4);
+        // A change resets T to 1. Make shorter windows cheaper now; the next
+        // due adjustment happens after 4 procedures.
+        let shrink = |d: Duration| Money::from_dollars(d.as_hours());
+        let mut changed = false;
+        for _ in 0..4 {
+            if let AdjustOutcome::Changed(_) = c.on_optimization(Duration::from_days(30), shrink) {
+                changed = true;
+            }
+        }
+        assert!(changed);
+        assert_eq!(c.t(), 1);
+    }
+
+    #[test]
+    fn initial_period_respects_minimum() {
+        let c = DecisionPeriodController::new(Duration::from_secs(60), Duration::HOUR, 8);
+        assert_eq!(c.current(), Duration::HOUR);
+    }
+}

@@ -1,0 +1,166 @@
+//! Candidate pruning for large provider catalogs.
+//!
+//! Algorithm 1 is exponential in the number of providers. The paper notes
+//! that with the handful of providers on the market this is fine, and that
+//! for larger catalogs the problem resembles a multi-dimensional knapsack
+//! for which pseudo-polynomial heuristics exist. This module implements the
+//! pruning step of such a heuristic: rank providers by how cheap they would
+//! be for this object's predicted usage (a single-provider relaxation of the
+//! objective) and keep only the most promising ones, while always keeping
+//! enough providers in every required zone to satisfy the rule's lock-in and
+//! zone constraints.
+
+use crate::cost::{compute_price, PredictedUsage};
+use scalia_providers::descriptor::ProviderDescriptor;
+use scalia_types::money::Money;
+use scalia_types::rules::StorageRule;
+
+/// Ranks `providers` by their single-provider cost for `usage` and returns
+/// at most `max_candidates` of them (never fewer than the rule's minimum
+/// provider count, when that many exist).
+pub fn prune_candidates(
+    providers: &[ProviderDescriptor],
+    usage: &PredictedUsage,
+    rule: &StorageRule,
+    max_candidates: usize,
+) -> Vec<ProviderDescriptor> {
+    if providers.len() <= max_candidates {
+        return providers.to_vec();
+    }
+    let keep = max_candidates.max(rule.min_providers()).max(1);
+
+    let mut scored: Vec<(Money, &ProviderDescriptor)> = providers
+        .iter()
+        .map(|p| (single_provider_score(p, usage, rule), p))
+        .collect();
+    scored.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.id.cmp(&b.1.id)));
+    scored
+        .into_iter()
+        .take(keep.min(providers.len()))
+        .map(|(_, p)| p.clone())
+        .collect()
+}
+
+/// The score of a provider: the cost of serving the whole predicted usage
+/// alone (`m = 1`), with a large penalty if it operates in none of the
+/// allowed zones (it can never appear in a feasible set).
+fn single_provider_score(
+    provider: &ProviderDescriptor,
+    usage: &PredictedUsage,
+    rule: &StorageRule,
+) -> Money {
+    if !provider.zones.intersects(rule.zones) {
+        return Money::MAX;
+    }
+    compute_price(std::slice::from_ref(provider), 1, usage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalia_providers::catalog::{azure, cheapstor, google, rackspace, s3_high, s3_low};
+    use scalia_providers::pricing::PricingPolicy;
+    use scalia_providers::sla::ProviderSla;
+    use scalia_types::ids::ProviderId;
+    use scalia_types::reliability::Reliability;
+    use scalia_types::size::ByteSize;
+    use scalia_types::zone::{Zone, ZoneSet};
+
+    fn big_catalog() -> Vec<ProviderDescriptor> {
+        let mut v = vec![
+            s3_high(ProviderId::new(0)),
+            s3_low(ProviderId::new(1)),
+            rackspace(ProviderId::new(2)),
+            azure(ProviderId::new(3)),
+            google(ProviderId::new(4)),
+            cheapstor(ProviderId::new(5)),
+        ];
+        // Add several expensive clones to exceed the pruning limit.
+        for i in 6..14u32 {
+            let mut p = ProviderDescriptor::public(
+                ProviderId::new(i),
+                format!("Exp{i}"),
+                "expensive provider",
+                ProviderSla::from_percent(99.9999, 99.9),
+                PricingPolicy::from_dollars(0.5 + i as f64 * 0.01, 0.2, 0.4, 0.05),
+                ZoneSet::of(&[Zone::US]),
+            );
+            p.description = "clone".into();
+            v.push(p);
+        }
+        v
+    }
+
+    fn rule() -> StorageRule {
+        StorageRule::new(
+            "r",
+            Reliability::from_percent(99.999),
+            Reliability::from_percent(99.9),
+            ZoneSet::all(),
+            0.5,
+        )
+    }
+
+    #[test]
+    fn small_catalogs_pass_through_unchanged() {
+        let catalog = vec![s3_high(ProviderId::new(0)), s3_low(ProviderId::new(1))];
+        let usage = PredictedUsage::storage_only(ByteSize::from_mb(1), 24.0);
+        let pruned = prune_candidates(&catalog, &usage, &rule(), 8);
+        assert_eq!(pruned.len(), 2);
+    }
+
+    #[test]
+    fn pruning_keeps_cheapest_providers() {
+        let catalog = big_catalog();
+        let usage = PredictedUsage::storage_only(ByteSize::from_gb(1), 720.0);
+        let pruned = prune_candidates(&catalog, &usage, &rule(), 4);
+        assert_eq!(pruned.len(), 4);
+        // The expensive clones must all be pruned away.
+        assert!(pruned.iter().all(|p| !p.name.starts_with("Exp")));
+        // CheapStor and S3(l) (cheapest storage) must survive for a
+        // storage-dominated workload.
+        let names: Vec<&str> = pruned.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"CheapStor"));
+        assert!(names.contains(&"S3(l)"));
+    }
+
+    #[test]
+    fn pruning_respects_min_provider_count() {
+        let catalog = big_catalog();
+        let usage = PredictedUsage::storage_only(ByteSize::from_mb(1), 24.0);
+        let strict = rule().with_lockin(0.2); // needs at least 5 providers
+        let pruned = prune_candidates(&catalog, &usage, &strict, 2);
+        assert!(pruned.len() >= 5);
+    }
+
+    #[test]
+    fn out_of_zone_providers_rank_last() {
+        let catalog = big_catalog();
+        let usage = PredictedUsage::storage_only(ByteSize::from_mb(1), 24.0);
+        // EU-only rule: only the two S3 offerings qualify; everything else is
+        // scored at MAX and pruned first.
+        let eu_rule = rule().with_zones(ZoneSet::of(&[Zone::EU]));
+        let pruned = prune_candidates(&catalog, &usage, &eu_rule, 2);
+        let names: Vec<&str> = pruned.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"S3(h)"));
+        assert!(names.contains(&"S3(l)"));
+    }
+
+    #[test]
+    fn read_heavy_usage_changes_ranking() {
+        let catalog = big_catalog();
+        let usage = PredictedUsage {
+            size: ByteSize::from_mb(1),
+            bw_in: ByteSize::ZERO,
+            bw_out: ByteSize::from_gb(50),
+            reads: 50_000,
+            writes: 0,
+            duration_hours: 24.0,
+        };
+        let pruned = prune_candidates(&catalog, &usage, &rule(), 3);
+        // For read-dominated usage the $0.15/GB-out providers win over the
+        // $0.18 Rackspace even though Rackspace has free operations.
+        let names: Vec<&str> = pruned.iter().map(|p| p.name.as_str()).collect();
+        assert!(!names.contains(&"RS"));
+    }
+}

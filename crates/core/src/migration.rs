@@ -1,0 +1,162 @@
+//! Migration planning.
+//!
+//! When the periodic optimiser finds a cheaper provider set for an object,
+//! it only migrates "if the cost of migration is covered by the benefits of
+//! migrating to the new provider" (§III-A3). A [`MigrationPlan`] captures
+//! the old and new placements, the one-off migration cost, and the expected
+//! per-decision-period costs of both placements, and implements that gate.
+
+use crate::cost::{migration_cost, PredictedUsage};
+use crate::placement::Placement;
+use scalia_types::money::Money;
+use serde::{Deserialize, Serialize};
+
+/// A proposed migration of one object from its current placement to a new
+/// one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    /// The placement the object currently uses.
+    pub from: Placement,
+    /// The proposed new placement.
+    pub to: Placement,
+    /// One-off cost of moving the chunks.
+    pub migration_cost: Money,
+    /// Expected cost of keeping the current placement over the next
+    /// decision period.
+    pub current_period_cost: Money,
+    /// Expected cost of the new placement over the next decision period.
+    pub new_period_cost: Money,
+}
+
+impl MigrationPlan {
+    /// Builds a migration plan, pricing both placements over the decision
+    /// period described by `usage` and estimating the chunk-movement cost.
+    pub fn build(
+        from: Placement,
+        to: Placement,
+        usage: &PredictedUsage,
+        current_period_cost: Money,
+        new_period_cost: Money,
+    ) -> Self {
+        let cost = migration_cost(usage.size, &from.providers, from.m, &to.providers, to.m);
+        MigrationPlan {
+            from,
+            to,
+            migration_cost: cost,
+            current_period_cost,
+            new_period_cost,
+        }
+    }
+
+    /// The expected saving over the next decision period if the migration is
+    /// executed (may be negative).
+    pub fn expected_saving(&self) -> Money {
+        self.current_period_cost - self.new_period_cost - self.migration_cost
+    }
+
+    /// The paper's gate: migrate only if the benefit over the next decision
+    /// period covers the migration cost.
+    pub fn is_beneficial(&self) -> bool {
+        self.expected_saving().is_positive()
+    }
+
+    /// Returns `true` if the plan actually changes the placement.
+    pub fn changes_placement(&self) -> bool {
+        !self.from.same_as(&self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalia_providers::catalog::{azure, google, rackspace, s3_high, s3_low};
+    use scalia_providers::descriptor::ProviderDescriptor;
+    use scalia_types::ids::ProviderId;
+    use scalia_types::size::ByteSize;
+
+    fn catalog() -> Vec<ProviderDescriptor> {
+        vec![
+            s3_high(ProviderId::new(0)),
+            s3_low(ProviderId::new(1)),
+            rackspace(ProviderId::new(2)),
+            azure(ProviderId::new(3)),
+            google(ProviderId::new(4)),
+        ]
+    }
+
+    fn placement(indices: &[usize], m: u32) -> Placement {
+        let all = catalog();
+        Placement {
+            providers: indices.iter().map(|&i| all[i].clone()).collect(),
+            m,
+        }
+    }
+
+    fn usage(size_mb: u64) -> PredictedUsage {
+        PredictedUsage {
+            size: ByteSize::from_mb(size_mb),
+            bw_in: ByteSize::ZERO,
+            bw_out: ByteSize::from_mb(size_mb * 100),
+            reads: 100,
+            writes: 0,
+            duration_hours: 24.0,
+        }
+    }
+
+    #[test]
+    fn beneficial_when_savings_exceed_migration_cost() {
+        let plan = MigrationPlan::build(
+            placement(&[0, 1, 2, 3], 3),
+            placement(&[0, 1], 1),
+            &usage(1),
+            Money::from_dollars(0.50),
+            Money::from_dollars(0.30),
+        );
+        assert!(plan.changes_placement());
+        assert!(plan.migration_cost.is_positive());
+        assert!(plan.is_beneficial());
+        assert!(plan.expected_saving().is_positive());
+    }
+
+    #[test]
+    fn not_beneficial_when_savings_are_marginal() {
+        // Saving of a tenth of a cent on a 40 MB object: the chunk movement
+        // costs more than the saving.
+        let plan = MigrationPlan::build(
+            placement(&[0, 1, 2, 3], 3),
+            placement(&[0, 1, 3, 4], 3),
+            &usage(400),
+            Money::from_dollars(0.1000),
+            Money::from_dollars(0.0999),
+        );
+        assert!(!plan.is_beneficial());
+    }
+
+    #[test]
+    fn identical_placement_has_zero_cost_and_no_benefit() {
+        let p = placement(&[0, 1], 1);
+        let plan = MigrationPlan::build(
+            p.clone(),
+            p,
+            &usage(1),
+            Money::from_dollars(0.2),
+            Money::from_dollars(0.2),
+        );
+        assert!(!plan.changes_placement());
+        assert_eq!(plan.migration_cost, Money::ZERO);
+        assert!(!plan.is_beneficial());
+    }
+
+    #[test]
+    fn negative_saving_reported_faithfully() {
+        let plan = MigrationPlan::build(
+            placement(&[0, 1], 1),
+            placement(&[0, 1, 2, 3, 4], 4),
+            &usage(1),
+            Money::from_dollars(0.10),
+            Money::from_dollars(0.25),
+        );
+        assert!(!plan.is_beneficial());
+        assert!(plan.expected_saving() < Money::ZERO);
+    }
+}

@@ -1,0 +1,207 @@
+//! The per-datacenter caching layer.
+//!
+//! Upon a read, if the object is present in the cache it is served without
+//! touching the remote providers, which both lowers latency and avoids the
+//! providers' bandwidth-out and operation charges (§III-B). The cache is a
+//! byte-bounded LRU; on every write the object is invalidated in *all*
+//! datacenters to keep reads consistent.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use scalia_types::size::ByteSize;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct CacheInner {
+    map: HashMap<String, Bytes>,
+    /// Keys in LRU order: front = least recently used.
+    order: Vec<String>,
+    used: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// A byte-bounded LRU cache for fully reassembled objects.
+pub struct Cache {
+    capacity: u64,
+    inner: Mutex<CacheInner>,
+}
+
+impl Cache {
+    /// Creates a cache bounded to `capacity` bytes. A zero capacity disables
+    /// caching entirely (every lookup misses).
+    pub fn new(capacity: ByteSize) -> Self {
+        Cache {
+            capacity: capacity.bytes(),
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: Vec::new(),
+                used: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Creates a shared cache.
+    pub fn shared(capacity: ByteSize) -> Arc<Self> {
+        Arc::new(Self::new(capacity))
+    }
+
+    /// Looks up an object, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        let mut inner = self.inner.lock();
+        if let Some(data) = inner.map.get(key).cloned() {
+            inner.hits += 1;
+            if let Some(pos) = inner.order.iter().position(|k| k == key) {
+                let k = inner.order.remove(pos);
+                inner.order.push(k);
+            }
+            Some(data)
+        } else {
+            inner.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts an object, evicting least-recently-used entries as needed.
+    /// Objects larger than the whole cache are not cached.
+    pub fn put(&self, key: &str, data: Bytes) {
+        let size = data.len() as u64;
+        if size > self.capacity {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.map.remove(key) {
+            inner.used -= old.len() as u64;
+            if let Some(pos) = inner.order.iter().position(|k| k == key) {
+                inner.order.remove(pos);
+            }
+        }
+        while inner.used + size > self.capacity {
+            let Some(victim) = inner.order.first().cloned() else {
+                break;
+            };
+            inner.order.remove(0);
+            if let Some(evicted) = inner.map.remove(&victim) {
+                inner.used -= evicted.len() as u64;
+            }
+        }
+        inner.map.insert(key.to_string(), data);
+        inner.order.push(key.to_string());
+        inner.used += size;
+    }
+
+    /// Invalidates one object (called on writes and deletes, in every
+    /// datacenter).
+    pub fn invalidate(&self, key: &str) {
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.map.remove(key) {
+            inner.used -= old.len() as u64;
+        }
+        if let Some(pos) = inner.order.iter().position(|k| k == key) {
+            inner.order.remove(pos);
+        }
+    }
+
+    /// Empties the cache.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+        inner.used = 0;
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().used
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = Cache::new(ByteSize::from_kb(10));
+        assert!(cache.get("a").is_none());
+        cache.put("a", Bytes::from_static(b"hello"));
+        assert_eq!(cache.get("a").unwrap(), Bytes::from_static(b"hello"));
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.used_bytes(), 5);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let cache = Cache::new(ByteSize::from_bytes(30));
+        cache.put("a", Bytes::from(vec![0u8; 10]));
+        cache.put("b", Bytes::from(vec![0u8; 10]));
+        cache.put("c", Bytes::from(vec![0u8; 10]));
+        // Touch "a" so "b" becomes the LRU victim.
+        cache.get("a");
+        cache.put("d", Bytes::from(vec![0u8; 10]));
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none(), "b should have been evicted");
+        assert!(cache.get("c").is_some());
+        assert!(cache.get("d").is_some());
+        assert!(cache.used_bytes() <= 30);
+    }
+
+    #[test]
+    fn oversized_objects_are_not_cached() {
+        let cache = Cache::new(ByteSize::from_bytes(10));
+        cache.put("big", Bytes::from(vec![0u8; 100]));
+        assert!(cache.is_empty());
+        assert!(cache.get("big").is_none());
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let cache = Cache::new(ByteSize::from_kb(1));
+        cache.put("a", Bytes::from_static(b"1"));
+        cache.put("b", Bytes::from_static(b"2"));
+        cache.invalidate("a");
+        assert!(cache.get("a").is_none());
+        assert!(cache.get("b").is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+        // Invalidating a missing key is a no-op.
+        cache.invalidate("zzz");
+    }
+
+    #[test]
+    fn overwrite_updates_size_accounting() {
+        let cache = Cache::new(ByteSize::from_bytes(100));
+        cache.put("a", Bytes::from(vec![0u8; 40]));
+        cache.put("a", Bytes::from(vec![0u8; 10]));
+        assert_eq!(cache.used_bytes(), 10);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = Cache::new(ByteSize::ZERO);
+        cache.put("a", Bytes::from_static(b"x"));
+        assert!(cache.get("a").is_none());
+    }
+}

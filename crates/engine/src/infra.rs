@@ -1,0 +1,308 @@
+//! Shared infrastructure of a Scalia deployment.
+//!
+//! [`Infrastructure`] bundles everything every engine in every datacenter
+//! needs a handle to: the provider catalog and the per-provider simulated
+//! backends, the replicated metadata database and the statistics store, the
+//! simulation clock, the per-object decision-period controllers, and the
+//! queue of deletes postponed because a provider was unreachable (§III-D3).
+
+use parking_lot::{Mutex, RwLock};
+use scalia_core::decision::DecisionPeriodController;
+use scalia_metastore::model::Timestamp;
+use scalia_metastore::replication::ReplicatedStore;
+use scalia_metastore::stats::StatisticsStore;
+use scalia_providers::backend::{ObjectStore, SimulatedStore};
+use scalia_providers::catalog::ProviderCatalog;
+use scalia_providers::descriptor::ProviderDescriptor;
+use scalia_types::ids::{DatacenterId, ProviderId};
+use scalia_types::money::Money;
+use scalia_types::time::{Duration, SimTime};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A delete that could not be executed because the provider was down; it is
+/// retried when the provider recovers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingDelete {
+    /// Provider holding the stale chunk.
+    pub provider: ProviderId,
+    /// Chunk key to delete.
+    pub chunk_key: String,
+}
+
+/// Shared state of one Scalia deployment.
+pub struct Infrastructure {
+    catalog: Arc<ProviderCatalog>,
+    backends: RwLock<HashMap<ProviderId, Arc<SimulatedStore>>>,
+    database: Arc<ReplicatedStore>,
+    clock_secs: AtomicU64,
+    write_seq: AtomicU64,
+    sampling_period: Duration,
+    pending_deletes: Mutex<Vec<PendingDelete>>,
+    decision_controllers: Mutex<HashMap<String, DecisionPeriodController>>,
+}
+
+impl Infrastructure {
+    /// Creates the infrastructure for a deployment spanning `datacenters`
+    /// datacenters, with backends for every provider already in the catalog.
+    pub fn new(catalog: Arc<ProviderCatalog>, datacenters: u32, sampling_period: Duration) -> Arc<Self> {
+        let database = Arc::new(ReplicatedStore::with_datacenters(datacenters.max(1)));
+        let infra = Arc::new(Infrastructure {
+            catalog: catalog.clone(),
+            backends: RwLock::new(HashMap::new()),
+            database,
+            clock_secs: AtomicU64::new(0),
+            write_seq: AtomicU64::new(0),
+            sampling_period,
+            pending_deletes: Mutex::new(Vec::new()),
+            decision_controllers: Mutex::new(HashMap::new()),
+        });
+        for descriptor in catalog.all() {
+            infra.ensure_backend(&descriptor);
+        }
+        infra
+    }
+
+    /// The provider catalog.
+    pub fn catalog(&self) -> &Arc<ProviderCatalog> {
+        &self.catalog
+    }
+
+    /// The replicated metadata database.
+    pub fn database(&self) -> &Arc<ReplicatedStore> {
+        &self.database
+    }
+
+    /// A statistics-store view for the given datacenter.
+    pub fn statistics(&self, datacenter: DatacenterId) -> StatisticsStore {
+        StatisticsStore::new(self.database.clone(), datacenter)
+    }
+
+    /// The sampling period (1 hour in the paper).
+    pub fn sampling_period(&self) -> Duration {
+        self.sampling_period
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_secs(self.clock_secs.load(Ordering::SeqCst))
+    }
+
+    /// The index of the current sampling period.
+    pub fn current_period(&self) -> u64 {
+        self.now().period_index(self.sampling_period)
+    }
+
+    /// Advances the simulated clock, ticking every provider backend so they
+    /// charge storage for the elapsed time, and retrying postponed deletes.
+    pub fn advance_clock(&self, now: SimTime) {
+        self.clock_secs.store(now.secs(), Ordering::SeqCst);
+        for backend in self.backends.read().values() {
+            backend.tick(now);
+        }
+        self.retry_pending_deletes();
+    }
+
+    /// A fresh, strictly monotonic metadata timestamp for the current time.
+    pub fn next_timestamp(&self) -> Timestamp {
+        Timestamp::new(
+            self.clock_secs.load(Ordering::SeqCst),
+            self.write_seq.fetch_add(1, Ordering::SeqCst),
+        )
+    }
+
+    /// Registers a provider (catalog + backend). Returns its assigned id.
+    pub fn register_provider(&self, descriptor: ProviderDescriptor) -> ProviderId {
+        let id = self.catalog.register(descriptor);
+        let registered = self.catalog.get(id).expect("just registered");
+        self.ensure_backend(&registered);
+        id
+    }
+
+    fn ensure_backend(&self, descriptor: &ProviderDescriptor) {
+        let mut backends = self.backends.write();
+        backends
+            .entry(descriptor.id)
+            .or_insert_with(|| SimulatedStore::shared(descriptor.clone()));
+    }
+
+    /// The backend of a provider, if it exists.
+    pub fn backend(&self, provider: ProviderId) -> Option<Arc<SimulatedStore>> {
+        self.backends.read().get(&provider).cloned()
+    }
+
+    /// All provider backends.
+    pub fn backends(&self) -> Vec<Arc<SimulatedStore>> {
+        self.backends.read().values().cloned().collect()
+    }
+
+    /// Takes a provider down or up, both in the catalog (so the placement
+    /// engine avoids it) and at its backend (so requests fail).
+    pub fn set_provider_down(&self, provider: ProviderId, down: bool) {
+        if down {
+            self.catalog.mark_unavailable(provider);
+        } else {
+            self.catalog.mark_available(provider);
+        }
+        if let Some(backend) = self.backend(provider) {
+            backend.set_down(down);
+        }
+    }
+
+    /// Total money accrued across all provider backends — what the data
+    /// owner would actually be billed.
+    pub fn total_cost(&self) -> Money {
+        self.backends
+            .read()
+            .values()
+            .map(|b| b.accrued_cost())
+            .sum()
+    }
+
+    /// Queues a delete that could not reach its provider.
+    pub fn postpone_delete(&self, provider: ProviderId, chunk_key: String) {
+        self.pending_deletes.lock().push(PendingDelete {
+            provider,
+            chunk_key,
+        });
+    }
+
+    /// Number of deletes still waiting for their provider to recover.
+    pub fn pending_delete_count(&self) -> usize {
+        self.pending_deletes.lock().len()
+    }
+
+    /// Retries every postponed delete whose provider is reachable again.
+    pub fn retry_pending_deletes(&self) {
+        let mut pending = self.pending_deletes.lock();
+        let mut remaining = Vec::new();
+        for delete in pending.drain(..) {
+            let done = self
+                .backend(delete.provider)
+                .filter(|b| b.is_up())
+                .map(|b| b.delete(&delete.chunk_key).is_ok())
+                .unwrap_or(false);
+            if !done {
+                remaining.push(delete);
+            }
+        }
+        *pending = remaining;
+    }
+
+    /// The decision-period controller of an object, created on first use
+    /// with the given initial window.
+    pub fn decision_controller(
+        &self,
+        row_key: &str,
+        initial: Duration,
+    ) -> DecisionPeriodController {
+        self.decision_controllers
+            .lock()
+            .entry(row_key.to_string())
+            .or_insert_with(|| {
+                DecisionPeriodController::new(initial, self.sampling_period, 4096)
+            })
+            .clone()
+    }
+
+    /// Stores back an updated decision-period controller.
+    pub fn store_decision_controller(&self, row_key: &str, controller: DecisionPeriodController) {
+        self.decision_controllers
+            .lock()
+            .insert(row_key.to_string(), controller);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use scalia_providers::catalog::cheapstor;
+
+    fn infra() -> Arc<Infrastructure> {
+        Infrastructure::new(ProviderCatalog::paper_catalog(), 2, Duration::HOUR)
+    }
+
+    #[test]
+    fn backends_exist_for_every_catalog_provider() {
+        let infra = infra();
+        assert_eq!(infra.backends().len(), 5);
+        for provider in infra.catalog().all() {
+            assert!(infra.backend(provider.id).is_some());
+        }
+        assert!(infra.backend(ProviderId::new(99)).is_none());
+    }
+
+    #[test]
+    fn clock_and_timestamps_are_monotonic() {
+        let infra = infra();
+        assert_eq!(infra.now(), SimTime::ZERO);
+        infra.advance_clock(SimTime::from_hours(5));
+        assert_eq!(infra.now(), SimTime::from_hours(5));
+        assert_eq!(infra.current_period(), 5);
+        let t1 = infra.next_timestamp();
+        let t2 = infra.next_timestamp();
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn registering_a_provider_adds_its_backend() {
+        let infra = infra();
+        let id = infra.register_provider(cheapstor(ProviderId::new(0)));
+        assert!(infra.backend(id).is_some());
+        assert_eq!(infra.catalog().len(), 6);
+    }
+
+    #[test]
+    fn provider_outage_toggles_catalog_and_backend() {
+        let infra = infra();
+        let target = infra.catalog().all()[1].id;
+        infra.set_provider_down(target, true);
+        assert!(!infra.catalog().is_available(target));
+        assert!(!infra.backend(target).unwrap().is_up());
+        infra.set_provider_down(target, false);
+        assert!(infra.catalog().is_available(target));
+        assert!(infra.backend(target).unwrap().is_up());
+    }
+
+    #[test]
+    fn postponed_deletes_retry_after_recovery() {
+        let infra = infra();
+        let target = infra.catalog().all()[0].id;
+        let backend = infra.backend(target).unwrap();
+        backend.put("stale-chunk", Bytes::from_static(b"x")).unwrap();
+
+        infra.set_provider_down(target, true);
+        infra.postpone_delete(target, "stale-chunk".to_string());
+        infra.retry_pending_deletes();
+        assert_eq!(infra.pending_delete_count(), 1, "provider still down");
+
+        infra.set_provider_down(target, false);
+        infra.advance_clock(SimTime::from_hours(1));
+        assert_eq!(infra.pending_delete_count(), 0);
+        assert!(!backend.exists("stale-chunk").unwrap());
+    }
+
+    #[test]
+    fn total_cost_aggregates_backends() {
+        let infra = infra();
+        let backend = infra.backends()[0].clone();
+        backend.put("k", Bytes::from(vec![0u8; 1_000_000])).unwrap();
+        assert!(infra.total_cost().is_positive());
+    }
+
+    #[test]
+    fn decision_controllers_persist_per_object() {
+        let infra = infra();
+        let c = infra.decision_controller("row1", Duration::from_hours(24));
+        assert_eq!(c.current(), Duration::from_hours(24));
+        let mut updated = c.clone();
+        updated.on_optimization(Duration::from_days(30), |d| {
+            Money::from_dollars(d.as_hours())
+        });
+        infra.store_decision_controller("row1", updated.clone());
+        let reloaded = infra.decision_controller("row1", Duration::from_hours(24));
+        assert_eq!(reloaded.current(), updated.current());
+    }
+}

@@ -1,0 +1,369 @@
+//! The periodic optimisation procedure (§III-A3).
+//!
+//! Every few minutes a new optimisation procedure starts: a *leader* elected
+//! among all engines retrieves from the statistics database the set `A` of
+//! objects accessed or modified since the previous procedure, splits it into
+//! equal shards and assigns one shard per engine. Each engine, in parallel,
+//! runs the trend detector on every object of its shard and — only when the
+//! access pattern changed considerably — recomputes the placement with
+//! Algorithm 1, migrating the chunks when the migration cost is covered by
+//! the expected savings.
+
+use crate::engine::Engine;
+use crate::infra::Infrastructure;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use scalia_core::cost::{compute_price, PredictedUsage};
+use scalia_core::migration::MigrationPlan;
+use scalia_core::placement::{Placement, PlacementEngine};
+use scalia_core::trend::TrendDetector;
+use scalia_metastore::model::Timestamp;
+use scalia_types::ids::EngineId;
+use scalia_types::money::Money;
+use scalia_types::object::ObjectMeta;
+use scalia_types::time::Duration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Statistics of one optimisation procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizationReport {
+    /// Engine elected leader for this procedure.
+    pub leader: EngineId,
+    /// Objects in the accessed/modified set `A`.
+    pub objects_considered: usize,
+    /// Objects whose access pattern changed (trend detected).
+    pub trend_changes: usize,
+    /// Objects whose placement was recomputed with Algorithm 1.
+    pub placements_recomputed: usize,
+    /// Objects actually migrated to a new provider set.
+    pub migrations_executed: usize,
+}
+
+/// The periodic optimiser.
+pub struct PeriodicOptimizer {
+    detector: TrendDetector,
+    placement: PlacementEngine,
+    last_run: Mutex<Timestamp>,
+}
+
+impl PeriodicOptimizer {
+    /// Creates an optimiser with the given trend detector and placement
+    /// engine.
+    pub fn new(detector: TrendDetector, placement: PlacementEngine) -> Self {
+        PeriodicOptimizer {
+            detector,
+            placement,
+            last_run: Mutex::new(Timestamp::ZERO),
+        }
+    }
+
+    /// Runs one optimisation procedure over all engines. With
+    /// `force = true` every object of the accessed set is re-evaluated even
+    /// if its trend did not change (used after the provider catalog changes,
+    /// e.g. a new provider registered or one failed).
+    pub fn run(
+        &self,
+        engines: &[Arc<Engine>],
+        infra: &Arc<Infrastructure>,
+        force: bool,
+    ) -> OptimizationReport {
+        let Some(leader) = engines.iter().min_by_key(|e| e.id().0) else {
+            return OptimizationReport::default();
+        };
+
+        // 1) + 2) The leader fetches the accessed/modified object set.
+        let since = {
+            let mut last = self.last_run.lock();
+            let since = *last;
+            *last = infra.next_timestamp();
+            since
+        };
+        let stats = infra.statistics(leader.datacenter());
+        let accessed = stats.objects_accessed_since(since);
+
+        let report_trends = AtomicUsize::new(0);
+        let report_recomputed = AtomicUsize::new(0);
+        let report_migrated = AtomicUsize::new(0);
+
+        // 3) + 4) Split A into |E| shards, one per engine, processed in
+        // parallel.
+        let shard_count = engines.len().max(1);
+        let shards: Vec<(usize, Vec<String>)> = accessed
+            .chunks(accessed.len().div_ceil(shard_count).max(1))
+            .enumerate()
+            .map(|(i, chunk)| (i, chunk.to_vec()))
+            .collect();
+
+        shards.par_iter().for_each(|(engine_idx, shard)| {
+            let engine = &engines[engine_idx % engines.len()];
+            for row_key in shard {
+                self.optimize_object(
+                    engine,
+                    infra,
+                    row_key,
+                    force,
+                    &report_trends,
+                    &report_recomputed,
+                    &report_migrated,
+                );
+            }
+        });
+
+        OptimizationReport {
+            leader: leader.id(),
+            objects_considered: accessed.len(),
+            trend_changes: report_trends.load(Ordering::Relaxed),
+            placements_recomputed: report_recomputed.load(Ordering::Relaxed),
+            migrations_executed: report_migrated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// 5) For one object: detect a trend change and, if needed, recompute
+    /// the placement and migrate.
+    #[allow(clippy::too_many_arguments)]
+    fn optimize_object(
+        &self,
+        engine: &Arc<Engine>,
+        infra: &Arc<Infrastructure>,
+        row_key: &str,
+        force: bool,
+        trends: &AtomicUsize,
+        recomputed: &AtomicUsize,
+        migrated: &AtomicUsize,
+    ) {
+        let stats = infra.statistics(engine.datacenter());
+        let Some(cell) = infra
+            .database()
+            .get_latest(engine.datacenter(), row_key, "meta")
+        else {
+            return; // Object deleted since it was accessed.
+        };
+        let Ok(meta) = serde_json::from_value::<ObjectMeta>(cell.value) else {
+            return;
+        };
+
+        let history = stats.history(row_key, scalia_types::stats::DEFAULT_HISTORY_LEN);
+        let series = history.ops_series(history.len());
+        let trend_changed = self.detector.detect(&series);
+        if trend_changed {
+            trends.fetch_add(1, Ordering::Relaxed);
+        }
+        if !trend_changed && !force {
+            return;
+        }
+
+        // Decision period for this object (adaptive, bounded by TTL).
+        let period_hours = infra.sampling_period().as_hours();
+        let mut controller =
+            infra.decision_controller(row_key, Duration::from_hours(24));
+        let upper_bound = self.ttl_upper_bound(&meta, infra, &history);
+        let providers = infra.catalog().available();
+        let rule = meta.rule.clone();
+        let size = meta.size;
+        controller.on_optimization(upper_bound, |window| {
+            let periods = window.periods(infra.sampling_period()).max(1) as usize;
+            let usage = PredictedUsage::from_history(size, &history, periods, period_hours);
+            match self.placement.best_placement(&rule, &usage, &providers) {
+                Ok(decision) => decision
+                    .expected_cost
+                    .scale(1.0 / usage.duration_hours.max(1e-9)),
+                Err(_) => Money::MAX,
+            }
+        });
+        let decision_period = controller.current();
+        infra.store_decision_controller(row_key, controller);
+
+        let periods = decision_period.periods(infra.sampling_period()).max(1) as usize;
+        let usage = PredictedUsage::from_history(meta.size, &history, periods, period_hours);
+
+        let Ok(decision) = self.placement.best_placement(&meta.rule, &usage, &providers) else {
+            return;
+        };
+        recomputed.fetch_add(1, Ordering::Relaxed);
+
+        // Current placement and its expected cost over the same window.
+        let current_providers: Vec<_> = meta
+            .striping
+            .chunks
+            .iter()
+            .filter_map(|c| infra.catalog().get(c.provider))
+            .collect();
+        let current = Placement {
+            providers: current_providers.clone(),
+            m: meta.striping.m,
+        };
+        let current_cost = compute_price(&current_providers, meta.striping.m, &usage);
+
+        let plan = MigrationPlan::build(
+            current,
+            decision.placement.clone(),
+            &usage,
+            current_cost,
+            decision.expected_cost,
+        );
+        if plan.changes_placement() && plan.is_beneficial() {
+            if engine.replace_placement(&meta.key, &plan.to).is_ok() {
+                migrated.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Upper bound for the decision period: the TTL hint if the writer gave
+    /// one, otherwise the expected remaining lifetime of the object's class,
+    /// otherwise the length of the available history.
+    fn ttl_upper_bound(
+        &self,
+        meta: &ObjectMeta,
+        infra: &Arc<Infrastructure>,
+        history: &scalia_types::stats::AccessHistory,
+    ) -> Duration {
+        if let Some(ttl) = meta.ttl_hint_hours {
+            return Duration::from_secs((ttl * 3600.0) as u64);
+        }
+        let stats = infra.statistics(scalia_types::ids::DatacenterId::new(0));
+        let class = scalia_core::classify::ObjectClass::of(&meta.mime, meta.size);
+        let lifetimes = stats.class_lifetimes(class.id());
+        if !lifetimes.is_empty() {
+            let dist = scalia_core::lifetime::LifetimeDistribution::from_samples(lifetimes);
+            let age = infra.now().since(meta.written_at).as_hours();
+            if let Some(remaining) = dist.expected_remaining(age) {
+                return Duration::from_secs((remaining.max(1.0) * 3600.0) as u64);
+            }
+        }
+        infra
+            .sampling_period()
+            .times(history.len().max(1) as u64)
+            .max(Duration::from_hours(24))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use super::*;
+    use crate::cluster::ScaliaCluster;
+    use scalia_types::object::ObjectKey;
+    use scalia_types::reliability::Reliability;
+    use scalia_types::rules::StorageRule;
+    use scalia_types::time::SimTime;
+    use scalia_types::zone::ZoneSet;
+
+    fn rule() -> StorageRule {
+        StorageRule::new(
+            "opt",
+            Reliability::from_percent(99.999),
+            Reliability::from_percent(99.99),
+            ZoneSet::all(),
+            1.0,
+        )
+    }
+
+    fn simulate_periods(cluster: &ScaliaCluster, key: &ObjectKey, reads_per_hour: &[u64], start_hour: u64) {
+        for (i, &reads) in reads_per_hour.iter().enumerate() {
+            for _ in 0..reads {
+                cluster.get(key).unwrap();
+            }
+            // Reads must hit the providers to be realistic for billing, but
+            // for statistics purposes the log agent records them either way.
+            cluster.tick(SimTime::from_hours(start_hour + i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn no_accesses_means_nothing_to_optimize() {
+        let cluster = ScaliaCluster::builder().build();
+        // Drain the initial state.
+        let report = cluster.run_optimization(false);
+        assert_eq!(report.objects_considered, 0);
+        assert_eq!(report.migrations_executed, 0);
+    }
+
+    #[test]
+    fn stable_access_pattern_triggers_no_recomputation() {
+        let cluster = ScaliaCluster::builder().build();
+        let key = ObjectKey::new("c", "steady");
+        cluster.put(&key, vec![1u8; 100_000], "image/png", rule(), None).unwrap();
+        cluster.run_optimization(false);
+        // A steady 5 reads/hour for 10 hours.
+        simulate_periods(&cluster, &key, &[5; 10], 0);
+        let report = cluster.run_optimization(false);
+        assert_eq!(report.objects_considered, 1);
+        assert_eq!(report.trend_changes, 0);
+        assert_eq!(report.migrations_executed, 0);
+    }
+
+    #[test]
+    fn slashdot_spike_triggers_migration_to_mirroring() {
+        let cluster = ScaliaCluster::builder().build();
+        let key = ObjectKey::new("c", "viral");
+        cluster.put(&key, vec![1u8; 1_000_000], "image/jpeg", rule(), None).unwrap();
+        let before = cluster.engine(0).read_metadata(&key).unwrap();
+        cluster.run_optimization(false);
+
+        // A quiet stretch first; the optimiser sees no trend change.
+        simulate_periods(&cluster, &key, &[0, 0, 0, 0, 1, 1], 0);
+        let quiet = cluster.run_optimization(false);
+        assert_eq!(quiet.migrations_executed, 0);
+
+        // Then the Slashdot spike: the read volume makes bandwidth dominate
+        // and mirroring (m = 1) on the cheap-read providers wins. The
+        // optimiser runs while the surge is in progress, like the paper's
+        // 5-minute procedure.
+        simulate_periods(&cluster, &key, &[10, 80, 150, 150], 6);
+        let report = cluster.run_optimization(false);
+        assert_eq!(report.objects_considered, 1);
+        assert!(report.trend_changes >= 1, "the spike must be detected");
+        assert!(report.placements_recomputed >= 1);
+
+        let after = cluster.engine(0).read_metadata(&key).unwrap();
+        if report.migrations_executed > 0 {
+            assert!(!after.striping.providers().iter().eq(before.striping.providers().iter())
+                || after.striping.m != before.striping.m);
+            assert_eq!(after.striping.m, 1, "hot object should be mirrored");
+        }
+        // Whatever happened, the object must still be readable and intact.
+        cluster.caches().iter().for_each(|c| c.clear());
+        assert_eq!(cluster.get(&key).unwrap().len(), 1_000_000);
+    }
+
+    #[test]
+    fn forced_optimization_reacts_to_new_provider() {
+        let cluster = ScaliaCluster::builder().build();
+        let key = ObjectKey::new("backups", "weekly.tar");
+        let lockin_rule = rule().with_lockin(0.5);
+        cluster
+            .put(&key, vec![3u8; 2_000_000], "application/x-tar", lockin_rule, None)
+            .unwrap();
+        cluster.run_optimization(false);
+
+        // A couple of idle periods, then a much cheaper provider appears.
+        cluster.tick(SimTime::from_hours(1));
+        cluster.get(&key).unwrap();
+        cluster.tick(SimTime::from_hours(2));
+        let cheap = scalia_providers::descriptor::ProviderDescriptor::public(
+            scalia_types::ids::ProviderId::new(0),
+            "UltraCheap",
+            "practically free storage",
+            scalia_providers::sla::ProviderSla::from_percent(99.9999, 99.9),
+            scalia_providers::pricing::PricingPolicy::from_dollars(0.001, 0.0, 0.01, 0.0),
+            scalia_types::zone::ZoneSet::all(),
+        );
+        cluster.infra().register_provider(cheap);
+
+        let report = cluster.run_optimization(true);
+        assert!(report.placements_recomputed >= 1);
+        assert!(report.migrations_executed >= 1, "the huge saving must justify migration");
+        let meta = cluster.engine(0).read_metadata(&key).unwrap();
+        let names: Vec<String> = meta
+            .striping
+            .providers()
+            .iter()
+            .filter_map(|id| cluster.infra().catalog().get(*id))
+            .map(|d| d.name)
+            .collect();
+        assert!(names.contains(&"UltraCheap".to_string()));
+        cluster.caches().iter().for_each(|c| c.clear());
+        assert_eq!(cluster.get(&key).unwrap().len(), 2_000_000);
+    }
+}

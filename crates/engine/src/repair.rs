@@ -1,0 +1,184 @@
+//! Active repair after a provider failure (§IV-E).
+//!
+//! When a provider suffers a transient outage, Scalia may either wait for it
+//! to recover or *actively repair*: move the chunks that lived on the faulty
+//! provider to another provider, reconstructing them from the surviving
+//! chunks. Repair changes the placement, so the threshold of the most
+//! cost-effective set may change too — in that case every chunk is
+//! re-written; otherwise only the missing chunk is.
+
+use crate::engine::Engine;
+use crate::infra::Infrastructure;
+use scalia_core::cost::PredictedUsage;
+use scalia_core::placement::PlacementEngine;
+use scalia_types::error::{Result, ScaliaError};
+use scalia_types::ids::ProviderId;
+use scalia_types::object::ObjectMeta;
+use std::sync::Arc;
+
+/// How to react to a provider outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairStrategy {
+    /// Do nothing and wait for the provider to recover.
+    Wait,
+    /// Reconstruct the affected chunks and move them to other providers.
+    ActiveRepair,
+}
+
+/// Outcome of a repair pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairReport {
+    /// Objects that had a chunk on the failed provider.
+    pub objects_affected: usize,
+    /// Objects successfully moved to a new provider set.
+    pub objects_repaired: usize,
+    /// Objects that could not be repaired (e.g. no feasible placement).
+    pub objects_failed: usize,
+}
+
+/// Scans the metadata for objects with a chunk on `failed_provider` and, for
+/// each, recomputes the best placement over the remaining providers and
+/// migrates to it.
+///
+/// The provider should already be marked unavailable in the catalog (so the
+/// placement search cannot pick it again); this function does not change the
+/// catalog state.
+pub fn repair_provider(
+    engine: &Arc<Engine>,
+    infra: &Arc<Infrastructure>,
+    failed_provider: ProviderId,
+    placement_engine: &PlacementEngine,
+) -> Result<RepairReport> {
+    let mut report = RepairReport::default();
+
+    // Find every object whose striping references the failed provider.
+    let node = infra
+        .database()
+        .nodes()
+        .iter()
+        .find(|n| n.is_up())
+        .cloned()
+        .ok_or(ScaliaError::DatacenterUnavailable(0))?;
+
+    let affected: Vec<ObjectMeta> = node
+        .snapshot()
+        .into_iter()
+        .filter_map(|(_, row)| {
+            row.get("meta")
+                .and_then(|cells| cells.last())
+                .and_then(|cell| serde_json::from_value::<ObjectMeta>(cell.value.clone()).ok())
+        })
+        .filter(|meta| {
+            meta.striping
+                .chunks
+                .iter()
+                .any(|c| c.provider == failed_provider)
+        })
+        .collect();
+
+    report.objects_affected = affected.len();
+
+    let providers = infra.catalog().available();
+    let period_hours = infra.sampling_period().as_hours();
+    for meta in affected {
+        let history = infra
+            .statistics(engine.datacenter())
+            .history(&meta.key.row_key(), scalia_types::stats::DEFAULT_HISTORY_LEN);
+        let periods = 24.max(history.len());
+        let usage = PredictedUsage::from_history(meta.size, &history, periods, period_hours);
+        match placement_engine.best_placement(&meta.rule, &usage, &providers) {
+            Ok(decision) => {
+                match engine.replace_placement(&meta.key, &decision.placement) {
+                    Ok(_) => report.objects_repaired += 1,
+                    Err(_) => report.objects_failed += 1,
+                }
+            }
+            Err(_) => report.objects_failed += 1,
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ScaliaCluster;
+    use scalia_types::object::ObjectKey;
+    use scalia_types::reliability::Reliability;
+    use scalia_types::rules::StorageRule;
+    use scalia_types::zone::ZoneSet;
+
+    fn rule() -> StorageRule {
+        StorageRule::new(
+            "repair",
+            Reliability::from_percent(99.999),
+            Reliability::from_percent(99.99),
+            ZoneSet::all(),
+            0.5,
+        )
+    }
+
+    #[test]
+    fn active_repair_moves_chunks_off_the_failed_provider() {
+        let cluster = ScaliaCluster::builder().build();
+        let engine = cluster.engine(0).clone();
+        let infra = cluster.infra().clone();
+
+        // Store several objects.
+        let keys: Vec<ObjectKey> = (0..4)
+            .map(|i| ObjectKey::new("backups", format!("obj{i}.tar")))
+            .collect();
+        for key in &keys {
+            cluster
+                .put(key, vec![6u8; 500_000], "application/x-tar", rule(), None)
+                .unwrap();
+        }
+
+        // Fail a provider that actually holds chunks.
+        let victim = {
+            let meta = engine.read_metadata(&keys[0]).unwrap();
+            meta.striping.chunks[0].provider
+        };
+        infra.set_provider_down(victim, true);
+
+        let report =
+            repair_provider(&engine, &infra, victim, &PlacementEngine::new()).unwrap();
+        assert!(report.objects_affected >= 1);
+        assert_eq!(report.objects_failed, 0);
+        assert_eq!(report.objects_repaired, report.objects_affected);
+
+        // No object references the failed provider any more, and every
+        // object is still readable while the provider stays down.
+        cluster.caches().iter().for_each(|c| c.clear());
+        for key in &keys {
+            let meta = engine.read_metadata(key).unwrap();
+            assert!(meta.striping.chunks.iter().all(|c| c.provider != victim));
+            assert_eq!(cluster.get(key).unwrap().len(), 500_000);
+        }
+    }
+
+    #[test]
+    fn repair_with_no_affected_objects_is_a_noop() {
+        let cluster = ScaliaCluster::builder().build();
+        let engine = cluster.engine(0).clone();
+        let infra = cluster.infra().clone();
+        let key = ObjectKey::new("c", "k");
+        cluster.put(&key, vec![1u8; 10_000], "image/png", rule(), None).unwrap();
+        let meta = engine.read_metadata(&key).unwrap();
+        // Pick a provider that holds no chunk of this object.
+        let unused = infra
+            .catalog()
+            .all()
+            .into_iter()
+            .find(|p| !meta.striping.chunks.iter().any(|c| c.provider == p.id))
+            .map(|p| p.id);
+        if let Some(unused) = unused {
+            infra.set_provider_down(unused, true);
+            let report =
+                repair_provider(&engine, &infra, unused, &PlacementEngine::new()).unwrap();
+            assert_eq!(report.objects_affected, 0);
+            assert_eq!(report.objects_repaired, 0);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Object-level erasure codec.
+//!
+//! The Scalia engine stores a data object as `n` checksummed [`Chunk`]s, any
+//! `m` of which reconstruct the object. This module handles padding, shard
+//! splitting, checksumming and reassembly on top of [`crate::rs`].
+
+use crate::rs::{ReedSolomon, RsError};
+use bytes::Bytes;
+use scalia_types::error::ScaliaError;
+use scalia_types::md5;
+use scalia_types::ErasureParams;
+
+/// One erasure-coded chunk of an object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Index of the chunk within the code (0-based, `< n`).
+    pub index: u32,
+    /// Chunk payload.
+    pub data: Bytes,
+    /// MD5 checksum of the payload, used to detect corruption at a provider.
+    pub checksum: String,
+}
+
+impl Chunk {
+    /// Creates a chunk, computing its checksum.
+    pub fn new(index: u32, data: Bytes) -> Self {
+        let checksum = md5::md5_hex(&data);
+        Chunk { index, data, checksum }
+    }
+
+    /// Returns `true` if the payload still matches the stored checksum.
+    pub fn verify(&self) -> bool {
+        md5::md5_hex(&self.data) == self.checksum
+    }
+
+    /// Size of the chunk payload in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the chunk payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// The result of encoding an object: its chunks plus the original length
+/// needed to strip padding at decode time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedObject {
+    /// The `n` chunks, in index order.
+    pub chunks: Vec<Chunk>,
+    /// Erasure-coding parameters used.
+    pub params: ErasureParams,
+    /// Original object length in bytes (before padding).
+    pub original_len: usize,
+}
+
+impl EncodedObject {
+    /// Total bytes stored across all chunks (the raw footprint, which is
+    /// `original_len × n / m` up to padding).
+    pub fn stored_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum()
+    }
+}
+
+fn rs_error(err: RsError) -> ScaliaError {
+    ScaliaError::DecodeFailed(err.to_string())
+}
+
+/// Splits `data` into `params.m` equally-sized (zero-padded) shards and
+/// encodes them into `params.n` checksummed chunks.
+pub fn encode_object(data: &[u8], params: ErasureParams) -> Result<EncodedObject, ScaliaError> {
+    let m = params.m as usize;
+    let n = params.n as usize;
+    let rs = ReedSolomon::new(m, n).map_err(rs_error)?;
+
+    // Shard length: ceil(len / m), at least 1 so empty objects still encode.
+    let shard_len = data.len().div_ceil(m).max(1);
+    let mut shards = Vec::with_capacity(m);
+    for i in 0..m {
+        let start = (i * shard_len).min(data.len());
+        let end = ((i + 1) * shard_len).min(data.len());
+        let mut shard = data[start..end].to_vec();
+        shard.resize(shard_len, 0);
+        shards.push(shard);
+    }
+
+    let encoded = rs.encode(&shards).map_err(rs_error)?;
+    let chunks = encoded
+        .into_iter()
+        .enumerate()
+        .map(|(i, shard)| Chunk::new(i as u32, Bytes::from(shard)))
+        .collect();
+
+    Ok(EncodedObject {
+        chunks,
+        params,
+        original_len: data.len(),
+    })
+}
+
+/// Reassembles an object from any `m` (or more) of its chunks.
+///
+/// Chunks failing their checksum are ignored; if fewer than `m` valid chunks
+/// remain, [`ScaliaError::NotEnoughChunks`] is returned.
+pub fn decode_object(
+    chunks: &[Chunk],
+    params: ErasureParams,
+    original_len: usize,
+) -> Result<Bytes, ScaliaError> {
+    let m = params.m as usize;
+    let n = params.n as usize;
+    let rs = ReedSolomon::new(m, n).map_err(rs_error)?;
+
+    let valid: Vec<(usize, Vec<u8>)> = chunks
+        .iter()
+        .filter(|c| c.verify() && (c.index as usize) < n)
+        .map(|c| (c.index as usize, c.data.to_vec()))
+        .collect();
+
+    // Deduplicate indices, keeping the first occurrence.
+    let mut seen = vec![false; n];
+    let mut unique: Vec<(usize, Vec<u8>)> = Vec::with_capacity(valid.len());
+    for (idx, data) in valid {
+        if !seen[idx] {
+            seen[idx] = true;
+            unique.push((idx, data));
+        }
+    }
+
+    if unique.len() < m {
+        return Err(ScaliaError::NotEnoughChunks {
+            available: unique.len(),
+            required: m,
+        });
+    }
+
+    let data_shards = rs.reconstruct_data(&unique).map_err(rs_error)?;
+    let mut out = Vec::with_capacity(original_len);
+    for shard in data_shards {
+        out.extend_from_slice(&shard);
+    }
+    if out.len() < original_len {
+        return Err(ScaliaError::DecodeFailed(format!(
+            "reassembled {} bytes but expected {}",
+            out.len(),
+            original_len
+        )));
+    }
+    out.truncate(original_len);
+    Ok(Bytes::from(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(m: u32, n: u32) -> ErasureParams {
+        ErasureParams::new(m, n).unwrap()
+    }
+
+    fn sample_data(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn roundtrip_all_chunks() {
+        let data = sample_data(1000);
+        let enc = encode_object(&data, params(3, 4)).unwrap();
+        assert_eq!(enc.chunks.len(), 4);
+        assert_eq!(enc.original_len, 1000);
+        let decoded = decode_object(&enc.chunks, enc.params, enc.original_len).unwrap();
+        assert_eq!(&decoded[..], &data[..]);
+    }
+
+    #[test]
+    fn roundtrip_with_only_m_chunks() {
+        let data = sample_data(4097);
+        let enc = encode_object(&data, params(3, 5)).unwrap();
+        // Drop two chunks (providers down): use chunks 1, 3, 4.
+        let subset = vec![enc.chunks[1].clone(), enc.chunks[3].clone(), enc.chunks[4].clone()];
+        let decoded = decode_object(&subset, enc.params, enc.original_len).unwrap();
+        assert_eq!(&decoded[..], &data[..]);
+    }
+
+    #[test]
+    fn corrupted_chunk_is_detected_and_skipped() {
+        let data = sample_data(512);
+        let enc = encode_object(&data, params(2, 4)).unwrap();
+        let mut chunks = enc.chunks.clone();
+        // Corrupt one chunk's payload without updating its checksum.
+        let mut corrupted = chunks[0].data.to_vec();
+        corrupted[0] ^= 0xff;
+        chunks[0].data = Bytes::from(corrupted);
+        assert!(!chunks[0].verify());
+        // Decoding still succeeds from the remaining valid chunks.
+        let decoded = decode_object(&chunks, enc.params, enc.original_len).unwrap();
+        assert_eq!(&decoded[..], &data[..]);
+    }
+
+    #[test]
+    fn too_many_corrupted_chunks_fails() {
+        let data = sample_data(256);
+        let enc = encode_object(&data, params(3, 4)).unwrap();
+        let mut chunks = enc.chunks.clone();
+        for chunk in chunks.iter_mut().take(2) {
+            let mut corrupted = chunk.data.to_vec();
+            corrupted[0] ^= 0xff;
+            chunk.data = Bytes::from(corrupted);
+        }
+        let err = decode_object(&chunks, enc.params, enc.original_len).unwrap_err();
+        assert!(matches!(err, ScaliaError::NotEnoughChunks { available: 2, required: 3 }));
+    }
+
+    #[test]
+    fn duplicate_chunks_do_not_help() {
+        let data = sample_data(100);
+        let enc = encode_object(&data, params(2, 3)).unwrap();
+        let dup = vec![enc.chunks[0].clone(), enc.chunks[0].clone()];
+        let err = decode_object(&dup, enc.params, enc.original_len).unwrap_err();
+        assert!(matches!(err, ScaliaError::NotEnoughChunks { available: 1, required: 2 }));
+    }
+
+    #[test]
+    fn empty_and_tiny_objects() {
+        for len in [0usize, 1, 2, 3] {
+            let data = sample_data(len);
+            let enc = encode_object(&data, params(3, 5)).unwrap();
+            assert_eq!(enc.chunks.len(), 5);
+            let decoded = decode_object(&enc.chunks[2..], enc.params, enc.original_len).unwrap();
+            assert_eq!(&decoded[..], &data[..], "len={len}");
+        }
+    }
+
+    #[test]
+    fn mirroring_stores_full_copies() {
+        let data = sample_data(100);
+        let enc = encode_object(&data, params(1, 3)).unwrap();
+        for chunk in &enc.chunks {
+            assert_eq!(chunk.len(), 100);
+            let decoded = decode_object(&[chunk.clone()], enc.params, enc.original_len).unwrap();
+            assert_eq!(&decoded[..], &data[..]);
+        }
+        // Raw footprint is 3× the object size.
+        assert_eq!(enc.stored_bytes(), 300);
+    }
+
+    #[test]
+    fn storage_overhead_matches_params() {
+        let data = sample_data(9000);
+        let enc = encode_object(&data, params(3, 4)).unwrap();
+        let expected = (9000.0 * enc.params.storage_overhead()) as usize;
+        assert!(enc.stored_bytes().abs_diff(expected) <= 4);
+    }
+
+    #[test]
+    fn chunk_verify_and_accessors() {
+        let c = Chunk::new(2, Bytes::from_static(b"hello"));
+        assert!(c.verify());
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+        assert_eq!(c.index, 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! # scalia-erasure
+//!
+//! A from-scratch `(m, n)` Reed–Solomon erasure-coding substrate.
+//!
+//! The paper (§II-A1) relies on erasure coding to split a data object into
+//! `n` chunks such that **any** `m ≤ n` of them reconstruct the original.
+//! This crate implements that substrate completely:
+//!
+//! * [`gf256`] — arithmetic over GF(2⁸) with the reducing polynomial
+//!   `x⁸ + x⁴ + x³ + x² + 1` (0x11d), using log/exp tables.
+//! * [`matrix`] — dense matrices over GF(256) with multiplication and
+//!   Gauss–Jordan inversion.
+//! * [`rs`] — a systematic Reed–Solomon coder built from a Vandermonde
+//!   matrix normalised so the first `m` rows are the identity; any `m` rows
+//!   of the resulting encode matrix are invertible, which is exactly the
+//!   "any m-subset of the n chunks contains a complete copy" property.
+//! * [`codec`] — the object-level API used by the Scalia engine: split an
+//!   object into checksummed [`Chunk`]s and reassemble it from any `m` of
+//!   them, detecting corruption.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod gf256;
+pub mod matrix;
+pub mod rs;
+
+pub use codec::{decode_object, encode_object, Chunk, EncodedObject};
+pub use rs::ReedSolomon;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::codec::{decode_object, encode_object, Chunk, EncodedObject};
+    pub use crate::rs::ReedSolomon;
+}

@@ -1,0 +1,321 @@
+//! Systematic Reed–Solomon coding.
+//!
+//! The encode matrix is built by taking an `n × m` Vandermonde matrix and
+//! right-multiplying it by the inverse of its top `m × m` block. The result
+//! has the identity as its first `m` rows (so data shards are stored
+//! verbatim — *systematic* coding) and keeps the Vandermonde property that
+//! **any** `m` rows form an invertible matrix, so any `m` shards reconstruct
+//! the data.
+
+use crate::gf256;
+use crate::matrix::Matrix;
+
+/// A Reed–Solomon coder for fixed `(m, n)` parameters.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    data_shards: usize,
+    total_shards: usize,
+    encode_matrix: Matrix,
+}
+
+/// Errors returned by the Reed–Solomon coder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsError {
+    /// Invalid `(m, n)` parameters.
+    InvalidParams {
+        /// Requested number of data shards.
+        m: usize,
+        /// Requested total number of shards.
+        n: usize,
+    },
+    /// Fewer than `m` shards were supplied for reconstruction.
+    NotEnoughShards {
+        /// Number of shards supplied.
+        available: usize,
+        /// Number of shards required.
+        required: usize,
+    },
+    /// Supplied shards do not all have the same length.
+    ShardLengthMismatch,
+    /// A shard index is out of range or duplicated.
+    InvalidShardIndex(usize),
+    /// The selected decode matrix was singular (should not happen with
+    /// well-formed inputs).
+    SingularMatrix,
+}
+
+impl std::fmt::Display for RsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsError::InvalidParams { m, n } => write!(f, "invalid RS params m={m} n={n}"),
+            RsError::NotEnoughShards { available, required } => {
+                write!(f, "not enough shards: {available} available, {required} required")
+            }
+            RsError::ShardLengthMismatch => write!(f, "shards have different lengths"),
+            RsError::InvalidShardIndex(i) => write!(f, "invalid shard index {i}"),
+            RsError::SingularMatrix => write!(f, "decode matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+impl ReedSolomon {
+    /// Creates a coder with `m` data shards and `n` total shards
+    /// (`0 < m ≤ n ≤ 255`).
+    pub fn new(m: usize, n: usize) -> Result<Self, RsError> {
+        if m == 0 || n == 0 || m > n || n > 255 {
+            return Err(RsError::InvalidParams { m, n });
+        }
+        // Vandermonde (n × m), normalised so the top m×m block is identity.
+        let vandermonde = Matrix::vandermonde(n, m);
+        let top = vandermonde.select_rows(&(0..m).collect::<Vec<_>>());
+        let top_inv = top.invert().ok_or(RsError::SingularMatrix)?;
+        let encode_matrix = vandermonde.mul(&top_inv);
+        Ok(ReedSolomon {
+            data_shards: m,
+            total_shards: n,
+            encode_matrix,
+        })
+    }
+
+    /// Number of data shards `m`.
+    pub fn data_shards(&self) -> usize {
+        self.data_shards
+    }
+
+    /// Total number of shards `n`.
+    pub fn total_shards(&self) -> usize {
+        self.total_shards
+    }
+
+    /// Encodes `m` equally-sized data shards into `n` shards. The first `m`
+    /// output shards are the data shards themselves (systematic coding).
+    pub fn encode(&self, data_shards: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
+        if data_shards.len() != self.data_shards {
+            return Err(RsError::NotEnoughShards {
+                available: data_shards.len(),
+                required: self.data_shards,
+            });
+        }
+        let shard_len = data_shards[0].len();
+        if data_shards.iter().any(|s| s.len() != shard_len) {
+            return Err(RsError::ShardLengthMismatch);
+        }
+
+        let mut shards = Vec::with_capacity(self.total_shards);
+        shards.extend(data_shards.iter().cloned());
+        for row in self.data_shards..self.total_shards {
+            let mut parity = vec![0u8; shard_len];
+            for (col, data) in data_shards.iter().enumerate() {
+                gf256::mul_slice_xor(self.encode_matrix.get(row, col), data, &mut parity);
+            }
+            shards.push(parity);
+        }
+        Ok(shards)
+    }
+
+    /// Reconstructs the `m` data shards from any `m` (or more) shards.
+    ///
+    /// `shards` is a list of `(shard_index, shard_data)` pairs; indices refer
+    /// to the position of the shard in the encoded output (0-based).
+    pub fn reconstruct_data(
+        &self,
+        shards: &[(usize, Vec<u8>)],
+    ) -> Result<Vec<Vec<u8>>, RsError> {
+        if shards.len() < self.data_shards {
+            return Err(RsError::NotEnoughShards {
+                available: shards.len(),
+                required: self.data_shards,
+            });
+        }
+        let shard_len = shards[0].1.len();
+        if shards.iter().any(|(_, s)| s.len() != shard_len) {
+            return Err(RsError::ShardLengthMismatch);
+        }
+        let mut seen = vec![false; self.total_shards];
+        for &(idx, _) in shards {
+            if idx >= self.total_shards || seen[idx] {
+                return Err(RsError::InvalidShardIndex(idx));
+            }
+            seen[idx] = true;
+        }
+
+        // Use the first m supplied shards.
+        let chosen = &shards[..self.data_shards];
+        let indices: Vec<usize> = chosen.iter().map(|&(i, _)| i).collect();
+
+        // Fast path: if we already have all data shards, return them directly.
+        if indices.iter().all(|&i| i < self.data_shards) {
+            let mut data = vec![Vec::new(); self.data_shards];
+            for &(idx, ref shard) in chosen {
+                data[idx] = shard.clone();
+            }
+            if data.iter().all(|d| !d.is_empty() || shard_len == 0) {
+                // All data shard positions were covered by distinct indices.
+                if data.iter().enumerate().all(|(i, _)| indices.contains(&i)) {
+                    return Ok(data);
+                }
+            }
+        }
+
+        // General path: invert the sub-matrix of the encode matrix formed by
+        // the rows of the supplied shards.
+        let sub = self.encode_matrix.select_rows(&indices);
+        let decode = sub.invert().ok_or(RsError::SingularMatrix)?;
+
+        let mut data = Vec::with_capacity(self.data_shards);
+        for row in 0..self.data_shards {
+            let mut out = vec![0u8; shard_len];
+            for (col, (_, shard)) in chosen.iter().enumerate() {
+                gf256::mul_slice_xor(decode.get(row, col), shard, &mut out);
+            }
+            data.push(out);
+        }
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_shards(m: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..m)
+            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 7) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(ReedSolomon::new(0, 4).is_err());
+        assert!(ReedSolomon::new(5, 4).is_err());
+        assert!(ReedSolomon::new(3, 256).is_err());
+        assert!(ReedSolomon::new(3, 4).is_ok());
+        assert!(ReedSolomon::new(4, 4).is_ok());
+        assert!(ReedSolomon::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn encoding_is_systematic() {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        let data = sample_shards(3, 64);
+        let encoded = rs.encode(&data).unwrap();
+        assert_eq!(encoded.len(), 5);
+        for i in 0..3 {
+            assert_eq!(encoded[i], data[i], "data shard {i} must be stored verbatim");
+        }
+    }
+
+    #[test]
+    fn reconstruct_from_every_m_subset() {
+        let (m, n) = (3, 5);
+        let rs = ReedSolomon::new(m, n).unwrap();
+        let data = sample_shards(m, 40);
+        let encoded = rs.encode(&data).unwrap();
+
+        // Every possible m-subset of the n shards must reconstruct the data.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let subset = vec![
+                        (a, encoded[a].clone()),
+                        (b, encoded[b].clone()),
+                        (c, encoded[c].clone()),
+                    ];
+                    let rebuilt = rs.reconstruct_data(&subset).unwrap();
+                    assert_eq!(rebuilt, data, "subset ({a},{b},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mirroring_mode_m_equals_one() {
+        let rs = ReedSolomon::new(1, 3).unwrap();
+        let data = vec![vec![9u8, 8, 7, 6]];
+        let encoded = rs.encode(&data).unwrap();
+        // Every shard alone reconstructs the data.
+        for i in 0..3 {
+            let rebuilt = rs.reconstruct_data(&[(i, encoded[i].clone())]).unwrap();
+            assert_eq!(rebuilt, data);
+        }
+    }
+
+    #[test]
+    fn no_redundancy_mode_m_equals_n() {
+        let rs = ReedSolomon::new(4, 4).unwrap();
+        let data = sample_shards(4, 16);
+        let encoded = rs.encode(&data).unwrap();
+        assert_eq!(encoded, data);
+        let supplied: Vec<(usize, Vec<u8>)> =
+            encoded.iter().cloned().enumerate().collect();
+        assert_eq!(rs.reconstruct_data(&supplied).unwrap(), data);
+    }
+
+    #[test]
+    fn error_cases() {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        let data = sample_shards(3, 8);
+        let encoded = rs.encode(&data).unwrap();
+
+        // Too few shards.
+        let err = rs
+            .reconstruct_data(&[(0, encoded[0].clone()), (1, encoded[1].clone())])
+            .unwrap_err();
+        assert!(matches!(err, RsError::NotEnoughShards { available: 2, required: 3 }));
+
+        // Mismatched lengths.
+        let err = rs
+            .reconstruct_data(&[
+                (0, encoded[0].clone()),
+                (1, encoded[1][..4].to_vec()),
+                (2, encoded[2].clone()),
+            ])
+            .unwrap_err();
+        assert_eq!(err, RsError::ShardLengthMismatch);
+
+        // Duplicate index.
+        let err = rs
+            .reconstruct_data(&[
+                (0, encoded[0].clone()),
+                (0, encoded[0].clone()),
+                (2, encoded[2].clone()),
+            ])
+            .unwrap_err();
+        assert_eq!(err, RsError::InvalidShardIndex(0));
+
+        // Out-of-range index.
+        let err = rs
+            .reconstruct_data(&[
+                (0, encoded[0].clone()),
+                (1, encoded[1].clone()),
+                (9, encoded[2].clone()),
+            ])
+            .unwrap_err();
+        assert_eq!(err, RsError::InvalidShardIndex(9));
+
+        // Wrong number of data shards to encode.
+        assert!(matches!(
+            rs.encode(&sample_shards(2, 8)).unwrap_err(),
+            RsError::NotEnoughShards { .. }
+        ));
+        // Mismatched data shard lengths.
+        let mut bad = sample_shards(3, 8);
+        bad[1].pop();
+        assert_eq!(rs.encode(&bad).unwrap_err(), RsError::ShardLengthMismatch);
+    }
+
+    #[test]
+    fn corrupting_a_parity_shard_changes_reconstruction_inputs_only() {
+        // Reconstruction from the *data* shards ignores parity corruption.
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let data = sample_shards(2, 32);
+        let mut encoded = rs.encode(&data).unwrap();
+        encoded[3][0] ^= 0xff;
+        let rebuilt = rs
+            .reconstruct_data(&[(0, encoded[0].clone()), (1, encoded[1].clone())])
+            .unwrap();
+        assert_eq!(rebuilt, data);
+    }
+}

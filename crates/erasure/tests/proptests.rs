@@ -1,0 +1,104 @@
+//! Property-based tests for the erasure-coding substrate.
+
+use proptest::prelude::*;
+use scalia_erasure::codec::{decode_object, encode_object};
+use scalia_erasure::rs::ReedSolomon;
+use scalia_types::ErasureParams;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encoding then decoding from a random m-subset of chunks reproduces the
+    /// original data for random (m, n) and random payloads.
+    #[test]
+    fn roundtrip_any_m_subset(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        m in 1u32..6,
+        extra in 0u32..4,
+        seed in any::<u64>(),
+    ) {
+        let n = m + extra;
+        let params = ErasureParams::new(m, n).unwrap();
+        let enc = encode_object(&data, params).unwrap();
+
+        // Pick a pseudo-random m-subset of the chunks.
+        let mut indices: Vec<usize> = (0..n as usize).collect();
+        let mut state = seed;
+        for i in (1..indices.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            indices.swap(i, j);
+        }
+        let subset: Vec<_> = indices[..m as usize]
+            .iter()
+            .map(|&i| enc.chunks[i].clone())
+            .collect();
+
+        let decoded = decode_object(&subset, params, enc.original_len).unwrap();
+        prop_assert_eq!(&decoded[..], &data[..]);
+    }
+
+    /// The systematic property: the first m chunks concatenated (and
+    /// truncated) are exactly the original data.
+    #[test]
+    fn systematic_prefix_property(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        m in 1u32..5,
+        extra in 1u32..4,
+    ) {
+        let n = m + extra;
+        let params = ErasureParams::new(m, n).unwrap();
+        let enc = encode_object(&data, params).unwrap();
+        let mut concatenated = Vec::new();
+        for chunk in &enc.chunks[..m as usize] {
+            concatenated.extend_from_slice(&chunk.data);
+        }
+        concatenated.truncate(data.len());
+        prop_assert_eq!(concatenated, data);
+    }
+
+    /// Raw Reed-Solomon: every shard has the same length and parity shards
+    /// are deterministic.
+    #[test]
+    fn encode_is_deterministic(
+        data in proptest::collection::vec(any::<u8>(), 1..1024),
+        m in 1usize..5,
+        extra in 0usize..4,
+    ) {
+        let n = m + extra;
+        let rs = ReedSolomon::new(m, n).unwrap();
+        let shard_len = data.len().div_ceil(m).max(1);
+        let mut shards = Vec::new();
+        for i in 0..m {
+            let start = (i * shard_len).min(data.len());
+            let end = ((i + 1) * shard_len).min(data.len());
+            let mut s = data[start..end].to_vec();
+            s.resize(shard_len, 0);
+            shards.push(s);
+        }
+        let a = rs.encode(&shards).unwrap();
+        let b = rs.encode(&shards).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|s| s.len() == shard_len));
+        prop_assert_eq!(a.len(), n);
+    }
+
+    /// Corruption of any single chunk is always detected by its checksum.
+    #[test]
+    fn corruption_detected(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        flip_byte in any::<u8>(),
+        chunk_idx in 0usize..4,
+        byte_idx in any::<usize>(),
+    ) {
+        let params = ErasureParams::new(2, 4).unwrap();
+        let enc = encode_object(&data, params).unwrap();
+        let mut chunk = enc.chunks[chunk_idx].clone();
+        let mut payload = chunk.data.to_vec();
+        let pos = byte_idx % payload.len();
+        let flip = if flip_byte == 0 { 1 } else { flip_byte };
+        payload[pos] ^= flip;
+        chunk.data = bytes::Bytes::from(payload);
+        prop_assert!(!chunk.verify());
+    }
+}

@@ -1,0 +1,112 @@
+//! The wide-row data model.
+//!
+//! Rows are addressed by a string row key (in Scalia:
+//! `MD5(container | key)` for metadata, class hashes for statistics). Each
+//! row holds named columns; each column holds one or more timestamped
+//! versions (MVCC). This mirrors the Cassandra-style model sketched in the
+//! paper's Figs. 6 and 10.
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// A logical timestamp attached to every written cell.
+///
+/// The paper requires engines to be time-synchronised (NTP) so the freshest
+/// version wins on conflict; the reproduction uses the simulation time in
+/// seconds, extended with a sequence number to break ties deterministically.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp {
+    /// Simulated wall-clock seconds.
+    pub secs: u64,
+    /// Tie-breaking sequence number (e.g. engine id or write counter).
+    pub seq: u64,
+}
+
+impl Timestamp {
+    /// Creates a timestamp.
+    pub const fn new(secs: u64, seq: u64) -> Self {
+        Timestamp { secs, seq }
+    }
+
+    /// The zero timestamp.
+    pub const ZERO: Timestamp = Timestamp { secs: 0, seq: 0 };
+}
+
+/// One version of a column value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// The stored value (JSON so heterogeneous metadata fits one model).
+    pub value: Value,
+    /// Write timestamp.
+    pub timestamp: Timestamp,
+}
+
+impl Cell {
+    /// Creates a cell.
+    pub fn new(value: Value, timestamp: Timestamp) -> Self {
+        Cell { value, timestamp }
+    }
+}
+
+/// A column: a list of versions, kept sorted by ascending timestamp.
+pub type Column = Vec<Cell>;
+
+/// A row: named columns.
+pub type Row = BTreeMap<String, Column>;
+
+/// Inserts a cell into a column, keeping versions sorted by timestamp and
+/// dropping an exact-duplicate timestamp write (last write wins for the same
+/// timestamp).
+pub fn insert_version(column: &mut Column, cell: Cell) {
+    match column.binary_search_by(|c| c.timestamp.cmp(&cell.timestamp)) {
+        Ok(pos) => column[pos] = cell,
+        Err(pos) => column.insert(pos, cell),
+    }
+}
+
+/// Returns the latest version of a column, if any.
+pub fn latest(column: &Column) -> Option<&Cell> {
+    column.last()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn timestamps_order_by_secs_then_seq() {
+        assert!(Timestamp::new(5, 0) > Timestamp::new(4, 99));
+        assert!(Timestamp::new(5, 2) > Timestamp::new(5, 1));
+        assert_eq!(Timestamp::new(3, 3), Timestamp::new(3, 3));
+        assert_eq!(Timestamp::ZERO, Timestamp::new(0, 0));
+    }
+
+    #[test]
+    fn insert_version_keeps_sorted_order() {
+        let mut col = Column::new();
+        insert_version(&mut col, Cell::new(json!(2), Timestamp::new(2, 0)));
+        insert_version(&mut col, Cell::new(json!(1), Timestamp::new(1, 0)));
+        insert_version(&mut col, Cell::new(json!(3), Timestamp::new(3, 0)));
+        let values: Vec<i64> = col.iter().map(|c| c.value.as_i64().unwrap()).collect();
+        assert_eq!(values, vec![1, 2, 3]);
+        assert_eq!(latest(&col).unwrap().value, json!(3));
+    }
+
+    #[test]
+    fn same_timestamp_overwrites() {
+        let mut col = Column::new();
+        insert_version(&mut col, Cell::new(json!("a"), Timestamp::new(1, 0)));
+        insert_version(&mut col, Cell::new(json!("b"), Timestamp::new(1, 0)));
+        assert_eq!(col.len(), 1);
+        assert_eq!(col[0].value, json!("b"));
+    }
+
+    #[test]
+    fn latest_of_empty_column_is_none() {
+        assert!(latest(&Column::new()).is_none());
+    }
+}

@@ -1,0 +1,313 @@
+//! Multi-datacenter replication.
+//!
+//! The paper's database layer replicates every row in all datacenters so
+//! that read requests can always be served locally and write requests
+//! succeed "as long as a single database node is up and running", with the
+//! datacenters becoming eventually consistent after a partition heals
+//! (§III-D3). [`ReplicatedStore`] implements that behaviour over a set of
+//! [`NoSqlNode`]s: writes go to every reachable node, misses are recorded as
+//! hinted handoffs, and [`ReplicatedStore::anti_entropy`] reconciles nodes
+//! pairwise by merging version sets.
+
+use crate::model::{Cell, Timestamp};
+use crate::store::NoSqlNode;
+use parking_lot::Mutex;
+use scalia_types::error::{Result, ScaliaError};
+use scalia_types::ids::DatacenterId;
+use serde_json::Value;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A pending write that could not reach a node (hinted handoff).
+#[derive(Debug, Clone)]
+struct Hint {
+    datacenter: DatacenterId,
+    row_key: String,
+    column: String,
+    cell: Cell,
+}
+
+/// A store replicated across every datacenter's database node.
+pub struct ReplicatedStore {
+    nodes: Vec<Arc<NoSqlNode>>,
+    hints: Mutex<VecDeque<Hint>>,
+}
+
+impl ReplicatedStore {
+    /// Creates a replicated store over the given nodes (one per datacenter).
+    pub fn new(nodes: Vec<Arc<NoSqlNode>>) -> Self {
+        ReplicatedStore {
+            nodes,
+            hints: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Creates a store with `datacenters` fresh nodes.
+    pub fn with_datacenters(datacenters: u32) -> Self {
+        let nodes = (0..datacenters)
+            .map(|i| NoSqlNode::shared(DatacenterId::new(i)))
+            .collect();
+        Self::new(nodes)
+    }
+
+    /// The underlying nodes.
+    pub fn nodes(&self) -> &[Arc<NoSqlNode>] {
+        &self.nodes
+    }
+
+    /// The node of a specific datacenter, if it exists.
+    pub fn node(&self, datacenter: DatacenterId) -> Option<&Arc<NoSqlNode>> {
+        self.nodes.iter().find(|n| n.datacenter() == datacenter)
+    }
+
+    /// Number of queued hinted-handoff writes.
+    pub fn pending_hints(&self) -> usize {
+        self.hints.lock().len()
+    }
+
+    /// Writes a cell to every reachable node. Nodes that are down get a
+    /// hinted handoff replayed by [`Self::anti_entropy`]. Fails only if *no*
+    /// node accepted the write.
+    pub fn put(
+        &self,
+        row_key: &str,
+        column: &str,
+        value: Value,
+        timestamp: Timestamp,
+    ) -> Result<()> {
+        let cell = Cell::new(value, timestamp);
+        let mut accepted = 0;
+        for node in &self.nodes {
+            if node.put(row_key, column, cell.value.clone(), cell.timestamp) {
+                accepted += 1;
+            } else {
+                self.hints.lock().push_back(Hint {
+                    datacenter: node.datacenter(),
+                    row_key: row_key.to_string(),
+                    column: column.to_string(),
+                    cell: cell.clone(),
+                });
+            }
+        }
+        if accepted == 0 {
+            Err(ScaliaError::DatacenterUnavailable(
+                self.nodes.first().map(|n| n.datacenter().0).unwrap_or(0),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads the latest version of a column from the first reachable node
+    /// (preferring the caller's local datacenter).
+    pub fn get_latest(
+        &self,
+        local: DatacenterId,
+        row_key: &str,
+        column: &str,
+    ) -> Option<Cell> {
+        let ordered = self.ordered_nodes(local);
+        for node in ordered {
+            if node.is_up() {
+                return node.get_latest(row_key, column);
+            }
+        }
+        None
+    }
+
+    /// Reads every version of a column from the first reachable node.
+    pub fn get_versions(&self, local: DatacenterId, row_key: &str, column: &str) -> Vec<Cell> {
+        for node in self.ordered_nodes(local) {
+            if node.is_up() {
+                return node.get_versions(row_key, column);
+            }
+        }
+        Vec::new()
+    }
+
+    /// Deletes a row on every reachable node.
+    pub fn delete_row(&self, row_key: &str) {
+        for node in &self.nodes {
+            node.delete_row(row_key);
+        }
+    }
+
+    /// Prunes deprecated versions of a column on every reachable node and
+    /// returns the union of removed cells (deduplicated by timestamp).
+    pub fn prune_old_versions(&self, row_key: &str, column: &str) -> Vec<Cell> {
+        let mut removed: Vec<Cell> = Vec::new();
+        for node in &self.nodes {
+            for cell in node.prune_old_versions(row_key, column) {
+                if !removed.iter().any(|c| c.timestamp == cell.timestamp) {
+                    removed.push(cell);
+                }
+            }
+        }
+        removed.sort_by_key(|c| c.timestamp);
+        removed
+    }
+
+    /// Row keys modified since `since` on any reachable node (deduplicated).
+    pub fn modified_since(&self, since: Timestamp) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.modified_since(since))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// Replays hinted handoffs to recovered nodes and merges every row of
+    /// every reachable node into every other reachable node, making the
+    /// datacenters eventually consistent.
+    pub fn anti_entropy(&self) {
+        // Replay hints to nodes that are back up.
+        let mut hints = self.hints.lock();
+        let mut remaining = VecDeque::new();
+        while let Some(hint) = hints.pop_front() {
+            let delivered = self
+                .node(hint.datacenter)
+                .map(|node| node.put(&hint.row_key, &hint.column, hint.cell.value.clone(), hint.cell.timestamp))
+                .unwrap_or(false);
+            if !delivered {
+                remaining.push_back(hint);
+            }
+        }
+        *hints = remaining;
+        drop(hints);
+
+        // Pairwise merge of reachable nodes.
+        let snapshots: Vec<_> = self
+            .nodes
+            .iter()
+            .filter(|n| n.is_up())
+            .map(|n| (n.clone(), n.snapshot()))
+            .collect();
+        for (_, snapshot) in &snapshots {
+            for (row_key, row) in snapshot {
+                for (column, cells) in row {
+                    for cell in cells {
+                        for (target, _) in &snapshots {
+                            target.put(row_key, column, cell.value.clone(), cell.timestamp);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn ordered_nodes(&self, local: DatacenterId) -> Vec<Arc<NoSqlNode>> {
+        let mut ordered: Vec<Arc<NoSqlNode>> = self.nodes.clone();
+        ordered.sort_by_key(|n| if n.datacenter() == local { 0 } else { 1 });
+        ordered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn store() -> ReplicatedStore {
+        ReplicatedStore::with_datacenters(2)
+    }
+
+    #[test]
+    fn writes_replicate_to_all_datacenters() {
+        let s = store();
+        s.put("r", "c", json!("v"), Timestamp::new(1, 0)).unwrap();
+        for node in s.nodes() {
+            assert_eq!(node.get_latest("r", "c").unwrap().value, json!("v"));
+        }
+        assert_eq!(s.pending_hints(), 0);
+    }
+
+    #[test]
+    fn reads_prefer_local_datacenter_but_fail_over() {
+        let s = store();
+        s.put("r", "c", json!(1), Timestamp::new(1, 0)).unwrap();
+        // Take dc_0 down; a dc_0-local read must still succeed via dc_1.
+        s.nodes()[0].set_up(false);
+        let cell = s.get_latest(DatacenterId::new(0), "r", "c").unwrap();
+        assert_eq!(cell.value, json!(1));
+    }
+
+    #[test]
+    fn write_succeeds_while_one_node_is_down_then_heals() {
+        let s = store();
+        s.nodes()[1].set_up(false);
+        s.put("r", "c", json!("during-outage"), Timestamp::new(5, 0)).unwrap();
+        assert_eq!(s.pending_hints(), 1);
+        // The down node has nothing yet.
+        s.nodes()[1].set_up(true);
+        assert!(s.nodes()[1].get_latest("r", "c").is_none());
+        // Anti-entropy replays the hint.
+        s.anti_entropy();
+        assert_eq!(s.pending_hints(), 0);
+        assert_eq!(
+            s.nodes()[1].get_latest("r", "c").unwrap().value,
+            json!("during-outage")
+        );
+    }
+
+    #[test]
+    fn write_fails_only_when_all_nodes_down() {
+        let s = store();
+        s.nodes()[0].set_up(false);
+        s.nodes()[1].set_up(false);
+        let err = s.put("r", "c", json!(1), Timestamp::new(1, 0)).unwrap_err();
+        assert!(matches!(err, ScaliaError::DatacenterUnavailable(_)));
+    }
+
+    #[test]
+    fn anti_entropy_merges_divergent_nodes() {
+        let s = store();
+        // Simulate a partition: each datacenter gets a different concurrent
+        // write applied only locally.
+        s.nodes()[0].put("r", "c", json!("a"), Timestamp::new(10, 0));
+        s.nodes()[1].put("r", "c", json!("b"), Timestamp::new(10, 1));
+        s.anti_entropy();
+        for node in s.nodes() {
+            let versions = node.get_versions("r", "c");
+            assert_eq!(versions.len(), 2, "both versions present after merge");
+            assert_eq!(node.get_latest("r", "c").unwrap().value, json!("b"));
+        }
+    }
+
+    #[test]
+    fn prune_old_versions_across_datacenters() {
+        let s = store();
+        s.put("r", "c", json!("old"), Timestamp::new(1, 0)).unwrap();
+        s.put("r", "c", json!("new"), Timestamp::new(2, 0)).unwrap();
+        let removed = s.prune_old_versions("r", "c");
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].value, json!("old"));
+        for node in s.nodes() {
+            assert_eq!(node.get_versions("r", "c").len(), 1);
+        }
+    }
+
+    #[test]
+    fn modified_since_union() {
+        let s = store();
+        s.put("a", "c", json!(1), Timestamp::new(10, 0)).unwrap();
+        // A write that only reached dc_1 (dc_0 down).
+        s.nodes()[0].set_up(false);
+        s.put("b", "c", json!(1), Timestamp::new(20, 0)).unwrap();
+        s.nodes()[0].set_up(true);
+        let keys = s.modified_since(Timestamp::new(0, 0));
+        assert_eq!(keys, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn delete_row_everywhere() {
+        let s = store();
+        s.put("r", "c", json!(1), Timestamp::new(1, 0)).unwrap();
+        s.delete_row("r");
+        for node in s.nodes() {
+            assert!(node.get_latest("r", "c").is_none());
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! The statistics tables.
+//!
+//! Two families of rows are kept (paper Fig. 6):
+//!
+//! * **per-object** access statistics — one column per sampling period with
+//!   the storage / bandwidth / operation counters of that period, plus the
+//!   object's class and creation time;
+//! * **per-class** statistics — resource-usage samples and lifetime samples
+//!   of all objects of a class, used to pick a good *first* placement for
+//!   new objects and to estimate time-left-to-live.
+//!
+//! Statistics rows are always written with globally unique `(row, column,
+//! timestamp)` coordinates, so — as the paper notes — they never conflict.
+
+use crate::model::Timestamp;
+use crate::replication::ReplicatedStore;
+use scalia_types::error::Result;
+use scalia_types::ids::DatacenterId;
+use scalia_types::size::ByteSize;
+use scalia_types::stats::{AccessHistory, PeriodStats};
+use scalia_types::usage::ResourceUsage;
+use serde_json::json;
+use std::sync::Arc;
+
+/// Prefix of per-object statistics rows.
+const OBJ_PREFIX: &str = "stats:obj:";
+/// Prefix of per-class statistics rows.
+const CLASS_PREFIX: &str = "stats:class:";
+
+/// The statistics store shared by engines and the periodic optimiser.
+pub struct StatisticsStore {
+    db: Arc<ReplicatedStore>,
+    local: DatacenterId,
+}
+
+impl StatisticsStore {
+    /// Creates a statistics store on top of a replicated database, reading
+    /// from the given local datacenter by preference.
+    pub fn new(db: Arc<ReplicatedStore>, local: DatacenterId) -> Self {
+        StatisticsStore { db, local }
+    }
+
+    fn obj_row(object_row_key: &str) -> String {
+        format!("{OBJ_PREFIX}{object_row_key}")
+    }
+
+    fn class_row(class_id: &str) -> String {
+        format!("{CLASS_PREFIX}{class_id}")
+    }
+
+    /// Records the statistics of one completed sampling period for an object.
+    pub fn record_period(
+        &self,
+        object_row_key: &str,
+        stats: &PeriodStats,
+        timestamp: Timestamp,
+    ) -> Result<()> {
+        let row = Self::obj_row(object_row_key);
+        let column = format!("period:{:012}", stats.period);
+        let value = json!({
+            "period": stats.period,
+            "storage": stats.storage.bytes(),
+            "bw_in": stats.bw_in.bytes(),
+            "bw_out": stats.bw_out.bytes(),
+            "reads": stats.reads,
+            "writes": stats.writes,
+        });
+        self.db.put(&row, &column, value, timestamp)
+    }
+
+    /// Records the class an object belongs to (written once at insertion).
+    pub fn record_object_class(
+        &self,
+        object_row_key: &str,
+        class_id: &str,
+        timestamp: Timestamp,
+    ) -> Result<()> {
+        self.db.put(
+            &Self::obj_row(object_row_key),
+            "class",
+            json!(class_id),
+            timestamp,
+        )
+    }
+
+    /// The class recorded for an object, if any.
+    pub fn object_class(&self, object_row_key: &str) -> Option<String> {
+        self.db
+            .get_latest(self.local, &Self::obj_row(object_row_key), "class")
+            .and_then(|c| c.value.as_str().map(str::to_string))
+    }
+
+    /// Reconstructs the access history of an object from its statistics row,
+    /// keeping at most `max_periods` most recent periods.
+    pub fn history(&self, object_row_key: &str, max_periods: usize) -> AccessHistory {
+        let row = Self::obj_row(object_row_key);
+        let mut history = AccessHistory::new(max_periods.max(1));
+        // Period columns sort lexicographically because the period index is
+        // zero-padded.
+        let node = self
+            .db
+            .nodes()
+            .iter()
+            .find(|n| n.is_up() && n.datacenter() == self.local)
+            .or_else(|| self.db.nodes().iter().find(|n| n.is_up()));
+        let Some(node) = node else {
+            return history;
+        };
+        let Some(row_data) = node.get_row(&row) else {
+            return history;
+        };
+        let mut periods: Vec<PeriodStats> = row_data
+            .iter()
+            .filter(|(col, _)| col.starts_with("period:"))
+            .filter_map(|(_, cells)| cells.last())
+            .map(|cell| PeriodStats {
+                period: cell.value["period"].as_u64().unwrap_or(0),
+                storage: ByteSize::from_bytes(cell.value["storage"].as_u64().unwrap_or(0)),
+                bw_in: ByteSize::from_bytes(cell.value["bw_in"].as_u64().unwrap_or(0)),
+                bw_out: ByteSize::from_bytes(cell.value["bw_out"].as_u64().unwrap_or(0)),
+                reads: cell.value["reads"].as_u64().unwrap_or(0),
+                writes: cell.value["writes"].as_u64().unwrap_or(0),
+            })
+            .collect();
+        periods.sort_by_key(|p| p.period);
+        // Fill the gaps: a sampling period with no recorded accesses is a
+        // real observation of zero activity, which the trend detector must
+        // see (otherwise a burst followed by silence looks like a plateau).
+        let mut previous: Option<&PeriodStats> = None;
+        let mut filled: Vec<PeriodStats> = Vec::with_capacity(periods.len());
+        for p in &periods {
+            if let Some(prev) = previous {
+                let mut missing = prev.period + 1;
+                while missing < p.period {
+                    filled.push(PeriodStats {
+                        period: missing,
+                        storage: prev.storage,
+                        ..PeriodStats::empty(missing)
+                    });
+                    missing += 1;
+                }
+            }
+            filled.push(*p);
+            previous = Some(p);
+        }
+        for p in filled {
+            history.push(p);
+        }
+        history
+    }
+
+    /// Object row keys whose statistics were modified at or after `since` —
+    /// the set `A` the periodic optimiser shards across engines.
+    pub fn objects_accessed_since(&self, since: Timestamp) -> Vec<String> {
+        self.db
+            .modified_since(since)
+            .into_iter()
+            .filter_map(|k| k.strip_prefix(OBJ_PREFIX).map(str::to_string))
+            .collect()
+    }
+
+    /// Records a per-period resource-usage sample for a class of objects.
+    pub fn record_class_usage(
+        &self,
+        class_id: &str,
+        usage: &ResourceUsage,
+        timestamp: Timestamp,
+    ) -> Result<()> {
+        let value = json!({
+            "storage_gb_hours": usage.storage_gb_hours,
+            "bw_in": usage.bw_in.bytes(),
+            "bw_out": usage.bw_out.bytes(),
+            "ops": usage.ops,
+        });
+        self.db.put(
+            &Self::class_row(class_id),
+            &format!("usage:{}:{}", timestamp.secs, timestamp.seq),
+            value,
+            timestamp,
+        )
+    }
+
+    /// Mean per-period resource usage observed for a class, if any sample
+    /// exists. This feeds the first placement of brand-new objects
+    /// (§III-A1, Fig. 6).
+    pub fn mean_class_usage(&self, class_id: &str) -> Option<ResourceUsage> {
+        let row = Self::class_row(class_id);
+        let node = self.db.nodes().iter().find(|n| n.is_up())?;
+        let row_data = node.get_row(&row)?;
+        let samples: Vec<ResourceUsage> = row_data
+            .iter()
+            .filter(|(col, _)| col.starts_with("usage:"))
+            .filter_map(|(_, cells)| cells.last())
+            .map(|cell| ResourceUsage {
+                storage_gb_hours: cell.value["storage_gb_hours"].as_f64().unwrap_or(0.0),
+                bw_in: ByteSize::from_bytes(cell.value["bw_in"].as_u64().unwrap_or(0)),
+                bw_out: ByteSize::from_bytes(cell.value["bw_out"].as_u64().unwrap_or(0)),
+                ops: cell.value["ops"].as_u64().unwrap_or(0),
+            })
+            .collect();
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let total: ResourceUsage = samples.into_iter().sum();
+        Some(total.scale(1.0 / n))
+    }
+
+    /// Records the observed lifetime (in hours) of a deleted object of a
+    /// class. These samples build the class's deletion-time distribution
+    /// (paper Fig. 5, left).
+    pub fn record_class_lifetime(
+        &self,
+        class_id: &str,
+        lifetime_hours: f64,
+        timestamp: Timestamp,
+    ) -> Result<()> {
+        self.db.put(
+            &Self::class_row(class_id),
+            &format!("lifetime:{}:{}", timestamp.secs, timestamp.seq),
+            json!(lifetime_hours),
+            timestamp,
+        )
+    }
+
+    /// All recorded lifetime samples (hours) of a class.
+    pub fn class_lifetimes(&self, class_id: &str) -> Vec<f64> {
+        let row = Self::class_row(class_id);
+        let Some(node) = self.db.nodes().iter().find(|n| n.is_up()) else {
+            return Vec::new();
+        };
+        let Some(row_data) = node.get_row(&row) else {
+            return Vec::new();
+        };
+        let mut lifetimes: Vec<f64> = row_data
+            .iter()
+            .filter(|(col, _)| col.starts_with("lifetime:"))
+            .filter_map(|(_, cells)| cells.last())
+            .filter_map(|cell| cell.value.as_f64())
+            .collect();
+        lifetimes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        lifetimes
+    }
+
+    /// All class ids with at least one statistics row.
+    pub fn known_classes(&self) -> Vec<String> {
+        let Some(node) = self.db.nodes().iter().find(|n| n.is_up()) else {
+            return Vec::new();
+        };
+        node.scan_prefix(CLASS_PREFIX)
+            .into_iter()
+            .filter_map(|k| k.strip_prefix(CLASS_PREFIX).map(str::to_string))
+            .collect()
+    }
+
+    /// Deletes the statistics row of an object (after the object is deleted
+    /// and its lifetime has been folded into its class statistics).
+    pub fn delete_object_stats(&self, object_row_key: &str) {
+        self.db.delete_row(&Self::obj_row(object_row_key));
+    }
+
+    /// The underlying replicated database (used by map-reduce jobs).
+    pub fn database(&self) -> &Arc<ReplicatedStore> {
+        &self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> StatisticsStore {
+        StatisticsStore::new(Arc::new(ReplicatedStore::with_datacenters(2)), DatacenterId::new(0))
+    }
+
+    fn stats(period: u64, reads: u64, writes: u64) -> PeriodStats {
+        PeriodStats {
+            period,
+            storage: ByteSize::from_mb(1),
+            bw_in: ByteSize::from_kb(writes * 100),
+            bw_out: ByteSize::from_kb(reads * 100),
+            reads,
+            writes,
+        }
+    }
+
+    #[test]
+    fn per_object_history_roundtrip() {
+        let s = store();
+        for period in 0..5 {
+            s.record_period("obj1", &stats(period, period * 2, 1), Timestamp::new(period * 3600, 0))
+                .unwrap();
+        }
+        let history = s.history("obj1", 100);
+        assert_eq!(history.len(), 5);
+        assert_eq!(history.records()[0].period, 0);
+        assert_eq!(history.records()[4].period, 4);
+        assert_eq!(history.records()[4].reads, 8);
+        // Bounded history keeps only the most recent periods.
+        let bounded = s.history("obj1", 2);
+        assert_eq!(bounded.len(), 2);
+        assert_eq!(bounded.records()[0].period, 3);
+        // Unknown object yields an empty history.
+        assert!(s.history("unknown", 10).is_empty());
+    }
+
+    #[test]
+    fn object_class_roundtrip() {
+        let s = store();
+        s.record_object_class("obj1", "class-abc", Timestamp::new(1, 0)).unwrap();
+        assert_eq!(s.object_class("obj1").unwrap(), "class-abc");
+        assert!(s.object_class("other").is_none());
+    }
+
+    #[test]
+    fn objects_accessed_since_filters_by_timestamp() {
+        let s = store();
+        s.record_period("obj1", &stats(0, 1, 0), Timestamp::new(100, 0)).unwrap();
+        s.record_period("obj2", &stats(0, 1, 0), Timestamp::new(200, 0)).unwrap();
+        s.record_class_usage("classX", &ResourceUsage::operations(1), Timestamp::new(300, 0))
+            .unwrap();
+        let recent = s.objects_accessed_since(Timestamp::new(150, 0));
+        assert_eq!(recent, vec!["obj2".to_string()]);
+        let all = s.objects_accessed_since(Timestamp::ZERO);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn class_usage_mean() {
+        let s = store();
+        assert!(s.mean_class_usage("c").is_none());
+        s.record_class_usage(
+            "c",
+            &ResourceUsage {
+                storage_gb_hours: 1.0,
+                bw_in: ByteSize::from_mb(10),
+                bw_out: ByteSize::from_mb(20),
+                ops: 10,
+            },
+            Timestamp::new(1, 0),
+        )
+        .unwrap();
+        s.record_class_usage(
+            "c",
+            &ResourceUsage {
+                storage_gb_hours: 3.0,
+                bw_in: ByteSize::from_mb(30),
+                bw_out: ByteSize::from_mb(40),
+                ops: 30,
+            },
+            Timestamp::new(2, 0),
+        )
+        .unwrap();
+        let mean = s.mean_class_usage("c").unwrap();
+        assert!((mean.storage_gb_hours - 2.0).abs() < 1e-12);
+        assert_eq!(mean.bw_in, ByteSize::from_mb(20));
+        assert_eq!(mean.bw_out, ByteSize::from_mb(30));
+        assert_eq!(mean.ops, 20);
+    }
+
+    #[test]
+    fn class_lifetimes_accumulate_sorted() {
+        let s = store();
+        s.record_class_lifetime("c", 5.0, Timestamp::new(1, 0)).unwrap();
+        s.record_class_lifetime("c", 2.0, Timestamp::new(2, 0)).unwrap();
+        s.record_class_lifetime("c", 3.5, Timestamp::new(3, 0)).unwrap();
+        assert_eq!(s.class_lifetimes("c"), vec![2.0, 3.5, 5.0]);
+        assert!(s.class_lifetimes("unknown").is_empty());
+        assert_eq!(s.known_classes(), vec!["c".to_string()]);
+    }
+
+    #[test]
+    fn delete_object_stats_removes_row() {
+        let s = store();
+        s.record_period("obj1", &stats(0, 1, 0), Timestamp::new(1, 0)).unwrap();
+        assert_eq!(s.history("obj1", 10).len(), 1);
+        s.delete_object_stats("obj1");
+        assert!(s.history("obj1", 10).is_empty());
+    }
+
+    #[test]
+    fn statistics_survive_datacenter_failure() {
+        let s = store();
+        s.record_period("obj1", &stats(0, 3, 1), Timestamp::new(1, 0)).unwrap();
+        // Local datacenter goes down; history is served by the replica.
+        s.database().nodes()[0].set_up(false);
+        let history = s.history("obj1", 10);
+        assert_eq!(history.len(), 1);
+        assert_eq!(history.records()[0].reads, 3);
+    }
+}

@@ -1,0 +1,292 @@
+//! A single NoSQL database node.
+//!
+//! One node lives in each datacenter. It stores wide rows with versioned
+//! cells, supports prefix scans (for statistics map-reduce jobs) and tracks
+//! the last-modified timestamp per row so the periodic optimiser can ask
+//! "which objects were accessed or modified since the last optimisation
+//! procedure?" (§III-A3).
+
+use crate::model::{insert_version, latest, Cell, Row, Timestamp};
+use parking_lot::RwLock;
+use scalia_types::ids::DatacenterId;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One database node (one per datacenter).
+pub struct NoSqlNode {
+    datacenter: DatacenterId,
+    rows: RwLock<BTreeMap<String, Row>>,
+    modified: RwLock<BTreeMap<String, Timestamp>>,
+    up: RwLock<bool>,
+}
+
+impl NoSqlNode {
+    /// Creates an empty node for the given datacenter.
+    pub fn new(datacenter: DatacenterId) -> Self {
+        NoSqlNode {
+            datacenter,
+            rows: RwLock::new(BTreeMap::new()),
+            modified: RwLock::new(BTreeMap::new()),
+            up: RwLock::new(true),
+        }
+    }
+
+    /// Creates a node wrapped in an [`Arc`].
+    pub fn shared(datacenter: DatacenterId) -> Arc<Self> {
+        Arc::new(Self::new(datacenter))
+    }
+
+    /// The datacenter this node belongs to.
+    pub fn datacenter(&self) -> DatacenterId {
+        self.datacenter
+    }
+
+    /// Returns `true` if the node is reachable.
+    pub fn is_up(&self) -> bool {
+        *self.up.read()
+    }
+
+    /// Takes the node down / brings it back (datacenter failure simulation).
+    pub fn set_up(&self, up: bool) {
+        *self.up.write() = up;
+    }
+
+    /// Writes a versioned cell. Returns `false` (and stores nothing) if the
+    /// node is down.
+    pub fn put(&self, row_key: &str, column: &str, value: Value, timestamp: Timestamp) -> bool {
+        if !self.is_up() {
+            return false;
+        }
+        let mut rows = self.rows.write();
+        let row = rows.entry(row_key.to_string()).or_default();
+        let col = row.entry(column.to_string()).or_default();
+        insert_version(col, Cell::new(value, timestamp));
+        drop(rows);
+        let mut modified = self.modified.write();
+        let entry = modified.entry(row_key.to_string()).or_insert(timestamp);
+        if timestamp > *entry {
+            *entry = timestamp;
+        }
+        true
+    }
+
+    /// Latest version of a column, if present (and the node is up).
+    pub fn get_latest(&self, row_key: &str, column: &str) -> Option<Cell> {
+        if !self.is_up() {
+            return None;
+        }
+        self.rows
+            .read()
+            .get(row_key)
+            .and_then(|row| row.get(column))
+            .and_then(|col| latest(col).cloned())
+    }
+
+    /// All versions of a column, oldest first.
+    pub fn get_versions(&self, row_key: &str, column: &str) -> Vec<Cell> {
+        if !self.is_up() {
+            return Vec::new();
+        }
+        self.rows
+            .read()
+            .get(row_key)
+            .and_then(|row| row.get(column))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The full row (all columns, all versions), if present.
+    pub fn get_row(&self, row_key: &str) -> Option<Row> {
+        if !self.is_up() {
+            return None;
+        }
+        self.rows.read().get(row_key).cloned()
+    }
+
+    /// Removes every version of a column older than the latest one,
+    /// returning the removed cells (the engine deletes their chunks).
+    pub fn prune_old_versions(&self, row_key: &str, column: &str) -> Vec<Cell> {
+        if !self.is_up() {
+            return Vec::new();
+        }
+        let mut rows = self.rows.write();
+        let Some(row) = rows.get_mut(row_key) else {
+            return Vec::new();
+        };
+        let Some(col) = row.get_mut(column) else {
+            return Vec::new();
+        };
+        if col.len() <= 1 {
+            return Vec::new();
+        }
+        let keep = col.pop().expect("non-empty column");
+        let removed = std::mem::replace(col, vec![keep]);
+        removed
+    }
+
+    /// Deletes a whole row. Returns `true` if it existed.
+    pub fn delete_row(&self, row_key: &str) -> bool {
+        if !self.is_up() {
+            return false;
+        }
+        self.modified.write().remove(row_key);
+        self.rows.write().remove(row_key).is_some()
+    }
+
+    /// Deletes a single column of a row.
+    pub fn delete_column(&self, row_key: &str, column: &str) -> bool {
+        if !self.is_up() {
+            return false;
+        }
+        let mut rows = self.rows.write();
+        rows.get_mut(row_key)
+            .map(|row| row.remove(column).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Row keys starting with `prefix`, in lexicographic order.
+    pub fn scan_prefix(&self, prefix: &str) -> Vec<String> {
+        if !self.is_up() {
+            return Vec::new();
+        }
+        self.rows
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// All rows, cloned. Used by map-reduce jobs.
+    pub fn snapshot(&self) -> Vec<(String, Row)> {
+        if !self.is_up() {
+            return Vec::new();
+        }
+        self.rows
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Row keys whose last modification is at or after `since` — the set `A`
+    /// of accessed/modified objects the periodic optimiser shards across
+    /// engines.
+    pub fn modified_since(&self, since: Timestamp) -> Vec<String> {
+        if !self.is_up() {
+            return Vec::new();
+        }
+        self.modified
+            .read()
+            .iter()
+            .filter(|(_, &ts)| ts >= since)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Number of rows stored.
+    pub fn row_count(&self) -> usize {
+        self.rows.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn node() -> NoSqlNode {
+        NoSqlNode::new(DatacenterId::new(0))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let n = node();
+        assert!(n.put("row1", "file_meta", json!({"size": 42}), Timestamp::new(1, 0)));
+        let cell = n.get_latest("row1", "file_meta").unwrap();
+        assert_eq!(cell.value["size"], 42);
+        assert!(n.get_latest("row1", "missing").is_none());
+        assert!(n.get_latest("missing", "file_meta").is_none());
+        assert_eq!(n.row_count(), 1);
+    }
+
+    #[test]
+    fn versions_accumulate_and_latest_wins() {
+        let n = node();
+        n.put("r", "c", json!("v1"), Timestamp::new(1, 0));
+        n.put("r", "c", json!("v2"), Timestamp::new(2, 0));
+        n.put("r", "c", json!("v0"), Timestamp::new(0, 5));
+        assert_eq!(n.get_versions("r", "c").len(), 3);
+        assert_eq!(n.get_latest("r", "c").unwrap().value, json!("v2"));
+    }
+
+    #[test]
+    fn prune_old_versions_returns_removed() {
+        let n = node();
+        n.put("r", "c", json!("old"), Timestamp::new(1, 0));
+        n.put("r", "c", json!("mid"), Timestamp::new(2, 0));
+        n.put("r", "c", json!("new"), Timestamp::new(3, 0));
+        let removed = n.prune_old_versions("r", "c");
+        assert_eq!(removed.len(), 2);
+        assert_eq!(removed[0].value, json!("old"));
+        assert_eq!(n.get_versions("r", "c").len(), 1);
+        assert_eq!(n.get_latest("r", "c").unwrap().value, json!("new"));
+        // Pruning again is a no-op.
+        assert!(n.prune_old_versions("r", "c").is_empty());
+        assert!(n.prune_old_versions("missing", "c").is_empty());
+    }
+
+    #[test]
+    fn delete_row_and_column() {
+        let n = node();
+        n.put("r", "a", json!(1), Timestamp::new(1, 0));
+        n.put("r", "b", json!(2), Timestamp::new(1, 1));
+        assert!(n.delete_column("r", "a"));
+        assert!(!n.delete_column("r", "a"));
+        assert!(n.get_latest("r", "b").is_some());
+        assert!(n.delete_row("r"));
+        assert!(!n.delete_row("r"));
+        assert_eq!(n.row_count(), 0);
+    }
+
+    #[test]
+    fn scan_prefix_and_snapshot() {
+        let n = node();
+        n.put("stats:class1", "ops", json!(5), Timestamp::new(1, 0));
+        n.put("stats:class2", "ops", json!(9), Timestamp::new(1, 1));
+        n.put("meta:obj1", "file_meta", json!({}), Timestamp::new(1, 2));
+        assert_eq!(n.scan_prefix("stats:").len(), 2);
+        assert_eq!(n.scan_prefix("meta:").len(), 1);
+        assert_eq!(n.scan_prefix("zzz").len(), 0);
+        assert_eq!(n.snapshot().len(), 3);
+    }
+
+    #[test]
+    fn modified_since_tracks_latest_write() {
+        let n = node();
+        n.put("a", "c", json!(1), Timestamp::new(10, 0));
+        n.put("b", "c", json!(1), Timestamp::new(20, 0));
+        n.put("a", "c", json!(2), Timestamp::new(30, 0));
+        let recent = n.modified_since(Timestamp::new(15, 0));
+        assert!(recent.contains(&"a".to_string()));
+        assert!(recent.contains(&"b".to_string()));
+        let very_recent = n.modified_since(Timestamp::new(25, 0));
+        assert_eq!(very_recent, vec!["a".to_string()]);
+        assert!(n.modified_since(Timestamp::new(31, 0)).is_empty());
+    }
+
+    #[test]
+    fn down_node_rejects_everything() {
+        let n = node();
+        n.put("r", "c", json!(1), Timestamp::new(1, 0));
+        n.set_up(false);
+        assert!(!n.is_up());
+        assert!(!n.put("r", "c", json!(2), Timestamp::new(2, 0)));
+        assert!(n.get_latest("r", "c").is_none());
+        assert!(n.scan_prefix("").is_empty());
+        assert!(n.modified_since(Timestamp::ZERO).is_empty());
+        n.set_up(true);
+        assert_eq!(n.get_latest("r", "c").unwrap().value, json!(1));
+    }
+}

@@ -1,0 +1,371 @@
+//! Simulated provider object stores.
+//!
+//! Each provider is backed by a [`SimulatedStore`]: an in-memory key/value
+//! object store exposing the S3-like [`ObjectStore`] interface the Scalia
+//! engine programs against, with:
+//!
+//! * request/bandwidth metering (feeding a [`BillingMeter`]),
+//! * storage metering via an explicit [`SimulatedStore::tick`] that charges
+//!   GB-hours for the bytes currently held,
+//! * failure injection — an [`OutageSchedule`] plus a manual up/down switch —
+//!   so the evaluation can take providers offline (§IV-E),
+//! * a capacity limit for private resources.
+
+use crate::billing::BillingMeter;
+use crate::descriptor::ProviderDescriptor;
+use crate::failure::OutageSchedule;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use scalia_types::error::{Result, ScaliaError};
+use scalia_types::ids::ProviderId;
+use scalia_types::money::Money;
+use scalia_types::size::ByteSize;
+use scalia_types::time::SimTime;
+use scalia_types::usage::ResourceUsage;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The S3-like interface every storage backend exposes.
+pub trait ObjectStore: Send + Sync {
+    /// The provider this store belongs to.
+    fn provider_id(&self) -> ProviderId;
+
+    /// Stores `data` under `key`, overwriting any previous value.
+    fn put(&self, key: &str, data: Bytes) -> Result<()>;
+
+    /// Retrieves the value stored under `key`.
+    fn get(&self, key: &str) -> Result<Bytes>;
+
+    /// Deletes the value stored under `key` (idempotent).
+    fn delete(&self, key: &str) -> Result<()>;
+
+    /// Lists all keys with the given prefix.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+
+    /// Returns `true` if a value is stored under `key`.
+    fn exists(&self, key: &str) -> Result<bool>;
+}
+
+struct StoreState {
+    objects: BTreeMap<String, Bytes>,
+    stored_bytes: ByteSize,
+    meter: BillingMeter,
+    manually_down: bool,
+    now: SimTime,
+    last_tick: SimTime,
+}
+
+/// An in-memory, metered, failure-injectable object store for one provider.
+pub struct SimulatedStore {
+    descriptor: ProviderDescriptor,
+    outages: OutageSchedule,
+    state: Mutex<StoreState>,
+}
+
+impl SimulatedStore {
+    /// Creates a store for the given provider with no scheduled outages.
+    pub fn new(descriptor: ProviderDescriptor) -> Self {
+        Self::with_outages(descriptor, OutageSchedule::always_up())
+    }
+
+    /// Creates a store with a pre-programmed outage schedule.
+    pub fn with_outages(descriptor: ProviderDescriptor, outages: OutageSchedule) -> Self {
+        let meter = BillingMeter::new(descriptor.pricing);
+        SimulatedStore {
+            descriptor,
+            outages,
+            state: Mutex::new(StoreState {
+                objects: BTreeMap::new(),
+                stored_bytes: ByteSize::ZERO,
+                meter,
+                manually_down: false,
+                now: SimTime::ZERO,
+                last_tick: SimTime::ZERO,
+            }),
+        }
+    }
+
+    /// Creates a store wrapped in an [`Arc`] for sharing across engines.
+    pub fn shared(descriptor: ProviderDescriptor) -> Arc<Self> {
+        Arc::new(Self::new(descriptor))
+    }
+
+    /// The provider descriptor backing this store.
+    pub fn descriptor(&self) -> &ProviderDescriptor {
+        &self.descriptor
+    }
+
+    /// Manually takes the provider down (in addition to scheduled outages).
+    pub fn set_down(&self, down: bool) {
+        self.state.lock().manually_down = down;
+    }
+
+    /// Returns `true` if the provider is reachable right now.
+    pub fn is_up(&self) -> bool {
+        let state = self.state.lock();
+        !state.manually_down && self.outages.is_up(state.now)
+    }
+
+    /// Advances the store's clock to `now`, charging storage GB-hours for
+    /// the bytes held since the previous tick.
+    pub fn tick(&self, now: SimTime) {
+        let mut state = self.state.lock();
+        if now <= state.last_tick {
+            state.now = now;
+            return;
+        }
+        let hours = now.since(state.last_tick).as_hours();
+        let held = state.stored_bytes;
+        state.meter.record_storage(held, hours);
+        state.last_tick = now;
+        state.now = now;
+    }
+
+    /// Bytes currently stored.
+    pub fn stored_bytes(&self) -> ByteSize {
+        self.state.lock().stored_bytes
+    }
+
+    /// Number of objects currently stored.
+    pub fn object_count(&self) -> usize {
+        self.state.lock().objects.len()
+    }
+
+    /// Accumulated resource usage (bandwidth, operations, storage GB-hours).
+    pub fn usage(&self) -> ResourceUsage {
+        self.state.lock().meter.usage()
+    }
+
+    /// Accumulated cost under the provider's pricing policy.
+    pub fn accrued_cost(&self) -> Money {
+        self.state.lock().meter.total_cost()
+    }
+
+    fn check_up(&self, state: &StoreState) -> Result<()> {
+        if state.manually_down || self.outages.is_down(state.now) {
+            Err(ScaliaError::ProviderUnavailable(self.descriptor.id))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl ObjectStore for SimulatedStore {
+    fn provider_id(&self) -> ProviderId {
+        self.descriptor.id
+    }
+
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        let mut state = self.state.lock();
+        self.check_up(&state)?;
+        let new_size = ByteSize::from_bytes(data.len() as u64);
+
+        // Enforce capacity for private resources ("will never grow beyond
+        // the limit set in the properties of the resource", §III-E).
+        if let Some(capacity) = self.descriptor.capacity {
+            let existing = state
+                .objects
+                .get(key)
+                .map(|old| ByteSize::from_bytes(old.len() as u64))
+                .unwrap_or(ByteSize::ZERO);
+            let projected = state.stored_bytes.saturating_sub(existing) + new_size;
+            if projected > capacity {
+                // The rejected request still counts as an operation.
+                state.meter.record(ResourceUsage::operations(1));
+                return Err(ScaliaError::CapacityExceeded(self.descriptor.id));
+            }
+        }
+
+        state.meter.record_put(new_size);
+        if let Some(old) = state.objects.insert(key.to_string(), data) {
+            state.stored_bytes =
+                state.stored_bytes.saturating_sub(ByteSize::from_bytes(old.len() as u64));
+        }
+        state.stored_bytes += new_size;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        let mut state = self.state.lock();
+        self.check_up(&state)?;
+        match state.objects.get(key).cloned() {
+            Some(data) => {
+                state.meter.record_get(ByteSize::from_bytes(data.len() as u64));
+                Ok(data)
+            }
+            None => {
+                state.meter.record(ResourceUsage::operations(1));
+                Err(ScaliaError::ChunkMissing {
+                    provider: self.descriptor.id,
+                    chunk_key: key.to_string(),
+                })
+            }
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        let mut state = self.state.lock();
+        self.check_up(&state)?;
+        state.meter.record_delete();
+        if let Some(old) = state.objects.remove(key) {
+            state.stored_bytes =
+                state.stored_bytes.saturating_sub(ByteSize::from_bytes(old.len() as u64));
+        }
+        Ok(())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut state = self.state.lock();
+        self.check_up(&state)?;
+        state.meter.record(ResourceUsage::operations(1));
+        Ok(state
+            .objects
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect())
+    }
+
+    fn exists(&self, key: &str) -> Result<bool> {
+        let mut state = self.state.lock();
+        self.check_up(&state)?;
+        state.meter.record(ResourceUsage::operations(1));
+        Ok(state.objects.contains_key(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{rackspace, s3_high};
+    use crate::pricing::PricingPolicy;
+    use crate::sla::ProviderSla;
+    use scalia_types::zone::{Zone, ZoneSet};
+
+    fn store() -> SimulatedStore {
+        SimulatedStore::new(s3_high(ProviderId::new(0)))
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let s = store();
+        s.put("a/b", Bytes::from_static(b"hello")).unwrap();
+        assert!(s.exists("a/b").unwrap());
+        assert_eq!(s.get("a/b").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(s.object_count(), 1);
+        assert_eq!(s.stored_bytes(), ByteSize::from_bytes(5));
+        s.delete("a/b").unwrap();
+        assert!(!s.exists("a/b").unwrap());
+        assert_eq!(s.stored_bytes(), ByteSize::ZERO);
+        // Missing get returns ChunkMissing.
+        assert!(matches!(
+            s.get("a/b").unwrap_err(),
+            ScaliaError::ChunkMissing { .. }
+        ));
+        // Delete is idempotent.
+        s.delete("a/b").unwrap();
+    }
+
+    #[test]
+    fn overwrite_replaces_stored_bytes() {
+        let s = store();
+        s.put("k", Bytes::from(vec![0u8; 100])).unwrap();
+        s.put("k", Bytes::from(vec![0u8; 40])).unwrap();
+        assert_eq!(s.stored_bytes(), ByteSize::from_bytes(40));
+        assert_eq!(s.object_count(), 1);
+    }
+
+    #[test]
+    fn list_filters_by_prefix() {
+        let s = store();
+        s.put("skey1.0", Bytes::from_static(b"x")).unwrap();
+        s.put("skey1.1", Bytes::from_static(b"y")).unwrap();
+        s.put("other.0", Bytes::from_static(b"z")).unwrap();
+        let keys = s.list("skey1").unwrap();
+        assert_eq!(keys, vec!["skey1.0".to_string(), "skey1.1".to_string()]);
+        assert_eq!(s.list("").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn metering_tracks_bandwidth_and_ops() {
+        let s = store();
+        s.put("k", Bytes::from(vec![1u8; 1_000_000])).unwrap();
+        s.get("k").unwrap();
+        s.get("k").unwrap();
+        let usage = s.usage();
+        assert_eq!(usage.bw_in, ByteSize::from_mb(1));
+        assert_eq!(usage.bw_out, ByteSize::from_mb(2));
+        assert_eq!(usage.ops, 3);
+        assert!(s.accrued_cost().is_positive());
+    }
+
+    #[test]
+    fn tick_charges_storage_over_time() {
+        let s = store();
+        s.put("k", Bytes::from(vec![1u8; 1_000_000_000])).unwrap();
+        s.tick(SimTime::from_hours(720));
+        let usage = s.usage();
+        assert!((usage.storage_gb_hours - 720.0).abs() < 1e-6);
+        // 1 GB for a month at $0.14 plus 1 GB in at $0.10 plus 1 op.
+        assert!((s.accrued_cost().dollars() - 0.24001).abs() < 1e-3);
+        // Ticking backwards or to the same time charges nothing more.
+        s.tick(SimTime::from_hours(700));
+        s.tick(SimTime::from_hours(720));
+        assert!((s.usage().storage_gb_hours - 720.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn manual_failure_injection() {
+        let s = store();
+        s.put("k", Bytes::from_static(b"v")).unwrap();
+        s.set_down(true);
+        assert!(!s.is_up());
+        assert!(matches!(
+            s.get("k").unwrap_err(),
+            ScaliaError::ProviderUnavailable(_)
+        ));
+        assert!(matches!(
+            s.put("k2", Bytes::from_static(b"v")).unwrap_err(),
+            ScaliaError::ProviderUnavailable(_)
+        ));
+        s.set_down(false);
+        assert!(s.is_up());
+        assert_eq!(s.get("k").unwrap(), Bytes::from_static(b"v"));
+    }
+
+    #[test]
+    fn scheduled_outage_follows_clock() {
+        let s = SimulatedStore::with_outages(
+            rackspace(ProviderId::new(2)),
+            OutageSchedule::from_hours(&[(60, 120)]),
+        );
+        s.put("k", Bytes::from_static(b"v")).unwrap();
+        s.tick(SimTime::from_hours(61));
+        assert!(!s.is_up());
+        assert!(s.get("k").is_err());
+        s.tick(SimTime::from_hours(120));
+        assert!(s.is_up());
+        assert!(s.get("k").is_ok());
+    }
+
+    #[test]
+    fn capacity_limit_enforced() {
+        let descriptor = ProviderDescriptor::private(
+            ProviderId::new(7),
+            "nas",
+            ProviderSla::from_percent(99.9, 99.5),
+            PricingPolicy::free(),
+            ZoneSet::of(&[Zone::EU]),
+            ByteSize::from_bytes(150),
+        );
+        let s = SimulatedStore::new(descriptor);
+        s.put("a", Bytes::from(vec![0u8; 100])).unwrap();
+        assert!(matches!(
+            s.put("b", Bytes::from(vec![0u8; 100])).unwrap_err(),
+            ScaliaError::CapacityExceeded(_)
+        ));
+        // Overwriting the existing object within capacity is allowed.
+        s.put("a", Bytes::from(vec![0u8; 150])).unwrap();
+        assert_eq!(s.stored_bytes(), ByteSize::from_bytes(150));
+    }
+}

@@ -1,0 +1,302 @@
+//! The provider catalog.
+//!
+//! A [`ProviderCatalog`] is the dynamic set `P(obj)` of storage providers
+//! available for placement. Providers can be registered and deregistered at
+//! run time (new offerings appearing, providers going out of business —
+//! §IV-D), and marked unavailable during transient outages (§IV-E).
+//!
+//! [`ProviderCatalog::paper_catalog`] reproduces the paper's Fig. 3 exactly.
+
+use crate::descriptor::ProviderDescriptor;
+use crate::pricing::PricingPolicy;
+use crate::sla::ProviderSla;
+use parking_lot::RwLock;
+use scalia_types::ids::ProviderId;
+use scalia_types::zone::{Zone, ZoneSet};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A thread-safe, mutable catalog of storage providers.
+#[derive(Debug, Default)]
+pub struct ProviderCatalog {
+    inner: RwLock<CatalogInner>,
+}
+
+#[derive(Debug, Default)]
+struct CatalogInner {
+    providers: BTreeMap<ProviderId, ProviderDescriptor>,
+    /// Providers currently marked unreachable (transient outage).
+    unavailable: BTreeMap<ProviderId, bool>,
+    next_id: u32,
+}
+
+impl ProviderCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty catalog wrapped in an [`Arc`].
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Registers a provider described by a closure that receives the id the
+    /// catalog assigned. Returns the assigned id.
+    pub fn register_with(
+        &self,
+        build: impl FnOnce(ProviderId) -> ProviderDescriptor,
+    ) -> ProviderId {
+        let mut inner = self.inner.write();
+        let id = ProviderId::new(inner.next_id);
+        inner.next_id += 1;
+        let descriptor = build(id);
+        inner.providers.insert(id, descriptor);
+        id
+    }
+
+    /// Registers an already-built descriptor, overriding its id with a fresh
+    /// catalog-assigned one. Returns the assigned id.
+    pub fn register(&self, mut descriptor: ProviderDescriptor) -> ProviderId {
+        self.register_with(move |id| {
+            descriptor.id = id;
+            descriptor
+        })
+    }
+
+    /// Removes a provider from the catalog (e.g. bankruptcy or boycott).
+    /// Returns the removed descriptor if it existed.
+    pub fn deregister(&self, id: ProviderId) -> Option<ProviderDescriptor> {
+        let mut inner = self.inner.write();
+        inner.unavailable.remove(&id);
+        inner.providers.remove(&id)
+    }
+
+    /// Returns the descriptor of a provider.
+    pub fn get(&self, id: ProviderId) -> Option<ProviderDescriptor> {
+        self.inner.read().providers.get(&id).cloned()
+    }
+
+    /// All registered providers, in id order.
+    pub fn all(&self) -> Vec<ProviderDescriptor> {
+        self.inner.read().providers.values().cloned().collect()
+    }
+
+    /// All providers that are currently reachable (not in a transient
+    /// outage), in id order. This is the set the placement algorithm works
+    /// on during a provider failure (§III-D3).
+    pub fn available(&self) -> Vec<ProviderDescriptor> {
+        let inner = self.inner.read();
+        inner
+            .providers
+            .values()
+            .filter(|p| !inner.unavailable.get(&p.id).copied().unwrap_or(false))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of registered providers.
+    pub fn len(&self) -> usize {
+        self.inner.read().providers.len()
+    }
+
+    /// Returns `true` if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Marks a provider unreachable (start of a transient outage).
+    pub fn mark_unavailable(&self, id: ProviderId) {
+        self.inner.write().unavailable.insert(id, true);
+    }
+
+    /// Marks a provider reachable again (outage over).
+    pub fn mark_available(&self, id: ProviderId) {
+        self.inner.write().unavailable.remove(&id);
+    }
+
+    /// Returns `true` if the provider is currently reachable.
+    pub fn is_available(&self, id: ProviderId) -> bool {
+        let inner = self.inner.read();
+        inner.providers.contains_key(&id)
+            && !inner.unavailable.get(&id).copied().unwrap_or(false)
+    }
+
+    /// Builds the paper's Fig. 3 catalog: S3(h), S3(l), Rackspace CloudFiles,
+    /// Microsoft Azure and Google Storage, with their exact prices and SLAs.
+    pub fn paper_catalog() -> Arc<Self> {
+        let catalog = Self::shared();
+        catalog.register_with(|id| s3_high(id));
+        catalog.register_with(|id| s3_low(id));
+        catalog.register_with(|id| rackspace(id));
+        catalog.register_with(|id| azure(id));
+        catalog.register_with(|id| google(id));
+        catalog
+    }
+}
+
+/// Amazon S3 (High durability): 99.999999999 / 99.9, EU+US+APAC,
+/// $0.14 / $0.10 / $0.15 / $0.01.
+pub fn s3_high(id: ProviderId) -> ProviderDescriptor {
+    ProviderDescriptor::public(
+        id,
+        "S3(h)",
+        "Amazon S3 (High)",
+        ProviderSla::from_percent(99.999999999, 99.9),
+        PricingPolicy::from_dollars(0.14, 0.10, 0.15, 0.01),
+        ZoneSet::of(&[Zone::EU, Zone::US, Zone::APAC]),
+    )
+}
+
+/// Amazon S3 (Low / reduced redundancy): 99.99 / 99.9, EU+US+APAC,
+/// $0.093 / $0.10 / $0.15 / $0.01.
+pub fn s3_low(id: ProviderId) -> ProviderDescriptor {
+    ProviderDescriptor::public(
+        id,
+        "S3(l)",
+        "Amazon S3 (Low)",
+        ProviderSla::from_percent(99.99, 99.9),
+        PricingPolicy::from_dollars(0.093, 0.10, 0.15, 0.01),
+        ZoneSet::of(&[Zone::EU, Zone::US, Zone::APAC]),
+    )
+}
+
+/// Rackspace CloudFiles: 99.9999 / 99.9, US, $0.15 / $0.08 / $0.18 / $0.00.
+pub fn rackspace(id: ProviderId) -> ProviderDescriptor {
+    ProviderDescriptor::public(
+        id,
+        "RS",
+        "Rackspace CloudFiles",
+        ProviderSla::from_percent(99.9999, 99.9),
+        PricingPolicy::from_dollars(0.15, 0.08, 0.18, 0.0),
+        ZoneSet::of(&[Zone::US]),
+    )
+}
+
+/// Microsoft Azure: 99.9999 / 99.9, US, $0.15 / $0.10 / $0.15 / $0.01.
+pub fn azure(id: ProviderId) -> ProviderDescriptor {
+    ProviderDescriptor::public(
+        id,
+        "Azu",
+        "Microsoft Azure",
+        ProviderSla::from_percent(99.9999, 99.9),
+        PricingPolicy::from_dollars(0.15, 0.10, 0.15, 0.01),
+        ZoneSet::of(&[Zone::US]),
+    )
+}
+
+/// Google Storage: 99.9999 / 99.9, US, $0.17 / $0.10 / $0.15 / $0.01.
+pub fn google(id: ProviderId) -> ProviderDescriptor {
+    ProviderDescriptor::public(
+        id,
+        "Ggl",
+        "Google Storage",
+        ProviderSla::from_percent(99.9999, 99.9),
+        PricingPolicy::from_dollars(0.17, 0.10, 0.15, 0.01),
+        ZoneSet::of(&[Zone::US]),
+    )
+}
+
+/// The hypothetical cheaper provider registered at hour 400 of the §IV-D
+/// scenario: $0.09 / $0.10 / $0.15 / $0.01, durability 99.9999, avail 99.9.
+pub fn cheapstor(id: ProviderId) -> ProviderDescriptor {
+    ProviderDescriptor::public(
+        id,
+        "CheapStor",
+        "CheapStor (new provider)",
+        ProviderSla::from_percent(99.9999, 99.9),
+        PricingPolicy::from_dollars(0.09, 0.10, 0.15, 0.01),
+        ZoneSet::of(&[Zone::US]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_catalog_matches_fig3() {
+        let catalog = ProviderCatalog::paper_catalog();
+        assert_eq!(catalog.len(), 5);
+        let all = catalog.all();
+        let names: Vec<&str> = all.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["S3(h)", "S3(l)", "RS", "Azu", "Ggl"]);
+
+        let s3h = &all[0];
+        assert!((s3h.pricing.storage_gb_month.dollars() - 0.14).abs() < 1e-9);
+        assert!((s3h.sla.durability.probability() - 0.99999999999).abs() < 1e-15);
+        assert!(s3h.zones.contains(Zone::EU) && s3h.zones.contains(Zone::APAC));
+
+        let s3l = &all[1];
+        assert!((s3l.pricing.storage_gb_month.dollars() - 0.093).abs() < 1e-9);
+
+        let rs = &all[2];
+        assert_eq!(rs.pricing.ops_per_1000.dollars(), 0.0);
+        assert!((rs.pricing.bandwidth_out_gb.dollars() - 0.18).abs() < 1e-9);
+        assert!(rs.zones.contains(Zone::US) && !rs.zones.contains(Zone::EU));
+
+        let ggl = &all[4];
+        assert!((ggl.pricing.storage_gb_month.dollars() - 0.17).abs() < 1e-9);
+    }
+
+    #[test]
+    fn register_and_deregister() {
+        let catalog = ProviderCatalog::new();
+        assert!(catalog.is_empty());
+        let id = catalog.register_with(cheapstor);
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog.get(id).unwrap().name, "CheapStor");
+        let removed = catalog.deregister(id).unwrap();
+        assert_eq!(removed.name, "CheapStor");
+        assert!(catalog.is_empty());
+        assert!(catalog.deregister(id).is_none());
+    }
+
+    #[test]
+    fn ids_are_assigned_sequentially_and_stable() {
+        let catalog = ProviderCatalog::new();
+        let a = catalog.register_with(s3_high);
+        let b = catalog.register_with(s3_low);
+        assert_ne!(a, b);
+        assert_eq!(catalog.get(a).unwrap().id, a);
+        assert_eq!(catalog.get(b).unwrap().id, b);
+        // Deregistering does not recycle ids.
+        catalog.deregister(a);
+        let c = catalog.register_with(azure);
+        assert_ne!(c, a);
+    }
+
+    #[test]
+    fn availability_marking() {
+        let catalog = ProviderCatalog::paper_catalog();
+        let all = catalog.all();
+        let s3l_id = all[1].id;
+        assert!(catalog.is_available(s3l_id));
+        assert_eq!(catalog.available().len(), 5);
+
+        catalog.mark_unavailable(s3l_id);
+        assert!(!catalog.is_available(s3l_id));
+        assert_eq!(catalog.available().len(), 4);
+        assert!(catalog.available().iter().all(|p| p.id != s3l_id));
+
+        catalog.mark_available(s3l_id);
+        assert!(catalog.is_available(s3l_id));
+        assert_eq!(catalog.available().len(), 5);
+    }
+
+    #[test]
+    fn unknown_provider_is_not_available() {
+        let catalog = ProviderCatalog::new();
+        assert!(!catalog.is_available(ProviderId::new(42)));
+        assert!(catalog.get(ProviderId::new(42)).is_none());
+    }
+
+    #[test]
+    fn register_prebuilt_descriptor_overrides_id() {
+        let catalog = ProviderCatalog::new();
+        let descriptor = s3_high(ProviderId::new(999));
+        let id = catalog.register(descriptor);
+        assert_ne!(id, ProviderId::new(999));
+        assert_eq!(catalog.get(id).unwrap().name, "S3(h)");
+    }
+}

@@ -1,0 +1,183 @@
+//! Provider descriptors.
+//!
+//! A [`ProviderDescriptor`] is everything the placement engine needs to know
+//! about a storage provider: identity, whether it is a public cloud or a
+//! private resource, SLA, pricing, zones of operation, optional chunk-size
+//! constraint and optional capacity (for private resources).
+
+use crate::pricing::PricingPolicy;
+use crate::sla::ProviderSla;
+use scalia_types::ids::ProviderId;
+use scalia_types::size::ByteSize;
+use scalia_types::zone::ZoneSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a provider is a public cloud or a corporate private resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProviderKind {
+    /// A public cloud storage provider (billed per use).
+    PublicCloud,
+    /// A corporate-owned private storage resource (capacity-limited).
+    Private,
+}
+
+/// Full description of a storage provider.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProviderDescriptor {
+    /// Stable identifier within the catalog.
+    pub id: ProviderId,
+    /// Short display name, e.g. `"S3(h)"`.
+    pub name: String,
+    /// Longer description, e.g. `"Amazon S3 (High)"`.
+    pub description: String,
+    /// Public cloud or private resource.
+    pub kind: ProviderKind,
+    /// Advertised durability/availability SLA.
+    pub sla: ProviderSla,
+    /// Pricing policy.
+    pub pricing: PricingPolicy,
+    /// Zones the provider operates in.
+    pub zones: ZoneSet,
+    /// Maximum size of a single stored chunk, if the provider constrains it
+    /// (§III-A2: "Provider constraints in chunk size are taken into account").
+    pub max_chunk_size: Option<ByteSize>,
+    /// Total capacity, for private resources (`None` = effectively unlimited).
+    pub capacity: Option<ByteSize>,
+}
+
+impl ProviderDescriptor {
+    /// Creates a public-cloud provider descriptor with no chunk-size or
+    /// capacity constraint.
+    pub fn public(
+        id: ProviderId,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        sla: ProviderSla,
+        pricing: PricingPolicy,
+        zones: ZoneSet,
+    ) -> Self {
+        ProviderDescriptor {
+            id,
+            name: name.into(),
+            description: description.into(),
+            kind: ProviderKind::PublicCloud,
+            sla,
+            pricing,
+            zones,
+            max_chunk_size: None,
+            capacity: None,
+        }
+    }
+
+    /// Creates a private-resource descriptor with a capacity limit.
+    pub fn private(
+        id: ProviderId,
+        name: impl Into<String>,
+        sla: ProviderSla,
+        pricing: PricingPolicy,
+        zones: ZoneSet,
+        capacity: ByteSize,
+    ) -> Self {
+        ProviderDescriptor {
+            id,
+            name: name.into(),
+            description: "private storage resource".into(),
+            kind: ProviderKind::Private,
+            sla,
+            pricing,
+            zones,
+            max_chunk_size: None,
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Builder-style override of the chunk-size constraint.
+    pub fn with_max_chunk_size(mut self, size: ByteSize) -> Self {
+        self.max_chunk_size = Some(size);
+        self
+    }
+
+    /// Returns `true` if the provider can hold a chunk of the given size.
+    pub fn accepts_chunk(&self, chunk_size: ByteSize) -> bool {
+        match self.max_chunk_size {
+            Some(max) => chunk_size <= max,
+            None => true,
+        }
+    }
+
+    /// Returns `true` if this is a private resource.
+    pub fn is_private(&self) -> bool {
+        self.kind == ProviderKind::Private
+    }
+}
+
+impl fmt::Display for ProviderDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] dur {} avail {} zones [{}] storage {}/GB-month",
+            self.name,
+            self.id,
+            self.sla.durability,
+            self.sla.availability,
+            self.zones,
+            self.pricing.storage_gb_month
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalia_types::zone::Zone;
+
+    fn sample() -> ProviderDescriptor {
+        ProviderDescriptor::public(
+            ProviderId::new(0),
+            "S3(h)",
+            "Amazon S3 (High)",
+            ProviderSla::from_percent(99.999999999, 99.9),
+            PricingPolicy::from_dollars(0.14, 0.1, 0.15, 0.01),
+            ZoneSet::of(&[Zone::EU, Zone::US, Zone::APAC]),
+        )
+    }
+
+    #[test]
+    fn public_provider_has_no_capacity_limit() {
+        let p = sample();
+        assert_eq!(p.kind, ProviderKind::PublicCloud);
+        assert!(!p.is_private());
+        assert!(p.capacity.is_none());
+        assert!(p.accepts_chunk(ByteSize::from_gb(100)));
+    }
+
+    #[test]
+    fn chunk_size_constraint() {
+        let p = sample().with_max_chunk_size(ByteSize::from_mb(5));
+        assert!(p.accepts_chunk(ByteSize::from_mb(5)));
+        assert!(p.accepts_chunk(ByteSize::from_kb(1)));
+        assert!(!p.accepts_chunk(ByteSize::from_mb(6)));
+    }
+
+    #[test]
+    fn private_resource_descriptor() {
+        let p = ProviderDescriptor::private(
+            ProviderId::new(9),
+            "nas-1",
+            ProviderSla::from_percent(99.99, 99.5),
+            PricingPolicy::free(),
+            ZoneSet::of(&[Zone::EU]),
+            ByteSize::from_gb(10),
+        );
+        assert!(p.is_private());
+        assert_eq!(p.capacity, Some(ByteSize::from_gb(10)));
+    }
+
+    #[test]
+    fn display_contains_name_and_prices() {
+        let s = sample().to_string();
+        assert!(s.contains("S3(h)"));
+        assert!(s.contains("99.9%"));
+    }
+}

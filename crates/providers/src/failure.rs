@@ -1,0 +1,126 @@
+//! Outage schedules for failure injection.
+//!
+//! The evaluation's active-repair scenario (§IV-E) takes one provider down
+//! between hour 60 and hour 120. An [`OutageSchedule`] expresses such
+//! transient failures as a list of half-open time windows and answers the
+//! question "is the provider up at time t?".
+
+use scalia_types::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A single outage window `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// Time the provider becomes unreachable.
+    pub start: SimTime,
+    /// Time the provider recovers.
+    pub end: SimTime,
+}
+
+/// A schedule of transient outages for one provider.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OutageSchedule {
+    windows: Vec<OutageWindow>,
+}
+
+impl OutageSchedule {
+    /// A schedule with no outages.
+    pub fn always_up() -> Self {
+        OutageSchedule::default()
+    }
+
+    /// Creates a schedule from a list of `(start_hour, end_hour)` pairs.
+    pub fn from_hours(windows: &[(u64, u64)]) -> Self {
+        let mut schedule = OutageSchedule::default();
+        for &(start, end) in windows {
+            schedule.add_window(SimTime::from_hours(start), SimTime::from_hours(end));
+        }
+        schedule
+    }
+
+    /// Adds an outage window. Windows where `end <= start` are ignored.
+    pub fn add_window(&mut self, start: SimTime, end: SimTime) {
+        if end > start {
+            self.windows.push(OutageWindow { start, end });
+        }
+    }
+
+    /// Returns `true` if the provider is reachable at `time`.
+    pub fn is_up(&self, time: SimTime) -> bool {
+        !self
+            .windows
+            .iter()
+            .any(|w| time >= w.start && time < w.end)
+    }
+
+    /// Returns `true` if the provider is down at `time`.
+    pub fn is_down(&self, time: SimTime) -> bool {
+        !self.is_up(time)
+    }
+
+    /// The scheduled outage windows.
+    pub fn windows(&self) -> &[OutageWindow] {
+        &self.windows
+    }
+
+    /// The next transition time (outage start or end) strictly after `time`,
+    /// if any. The simulator uses it to know when availability state changes.
+    pub fn next_transition(&self, time: SimTime) -> Option<SimTime> {
+        self.windows
+            .iter()
+            .flat_map(|w| [w.start, w.end])
+            .filter(|&t| t > time)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_up_schedule() {
+        let s = OutageSchedule::always_up();
+        assert!(s.is_up(SimTime::ZERO));
+        assert!(s.is_up(SimTime::from_hours(10_000)));
+        assert!(s.next_transition(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn paper_repair_scenario_window() {
+        // S3(l) down from hour 60 to hour 120.
+        let s = OutageSchedule::from_hours(&[(60, 120)]);
+        assert!(s.is_up(SimTime::from_hours(59)));
+        assert!(s.is_down(SimTime::from_hours(60)));
+        assert!(s.is_down(SimTime::from_hours(119)));
+        assert!(s.is_up(SimTime::from_hours(120)));
+        assert!(s.is_up(SimTime::from_hours(180)));
+    }
+
+    #[test]
+    fn multiple_windows_and_transitions() {
+        let s = OutageSchedule::from_hours(&[(10, 20), (30, 40)]);
+        assert!(s.is_down(SimTime::from_hours(15)));
+        assert!(s.is_up(SimTime::from_hours(25)));
+        assert!(s.is_down(SimTime::from_hours(35)));
+        assert_eq!(s.next_transition(SimTime::ZERO), Some(SimTime::from_hours(10)));
+        assert_eq!(
+            s.next_transition(SimTime::from_hours(10)),
+            Some(SimTime::from_hours(20))
+        );
+        assert_eq!(
+            s.next_transition(SimTime::from_hours(25)),
+            Some(SimTime::from_hours(30))
+        );
+        assert_eq!(s.next_transition(SimTime::from_hours(40)), None);
+    }
+
+    #[test]
+    fn degenerate_windows_are_ignored() {
+        let mut s = OutageSchedule::always_up();
+        s.add_window(SimTime::from_hours(10), SimTime::from_hours(10));
+        s.add_window(SimTime::from_hours(20), SimTime::from_hours(15));
+        assert_eq!(s.windows().len(), 0);
+        assert!(s.is_up(SimTime::from_hours(10)));
+    }
+}

@@ -1,0 +1,47 @@
+//! # scalia-sim
+//!
+//! The evaluation simulator of the Scalia reproduction (§IV of the paper).
+//!
+//! The paper evaluates Scalia purely in terms of **cost**: for a given
+//! workload it compares the money billed by the providers under (a) every
+//! static provider set of Fig. 13, (b) Scalia's adaptive placement, and
+//! (c) the per-period *ideal* placement computed with perfect knowledge of
+//! each period's demand. This crate rebuilds that methodology:
+//!
+//! * [`workload`] — workload generators: the Slashdot spike, the Gallery
+//!   (diurnal website traffic with Pareto picture popularity), the periodic
+//!   40 MB backup writer, and the synthetic website trace used for the
+//!   trend-detection figures.
+//! * [`static_sets`] — the 26 static provider sets of Fig. 13.
+//! * [`policy`] — placement policies: static, ideal (oracle) and the Scalia
+//!   adaptive policy (trend detection + Algorithm 1 + migration gate).
+//! * [`accounting`] — per-period cost and resource accounting for a policy
+//!   over a workload.
+//! * [`experiment`] — scenario runners producing the over-cost tables
+//!   (Figs. 14, 16, §IV-D) and the resource/ cumulative-cost series
+//!   (Figs. 12, 15, 17, 18).
+//! * [`scenarios`] — the four paper scenarios parameterised exactly as in
+//!   §IV, plus the trend-detection traces of Figs. 8 and 9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod experiment;
+pub mod policy;
+pub mod scenarios;
+pub mod static_sets;
+pub mod workload;
+
+pub use experiment::{ExperimentResult, PolicyOutcome};
+pub use policy::{IdealPolicy, PlacementPolicy, ScaliaPolicy, StaticSetPolicy};
+pub use workload::{PeriodDemand, ProviderEvent, Workload, WorkloadObject};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::experiment::{ExperimentResult, PolicyOutcome};
+    pub use crate::policy::{IdealPolicy, PlacementPolicy, ScaliaPolicy, StaticSetPolicy};
+    pub use crate::scenarios;
+    pub use crate::static_sets;
+    pub use crate::workload::{PeriodDemand, ProviderEvent, Workload, WorkloadObject};
+}

@@ -1,0 +1,276 @@
+//! The paper's evaluation scenarios (§IV), parameterised exactly as
+//! described.
+
+use crate::workload::{
+    diffuse_rounding, pareto_popularity, website_hourly_visits, PeriodDemand, ProviderEvent,
+    Workload, WorkloadObject,
+};
+use scalia_providers::catalog::cheapstor;
+use scalia_types::ids::ProviderId;
+use scalia_types::reliability::Reliability;
+use scalia_types::rules::StorageRule;
+use scalia_types::size::ByteSize;
+use scalia_types::time::Duration;
+use scalia_types::zone::ZoneSet;
+
+/// Total length of the Slashdot / Gallery / repair scenarios: 7.5 days of
+/// hourly sampling periods (the x-axis of Figs. 12, 15 and 18).
+pub const WEEK_AND_A_HALF_HOURS: u64 = 180;
+
+/// §IV-B — the Slashdot effect: a single 1 MB object is quiet for two days,
+/// then its read rate jumps from 0 to 150 requests/hour within 3 hours and
+/// decays by 2 requests/hour afterwards. Availability 99.99 %, durability
+/// 99.999 %.
+pub fn slashdot() -> Workload {
+    let periods = WEEK_AND_A_HALF_HOURS;
+    let mut reads = vec![0u64; periods as usize];
+    for (hour, slot) in reads.iter_mut().enumerate() {
+        let hour = hour as u64;
+        *slot = if hour < 48 {
+            0
+        } else if hour < 51 {
+            // 0 → 150 in 3 hours.
+            (hour - 48 + 1) * 50
+        } else {
+            150u64.saturating_sub(2 * (hour - 51))
+        };
+    }
+    let rule = StorageRule::new(
+        "slashdot",
+        Reliability::from_percent(99.999),
+        Reliability::from_percent(99.99),
+        ZoneSet::all(),
+        1.0,
+    );
+    Workload {
+        name: "Slashdot effect".into(),
+        objects: vec![WorkloadObject {
+            id: "slashdotted-object".into(),
+            size: ByteSize::from_mb(1),
+            rule,
+            created_period: 0,
+            deleted_period: None,
+            demand: reads
+                .into_iter()
+                .map(|reads| PeriodDemand { reads, writes: 0 })
+                .collect(),
+        }],
+        periods,
+        sampling_period: Duration::HOUR,
+        events: vec![],
+    }
+}
+
+/// §IV-C — the Gallery: 200 pictures of 250 KB accessed following the daily
+/// pattern of a ~2500-visitor/day website (62 % EU, 27 % NA, 6 % Asia), with
+/// per-picture popularity following a truncated Pareto(1, 50). Availability
+/// 99.99 % per picture.
+pub fn gallery() -> Workload {
+    gallery_with(200, 4.0, 42)
+}
+
+/// Parameterised Gallery scenario: `pictures` pictures, `views_per_visit`
+/// average picture views per visitor, and a reproducibility seed.
+pub fn gallery_with(pictures: usize, views_per_visit: f64, seed: u64) -> Workload {
+    let periods = WEEK_AND_A_HALF_HOURS;
+    let visits = website_hourly_visits(periods, 2500.0, seed);
+    let popularity = pareto_popularity(pictures, 50.0, seed.wrapping_add(1));
+    let rule = StorageRule::new(
+        "gallery",
+        Reliability::from_percent(99.999),
+        Reliability::from_percent(99.99),
+        ZoneSet::all(),
+        1.0,
+    );
+
+    let objects = (0..pictures)
+        .map(|i| {
+            let expected: Vec<f64> = visits
+                .iter()
+                .map(|&v| v * views_per_visit * popularity[i])
+                .collect();
+            let reads = diffuse_rounding(&expected);
+            WorkloadObject {
+                id: format!("picture-{i:03}"),
+                size: ByteSize::from_kb(250),
+                rule: rule.clone(),
+                created_period: 0,
+                deleted_period: None,
+                demand: reads
+                    .into_iter()
+                    .map(|reads| PeriodDemand { reads, writes: 0 })
+                    .collect(),
+            }
+        })
+        .collect();
+
+    Workload {
+        name: "Gallery".into(),
+        objects,
+        periods,
+        sampling_period: Duration::HOUR,
+        events: vec![],
+    }
+}
+
+/// §IV-D — adding a storage provider: a new 40 MB backup object is written
+/// every 5 hours for 4 weeks; the data owner requires at least 2 providers
+/// (lock-in 0.5); at hour 400 the cheaper provider "CheapStor" is
+/// registered.
+pub fn adding_provider() -> Workload {
+    let periods: u64 = 4 * 7 * 24; // 4 weeks = 672 hours
+    let rule = StorageRule::new(
+        "backup",
+        Reliability::from_percent(99.999),
+        Reliability::from_percent(99.9),
+        ZoneSet::all(),
+        0.5,
+    );
+    let objects = (0..periods)
+        .step_by(5)
+        .map(|created| WorkloadObject {
+            id: format!("backup-{created:04}"),
+            size: ByteSize::from_mb(40),
+            rule: rule.clone(),
+            created_period: created,
+            deleted_period: None,
+            demand: vec![PeriodDemand::default(); periods as usize],
+        })
+        .collect();
+    Workload {
+        name: "Adding a storage provider".into(),
+        objects,
+        periods,
+        sampling_period: Duration::HOUR,
+        events: vec![ProviderEvent::Arrival {
+            period: 400,
+            descriptor: cheapstor(ProviderId::new(0)),
+        }],
+    }
+}
+
+/// §IV-E — active repair: a new 40 MB object every 5 hours over 7.5 days;
+/// S3(l) suffers a transient failure between hour 60 and hour 120.
+pub fn active_repair() -> Workload {
+    let periods = WEEK_AND_A_HALF_HOURS;
+    let rule = StorageRule::new(
+        "repair",
+        Reliability::from_percent(99.999),
+        Reliability::from_percent(99.9),
+        ZoneSet::all(),
+        0.5,
+    );
+    let objects = (0..periods)
+        .step_by(5)
+        .map(|created| WorkloadObject {
+            id: format!("repair-{created:04}"),
+            size: ByteSize::from_mb(40),
+            rule: rule.clone(),
+            created_period: created,
+            deleted_period: None,
+            demand: vec![PeriodDemand::default(); periods as usize],
+        })
+        .collect();
+    Workload {
+        name: "Active repair".into(),
+        objects,
+        periods,
+        sampling_period: Duration::HOUR,
+        events: vec![ProviderEvent::Outage {
+            provider_name: "S3(l)".into(),
+            from: 60,
+            to: 120,
+        }],
+    }
+}
+
+/// The per-period read counts of a single object following the reference
+/// website's pattern — the input series of the trend-detection Figs. 8
+/// (hourly samples over 7 days) and 9 (daily samples over 3 months).
+pub fn website_read_series(periods: u64, period_hours: u64, seed: u64) -> Vec<u64> {
+    let hourly = website_hourly_visits(periods * period_hours, 2500.0, seed);
+    // Aggregate hourly visits into the requested sampling period.
+    let expected: Vec<f64> = hourly
+        .chunks(period_hours as usize)
+        .map(|chunk| chunk.iter().sum())
+        .collect();
+    diffuse_rounding(&expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slashdot_matches_paper_parameters() {
+        let w = slashdot();
+        assert_eq!(w.periods, 180);
+        assert_eq!(w.objects.len(), 1);
+        let demand = &w.objects[0].demand;
+        assert_eq!(demand[47].reads, 0);
+        assert_eq!(demand[48].reads, 50);
+        assert_eq!(demand[50].reads, 150);
+        assert_eq!(demand[51].reads, 150);
+        assert_eq!(demand[52].reads, 148);
+        // The decay reaches zero before the end of the run.
+        assert_eq!(demand[140].reads, 0);
+        assert_eq!(w.objects[0].size, ByteSize::from_mb(1));
+    }
+
+    #[test]
+    fn gallery_has_200_pictures_with_skewed_popularity() {
+        let w = gallery();
+        assert_eq!(w.objects.len(), 200);
+        assert!(w.objects.iter().all(|o| o.size == ByteSize::from_kb(250)));
+        let totals: Vec<u64> = w
+            .objects
+            .iter()
+            .map(|o| o.demand.iter().map(|d| d.reads).sum())
+            .collect();
+        let max = *totals.iter().max().unwrap();
+        let min = *totals.iter().min().unwrap();
+        assert!(max > 10 * (min + 1), "popularity must be heavily skewed");
+        // Total traffic roughly matches 2500 visitors/day × 4 views × 7.5 d.
+        let total: u64 = totals.iter().sum();
+        assert!(total > 40_000 && total < 120_000, "total reads = {total}");
+    }
+
+    #[test]
+    fn adding_provider_schedules_cheapstor_arrival() {
+        let w = adding_provider();
+        assert_eq!(w.periods, 672);
+        assert_eq!(w.objects.len(), (672 + 4) / 5);
+        assert!(matches!(
+            w.events[0],
+            ProviderEvent::Arrival { period: 400, .. }
+        ));
+        // Objects keep accumulating (backups are never deleted).
+        assert!(w.objects.iter().all(|o| o.deleted_period.is_none()));
+        assert_eq!(w.bytes_stored_at(671).bytes(), w.objects.len() as u64 * 40_000_000);
+    }
+
+    #[test]
+    fn active_repair_schedules_the_outage() {
+        let w = active_repair();
+        assert!(matches!(
+            &w.events[0],
+            ProviderEvent::Outage { provider_name, from: 60, to: 120 } if provider_name == "S3(l)"
+        ));
+        assert_eq!(w.objects[0].size, ByteSize::from_mb(40));
+    }
+
+    #[test]
+    fn website_series_is_diurnal_at_hourly_and_smooth_at_daily_scale() {
+        let hourly = website_read_series(7 * 24, 1, 11);
+        assert_eq!(hourly.len(), 168);
+        let daily = website_read_series(90, 24, 11);
+        assert_eq!(daily.len(), 90);
+        // Daily aggregation is much smoother (relative spread) than hourly.
+        let spread = |xs: &[u64]| {
+            let max = *xs.iter().max().unwrap() as f64;
+            let min = *xs.iter().min().unwrap() as f64;
+            (max - min) / max.max(1.0)
+        };
+        assert!(spread(&hourly) > spread(&daily));
+    }
+}

@@ -1,0 +1,104 @@
+//! The shared error type of the Scalia workspace.
+
+use crate::ids::ProviderId;
+use crate::object::ObjectKey;
+use std::fmt;
+
+/// Errors surfaced by the Scalia brokerage system and its substrates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScaliaError {
+    /// The requested object (or version) does not exist.
+    ObjectNotFound(ObjectKey),
+    /// A chunk expected at a provider was missing or corrupted.
+    ChunkMissing {
+        /// Provider that should have held the chunk.
+        provider: ProviderId,
+        /// Per-provider storage key of the missing chunk.
+        chunk_key: String,
+    },
+    /// A provider is currently unreachable (transient outage).
+    ProviderUnavailable(ProviderId),
+    /// A private resource rejected a request because its capacity is full.
+    CapacityExceeded(ProviderId),
+    /// A private resource rejected a request with an invalid signature.
+    AuthenticationFailed(ProviderId),
+    /// No provider combination satisfies the object's storage rule.
+    NoFeasiblePlacement {
+        /// Name of the rule that could not be satisfied.
+        rule: String,
+    },
+    /// Too few chunks were retrievable to reconstruct the object.
+    NotEnoughChunks {
+        /// Chunks successfully retrieved.
+        available: usize,
+        /// Chunks required (the threshold `m`).
+        required: usize,
+    },
+    /// Erasure decoding failed (corrupt chunk data or inconsistent lengths).
+    DecodeFailed(String),
+    /// The metadata store detected concurrent conflicting writes that could
+    /// not be resolved automatically.
+    Conflict(String),
+    /// A datacenter or database node is unreachable.
+    DatacenterUnavailable(u32),
+    /// Any other internal error.
+    Internal(String),
+}
+
+impl fmt::Display for ScaliaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaliaError::ObjectNotFound(key) => write!(f, "object not found: {key}"),
+            ScaliaError::ChunkMissing { provider, chunk_key } => {
+                write!(f, "chunk {chunk_key} missing at {provider}")
+            }
+            ScaliaError::ProviderUnavailable(p) => write!(f, "provider unavailable: {p}"),
+            ScaliaError::CapacityExceeded(p) => write!(f, "capacity exceeded at {p}"),
+            ScaliaError::AuthenticationFailed(p) => write!(f, "authentication failed at {p}"),
+            ScaliaError::NoFeasiblePlacement { rule } => {
+                write!(f, "no provider set satisfies rule '{rule}'")
+            }
+            ScaliaError::NotEnoughChunks { available, required } => write!(
+                f,
+                "not enough chunks to reconstruct object: {available} available, {required} required"
+            ),
+            ScaliaError::DecodeFailed(msg) => write!(f, "erasure decode failed: {msg}"),
+            ScaliaError::Conflict(msg) => write!(f, "metadata conflict: {msg}"),
+            ScaliaError::DatacenterUnavailable(dc) => write!(f, "datacenter dc_{dc} unavailable"),
+            ScaliaError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScaliaError {}
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, ScaliaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ScaliaError::ObjectNotFound(ObjectKey::new("c", "k"));
+        assert_eq!(e.to_string(), "object not found: c/k");
+        let e = ScaliaError::NotEnoughChunks {
+            available: 2,
+            required: 3,
+        };
+        assert!(e.to_string().contains("2 available"));
+        let e = ScaliaError::NoFeasiblePlacement {
+            rule: "Rule 1".into(),
+        };
+        assert!(e.to_string().contains("Rule 1"));
+        let e = ScaliaError::ProviderUnavailable(ProviderId::new(3));
+        assert!(e.to_string().contains("provider_3"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ScaliaError::Internal("boom".into()));
+        assert!(e.to_string().contains("boom"));
+    }
+}

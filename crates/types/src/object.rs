@@ -1,0 +1,247 @@
+//! Object keys, identifiers, metadata and striping metadata.
+//!
+//! Scalia exposes an S3-like key/value model: objects live in a *container*
+//! under a *key*. Internally every write produces a new immutable version
+//! identified by a UUID; the metadata row for `(container, key)` maps to the
+//! current version(s) (MVCC), and the striping metadata records where each
+//! erasure-coded chunk lives (Fig. 11 in the paper).
+
+use crate::ids::ProviderId;
+use crate::md5;
+use crate::rules::StorageRule;
+use crate::size::ByteSize;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The user-visible identity of an object: a container name and a key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectKey {
+    /// Container (bucket) name.
+    pub container: String,
+    /// Object key within the container.
+    pub key: String,
+}
+
+impl ObjectKey {
+    /// Creates an object key.
+    pub fn new(container: impl Into<String>, key: impl Into<String>) -> Self {
+        ObjectKey {
+            container: container.into(),
+            key: key.into(),
+        }
+    }
+
+    /// The metadata row key, `MD5(container | key)` as in §III-D1.
+    pub fn row_key(&self) -> String {
+        md5::md5_hex(format!("{}|{}", self.container, self.key).as_bytes())
+    }
+}
+
+impl fmt::Display for ObjectKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.container, self.key)
+    }
+}
+
+/// A globally unique identifier for one written version of an object.
+///
+/// The paper uses a UUID so that concurrent updates never collide on the
+/// chunk storage keys. The reproduction generates identifiers from a process
+/// wide counter mixed with the object row key, which is unique and
+/// deterministic across runs (important for reproducible simulations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectVersionId(pub u128);
+
+impl serde::Serialize for ObjectVersionId {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // JSON numbers cannot hold 128 bits; serialise as a hex string.
+        serializer.serialize_str(&self.to_hex())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for ObjectVersionId {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let hex = String::deserialize(deserializer)?;
+        u128::from_str_radix(&hex, 16)
+            .map(ObjectVersionId)
+            .map_err(serde::de::Error::custom)
+    }
+}
+
+static VERSION_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+impl ObjectVersionId {
+    /// Generates the next unique version id. The `salt` (typically the row
+    /// key hash) is mixed in so ids from different objects differ even when
+    /// counters align across processes.
+    pub fn next(salt: &str) -> Self {
+        let counter = VERSION_COUNTER.fetch_add(1, Ordering::Relaxed) as u128;
+        let digest = md5::md5(salt.as_bytes());
+        let mut hi = [0u8; 8];
+        hi.copy_from_slice(&digest[..8]);
+        ObjectVersionId(((u64::from_le_bytes(hi) as u128) << 64) | counter)
+    }
+
+    /// Hex representation used in storage keys.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectVersionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// Location of one erasure-coded chunk: which provider holds which index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChunkLocation {
+    /// Index of the chunk within the erasure coding (0-based).
+    pub index: u32,
+    /// Provider that stores the chunk.
+    pub provider: ProviderId,
+}
+
+/// Striping metadata of an object version (Fig. 11): where each chunk is,
+/// the reconstruction threshold `m`, and the storage key under which chunks
+/// are stored at the providers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StripingMeta {
+    /// Chunk locations, one per provider in the chosen set.
+    pub chunks: Vec<ChunkLocation>,
+    /// Reconstruction threshold: any `m` chunks rebuild the object.
+    pub m: u32,
+    /// Storage key `MD5(container | key | UUID)` shared by all chunks
+    /// (each provider key is suffixed with the chunk index).
+    pub skey: String,
+}
+
+impl StripingMeta {
+    /// Total number of chunks (`n` of the erasure code).
+    pub fn n(&self) -> u32 {
+        self.chunks.len() as u32
+    }
+
+    /// The providers holding chunks, in chunk-index order.
+    pub fn providers(&self) -> Vec<ProviderId> {
+        self.chunks.iter().map(|c| c.provider).collect()
+    }
+
+    /// The per-provider storage key of chunk `index`.
+    pub fn chunk_key(&self, index: u32) -> String {
+        format!("{}.{}", self.skey, index)
+    }
+
+    /// Computes the storage key for an object version, as in §III-D1:
+    /// `skey = MD5(container | key | UUID)`.
+    pub fn storage_key(key: &ObjectKey, version: ObjectVersionId) -> String {
+        md5::md5_hex(format!("{}|{}|{}", key.container, key.key, version.to_hex()).as_bytes())
+    }
+}
+
+/// File-level metadata of an object version (Fig. 11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectMeta {
+    /// The user-visible key.
+    pub key: ObjectKey,
+    /// Version id of this write.
+    pub version: ObjectVersionId,
+    /// MIME type supplied by the writer (used for classification).
+    pub mime: String,
+    /// Object size in bytes.
+    pub size: ByteSize,
+    /// MD5 checksum of the object contents.
+    pub checksum: String,
+    /// Storage rule (policy) applied to the object.
+    pub rule: StorageRule,
+    /// Time the version was written.
+    pub written_at: SimTime,
+    /// Optional time-to-live hint provided by the writer (§III-A, lifetime
+    /// indication "provided by the end user at write time").
+    pub ttl_hint_hours: Option<f64>,
+    /// Striping metadata describing where the chunks live.
+    pub striping: StripingMeta,
+}
+
+impl ObjectMeta {
+    /// The metadata row key of the object.
+    pub fn row_key(&self) -> String {
+        self.key.row_key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_key_is_md5_of_container_and_key() {
+        let k = ObjectKey::new("pictures", "myvacation.gif");
+        assert_eq!(k.row_key(), md5::md5_hex(b"pictures|myvacation.gif"));
+        assert_eq!(k.row_key().len(), 32);
+        // Deterministic.
+        assert_eq!(k.row_key(), ObjectKey::new("pictures", "myvacation.gif").row_key());
+        // Different keys yield different rows.
+        assert_ne!(k.row_key(), ObjectKey::new("pictures", "other.gif").row_key());
+    }
+
+    #[test]
+    fn version_ids_are_unique() {
+        let a = ObjectVersionId::next("row");
+        let b = ObjectVersionId::next("row");
+        let c = ObjectVersionId::next("other-row");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_hex().len(), 32);
+    }
+
+    #[test]
+    fn striping_meta_accessors() {
+        let key = ObjectKey::new("c", "k");
+        let version = ObjectVersionId::next(&key.row_key());
+        let skey = StripingMeta::storage_key(&key, version);
+        let meta = StripingMeta {
+            chunks: vec![
+                ChunkLocation {
+                    index: 0,
+                    provider: ProviderId::new(2),
+                },
+                ChunkLocation {
+                    index: 1,
+                    provider: ProviderId::new(5),
+                },
+                ChunkLocation {
+                    index: 2,
+                    provider: ProviderId::new(7),
+                },
+            ],
+            m: 2,
+            skey: skey.clone(),
+        };
+        assert_eq!(meta.n(), 3);
+        assert_eq!(
+            meta.providers(),
+            vec![ProviderId::new(2), ProviderId::new(5), ProviderId::new(7)]
+        );
+        assert_eq!(meta.chunk_key(1), format!("{skey}.1"));
+    }
+
+    #[test]
+    fn storage_key_depends_on_version() {
+        let key = ObjectKey::new("c", "k");
+        let v1 = ObjectVersionId::next(&key.row_key());
+        let v2 = ObjectVersionId::next(&key.row_key());
+        assert_ne!(
+            StripingMeta::storage_key(&key, v1),
+            StripingMeta::storage_key(&key, v2)
+        );
+    }
+
+    #[test]
+    fn object_key_display() {
+        assert_eq!(ObjectKey::new("pictures", "a.gif").to_string(), "pictures/a.gif");
+    }
+}
