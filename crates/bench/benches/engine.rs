@@ -32,7 +32,13 @@ fn bench_engine(c: &mut Criterion) {
             let key = ObjectKey::new("bench", format!("obj-{i}"));
             i += 1;
             cluster
-                .put(&key, payload.clone(), "application/octet-stream", rule(), None)
+                .put(
+                    &key,
+                    payload.clone(),
+                    "application/octet-stream",
+                    rule(),
+                    None,
+                )
                 .unwrap()
         })
     });
@@ -41,7 +47,13 @@ fn bench_engine(c: &mut Criterion) {
         let cluster = ScaliaCluster::builder().build();
         let key = ObjectKey::new("bench", "hot");
         cluster
-            .put(&key, vec![7u8; 64 * 1024], "application/octet-stream", rule(), None)
+            .put(
+                &key,
+                vec![7u8; 64 * 1024],
+                "application/octet-stream",
+                rule(),
+                None,
+            )
             .unwrap();
         cluster.get(&key).unwrap();
         b.iter(|| cluster.get(&key).unwrap())
@@ -53,7 +65,13 @@ fn bench_engine(c: &mut Criterion) {
             .build();
         let key = ObjectKey::new("bench", "cold");
         cluster
-            .put(&key, vec![7u8; 64 * 1024], "application/octet-stream", rule(), None)
+            .put(
+                &key,
+                vec![7u8; 64 * 1024],
+                "application/octet-stream",
+                rule(),
+                None,
+            )
             .unwrap();
         b.iter(|| cluster.get(&key).unwrap())
     });

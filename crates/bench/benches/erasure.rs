@@ -1,9 +1,43 @@
 //! Benchmarks of the erasure-coding substrate: encode and decode throughput
-//! for the (m, n) configurations the evaluation actually uses.
+//! for the (m, n) configurations the evaluation actually uses, plus the
+//! GF(256) `mul_slice_xor` kernel (per-coefficient product table vs the
+//! seed's per-byte double log/exp lookup).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use scalia_erasure::codec::{decode_object, encode_object};
+use scalia_erasure::gf256;
 use scalia_types::ErasureParams;
+
+fn bench_gf256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256");
+    group.sample_size(30);
+    for size in [4usize << 10, 64 << 10, 1 << 20] {
+        let src: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
+        let mut acc = vec![0u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("mul_slice_xor_table", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    gf256::mul_slice_xor(black_box(143), &src, &mut acc);
+                    black_box(acc[0])
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mul_slice_xor_seed_baseline", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    gf256::mul_slice_xor_reference(black_box(143), &src, &mut acc);
+                    black_box(acc[0])
+                })
+            },
+        );
+    }
+    group.finish();
+}
 
 fn bench_erasure(c: &mut Criterion) {
     let mut group = c.benchmark_group("erasure");
@@ -26,13 +60,11 @@ fn bench_erasure(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("decode_1MB_worst_case", format!("{m}-{n}")),
             &params,
-            |b, &params| {
-                b.iter(|| decode_object(&subset, params, encoded.original_len).unwrap())
-            },
+            |b, &params| b.iter(|| decode_object(&subset, params, encoded.original_len).unwrap()),
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_erasure);
+criterion_group!(benches, bench_gf256, bench_erasure);
 criterion_main!(benches);

@@ -17,7 +17,12 @@ fn bench_metastore(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             store
-                .put(&format!("row{}", i % 1000), "meta", json!({"v": i}), Timestamp::new(i, 0))
+                .put(
+                    &format!("row{}", i % 1000),
+                    "meta",
+                    json!({"v": i}),
+                    Timestamp::new(i, 0),
+                )
                 .unwrap();
             i += 1;
         })
@@ -27,7 +32,12 @@ fn bench_metastore(c: &mut Criterion) {
         let store = ReplicatedStore::with_datacenters(2);
         for i in 0..1000u64 {
             store
-                .put(&format!("row{i}"), "meta", json!({"v": i}), Timestamp::new(i, 0))
+                .put(
+                    &format!("row{i}"),
+                    "meta",
+                    json!({"v": i}),
+                    Timestamp::new(i, 0),
+                )
                 .unwrap();
         }
         let mut i = 0u64;
@@ -42,7 +52,12 @@ fn bench_metastore(c: &mut Criterion) {
         let store = ReplicatedStore::with_datacenters(2);
         for i in 0..1000u64 {
             store
-                .put(&format!("row{i}"), "meta", json!({"v": i}), Timestamp::new(i, 0))
+                .put(
+                    &format!("row{i}"),
+                    "meta",
+                    json!({"v": i}),
+                    Timestamp::new(i, 0),
+                )
                 .unwrap();
         }
         b.iter(|| store.anti_entropy())

@@ -1,9 +1,21 @@
-//! Benchmarks of Algorithm 1: exhaustive search vs the pruning heuristic as
-//! the number of providers grows (the scalability argument of §III-A2).
+//! Benchmarks of Algorithm 1 as the number of providers grows (the
+//! scalability argument of §III-A2).
+//!
+//! Three code paths are measured:
+//!
+//! * `bnb` — the production branch-and-bound search (allocation-free,
+//!   Poisson-binomial constraint DP, cost-bound pruning; exact);
+//! * `heuristic` — candidate pruning in front of the same search;
+//! * `seed_baseline` — the seed's materialize-every-subset search with
+//!   combination-enumerating constraint math
+//!   (`scalia_core::reference::exhaustive_search_combinatorial`), the
+//!   before/after reference. Its constraint math is exponential *inside*
+//!   the exponential subset sweep, so it is only run up to 16 providers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scalia_core::cost::PredictedUsage;
 use scalia_core::placement::{PlacementEngine, PlacementOptions, SearchStrategy};
+use scalia_core::reference;
 use scalia_providers::catalog::{azure, google, rackspace, s3_high, s3_low};
 use scalia_providers::descriptor::ProviderDescriptor;
 use scalia_providers::pricing::PricingPolicy;
@@ -65,10 +77,21 @@ fn usage() -> PredictedUsage {
 fn bench_placement(c: &mut Criterion) {
     let mut group = c.benchmark_group("placement");
     group.sample_size(20);
-    for n in [5usize, 8, 10, 12] {
+    for n in [5usize, 8, 10, 12, 16, 18, 20] {
         let catalog = catalog_of(n);
         let exhaustive = PlacementEngine::new();
-        group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
+        // Sanity: the production search agrees with the baseline wherever
+        // the baseline is tractable, so the numbers compare like for like.
+        if n <= 12 {
+            let fast = exhaustive
+                .best_placement(&rule(), &usage(), &catalog)
+                .unwrap();
+            let slow =
+                reference::exhaustive_search_combinatorial(&rule(), &usage(), &catalog).unwrap();
+            assert_eq!(fast.expected_cost, slow.expected_cost);
+            assert_eq!(fast.placement.provider_ids(), slow.placement.provider_ids());
+        }
+        group.bench_with_input(BenchmarkId::new("bnb", n), &n, |b, _| {
             b.iter(|| {
                 exhaustive
                     .best_placement(&rule(), &usage(), &catalog)
@@ -79,8 +102,21 @@ fn bench_placement(c: &mut Criterion) {
             strategy: SearchStrategy::Heuristic { max_candidates: 6 },
         });
         group.bench_with_input(BenchmarkId::new("heuristic", n), &n, |b, _| {
-            b.iter(|| heuristic.best_placement(&rule(), &usage(), &catalog).unwrap())
+            b.iter(|| {
+                heuristic
+                    .best_placement(&rule(), &usage(), &catalog)
+                    .unwrap()
+            })
         });
+        // The seed baseline's cost explodes as ~3^n; 16 providers already
+        // takes seconds per search — skip beyond that.
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("seed_baseline", n), &n, |b, _| {
+                b.iter(|| {
+                    reference::exhaustive_search_combinatorial(&rule(), &usage(), &catalog).unwrap()
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -5,7 +5,10 @@ use scalia_providers::catalog::ProviderCatalog;
 use scalia_types::rules::StorageRule;
 
 fn main() {
-    scalia_bench::header("Fig. 3", "Provider catalog (prices in USD/GB, ops in USD/1000)");
+    scalia_bench::header(
+        "Fig. 3",
+        "Provider catalog (prices in USD/GB, ops in USD/1000)",
+    );
     println!(
         "{:<12} {:>15} {:>8} {:>14} {:>9} {:>8} {:>8} {:>8}",
         "name", "durability", "avail", "zones", "storage", "bw_in", "bw_out", "ops"
@@ -25,7 +28,11 @@ fn main() {
     }
 
     scalia_bench::header("Fig. 2", "Example storage rules");
-    for rule in [StorageRule::rule1(), StorageRule::rule2(), StorageRule::rule3()] {
+    for rule in [
+        StorageRule::rule1(),
+        StorageRule::rule2(),
+        StorageRule::rule3(),
+    ] {
         println!("{rule}  (min providers: {})", rule.min_providers());
     }
 }

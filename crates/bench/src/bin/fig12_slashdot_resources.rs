@@ -9,7 +9,10 @@ use scalia_sim::policy::ScaliaPolicy;
 use scalia_sim::scenarios;
 
 fn main() {
-    scalia_bench::header("Fig. 12", "Slashdot scenario — total resources used by Scalia");
+    scalia_bench::header(
+        "Fig. 12",
+        "Slashdot scenario — total resources used by Scalia",
+    );
     let catalog = ProviderCatalog::paper_catalog().all();
     let workload = scenarios::slashdot();
     let mut policy = ScaliaPolicy::new(workload.sampling_period.as_hours());

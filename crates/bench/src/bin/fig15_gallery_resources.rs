@@ -8,7 +8,10 @@ use scalia_sim::policy::ScaliaPolicy;
 use scalia_sim::scenarios;
 
 fn main() {
-    scalia_bench::header("Fig. 15", "Gallery scenario — total resources used by Scalia");
+    scalia_bench::header(
+        "Fig. 15",
+        "Gallery scenario — total resources used by Scalia",
+    );
     let catalog = ProviderCatalog::paper_catalog().all();
     let workload = scenarios::gallery();
     let mut policy = ScaliaPolicy::new(workload.sampling_period.as_hours());

@@ -5,10 +5,20 @@
 //! probability that at least `m` of the `n` providers are up simultaneously,
 //! using each provider's availability SLA and assuming independent outages
 //! (the paper's assumption, §IV-A).
+//!
+//! Computed as a Poisson-binomial tail with the `O(n²)` dynamic program of
+//! [`crate::pbinom`] instead of the seed's combination enumeration (kept in
+//! [`crate::reference`] for differential testing).
 
-use crate::combinations::k_combinations;
+use crate::pbinom::SurvivalDistribution;
 use scalia_providers::descriptor::ProviderDescriptor;
 use scalia_types::reliability::Reliability;
+
+/// Builds the reachability distribution of `pset` under its availability
+/// SLAs.
+pub fn availability_distribution(pset: &[ProviderDescriptor]) -> SurvivalDistribution {
+    SurvivalDistribution::from_probabilities(pset.iter().map(|p| p.sla.availability.probability()))
+}
 
 /// Probability that an object with threshold `m` stored on `pset` can be
 /// reassembled (at least `m` providers reachable).
@@ -20,23 +30,19 @@ pub fn get_availability(pset: &[ProviderDescriptor], m: u32) -> Reliability {
     if m as usize > n {
         return Reliability::ZERO;
     }
-    let mut prob = 0.0f64;
-    // Sum over the number of unreachable providers we can tolerate.
-    for down_count in 0..=(n - m as usize) {
-        for down in k_combinations(pset, down_count) {
-            let mut p = 1.0f64;
-            for provider in pset {
-                let availability = provider.sla.availability.probability();
-                if down.iter().any(|d| d.id == provider.id) {
-                    p *= 1.0 - availability;
-                } else {
-                    p *= availability;
-                }
-            }
-            prob += p;
-        }
+    availability_from_distribution(&availability_distribution(pset), m)
+}
+
+/// `getAvailability` on a prebuilt reachability distribution (used by the
+/// branch-and-bound search, which folds providers in incrementally).
+pub fn availability_from_distribution(dist: &SurvivalDistribution, m: u32) -> Reliability {
+    if m == 0 {
+        return Reliability::ONE;
     }
-    Reliability::from_probability(prob)
+    if m as usize > dist.len() {
+        return Reliability::ZERO;
+    }
+    Reliability::from_probability(dist.tail(m as usize))
 }
 
 #[cfg(test)]
@@ -115,5 +121,21 @@ mod tests {
         assert_eq!(get_availability(&pset, 0), Reliability::ONE);
         assert_eq!(get_availability(&pset, 3), Reliability::ZERO);
         assert_eq!(get_availability(&[], 1), Reliability::ZERO);
+    }
+
+    #[test]
+    fn dp_availability_matches_combinatorial_reference() {
+        let pset = vec![
+            s3_high(ProviderId::new(0)),
+            s3_low(ProviderId::new(1)),
+            azure(ProviderId::new(2)),
+            rackspace(ProviderId::new(3)),
+        ];
+        for m in 0..=5u32 {
+            let dp = get_availability(&pset, m).probability();
+            let reference =
+                crate::reference::get_availability_combinatorial(&pset, m).probability();
+            assert!((dp - reference).abs() < 1e-12, "m={m}");
+        }
     }
 }

@@ -116,21 +116,45 @@ fn per_read_cost(provider: &ProviderDescriptor, chunk_gb: f64) -> Money {
         + provider.pricing.ops_per_1000.scale(1.0 / 1000.0)
 }
 
+/// Ranks the providers of `pset` by read-path cost for chunks of `chunk_gb`
+/// gigabytes into `scratch` (cleared first, capacity reused), cheapest
+/// first, ties broken by position. Allocation-free once `scratch` is warm.
+pub(crate) fn rank_read_providers<P: std::borrow::Borrow<ProviderDescriptor>>(
+    pset: &[P],
+    chunk_gb: f64,
+    scratch: &mut Vec<(Money, usize)>,
+) {
+    scratch.clear();
+    scratch.extend(
+        pset.iter()
+            .enumerate()
+            .map(|(i, p)| (per_read_cost(p.borrow(), chunk_gb), i)),
+    );
+    scratch.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+}
+
 /// Returns the indices (into `pset`) of the `m` providers with the cheapest
 /// read path for chunks of `chunk_gb` gigabytes.
 pub fn cheapest_read_providers(pset: &[ProviderDescriptor], m: u32, chunk_gb: f64) -> Vec<usize> {
-    let mut indexed: Vec<(usize, Money)> = pset
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (i, per_read_cost(p, chunk_gb)))
-        .collect();
-    indexed.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
-    indexed.into_iter().take(m as usize).map(|(i, _)| i).collect()
+    let mut ranked = Vec::new();
+    rank_read_providers(pset, chunk_gb, &mut ranked);
+    ranked
+        .into_iter()
+        .take(m as usize)
+        .map(|(_, i)| i)
+        .collect()
 }
 
-/// `computePrice`: the expected cost of storing the object on `pset` with
-/// threshold `m` over the decision period described by `usage`.
-pub fn compute_price(pset: &[ProviderDescriptor], m: u32, usage: &PredictedUsage) -> Money {
+/// `computePrice` over borrowed providers with a caller-supplied ranking
+/// scratch buffer — the allocation-free core used by the placement search's
+/// hot loop. Accumulation is in integer nano-dollars, so the result is
+/// independent of provider iteration order.
+pub(crate) fn compute_price_with_scratch<P: std::borrow::Borrow<ProviderDescriptor>>(
+    pset: &[P],
+    m: u32,
+    usage: &PredictedUsage,
+    rank_scratch: &mut Vec<(Money, usize)>,
+) -> Money {
     if pset.is_empty() || m == 0 {
         return Money::MAX;
     }
@@ -142,6 +166,7 @@ pub fn compute_price(pset: &[ProviderDescriptor], m: u32, usage: &PredictedUsage
 
     // Storage and write costs hit every provider of the set.
     for provider in pset {
+        let provider = provider.borrow();
         // One chunk held for the whole period.
         total += provider.pricing.storage_gb_month.scale(chunk_gb * months);
         // Every client write re-uploads one chunk to this provider.
@@ -156,9 +181,13 @@ pub fn compute_price(pset: &[ProviderDescriptor], m: u32, usage: &PredictedUsage
     // Read costs hit only the m cheapest providers.
     if usage.reads > 0 || !usage.bw_out.is_zero() {
         let read_gb_per_provider = usage.bw_out.as_gb() / m_f;
-        for &idx in &cheapest_read_providers(pset, m, chunk_gb) {
-            let provider = &pset[idx];
-            total += provider.pricing.bandwidth_out_gb.scale(read_gb_per_provider);
+        rank_read_providers(pset, chunk_gb, rank_scratch);
+        for &(_, idx) in rank_scratch.iter().take(m as usize) {
+            let provider = pset[idx].borrow();
+            total += provider
+                .pricing
+                .bandwidth_out_gb
+                .scale(read_gb_per_provider);
             total += provider
                 .pricing
                 .ops_per_1000
@@ -167,6 +196,129 @@ pub fn compute_price(pset: &[ProviderDescriptor], m: u32, usage: &PredictedUsage
     }
 
     total
+}
+
+/// `computePrice`: the expected cost of storing the object on `pset` with
+/// threshold `m` over the decision period described by `usage`.
+pub fn compute_price(pset: &[ProviderDescriptor], m: u32, usage: &PredictedUsage) -> Money {
+    let mut rank_scratch = Vec::new();
+    compute_price_with_scratch(pset, m, usage, &mut rank_scratch)
+}
+
+/// Precomputed per-(provider, threshold) pricing terms for one fixed
+/// `usage`, so the subset search prices each candidate set with integer
+/// additions and one `O(n)` selection — no floating-point `Money::scale`
+/// in the hot loop.
+///
+/// Invariant (checked by tests): for any subset and threshold,
+/// [`PriceTables::price`] returns the *bit-identical* `Money` that
+/// [`compute_price`] returns for the same providers in the same order —
+/// every term below is the same `scale` expression, rounded identically,
+/// and integer addition is order-insensitive.
+pub(crate) struct PriceTables {
+    /// `base[p * n_m + (m-1)]`: storage + inbound-bandwidth + write-ops
+    /// contribution of provider `p` at threshold `m`.
+    base: Vec<Money>,
+    /// `read[p * n_m + (m-1)]`: outbound-bandwidth + read-ops contribution
+    /// of provider `p` when it serves reads at threshold `m`.
+    read: Vec<Money>,
+    /// `rank[p * n_m + (m-1)]`: the provider's read-path ranking key
+    /// (`per_read_cost` at the threshold's chunk size).
+    rank: Vec<Money>,
+    n_m: usize,
+    has_reads: bool,
+}
+
+impl PriceTables {
+    /// Builds the tables for `providers` (any order; indices are the
+    /// caller's) and thresholds `1..=max_m`.
+    pub(crate) fn build(
+        providers: &[&ProviderDescriptor],
+        max_m: usize,
+        usage: &PredictedUsage,
+    ) -> Self {
+        let n_m = max_m.max(1);
+        let months = usage.duration_hours / HOURS_PER_MONTH as f64;
+        let mut base = Vec::with_capacity(providers.len() * n_m);
+        let mut read = Vec::with_capacity(providers.len() * n_m);
+        let mut rank = Vec::with_capacity(providers.len() * n_m);
+        for provider in providers {
+            for m in 1..=n_m {
+                let m_f = m as f64;
+                let chunk_gb = usage.size.as_gb() / m_f;
+                let upload_gb = usage.bw_in.as_gb() / m_f;
+                let read_gb_per_provider = usage.bw_out.as_gb() / m_f;
+                base.push(
+                    provider.pricing.storage_gb_month.scale(chunk_gb * months)
+                        + provider.pricing.bandwidth_in_gb.scale(upload_gb)
+                        + provider
+                            .pricing
+                            .ops_per_1000
+                            .scale(usage.writes as f64 / 1000.0),
+                );
+                read.push(
+                    provider
+                        .pricing
+                        .bandwidth_out_gb
+                        .scale(read_gb_per_provider)
+                        + provider
+                            .pricing
+                            .ops_per_1000
+                            .scale(usage.reads as f64 / 1000.0),
+                );
+                rank.push(per_read_cost(provider, chunk_gb));
+            }
+        }
+        PriceTables {
+            base,
+            read,
+            rank,
+            n_m,
+            has_reads: usage.reads > 0 || !usage.bw_out.is_zero(),
+        }
+    }
+
+    /// Prices the set given by `members` (provider indices into the
+    /// `providers` slice the tables were built from, in the tie-breaking
+    /// order) at threshold `m`. `scratch` is reused across calls.
+    pub(crate) fn price(
+        &self,
+        members: &[usize],
+        m: u32,
+        scratch: &mut Vec<(Money, usize)>,
+    ) -> Money {
+        debug_assert!(m >= 1 && (m as usize) <= self.n_m);
+        let col = (m - 1) as usize;
+        let mut total = Money::ZERO;
+        for &p in members {
+            total += self.base[p * self.n_m + col];
+        }
+        if self.has_reads {
+            let m = m as usize;
+            if m >= members.len() {
+                // Every member serves reads: no selection needed.
+                for &p in members {
+                    total += self.read[p * self.n_m + col];
+                }
+            } else {
+                // The m members with the smallest (ranking key, position)
+                // serve the reads — the same set `cheapest_read_providers`
+                // sorts out, selected without ordering the rest.
+                scratch.clear();
+                scratch.extend(
+                    members
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, &p)| (self.rank[p * self.n_m + col], pos)),
+                );
+                scratch.select_nth_unstable(m - 1);
+                for &(_, pos) in scratch[..m].iter() {
+                    total += self.read[members[pos] * self.n_m + col];
+                }
+            }
+        }
+        total
+    }
 }
 
 /// Estimates the one-off cost of migrating an object of `size` bytes from an
@@ -351,19 +503,14 @@ mod tests {
             });
         }
         // Window of 6 periods but only 3 recorded → scale ×2.
-        let usage =
-            PredictedUsage::from_history(ByteSize::from_mb(1), &history, 6, 1.0);
+        let usage = PredictedUsage::from_history(ByteSize::from_mb(1), &history, 6, 1.0);
         assert_eq!(usage.reads, 60);
         assert_eq!(usage.bw_out, ByteSize::from_mb(60));
         assert_eq!(usage.duration_hours, 6.0);
 
         // Empty history → storage-only prediction.
-        let empty = PredictedUsage::from_history(
-            ByteSize::from_mb(1),
-            &AccessHistory::default(),
-            6,
-            1.0,
-        );
+        let empty =
+            PredictedUsage::from_history(ByteSize::from_mb(1), &AccessHistory::default(), 6, 1.0);
         assert_eq!(empty.reads, 0);
         assert!(empty.bw_out.is_zero());
     }
@@ -376,11 +523,43 @@ mod tests {
             bw_out: ByteSize::from_kb(250),
             ops: 3,
         };
-        let usage =
-            PredictedUsage::from_class_usage(ByteSize::from_kb(250), &mean, 24, 1.0);
+        let usage = PredictedUsage::from_class_usage(ByteSize::from_kb(250), &mean, 24, 1.0);
         assert_eq!(usage.reads, 72);
         assert_eq!(usage.bw_out, ByteSize::from_kb(6000));
         assert_eq!(usage.duration_hours, 24.0);
+    }
+
+    #[test]
+    fn price_tables_are_bit_identical_to_compute_price() {
+        let all = providers();
+        for usage in [
+            PredictedUsage::storage_only(ByteSize::from_mb(40), 720.0),
+            PredictedUsage {
+                size: ByteSize::from_mb(1),
+                bw_in: ByteSize::from_mb(2),
+                bw_out: ByteSize::from_gb(1),
+                reads: 1000,
+                writes: 3,
+                duration_hours: 24.0,
+            },
+        ] {
+            let refs: Vec<&ProviderDescriptor> = all.iter().collect();
+            let tables = PriceTables::build(&refs, all.len(), &usage);
+            let mut scratch = Vec::new();
+            // Every subset of the five-provider catalog, every threshold.
+            for mask in 1u32..(1 << all.len()) {
+                let members: Vec<usize> = (0..all.len()).filter(|i| mask & (1 << i) != 0).collect();
+                let pset: Vec<ProviderDescriptor> =
+                    members.iter().map(|&i| all[i].clone()).collect();
+                for m in 1..=members.len() as u32 {
+                    assert_eq!(
+                        tables.price(&members, m, &mut scratch),
+                        compute_price(&pset, m, &usage),
+                        "mask={mask:b} m={m}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -412,7 +591,12 @@ mod tests {
         // "the cost of the migration of several chunks": migrating a 1 MB
         // object between the paper's sets costs a fraction of a cent.
         let all = providers();
-        let before = vec![all[0].clone(), all[1].clone(), all[3].clone(), all[2].clone()];
+        let before = vec![
+            all[0].clone(),
+            all[1].clone(),
+            all[3].clone(),
+            all[2].clone(),
+        ];
         let during = vec![all[0].clone(), all[1].clone()];
         let cost = migration_cost(ByteSize::from_mb(1), &before, 3, &during, 1);
         assert!(cost.is_positive());

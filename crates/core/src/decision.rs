@@ -130,7 +130,10 @@ mod tests {
         let mut c = controller();
         // Cost per hour is minimised exactly at 24 h.
         let eval = |d: Duration| Money::from_dollars((d.as_hours() - 24.0).abs() + 1.0);
-        assert_eq!(c.on_optimization(Duration::from_days(30), eval), AdjustOutcome::Kept);
+        assert_eq!(
+            c.on_optimization(Duration::from_days(30), eval),
+            AdjustOutcome::Kept
+        );
         assert_eq!(c.current(), Duration::from_hours(24));
         assert_eq!(c.t(), 2);
         // The next adjustment is only due after 2 procedures.
@@ -138,7 +141,10 @@ mod tests {
             c.on_optimization(Duration::from_days(30), eval),
             AdjustOutcome::NotDue
         );
-        assert_eq!(c.on_optimization(Duration::from_days(30), eval), AdjustOutcome::Kept);
+        assert_eq!(
+            c.on_optimization(Duration::from_days(30), eval),
+            AdjustOutcome::Kept
+        );
         assert_eq!(c.t(), 4);
     }
 

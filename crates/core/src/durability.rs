@@ -11,10 +11,21 @@
 //! accumulated survival probability reaches the requirement. The threshold
 //! is then `|pset| − failuresOK`. A threshold of zero means the set cannot
 //! satisfy the constraint at all.
+//!
+//! The "exactly k providers lose the data" masses come from the
+//! Poisson-binomial dynamic program of [`crate::pbinom`] (`O(n²)` per set)
+//! instead of the seed's k-combination enumeration (`O(2^n)` per set); the
+//! original enumeration survives in [`crate::reference`] for differential
+//! testing.
 
-use crate::combinations::k_combinations;
+use crate::pbinom::SurvivalDistribution;
 use scalia_providers::descriptor::ProviderDescriptor;
 use scalia_types::reliability::Reliability;
+
+/// Builds the survival distribution of `pset` under its durability SLAs.
+pub fn durability_distribution(pset: &[ProviderDescriptor]) -> SurvivalDistribution {
+    SurvivalDistribution::from_probabilities(pset.iter().map(|p| p.sla.durability.probability()))
+}
 
 /// Computes the largest threshold `m` for `pset` under durability
 /// requirement `required`. Returns `0` if the provider set cannot satisfy
@@ -25,29 +36,25 @@ pub fn get_threshold(pset: &[ProviderDescriptor], required: Reliability) -> u32 
     if pset.is_empty() {
         return 0;
     }
+    threshold_from_distribution(&durability_distribution(pset), required)
+}
+
+/// The core of Algorithm 2, operating on a prebuilt survival distribution
+/// (used by the branch-and-bound search, which folds providers in
+/// incrementally). Mirrors the seed's accumulation loop exactly: the mass
+/// of "exactly k providers fail" is `P(exactly n − k survive)`.
+pub fn threshold_from_distribution(dist: &SurvivalDistribution, required: Reliability) -> u32 {
+    let n = dist.len();
+    if n == 0 {
+        return 0;
+    }
     let dr = required.probability();
-    let n = pset.len();
     let mut dura = 0.0f64;
     let mut failures_ok: i64 = -1;
 
     while dura < dr && failures_ok < n as i64 {
         failures_ok += 1;
-        let k = failures_ok as usize;
-        // Probability that exactly `k` specific providers lose the data.
-        let mut up_p = 0.0f64;
-        for failed in k_combinations(pset, k) {
-            let mut up_p_comb = 1.0f64;
-            for p in pset {
-                let durability = p.sla.durability.probability();
-                if failed.iter().any(|f| f.id == p.id) {
-                    up_p_comb *= 1.0 - durability;
-                } else {
-                    up_p_comb *= durability;
-                }
-            }
-            up_p += up_p_comb;
-        }
-        dura += up_p;
+        dura += dist.exactly(n - failures_ok as usize);
     }
 
     if dura + 1e-15 < dr {
@@ -64,23 +71,7 @@ pub fn survival_probability(pset: &[ProviderDescriptor], m: u32) -> f64 {
     if m == 0 || m as usize > n {
         return if m == 0 { 1.0 } else { 0.0 };
     }
-    let mut prob = 0.0;
-    // Sum over the number of failed providers we can tolerate: 0..=n-m.
-    for k in 0..=(n - m as usize) {
-        for failed in k_combinations(pset, k) {
-            let mut p = 1.0;
-            for provider in pset {
-                let durability = provider.sla.durability.probability();
-                if failed.iter().any(|f| f.id == provider.id) {
-                    p *= 1.0 - durability;
-                } else {
-                    p *= durability;
-                }
-            }
-            prob += p;
-        }
-    }
-    prob
+    durability_distribution(pset).tail(m as usize)
 }
 
 #[cfg(test)]
@@ -180,12 +171,32 @@ mod tests {
         assert_eq!(survival_probability(&pset, 0), 1.0);
         assert_eq!(survival_probability(&pset, 6), 0.0);
         // m = n equals the product of all durabilities.
-        let product: f64 = pset.iter().map(|p| p.sla.durability.probability()).product();
+        let product: f64 = pset
+            .iter()
+            .map(|p| p.sla.durability.probability())
+            .product();
         assert!((survival_probability(&pset, 5) - product).abs() < 1e-12);
     }
 
     #[test]
     fn empty_set_is_infeasible() {
         assert_eq!(get_threshold(&[], Reliability::from_percent(99.0)), 0);
+    }
+
+    #[test]
+    fn dp_threshold_matches_combinatorial_reference() {
+        let pset = catalog();
+        for required in [
+            Reliability::from_percent(99.0),
+            Reliability::from_percent(99.999),
+            Reliability::nines(7),
+            Reliability::nines(12),
+        ] {
+            assert_eq!(
+                get_threshold(&pset, required),
+                crate::reference::get_threshold_combinatorial(&pset, required),
+                "requirement {required:?}"
+            );
+        }
     }
 }

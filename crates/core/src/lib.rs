@@ -13,11 +13,16 @@
 //!
 //! Modules:
 //!
-//! * [`combinations`] — enumeration of provider subsets and k-combinations.
+//! * [`combinations`] — lazy bitmask subset enumeration (plus the
+//!   materializing helpers kept for the reference implementations).
+//! * [`pbinom`] — Poisson-binomial survival distributions: the `O(n²)`
+//!   dynamic program behind the durability and availability constraints.
 //! * [`durability`] — Algorithm 2 (`getThreshold`): the largest `m`
 //!   satisfying the durability constraint for a provider set.
 //! * [`availability`] — `getAvailability`: probability the object can be
 //!   reassembled given the providers' availability SLAs.
+//! * [`reference`] — the seed's combination-enumerating implementations,
+//!   kept for differential testing and benchmarking of the above.
 //! * [`cost`] — `computePrice`: the expected cost of a placement over the
 //!   next decision period, extrapolated from the access history, plus
 //!   migration cost estimation.
@@ -46,7 +51,9 @@ pub mod durability;
 pub mod heuristic;
 pub mod lifetime;
 pub mod migration;
+pub mod pbinom;
 pub mod placement;
+pub mod reference;
 pub mod trend;
 
 pub use classify::ObjectClass;

@@ -35,9 +35,7 @@ impl LifetimeDistribution {
     /// to zero).
     pub fn record(&mut self, lifetime_hours: f64) {
         let v = lifetime_hours.max(0.0);
-        let pos = self
-            .samples
-            .partition_point(|&s| s < v);
+        let pos = self.samples.partition_point(|&s| s < v);
         self.samples.insert(pos, v);
     }
 

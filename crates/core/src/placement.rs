@@ -8,24 +8,74 @@
 //! chunk-size constraints, then prices the candidate with `computePrice` and
 //! keeps the cheapest.
 //!
-//! Because every subset is enumerated, the "inclusion vs exclusion of a
-//! chunk-size-constrained provider" comparison the paper describes happens
-//! naturally: the subsets with and without the constraining provider are
-//! both evaluated, and infeasible ones (chunk too large for the provider)
-//! are skipped.
+//! # Search internals
+//!
+//! The search is **exact** — it returns the same `(providers, m, cost)` the
+//! paper's enumerate-everything Algorithm 1 would — but it is organised as
+//! an allocation-free branch-and-bound rather than a materialized sweep:
+//!
+//! * **Candidate filtering.** Providers that can never appear in a feasible
+//!   set are dropped up front: providers outside every allowed zone, and
+//!   providers whose chunk-size cap is below `size / |P|` (the smallest
+//!   chunk any threshold could produce). This mirrors the seed's behaviour
+//!   (such sets were enumerated and rejected) without visiting them.
+//!
+//! * **Cost-ordered DFS.** Each remaining provider gets an *admissible
+//!   per-provider cost lower bound*: its storage + inbound-bandwidth +
+//!   write-ops contribution assuming the most favourable threshold
+//!   (`m = |P|`, i.e. the smallest possible chunk). Providers are sorted by
+//!   that bound and the search walks subsets depth-first in that order, so
+//!   cheap sets are found early and the incumbent drops fast.
+//!
+//! * **Pruning.** A partial set `S` can only grow more expensive: every
+//!   completion costs at least `Σ_{p∈S} lb(p)` plus an admissible floor on
+//!   the read-path cost (`bw_out · min rate + read ops · min rate`).
+//!   Whenever that optimistic bound exceeds the incumbent, the entire
+//!   subtree is skipped; because siblings are sorted by `lb`, the remaining
+//!   siblings can be skipped too. Subtrees that cannot reach the rule's
+//!   lock-in minimum set size are skipped as well. Bounds are floored (with
+//!   a nano-dollar safety margin) so rounding can never prune an optimum,
+//!   and pruning is strict (`>` only), so cost *ties* are always explored.
+//!
+//! * **Tie-breaking.** The seed enumerated subsets in increasing-bitmask
+//!   order and kept the first cheapest set. The branch-and-bound tracks the
+//!   incumbent as the lexicographically smallest `(cost, bitmask)` pair —
+//!   over the *original* catalog positions — which selects exactly the same
+//!   winner regardless of visit order.
+//!
+//! * **Incremental, allocation-free node evaluation.** Candidate sets are
+//!   bitmasks plus an insertion-maintained catalog-ordered index list; the
+//!   constraint math runs on fixed-size Poisson-binomial arrays
+//!   ([`crate::pbinom`]) *extended incrementally* along the DFS path
+//!   (`O(n)` per node instead of the seed's nested combination
+//!   enumeration); the chunk-size check is an `O(1)` comparison against
+//!   the path's maximum per-provider minimum threshold; and pricing uses
+//!   per-(provider, threshold) `Money` tables precomputed once per search,
+//!   so each node's price is integer additions plus one `O(n)` selection
+//!   of the read providers — bit-identical to `computePrice`. The winning
+//!   `Placement` is materialized once, at the end, from the best bitmask.
+//!
+//! Because every feasible subset is still (conceptually) considered, the
+//! "inclusion vs exclusion of a chunk-size-constrained provider" comparison
+//! the paper describes happens naturally, exactly as before. The
+//! seed-equivalent materializing implementation is preserved in
+//! [`crate::reference`] and is differential-tested against this one.
 
-use crate::availability::get_availability;
-use crate::combinations::all_subsets;
-use crate::cost::{compute_price, PredictedUsage};
-use crate::durability::get_threshold;
+use crate::availability::availability_from_distribution;
+use crate::combinations::mask_members;
+use crate::cost::{compute_price_with_scratch, PredictedUsage, PriceTables};
+use crate::durability::threshold_from_distribution;
 use crate::heuristic::prune_candidates;
+use crate::pbinom::SurvivalDistribution;
 use scalia_providers::descriptor::ProviderDescriptor;
 use scalia_types::error::ScaliaError;
 use scalia_types::ids::ProviderId;
 use scalia_types::money::Money;
 use scalia_types::rules::StorageRule;
+use scalia_types::time::HOURS_PER_MONTH;
 use scalia_types::ErasureParams;
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 use std::fmt;
 
 /// A chosen placement: the provider set and the erasure-coding threshold.
@@ -78,12 +128,13 @@ impl fmt::Display for Placement {
 }
 
 /// How the search explores the space of provider combinations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SearchStrategy {
-    /// Enumerate every subset (`O(2^|P|)`), the paper's Algorithm 1.
+    /// Consider every subset (branch-and-bound, exact — the paper's
+    /// Algorithm 1 answer).
     Exhaustive,
     /// Prune the catalog to the most promising `max_candidates` providers
-    /// first, then enumerate subsets of the pruned catalog. Falls back to
+    /// first, then search subsets of the pruned catalog. Falls back to
     /// the exhaustive search when the pruned space has no feasible solution.
     Heuristic {
         /// Maximum number of providers kept after pruning.
@@ -92,7 +143,7 @@ pub enum SearchStrategy {
 }
 
 /// Options controlling the placement search.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PlacementOptions {
     /// Search strategy.
     pub strategy: SearchStrategy,
@@ -146,14 +197,16 @@ impl PlacementEngine {
         usage: &PredictedUsage,
         providers: &[ProviderDescriptor],
     ) -> Result<PlacementDecision, ScaliaError> {
-        let candidates: Vec<ProviderDescriptor> = match self.options.strategy {
-            SearchStrategy::Exhaustive => providers.to_vec(),
+        let pruned;
+        let candidates: &[ProviderDescriptor] = match self.options.strategy {
+            SearchStrategy::Exhaustive => providers,
             SearchStrategy::Heuristic { max_candidates } => {
-                prune_candidates(providers, usage, rule, max_candidates)
+                pruned = prune_candidates(providers, usage, rule, max_candidates);
+                &pruned
             }
         };
 
-        match Self::exhaustive_search(rule, usage, &candidates) {
+        match Self::exhaustive_search(rule, usage, candidates) {
             Some(decision) => Ok(decision),
             None => {
                 // The heuristic pruning may have removed providers needed
@@ -173,30 +226,15 @@ impl PlacementEngine {
         }
     }
 
+    /// The exact subset search: an allocation-free branch-and-bound that
+    /// returns the same answer as enumerating every subset (see the module
+    /// docs for the bound and tie-breaking argument).
     fn exhaustive_search(
         rule: &StorageRule,
         usage: &PredictedUsage,
         providers: &[ProviderDescriptor],
     ) -> Option<PlacementDecision> {
-        let mut best_price = Money::MAX;
-        let mut best: Option<Placement> = None;
-
-        for pset in all_subsets(providers) {
-            if let Some((threshold, price)) = Self::evaluate_set(rule, usage, &pset) {
-                if price < best_price {
-                    best_price = price;
-                    best = Some(Placement {
-                        providers: pset,
-                        m: threshold,
-                    });
-                }
-            }
-        }
-
-        best.map(|placement| PlacementDecision {
-            placement,
-            expected_cost: best_price,
-        })
+        branch_and_bound(rule, usage, providers)
     }
 
     /// Evaluates one candidate provider set against every constraint of the
@@ -206,39 +244,354 @@ impl PlacementEngine {
         usage: &PredictedUsage,
         pset: &[ProviderDescriptor],
     ) -> Option<(u32, Money)> {
-        // Lock-in: lockin(pset) = 1/|pset| must not exceed the rule's factor.
-        if !rule.lockin_satisfied(pset.len()) {
-            return None;
-        }
-        // Zones: every provider must operate in at least one allowed zone.
-        if pset.iter().any(|p| !p.zones.intersects(rule.zones)) {
-            return None;
-        }
-        // Durability (Algorithm 2): the largest admissible threshold.
-        let max_threshold = get_threshold(pset, rule.durability);
-        if max_threshold == 0 {
-            return None;
-        }
-        // Availability: a smaller threshold tolerates more unreachable
-        // providers, so if the durability-maximal threshold does not offer
-        // enough availability the threshold is lowered until it does (the
-        // paper's §IV-E baseline does exactly this, falling back to
-        // [S3(h), Azu; m:1] when one provider of a three-provider set is
-        // unreachable). If even m = 1 is not available enough, the set is
-        // infeasible.
-        let threshold = (1..=max_threshold)
-            .rev()
-            .find(|&m| get_availability(pset, m).meets(rule.availability))?;
-        // Chunk-size constraints: every provider must accept a chunk of
-        // size / m bytes.
-        let chunk = usage.size.div_ceil(threshold as usize);
-        if pset.iter().any(|p| !p.accepts_chunk(chunk)) {
-            return None;
-        }
-        Some((threshold, compute_price(pset, threshold, usage)))
+        let mut rank_scratch = Vec::new();
+        evaluate_candidate(rule, usage, pset, &mut rank_scratch)
     }
 }
 
+/// Evaluates one candidate set over borrowed descriptors with a reusable
+/// read-ranking scratch buffer. This is the per-subset step of the search:
+/// lock-in, zones, durability (Algorithm 2 via the Poisson-binomial DP),
+/// availability (a smaller threshold tolerates more unreachable providers,
+/// so the durability-maximal threshold is lowered until the availability
+/// requirement is met — the paper's §IV-E fallback behaviour), chunk-size
+/// constraints, and finally `computePrice`.
+fn evaluate_candidate<P: Borrow<ProviderDescriptor>>(
+    rule: &StorageRule,
+    usage: &PredictedUsage,
+    pset: &[P],
+    rank_scratch: &mut Vec<(Money, usize)>,
+) -> Option<(u32, Money)> {
+    // Lock-in: lockin(pset) = 1/|pset| must not exceed the rule's factor.
+    if !rule.lockin_satisfied(pset.len()) {
+        return None;
+    }
+    // Zones: every provider must operate in at least one allowed zone.
+    if pset
+        .iter()
+        .any(|p| !p.borrow().zones.intersects(rule.zones))
+    {
+        return None;
+    }
+    // Durability (Algorithm 2): the largest admissible threshold.
+    let durability = SurvivalDistribution::from_probabilities(
+        pset.iter().map(|p| p.borrow().sla.durability.probability()),
+    );
+    let max_threshold = threshold_from_distribution(&durability, rule.durability);
+    if max_threshold == 0 {
+        return None;
+    }
+    // Availability: lower the threshold until the set is available enough;
+    // if even m = 1 is not available enough, the set is infeasible.
+    let reachability = SurvivalDistribution::from_probabilities(
+        pset.iter()
+            .map(|p| p.borrow().sla.availability.probability()),
+    );
+    let threshold = (1..=max_threshold)
+        .rev()
+        .find(|&m| availability_from_distribution(&reachability, m).meets(rule.availability))?;
+    // Chunk-size constraints: every provider must accept a chunk of
+    // size / m bytes.
+    let chunk = usage.size.div_ceil(threshold as usize);
+    if pset.iter().any(|p| !p.borrow().accepts_chunk(chunk)) {
+        return None;
+    }
+    Some((
+        threshold,
+        compute_price_with_scratch(pset, threshold, usage, rank_scratch),
+    ))
+}
+
+/// One provider admitted to the branch-and-bound, with its original catalog
+/// position (as a bit), its admissible cost lower bound, and the smallest
+/// threshold whose chunk size it accepts.
+struct Candidate<'a> {
+    provider: &'a ProviderDescriptor,
+    orig_bit: u64,
+    lower_bound: Money,
+    min_m: u32,
+}
+
+/// Admissible lower bound on what including `provider` adds to any feasible
+/// superset's price: storage + inbound bandwidth + write ops, assuming the
+/// most favourable threshold `m = n_max` (smallest possible chunk). Floored
+/// with a nano-dollar margin so `Money` rounding can never make the bound
+/// exceed a true cost.
+fn provider_lower_bound(
+    provider: &ProviderDescriptor,
+    usage: &PredictedUsage,
+    n_max: usize,
+) -> Money {
+    let n = n_max as f64;
+    let months = usage.duration_hours / HOURS_PER_MONTH as f64;
+    let dollars = provider.pricing.storage_gb_month.dollars() * (usage.size.as_gb() / n) * months
+        + provider.pricing.bandwidth_in_gb.dollars() * (usage.bw_in.as_gb() / n)
+        + provider.pricing.ops_per_1000.dollars() * (usage.writes as f64 / 1000.0);
+    Money::from_nanos(((dollars * 1e9).floor() as i64 - 64).max(0))
+}
+
+/// Admissible floor on the read-path cost of *any* feasible set: the whole
+/// predicted outbound volume must leave through some providers (at the
+/// cheapest catalog rate, at best) and at least one provider bills the read
+/// operations.
+fn read_cost_floor(candidates: &[Candidate<'_>], usage: &PredictedUsage) -> Money {
+    if usage.reads == 0 && usage.bw_out.is_zero() {
+        return Money::ZERO;
+    }
+    let min_bw = candidates
+        .iter()
+        .map(|c| c.provider.pricing.bandwidth_out_gb.dollars())
+        .fold(f64::INFINITY, f64::min);
+    let min_ops = candidates
+        .iter()
+        .map(|c| c.provider.pricing.ops_per_1000.dollars())
+        .fold(f64::INFINITY, f64::min);
+    let dollars = min_bw * usage.bw_out.as_gb() + min_ops * (usage.reads as f64 / 1000.0);
+    Money::from_nanos(((dollars * 1e9).floor() as i64 - 64).max(0))
+}
+
+struct SearchState<'a> {
+    rule: &'a StorageRule,
+    candidates: Vec<Candidate<'a>>,
+    /// Per-(candidate, threshold) price terms; pricing a set is integer
+    /// adds plus one selection.
+    tables: PriceTables,
+    read_floor: Money,
+    min_set: usize,
+    /// Required durability probability, for subtree feasibility pruning.
+    required_durability: f64,
+    /// `suffix_fail[i]` = Π over candidates `i..` of (1 − durability):
+    /// the all-lost probability of every provider still eligible.
+    suffix_fail: Vec<f64>,
+    /// Incrementally maintained survival distributions, one per DFS depth
+    /// (index = set size). Entry `d+1` is written from entry `d` on
+    /// descend; backtracking just drops back to the parent index.
+    dura_stack: Vec<SurvivalDistribution>,
+    avail_stack: Vec<SurvivalDistribution>,
+    /// Π (1 − durability) over the current path's providers, per depth.
+    fail_prod: Vec<f64>,
+    /// Max over the current path of each provider's minimum acceptable
+    /// threshold, per depth: the chunk-size check in O(1).
+    minm_stack: Vec<u32>,
+    /// The current set in original catalog order (insertion-maintained):
+    /// the bits for positional insertion, the candidate indices for the
+    /// price tables.
+    current_bits: Vec<u64>,
+    current_cands: Vec<usize>,
+    rank_scratch: Vec<(Money, usize)>,
+    /// Incumbent: lexicographically smallest (price, original-bitmask).
+    best_price: Money,
+    best_mask: u64,
+    best_m: u32,
+}
+
+/// The exact branch-and-bound subset search. See the module docs.
+fn branch_and_bound(
+    rule: &StorageRule,
+    usage: &PredictedUsage,
+    providers: &[ProviderDescriptor],
+) -> Option<PlacementDecision> {
+    let n_all = providers.len();
+    if n_all == 0 {
+        return None;
+    }
+    assert!(n_all < 64, "placement search limited to 63 providers");
+
+    // Filter providers that can never be part of a feasible set: outside
+    // every allowed zone, or rejecting even the smallest reachable chunk.
+    // A feasible set's threshold never exceeds its size, and its size never
+    // exceeds the candidate count — so each removal can strand further
+    // providers; iterate to the fixpoint.
+    let mut eligible: Vec<(usize, &ProviderDescriptor)> = providers
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.zones.intersects(rule.zones))
+        .collect();
+    loop {
+        let n_c = eligible.len();
+        if n_c == 0 {
+            return None;
+        }
+        let min_chunk = usage.size.div_ceil(n_c);
+        let before = eligible.len();
+        eligible.retain(|(_, p)| p.accepts_chunk(min_chunk));
+        if eligible.len() == before {
+            break;
+        }
+    }
+    let n_cand = eligible.len();
+    let mut candidates: Vec<Candidate<'_>> = eligible
+        .into_iter()
+        .map(|(i, p)| Candidate {
+            provider: p,
+            orig_bit: 1u64 << i,
+            lower_bound: provider_lower_bound(p, usage, n_all),
+            // Smallest threshold whose chunk this provider accepts
+            // (monotone: larger m ⇒ smaller chunk). Exists by the filter.
+            min_m: (1..=n_cand as u32)
+                .find(|&m| p.accepts_chunk(usage.size.div_ceil(m as usize)))
+                .expect("filtered providers accept the smallest chunk"),
+        })
+        .collect();
+    // Cheapest-bound first: cheap sets are explored early, shrinking the
+    // incumbent fast and letting the sorted-sibling `break` prune whole
+    // suffixes.
+    candidates.sort_by(|a, b| {
+        a.lower_bound
+            .cmp(&b.lower_bound)
+            .then(a.orig_bit.cmp(&b.orig_bit))
+    });
+
+    // Suffix products of failure probabilities, in the sorted order: used
+    // to discard subtrees that cannot meet the durability requirement even
+    // with every remaining provider mirrored in.
+    let mut suffix_fail = vec![1.0f64; n_cand + 1];
+    for i in (0..n_cand).rev() {
+        suffix_fail[i] =
+            suffix_fail[i + 1] * (1.0 - candidates[i].provider.sla.durability.probability());
+    }
+
+    let read_floor = read_cost_floor(&candidates, usage);
+    let cand_refs: Vec<&ProviderDescriptor> = candidates.iter().map(|c| c.provider).collect();
+    let tables = PriceTables::build(&cand_refs, n_cand, usage);
+    let mut state = SearchState {
+        rule,
+        candidates,
+        tables,
+        read_floor,
+        min_set: rule.min_providers(),
+        required_durability: rule.durability.probability(),
+        suffix_fail,
+        dura_stack: vec![SurvivalDistribution::empty(); n_cand + 1],
+        avail_stack: vec![SurvivalDistribution::empty(); n_cand + 1],
+        fail_prod: vec![1.0f64; n_cand + 1],
+        minm_stack: vec![1u32; n_cand + 1],
+        current_bits: Vec::with_capacity(n_cand),
+        current_cands: Vec::with_capacity(n_cand),
+        rank_scratch: Vec::with_capacity(n_cand),
+        best_price: Money::MAX,
+        best_mask: u64::MAX,
+        best_m: 0,
+    };
+    dfs(&mut state, 0, Money::ZERO, 0, 0);
+
+    if state.best_mask == u64::MAX {
+        return None;
+    }
+    // Materialize the winner once, in original catalog order (matching the
+    // order the seed's materialized enumeration produced).
+    let placement = Placement {
+        providers: mask_members(providers, state.best_mask).cloned().collect(),
+        m: state.best_m,
+    };
+    Some(PlacementDecision {
+        placement,
+        expected_cost: state.best_price,
+    })
+}
+
+fn dfs(state: &mut SearchState<'_>, start: usize, partial_lb: Money, mask: u64, depth: usize) {
+    for i in start..state.candidates.len() {
+        // Not enough providers left to ever satisfy the lock-in minimum.
+        if depth + (state.candidates.len() - i) < state.min_set {
+            break;
+        }
+        // Even mirroring (m = 1) across the whole path plus every provider
+        // from `i` on cannot reach the durability requirement: the subtree
+        // is infeasible. Later siblings have even fewer providers left, so
+        // the loop can stop. (1e-9 of slack keeps boundary cases — which
+        // the evaluator might still accept under its own epsilon — alive.)
+        let best_durability = 1.0 - state.fail_prod[depth] * state.suffix_fail[i];
+        if best_durability + 1e-9 < state.required_durability {
+            break;
+        }
+        let with_i = partial_lb + state.candidates[i].lower_bound;
+        // Admissible optimistic cost of every completion through this
+        // child. Strictly greater than the incumbent ⇒ the child subtree
+        // cannot contain the optimum (ties are kept, so the bitmask
+        // tie-break still sees every minimum-cost set). Siblings are
+        // sorted by lower bound, so the rest of the loop is hopeless too.
+        if with_i + state.read_floor > state.best_price {
+            break;
+        }
+        let child_mask = mask | state.candidates[i].orig_bit;
+        descend(state, i, depth);
+        evaluate_node(state, child_mask, depth + 1);
+        dfs(state, i + 1, with_i, child_mask, depth + 1);
+        backtrack(state, i);
+    }
+}
+
+/// Pushes candidate `i` onto the DFS path: extends both survival
+/// distributions into the next stack level (`O(n)`, no allocation) and
+/// inserts the provider into the catalog-ordered current set.
+fn descend(state: &mut SearchState<'_>, i: usize, depth: usize) {
+    let provider = state.candidates[i].provider;
+    let bit = state.candidates[i].orig_bit;
+
+    let (parents, children) = state.dura_stack.split_at_mut(depth + 1);
+    parents[depth].pushed_into(provider.sla.durability.probability(), &mut children[0]);
+    let (parents, children) = state.avail_stack.split_at_mut(depth + 1);
+    parents[depth].pushed_into(provider.sla.availability.probability(), &mut children[0]);
+    state.fail_prod[depth + 1] =
+        state.fail_prod[depth] * (1.0 - provider.sla.durability.probability());
+    state.minm_stack[depth + 1] = state.minm_stack[depth].max(state.candidates[i].min_m);
+
+    // Insertion position by original catalog order (bits are monotone in
+    // catalog position).
+    let pos = state.current_bits.partition_point(|&b| b < bit);
+    state.current_bits.insert(pos, bit);
+    state.current_cands.insert(pos, i);
+}
+
+/// Pops candidate `i` off the DFS path. The distribution stacks need no
+/// undo (levels above the parent depth are scratch); only the
+/// catalog-ordered current set does.
+fn backtrack(state: &mut SearchState<'_>, i: usize) {
+    let bit = state.candidates[i].orig_bit;
+    let pos = state.current_bits.partition_point(|&b| b < bit);
+    debug_assert_eq!(state.current_bits[pos], bit);
+    state.current_bits.remove(pos);
+    state.current_cands.remove(pos);
+}
+
+/// Evaluates the DFS path's current set (already in catalog order) and
+/// updates the incumbent.
+fn evaluate_node(state: &mut SearchState<'_>, mask: u64, depth: usize) {
+    // Lock-in: lockin(pset) = 1/|pset| must not exceed the rule's factor.
+    if !state.rule.lockin_satisfied(depth) {
+        return;
+    }
+    // Durability (Algorithm 2) from the incrementally maintained
+    // distribution; zones were prefiltered.
+    let max_threshold =
+        threshold_from_distribution(&state.dura_stack[depth], state.rule.durability);
+    if max_threshold == 0 {
+        return;
+    }
+    // Availability: lower the threshold until the requirement is met.
+    let reachability = &state.avail_stack[depth];
+    let Some(threshold) = (1..=max_threshold)
+        .rev()
+        .find(|&m| availability_from_distribution(reachability, m).meets(state.rule.availability))
+    else {
+        return;
+    };
+    // Chunk-size constraints: some provider on the path rejects chunks of
+    // size / threshold iff the path's max per-provider minimum threshold
+    // exceeds the threshold.
+    if state.minm_stack[depth] > threshold {
+        return;
+    }
+    let price = state
+        .tables
+        .price(&state.current_cands, threshold, &mut state.rank_scratch);
+    if price < state.best_price || (price == state.best_price && mask < state.best_mask) {
+        state.best_price = price;
+        state.best_mask = mask;
+        state.best_m = threshold;
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,7 +692,11 @@ mod tests {
             .with_availability(Reliability::from_percent(99.99));
         let decision = engine.best_placement(&rule, &usage, &catalog()).unwrap();
         for p in &decision.placement.providers {
-            assert!(p.zones.contains(Zone::EU), "{} is not an EU provider", p.name);
+            assert!(
+                p.zones.contains(Zone::EU),
+                "{} is not an EU provider",
+                p.name
+            );
         }
         assert_eq!(decision.placement.providers.len(), 2);
     }
@@ -358,7 +715,9 @@ mod tests {
             ZoneSet::of(&[Zone::EU]),
             1.0,
         );
-        let err = engine.best_placement(&rule, &usage, &catalog()).unwrap_err();
+        let err = engine
+            .best_placement(&rule, &usage, &catalog())
+            .unwrap_err();
         assert!(matches!(err, ScaliaError::NoFeasiblePlacement { .. }));
     }
 
@@ -368,7 +727,9 @@ mod tests {
         // One provider only accepts chunks up to 100 KB; the object is 40 MB,
         // so with small sets (large chunks) that provider is excluded.
         let mut providers = catalog();
-        providers[2] = providers[2].clone().with_max_chunk_size(ByteSize::from_kb(100));
+        providers[2] = providers[2]
+            .clone()
+            .with_max_chunk_size(ByteSize::from_kb(100));
         let usage = PredictedUsage::storage_only(ByteSize::from_mb(40), 5.0);
         let rule = slashdot_rule().with_lockin(0.5);
         let decision = engine.best_placement(&rule, &usage, &providers).unwrap();

@@ -84,7 +84,7 @@ impl TrendDetector {
     pub fn detection_points(&self, series: &[u64]) -> Vec<usize> {
         let mut points = Vec::new();
         for end in 0..series.len() {
-            if end + 1 >= self.window + 1 && self.detect(&series[..=end]) {
+            if end + 1 > self.window && self.detect(&series[..=end]) {
                 points.push(end);
             }
         }

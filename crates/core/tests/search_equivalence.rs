@@ -1,0 +1,225 @@
+//! Differential property tests: the optimized placement math (Poisson-
+//! binomial DP + branch-and-bound) must be indistinguishable from the
+//! seed's combination-enumerating implementations (kept in
+//! `scalia_core::reference`).
+//!
+//! * durability / availability probabilities agree within 1e-12;
+//! * `get_threshold` returns the identical threshold;
+//! * the branch-and-bound search returns the identical
+//!   `(providers, m, cost)` as materializing every subset.
+
+use proptest::prelude::*;
+use scalia_core::cost::PredictedUsage;
+use scalia_core::placement::PlacementEngine;
+use scalia_core::reference;
+use scalia_core::{availability, durability};
+use scalia_providers::descriptor::ProviderDescriptor;
+use scalia_providers::pricing::PricingPolicy;
+use scalia_providers::sla::ProviderSla;
+use scalia_types::ids::ProviderId;
+use scalia_types::reliability::Reliability;
+use scalia_types::rules::StorageRule;
+use scalia_types::size::ByteSize;
+use scalia_types::zone::{Zone, ZoneSet};
+
+/// Deterministic pseudo-random catalog generator (splitmix64 over `seed`).
+fn random_catalog(mut seed: u64, n: usize) -> Vec<ProviderDescriptor> {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let durabilities = [99.9, 99.99, 99.999, 99.9999, 99.999999999];
+    let availabilities = [99.0, 99.9, 99.95, 99.99];
+    let zone_choices = [
+        ZoneSet::of(&[Zone::US]),
+        ZoneSet::of(&[Zone::EU]),
+        ZoneSet::of(&[Zone::EU, Zone::US]),
+        ZoneSet::all(),
+    ];
+    (0..n)
+        .map(|i| {
+            let r = next();
+            let dura = durabilities[(r % durabilities.len() as u64) as usize];
+            let avail = availabilities[((r >> 8) % availabilities.len() as u64) as usize];
+            let storage = 0.05 + ((r >> 16) % 30) as f64 * 0.01;
+            let bw_in = 0.05 + ((r >> 24) % 10) as f64 * 0.01;
+            let bw_out = 0.10 + ((r >> 32) % 15) as f64 * 0.01;
+            let ops = ((r >> 40) % 3) as f64 * 0.01;
+            let mut p = ProviderDescriptor::public(
+                ProviderId::new(i as u32),
+                format!("P{i}"),
+                "random provider",
+                ProviderSla::from_percent(dura, avail),
+                PricingPolicy::from_dollars(storage, bw_in, bw_out, ops),
+                zone_choices[((r >> 48) % zone_choices.len() as u64) as usize],
+            );
+            // Sometimes constrain the chunk size so the search has to weigh
+            // inclusion vs exclusion of this provider.
+            if (r >> 56) % 5 == 0 {
+                p = p.with_max_chunk_size(ByteSize::from_kb(200 + ((r >> 58) % 20) * 50));
+            }
+            p
+        })
+        .collect()
+}
+
+fn random_rule(seed: u64) -> StorageRule {
+    let requirements = [99.0, 99.9, 99.999, 99.99999];
+    let availabilities = [99.0, 99.9, 99.99];
+    let lockins = [1.0, 0.5, 0.34];
+    let zones = [ZoneSet::all(), ZoneSet::of(&[Zone::EU, Zone::US])];
+    StorageRule::new(
+        "prop",
+        Reliability::from_percent(requirements[(seed % 4) as usize]),
+        Reliability::from_percent(availabilities[((seed >> 2) % 3) as usize]),
+        zones[((seed >> 4) % 2) as usize],
+        lockins[((seed >> 6) % 3) as usize],
+    )
+}
+
+fn random_usage(seed: u64) -> PredictedUsage {
+    let size = ByteSize::from_kb(1 + (seed % 4000));
+    let reads = (seed >> 8) % 2000;
+    let writes = (seed >> 16) % 20;
+    PredictedUsage {
+        size,
+        bw_in: ByteSize::from_bytes(size.bytes() * writes),
+        bw_out: ByteSize::from_bytes(size.bytes() * reads),
+        reads,
+        writes,
+        duration_hours: 1.0 + ((seed >> 24) % 720) as f64,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Poisson-binomial durability/availability math equals the seed's
+    /// combinatorial formulas within 1e-12 on random catalogs.
+    #[test]
+    fn reliability_dp_matches_combinatorial(seed in any::<u64>(), n in 1usize..8) {
+        let pset = random_catalog(seed, n);
+        for m in 0..=(n as u32 + 1) {
+            let dp = durability::survival_probability(&pset, m);
+            let combinatorial = reference::survival_probability_combinatorial(&pset, m);
+            prop_assert!(
+                (dp - combinatorial).abs() < 1e-12,
+                "survival m={m}: dp={dp} combinatorial={combinatorial}"
+            );
+            let dp_av = availability::get_availability(&pset, m).probability();
+            let ref_av = reference::get_availability_combinatorial(&pset, m).probability();
+            prop_assert!(
+                (dp_av - ref_av).abs() < 1e-12,
+                "availability m={m}: dp={dp_av} combinatorial={ref_av}"
+            );
+        }
+        for pct in [99.0, 99.9, 99.999, 99.99999, 99.9999999] {
+            let required = Reliability::from_percent(pct);
+            prop_assert_eq!(
+                durability::get_threshold(&pset, required),
+                reference::get_threshold_combinatorial(&pset, required),
+                "threshold for {}", pct
+            );
+        }
+    }
+
+    /// The branch-and-bound search returns the exact same decision —
+    /// provider set (in order), threshold and cost — as materializing and
+    /// evaluating every subset the way the seed did.
+    #[test]
+    fn branch_and_bound_matches_seed_exhaustive(
+        seed in any::<u64>(),
+        rule_seed in any::<u64>(),
+        usage_seed in any::<u64>(),
+        n in 1usize..9,
+    ) {
+        let catalog = random_catalog(seed, n);
+        let rule = random_rule(rule_seed);
+        let usage = random_usage(usage_seed);
+
+        let bnb = PlacementEngine::new().best_placement(&rule, &usage, &catalog);
+        let reference = reference::exhaustive_search_combinatorial(&rule, &usage, &catalog);
+
+        match (bnb, reference) {
+            (Err(_), None) => {}
+            (Ok(fast), Some(slow)) => {
+                prop_assert_eq!(
+                    fast.placement.provider_ids(),
+                    slow.placement.provider_ids(),
+                    "provider sets differ"
+                );
+                prop_assert_eq!(fast.placement.m, slow.placement.m, "thresholds differ");
+                prop_assert_eq!(
+                    fast.expected_cost,
+                    slow.expected_cost,
+                    "costs differ"
+                );
+            }
+            (Ok(fast), None) => {
+                prop_assert!(false, "bnb found {} where seed found none", fast.placement);
+            }
+            (Err(_), Some(slow)) => {
+                prop_assert!(false, "seed found {} where bnb found none", slow.placement);
+            }
+        }
+    }
+}
+
+/// Fixed larger catalog: the paper's five providers plus synthetic ones, as
+/// in `benches/placement.rs` — a deterministic cross-check at a size where
+/// the branch-and-bound's pruning actually engages.
+#[test]
+fn twelve_provider_catalog_matches_reference() {
+    use scalia_providers::catalog::{azure, google, rackspace, s3_high, s3_low};
+    let mut catalog = vec![
+        s3_high(ProviderId::new(0)),
+        s3_low(ProviderId::new(1)),
+        rackspace(ProviderId::new(2)),
+        azure(ProviderId::new(3)),
+        google(ProviderId::new(4)),
+    ];
+    for i in 5..12u32 {
+        catalog.push(ProviderDescriptor::public(
+            ProviderId::new(i),
+            format!("P{i}"),
+            "synthetic provider",
+            ProviderSla::from_percent(99.9999, 99.9),
+            PricingPolicy::from_dollars(
+                0.09 + 0.005 * i as f64,
+                0.10,
+                0.14 + 0.002 * i as f64,
+                0.01,
+            ),
+            ZoneSet::of(&[Zone::US, Zone::EU]),
+        ));
+    }
+    let rule = StorageRule::new(
+        "cross",
+        Reliability::from_percent(99.999),
+        Reliability::from_percent(99.99),
+        ZoneSet::all(),
+        0.5,
+    );
+    for usage in [
+        PredictedUsage::storage_only(ByteSize::from_mb(1), 24.0),
+        PredictedUsage {
+            size: ByteSize::from_mb(1),
+            bw_in: ByteSize::from_mb(1),
+            bw_out: ByteSize::from_mb(500),
+            reads: 500,
+            writes: 1,
+            duration_hours: 24.0,
+        },
+    ] {
+        let fast = PlacementEngine::new()
+            .best_placement(&rule, &usage, &catalog)
+            .unwrap();
+        let slow = reference::exhaustive_search_combinatorial(&rule, &usage, &catalog).unwrap();
+        assert_eq!(fast.placement.provider_ids(), slow.placement.provider_ids());
+        assert_eq!(fast.placement.m, slow.placement.m);
+        assert_eq!(fast.expected_cost, slow.expected_cost);
+    }
+}

@@ -206,7 +206,8 @@ impl ScaliaCluster {
         rule: StorageRule,
         ttl_hint_hours: Option<f64>,
     ) -> Result<ObjectMeta> {
-        self.route().put(key, data.into(), mime, rule, ttl_hint_hours)
+        self.route()
+            .put(key, data.into(), mime, rule, ttl_hint_hours)
     }
 
     /// Reads an object through a (round-robin chosen) engine.
@@ -246,6 +247,11 @@ impl ScaliaCluster {
     pub fn total_cost(&self) -> Money {
         self.infra.total_cost()
     }
+
+    /// Hit/miss counters of the deployment-wide placement decision cache.
+    pub fn placement_cache_stats(&self) -> crate::placement_cache::PlacementCacheStats {
+        self.infra.placement_cache_stats()
+    }
 }
 
 #[cfg(test)]
@@ -280,7 +286,13 @@ mod tests {
             .build();
         let key = ObjectKey::new("c", "k");
         cluster
-            .put(&key, vec![1u8; 10_000], "application/octet-stream", rule(), None)
+            .put(
+                &key,
+                vec![1u8; 10_000],
+                "application/octet-stream",
+                rule(),
+                None,
+            )
             .unwrap();
         // Consecutive reads hit different engines (different datacenters) and
         // both succeed.
@@ -310,11 +322,65 @@ mod tests {
         let cluster = ScaliaCluster::builder().build();
         let key = ObjectKey::new("c", "big");
         cluster
-            .put(&key, vec![0u8; 2_000_000], "application/x-tar", rule(), None)
+            .put(
+                &key,
+                vec![0u8; 2_000_000],
+                "application/x-tar",
+                rule(),
+                None,
+            )
             .unwrap();
         let right_after = cluster.total_cost();
         cluster.tick(SimTime::from_hours(720));
         assert!(cluster.total_cost() > right_after);
+    }
+
+    #[test]
+    fn same_class_writes_share_one_placement_search() {
+        let cluster = ScaliaCluster::builder().build();
+        // Twenty same-size PNGs: same rule, same usage class, same catalog
+        // version ⇒ one search, nineteen cache hits.
+        for i in 0..20 {
+            let key = ObjectKey::new("photos", format!("img{i}.png"));
+            cluster
+                .put(&key, vec![7u8; 300_000], "image/png", rule(), None)
+                .unwrap();
+        }
+        let stats = cluster.placement_cache_stats();
+        assert_eq!(stats.misses, 1, "one search for the whole class");
+        assert_eq!(stats.hits, 19, "remaining writes must be served from cache");
+    }
+
+    #[test]
+    fn catalog_change_invalidates_placement_cache() {
+        let cluster = ScaliaCluster::builder().build();
+        let put = |name: &str| {
+            cluster
+                .put(
+                    &ObjectKey::new("c", name),
+                    vec![1u8; 100_000],
+                    "image/png",
+                    rule(),
+                    None,
+                )
+                .unwrap()
+        };
+        put("a.png");
+        put("b.png");
+        assert_eq!(cluster.placement_cache_stats().misses, 1);
+        // A new provider bumps the catalog version: the next same-class
+        // write must re-run the search (and may adopt the new provider).
+        cluster
+            .infra()
+            .register_provider(scalia_providers::catalog::cheapstor(
+                scalia_types::ids::ProviderId::new(0),
+            ));
+        put("c.png");
+        assert_eq!(
+            cluster.placement_cache_stats().misses,
+            2,
+            "catalog mutation must invalidate the cache"
+        );
     }
 
     #[test]

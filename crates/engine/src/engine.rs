@@ -126,10 +126,9 @@ impl Engine {
                 DEFAULT_DECISION_PERIODS,
                 period_hours,
             ),
-            None => PredictedUsage::storage_only(
-                size,
-                DEFAULT_DECISION_PERIODS as f64 * period_hours,
-            ),
+            None => {
+                PredictedUsage::storage_only(size, DEFAULT_DECISION_PERIODS as f64 * period_hours)
+            }
         };
         // Bound the optimisation horizon by the TTL hint, if given.
         if let Some(ttl) = ttl_hint_hours {
@@ -169,14 +168,14 @@ impl Engine {
 
     /// Runs the placement search, excluding providers that turn out to be
     /// unreachable while writing and retrying, as §III-D3 prescribes for
-    /// provider-side write errors.
-    fn place_with_retry(
-        &self,
-        rule: &StorageRule,
-        usage: &PredictedUsage,
-    ) -> Result<Placement> {
-        let providers = self.infra.catalog().available();
-        let decision = self.placement.best_placement(rule, usage, &providers)?;
+    /// provider-side write errors. Searches are routed through the shared
+    /// placement decision cache (keyed by rule + usage class + catalog
+    /// version), so a burst of same-class writes prices one search, not one
+    /// per object.
+    fn place_with_retry(&self, rule: &StorageRule, usage: &PredictedUsage) -> Result<Placement> {
+        let decision = self
+            .infra
+            .best_placement_cached(&self.placement, rule, usage)?;
         Ok(decision.placement)
     }
 
@@ -218,7 +217,9 @@ impl Engine {
         let value = serde_json::to_value(meta)
             .map_err(|e| ScaliaError::Internal(format!("serialize metadata: {e}")))?;
         let timestamp = self.infra.next_timestamp();
-        self.infra.database().put(&row_key, "meta", value, timestamp)?;
+        self.infra
+            .database()
+            .put(&row_key, "meta", value, timestamp)?;
         // Container index for LIST.
         self.infra.database().put(
             &format!("container:{}", meta.key.container),
@@ -369,7 +370,8 @@ impl Engine {
             .ok();
         let history = stats.history(&row_key, scalia_types::stats::DEFAULT_HISTORY_LEN);
         if !history.is_empty() {
-            let mean = history.mean_usage_over_last(history.len(), self.infra.sampling_period().as_hours());
+            let mean = history
+                .mean_usage_over_last(history.len(), self.infra.sampling_period().as_hours());
             stats.record_class_usage(class.id(), &mean, timestamp).ok();
         }
 
@@ -462,7 +464,10 @@ impl Engine {
 }
 
 /// Identifies a provider that should be avoided (used by tests and repair).
-pub fn exclude_provider(providers: &[scalia_providers::descriptor::ProviderDescriptor], excluded: ProviderId) -> Vec<scalia_providers::descriptor::ProviderDescriptor> {
+pub fn exclude_provider(
+    providers: &[scalia_providers::descriptor::ProviderDescriptor],
+    excluded: ProviderId,
+) -> Vec<scalia_providers::descriptor::ProviderDescriptor> {
     providers
         .iter()
         .filter(|p| p.id != excluded)
@@ -502,7 +507,10 @@ mod tests {
         let meta = engine
             .put(&key, payload.clone(), "image/jpeg", rule(), None)
             .unwrap();
-        assert!(meta.striping.chunks.len() >= 2, "lock-in 0.5 needs ≥2 providers");
+        assert!(
+            meta.striping.chunks.len() >= 2,
+            "lock-in 0.5 needs ≥2 providers"
+        );
         assert_eq!(meta.size, ByteSize::from_bytes(300_000));
 
         // Any engine (any datacenter) can read it back.
@@ -528,7 +536,13 @@ mod tests {
         let engine = cluster.engine(0);
         let key = ObjectKey::new("docs", "report.pdf");
         engine
-            .put(&key, Bytes::from(vec![1u8; 100_000]), "application/pdf", rule(), None)
+            .put(
+                &key,
+                Bytes::from(vec![1u8; 100_000]),
+                "application/pdf",
+                rule(),
+                None,
+            )
             .unwrap();
         let stored_after_first: u64 = cluster
             .infra()
@@ -537,7 +551,13 @@ mod tests {
             .map(|b| b.stored_bytes().bytes())
             .sum();
         engine
-            .put(&key, Bytes::from(vec![2u8; 100_000]), "application/pdf", rule(), None)
+            .put(
+                &key,
+                Bytes::from(vec![2u8; 100_000]),
+                "application/pdf",
+                rule(),
+                None,
+            )
             .unwrap();
         let stored_after_second: u64 = cluster
             .infra()
@@ -561,14 +581,30 @@ mod tests {
         let engine = cluster.engine(0);
         let key = ObjectKey::new("photos", "logo.png");
         engine
-            .put(&key, Bytes::from(vec![3u8; 50_000]), "image/png", rule(), None)
+            .put(
+                &key,
+                Bytes::from(vec![3u8; 50_000]),
+                "image/png",
+                rule(),
+                None,
+            )
             .unwrap();
         engine.get(&key).unwrap();
-        let ops_after_first: u64 = cluster.infra().backends().iter().map(|b| b.usage().ops).sum();
+        let ops_after_first: u64 = cluster
+            .infra()
+            .backends()
+            .iter()
+            .map(|b| b.usage().ops)
+            .sum();
         for _ in 0..10 {
             engine.get(&key).unwrap();
         }
-        let ops_after_many: u64 = cluster.infra().backends().iter().map(|b| b.usage().ops).sum();
+        let ops_after_many: u64 = cluster
+            .infra()
+            .backends()
+            .iter()
+            .map(|b| b.usage().ops)
+            .sum();
         assert_eq!(
             ops_after_first, ops_after_many,
             "cached reads must not touch the providers"
@@ -581,7 +617,13 @@ mod tests {
         let engine = cluster.engine(0);
         let key = ObjectKey::new("backups", "db.tar");
         engine
-            .put(&key, Bytes::from(vec![9u8; 200_000]), "application/x-tar", rule(), None)
+            .put(
+                &key,
+                Bytes::from(vec![9u8; 200_000]),
+                "application/x-tar",
+                rule(),
+                None,
+            )
             .unwrap();
         engine.delete(&key).unwrap();
         assert!(matches!(
@@ -604,8 +646,12 @@ mod tests {
         let engine = cluster.engine(0);
         let k1 = ObjectKey::new("pics", "a.gif");
         let k2 = ObjectKey::new("pics", "b.gif");
-        engine.put(&k1, Bytes::from(vec![1u8; 1000]), "image/gif", rule(), None).unwrap();
-        engine.put(&k2, Bytes::from(vec![1u8; 1000]), "image/gif", rule(), None).unwrap();
+        engine
+            .put(&k1, Bytes::from(vec![1u8; 1000]), "image/gif", rule(), None)
+            .unwrap();
+        engine
+            .put(&k2, Bytes::from(vec![1u8; 1000]), "image/gif", rule(), None)
+            .unwrap();
         let mut listed = engine.list("pics");
         listed.sort();
         assert_eq!(listed, vec![k1.clone(), k2.clone()]);
@@ -623,7 +669,10 @@ mod tests {
         let meta = engine
             .put(&key, payload.clone(), "image/jpeg", rule(), None)
             .unwrap();
-        assert!(meta.striping.chunks.len() as u32 > meta.striping.m, "needs redundancy");
+        assert!(
+            meta.striping.chunks.len() as u32 > meta.striping.m,
+            "needs redundancy"
+        );
 
         // Take down one provider that holds a chunk; reads must still work.
         let victim = meta.striping.chunks[0].provider;
@@ -639,7 +688,13 @@ mod tests {
         let engine = cluster.engine(0);
         let key = ObjectKey::new("backups", "weekly.tar");
         let meta = engine
-            .put(&key, Bytes::from(vec![8u8; 120_000]), "application/x-tar", rule(), None)
+            .put(
+                &key,
+                Bytes::from(vec![8u8; 120_000]),
+                "application/x-tar",
+                rule(),
+                None,
+            )
             .unwrap();
         let victim = meta.striping.chunks[0].provider;
         cluster.infra().set_provider_down(victim, true);
@@ -647,7 +702,10 @@ mod tests {
         engine.delete(&key).unwrap();
         assert!(cluster.infra().pending_delete_count() > 0);
         let victim_backend = cluster.infra().backend(victim).unwrap();
-        assert!(victim_backend.object_count() > 0, "chunk still there while down");
+        assert!(
+            victim_backend.object_count() > 0,
+            "chunk still there while down"
+        );
 
         cluster.infra().set_provider_down(victim, false);
         cluster.infra().retry_pending_deletes();
@@ -661,7 +719,9 @@ mod tests {
         let engine = cluster.engine(0);
         let key = ObjectKey::new("photos", "move-me.jpg");
         let payload = Bytes::from(vec![4u8; 250_000]);
-        engine.put(&key, payload.clone(), "image/jpeg", rule(), None).unwrap();
+        engine
+            .put(&key, payload.clone(), "image/jpeg", rule(), None)
+            .unwrap();
 
         // Force a mirroring placement on the two S3 offerings.
         let all = cluster.infra().catalog().all();

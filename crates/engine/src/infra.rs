@@ -6,8 +6,11 @@
 //! simulation clock, the per-object decision-period controllers, and the
 //! queue of deletes postponed because a provider was unreachable (§III-D3).
 
+use crate::placement_cache::{PlacementCache, PlacementCacheStats};
 use parking_lot::{Mutex, RwLock};
+use scalia_core::cost::PredictedUsage;
 use scalia_core::decision::DecisionPeriodController;
+use scalia_core::placement::{PlacementDecision, PlacementEngine};
 use scalia_metastore::model::Timestamp;
 use scalia_metastore::replication::ReplicatedStore;
 use scalia_metastore::stats::StatisticsStore;
@@ -41,12 +44,17 @@ pub struct Infrastructure {
     sampling_period: Duration,
     pending_deletes: Mutex<Vec<PendingDelete>>,
     decision_controllers: Mutex<HashMap<String, DecisionPeriodController>>,
+    placement_cache: PlacementCache,
 }
 
 impl Infrastructure {
     /// Creates the infrastructure for a deployment spanning `datacenters`
     /// datacenters, with backends for every provider already in the catalog.
-    pub fn new(catalog: Arc<ProviderCatalog>, datacenters: u32, sampling_period: Duration) -> Arc<Self> {
+    pub fn new(
+        catalog: Arc<ProviderCatalog>,
+        datacenters: u32,
+        sampling_period: Duration,
+    ) -> Arc<Self> {
         let database = Arc::new(ReplicatedStore::with_datacenters(datacenters.max(1)));
         let infra = Arc::new(Infrastructure {
             catalog: catalog.clone(),
@@ -57,6 +65,7 @@ impl Infrastructure {
             sampling_period,
             pending_deletes: Mutex::new(Vec::new()),
             decision_controllers: Mutex::new(HashMap::new()),
+            placement_cache: PlacementCache::new(),
         });
         for descriptor in catalog.all() {
             infra.ensure_backend(&descriptor);
@@ -72,6 +81,36 @@ impl Infrastructure {
     /// The replicated metadata database.
     pub fn database(&self) -> &Arc<ReplicatedStore> {
         &self.database
+    }
+
+    /// Runs Algorithm 1 through the deployment-wide placement decision
+    /// cache: identical searches (same rule, same usage class, same catalog
+    /// version) are answered from the memo; every catalog mutation bumps
+    /// the version and implicitly invalidates it. All placement call sites
+    /// (write path, periodic optimiser, active repair) go through here.
+    pub fn best_placement_cached(
+        &self,
+        engine: &PlacementEngine,
+        rule: &scalia_types::rules::StorageRule,
+        usage: &PredictedUsage,
+    ) -> Result<PlacementDecision, scalia_types::error::ScaliaError> {
+        // Read the version BEFORE the provider snapshot: if a catalog
+        // mutation races in between, the decision computed from the stale
+        // snapshot is cached under the already-invalidated old version
+        // instead of poisoning the new one.
+        let version = self.catalog.version();
+        self.placement_cache.best_placement(
+            engine,
+            rule,
+            usage,
+            || self.catalog.available(),
+            version,
+        )
+    }
+
+    /// Hit/miss counters of the placement decision cache.
+    pub fn placement_cache_stats(&self) -> PlacementCacheStats {
+        self.placement_cache.stats()
     }
 
     /// A statistics-store view for the given datacenter.
@@ -200,9 +239,7 @@ impl Infrastructure {
         self.decision_controllers
             .lock()
             .entry(row_key.to_string())
-            .or_insert_with(|| {
-                DecisionPeriodController::new(initial, self.sampling_period, 4096)
-            })
+            .or_insert_with(|| DecisionPeriodController::new(initial, self.sampling_period, 4096))
             .clone()
     }
 
@@ -271,7 +308,9 @@ mod tests {
         let infra = infra();
         let target = infra.catalog().all()[0].id;
         let backend = infra.backend(target).unwrap();
-        backend.put("stale-chunk", Bytes::from_static(b"x")).unwrap();
+        backend
+            .put("stale-chunk", Bytes::from_static(b"x"))
+            .unwrap();
 
         infra.set_provider_down(target, true);
         infra.postpone_delete(target, "stale-chunk".to_string());

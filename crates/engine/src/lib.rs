@@ -24,6 +24,9 @@
 //! * [`engine`] — the stateless engine: write / read / delete life-cycles
 //!   (§III-D), including MVCC conflict cleanup and provider-failure
 //!   handling.
+//! * [`placement_cache`] — deployment-wide memo of placement decisions
+//!   (keyed by rule + usage class + catalog version) so the write path,
+//!   the optimiser and repair stop recomputing identical searches.
 //! * [`optimizer`] — leader election, sharding of the recently-accessed
 //!   object set across engines, trend detection and migration execution
 //!   (§III-A3).
@@ -39,6 +42,7 @@ pub mod cluster;
 pub mod engine;
 pub mod infra;
 pub mod optimizer;
+pub mod placement_cache;
 pub mod repair;
 
 pub use cache::Cache;
@@ -46,6 +50,7 @@ pub use cluster::{ScaliaCluster, ScaliaClusterBuilder};
 pub use engine::Engine;
 pub use infra::Infrastructure;
 pub use optimizer::{OptimizationReport, PeriodicOptimizer};
+pub use placement_cache::{PlacementCache, PlacementCacheStats};
 
 /// Commonly used items.
 pub mod prelude {

@@ -120,7 +120,7 @@ impl PeriodicOptimizer {
     }
 
     /// 5) For one object: detect a trend change and, if needed, recompute
-    /// the placement and migrate.
+    ///    the placement and migrate.
     #[allow(clippy::too_many_arguments)]
     fn optimize_object(
         &self,
@@ -155,16 +155,17 @@ impl PeriodicOptimizer {
 
         // Decision period for this object (adaptive, bounded by TTL).
         let period_hours = infra.sampling_period().as_hours();
-        let mut controller =
-            infra.decision_controller(row_key, Duration::from_hours(24));
+        let mut controller = infra.decision_controller(row_key, Duration::from_hours(24));
         let upper_bound = self.ttl_upper_bound(&meta, infra, &history);
-        let providers = infra.catalog().available();
         let rule = meta.rule.clone();
         let size = meta.size;
+        // All searches below go through the shared placement decision cache
+        // (rule + usage class + catalog version): one optimisation cycle
+        // re-prices each class once instead of once per object.
         controller.on_optimization(upper_bound, |window| {
             let periods = window.periods(infra.sampling_period()).max(1) as usize;
             let usage = PredictedUsage::from_history(size, &history, periods, period_hours);
-            match self.placement.best_placement(&rule, &usage, &providers) {
+            match infra.best_placement_cached(&self.placement, &rule, &usage) {
                 Ok(decision) => decision
                     .expected_cost
                     .scale(1.0 / usage.duration_hours.max(1e-9)),
@@ -177,7 +178,7 @@ impl PeriodicOptimizer {
         let periods = decision_period.periods(infra.sampling_period()).max(1) as usize;
         let usage = PredictedUsage::from_history(meta.size, &history, periods, period_hours);
 
-        let Ok(decision) = self.placement.best_placement(&meta.rule, &usage, &providers) else {
+        let Ok(decision) = infra.best_placement_cached(&self.placement, &meta.rule, &usage) else {
             return;
         };
         recomputed.fetch_add(1, Ordering::Relaxed);
@@ -202,10 +203,11 @@ impl PeriodicOptimizer {
             current_cost,
             decision.expected_cost,
         );
-        if plan.changes_placement() && plan.is_beneficial() {
-            if engine.replace_placement(&meta.key, &plan.to).is_ok() {
-                migrated.fetch_add(1, Ordering::Relaxed);
-            }
+        if plan.changes_placement()
+            && plan.is_beneficial()
+            && engine.replace_placement(&meta.key, &plan.to).is_ok()
+        {
+            migrated.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -259,7 +261,12 @@ mod tests {
         )
     }
 
-    fn simulate_periods(cluster: &ScaliaCluster, key: &ObjectKey, reads_per_hour: &[u64], start_hour: u64) {
+    fn simulate_periods(
+        cluster: &ScaliaCluster,
+        key: &ObjectKey,
+        reads_per_hour: &[u64],
+        start_hour: u64,
+    ) {
         for (i, &reads) in reads_per_hour.iter().enumerate() {
             for _ in 0..reads {
                 cluster.get(key).unwrap();
@@ -283,7 +290,9 @@ mod tests {
     fn stable_access_pattern_triggers_no_recomputation() {
         let cluster = ScaliaCluster::builder().build();
         let key = ObjectKey::new("c", "steady");
-        cluster.put(&key, vec![1u8; 100_000], "image/png", rule(), None).unwrap();
+        cluster
+            .put(&key, vec![1u8; 100_000], "image/png", rule(), None)
+            .unwrap();
         cluster.run_optimization(false);
         // A steady 5 reads/hour for 10 hours.
         simulate_periods(&cluster, &key, &[5; 10], 0);
@@ -297,7 +306,9 @@ mod tests {
     fn slashdot_spike_triggers_migration_to_mirroring() {
         let cluster = ScaliaCluster::builder().build();
         let key = ObjectKey::new("c", "viral");
-        cluster.put(&key, vec![1u8; 1_000_000], "image/jpeg", rule(), None).unwrap();
+        cluster
+            .put(&key, vec![1u8; 1_000_000], "image/jpeg", rule(), None)
+            .unwrap();
         let before = cluster.engine(0).read_metadata(&key).unwrap();
         cluster.run_optimization(false);
 
@@ -318,8 +329,14 @@ mod tests {
 
         let after = cluster.engine(0).read_metadata(&key).unwrap();
         if report.migrations_executed > 0 {
-            assert!(!after.striping.providers().iter().eq(before.striping.providers().iter())
-                || after.striping.m != before.striping.m);
+            assert!(
+                !after
+                    .striping
+                    .providers()
+                    .iter()
+                    .eq(before.striping.providers().iter())
+                    || after.striping.m != before.striping.m
+            );
             assert_eq!(after.striping.m, 1, "hot object should be mirrored");
         }
         // Whatever happened, the object must still be readable and intact.
@@ -333,7 +350,13 @@ mod tests {
         let key = ObjectKey::new("backups", "weekly.tar");
         let lockin_rule = rule().with_lockin(0.5);
         cluster
-            .put(&key, vec![3u8; 2_000_000], "application/x-tar", lockin_rule, None)
+            .put(
+                &key,
+                vec![3u8; 2_000_000],
+                "application/x-tar",
+                lockin_rule,
+                None,
+            )
             .unwrap();
         cluster.run_optimization(false);
 
@@ -353,7 +376,10 @@ mod tests {
 
         let report = cluster.run_optimization(true);
         assert!(report.placements_recomputed >= 1);
-        assert!(report.migrations_executed >= 1, "the huge saving must justify migration");
+        assert!(
+            report.migrations_executed >= 1,
+            "the huge saving must justify migration"
+        );
         let meta = cluster.engine(0).read_metadata(&key).unwrap();
         let names: Vec<String> = meta
             .striping

@@ -1,0 +1,389 @@
+//! Memoization of placement decisions.
+//!
+//! The periodic optimiser, the active-repair pass and the write path all
+//! call Algorithm 1 — and during one optimisation cycle they overwhelmingly
+//! call it with the *same inputs*: objects of the same class, under the same
+//! storage rule, against the same provider catalog. The paper's design
+//! already groups objects into classes precisely because class members share
+//! access behaviour; re-running the subset search for each member is pure
+//! waste.
+//!
+//! [`PlacementCache`] memoizes the chosen provider set + threshold, keyed by
+//!
+//! * the **storage rule** (all constraint fields),
+//! * the **usage class** — each predicted-usage dimension quantized to its
+//!   power-of-two bucket, so "equivalent" workloads share an entry, and
+//! * the **catalog version** — any provider registration, removal or
+//!   outage bumps the version ([`scalia_providers::catalog::ProviderCatalog::version`])
+//!   and implicitly invalidates every cached decision.
+//!
+//! A hit is **revalidated** against the caller's exact usage with
+//! `PlacementEngine::evaluate_set` (the cached set must still be feasible —
+//! e.g. chunk-size limits bind to the exact object size) and the expected
+//! cost is recomputed exactly; only the expensive subset *search* is
+//! skipped. Within a usage bucket the cached set may be marginally
+//! off-optimal for an individual object (bounded by the bucket width); the
+//! optimizer's migration gate compares exact costs, so a cached set is never
+//! migrated to unless it actually saves money.
+
+use parking_lot::Mutex;
+use scalia_core::cost::PredictedUsage;
+use scalia_core::placement::{Placement, PlacementDecision, PlacementEngine, PlacementOptions};
+use scalia_providers::descriptor::ProviderDescriptor;
+use scalia_types::rules::StorageRule;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default bound on distinct cached decisions.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// The quantized usage-class component of a cache key: every dimension is
+/// reduced to its power-of-two bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UsageClassKey {
+    size: u8,
+    bw_in: u8,
+    bw_out: u8,
+    reads: u8,
+    writes: u8,
+    duration_hours: u8,
+}
+
+fn bucket(v: u64) -> u8 {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as u8
+    }
+}
+
+impl UsageClassKey {
+    /// Quantizes a predicted usage.
+    pub fn of(usage: &PredictedUsage) -> Self {
+        UsageClassKey {
+            size: bucket(usage.size.bytes()),
+            bw_in: bucket(usage.bw_in.bytes()),
+            bw_out: bucket(usage.bw_out.bytes()),
+            reads: bucket(usage.reads),
+            writes: bucket(usage.writes),
+            duration_hours: bucket(usage.duration_hours.max(0.0).round() as u64),
+        }
+    }
+}
+
+/// The full cache key: rule + usage class + catalog version.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlacementCacheKey {
+    catalog_version: u64,
+    rule_name: String,
+    options: PlacementOptions,
+    durability_bits: u64,
+    availability_bits: u64,
+    zones: scalia_types::zone::ZoneSet,
+    lockin_bits: u64,
+    usage: UsageClassKey,
+}
+
+impl PlacementCacheKey {
+    fn new(
+        catalog_version: u64,
+        options: PlacementOptions,
+        rule: &StorageRule,
+        usage: &PredictedUsage,
+    ) -> Self {
+        PlacementCacheKey {
+            catalog_version,
+            options,
+            rule_name: rule.name.clone(),
+            durability_bits: rule.durability.probability().to_bits(),
+            availability_bits: rule.availability.probability().to_bits(),
+            zones: rule.zones,
+            lockin_bits: rule.lockin.to_bits(),
+            usage: UsageClassKey::of(usage),
+        }
+    }
+}
+
+/// Hit/miss counters of a [`PlacementCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementCacheStats {
+    /// Searches answered from the cache.
+    pub hits: u64,
+    /// Searches that ran the full subset search.
+    pub misses: u64,
+}
+
+/// A bounded, thread-safe memo of placement decisions.
+#[derive(Debug)]
+pub struct PlacementCache {
+    entries: Mutex<HashMap<PlacementCacheKey, Arc<Placement>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for PlacementCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlacementCache {
+    /// Creates a cache bounded to [`DEFAULT_CAPACITY`] entries.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a cache bounded to `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlacementCache {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Runs (or reuses) the placement search for `rule` + `usage` against
+    /// the catalog snapshot produced by `providers` (the available set at
+    /// `catalog_version`). The supplier is only invoked on a miss, so cache
+    /// hits never pay the catalog clone.
+    ///
+    /// On a hit, the cached provider set is revalidated against the exact
+    /// usage and its cost recomputed exactly; on a miss (or failed
+    /// revalidation) the full search runs and the winning placement is
+    /// memoized.
+    pub fn best_placement(
+        &self,
+        engine: &PlacementEngine,
+        rule: &StorageRule,
+        usage: &PredictedUsage,
+        providers: impl FnOnce() -> Vec<ProviderDescriptor>,
+        catalog_version: u64,
+    ) -> Result<PlacementDecision, scalia_types::error::ScaliaError> {
+        // Engines with different search strategies (exhaustive vs pruning
+        // heuristic) must not share entries: a heuristic decision is not
+        // necessarily the exact optimum an exhaustive caller expects.
+        let key = PlacementCacheKey::new(catalog_version, engine.options(), rule, usage);
+        let cached = self.entries.lock().get(&key).cloned();
+        if let Some(placement) = cached {
+            if let Some((m, price)) =
+                PlacementEngine::evaluate_set(rule, usage, &placement.providers)
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(PlacementDecision {
+                    placement: Placement {
+                        providers: placement.providers.clone(),
+                        // The exact-usage threshold can differ within the
+                        // bucket (chunk-size limits bind to the true size).
+                        m,
+                    },
+                    expected_cost: price,
+                });
+            }
+            // Cached set no longer feasible for this exact usage: fall
+            // through to a fresh search (and overwrite the entry).
+        }
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let decision = engine.best_placement(rule, usage, &providers())?;
+        let mut entries = self.entries.lock();
+        if entries.len() >= self.capacity && !entries.contains_key(&key) {
+            // Simple bound: drop everything. Entries are cheap to rebuild
+            // (one search each) and stale versions never get hit anyway.
+            entries.clear();
+        }
+        entries.insert(key, Arc::new(decision.placement.clone()));
+        Ok(decision)
+    }
+
+    /// Hit/miss counters since creation.
+    pub fn stats(&self) -> PlacementCacheStats {
+        PlacementCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Returns `true` if no decision is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached decision (tests and manual invalidation).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalia_providers::catalog::{azure, google, rackspace, s3_high, s3_low};
+    use scalia_types::ids::ProviderId;
+    use scalia_types::reliability::Reliability;
+    use scalia_types::size::ByteSize;
+    use scalia_types::zone::ZoneSet;
+
+    fn catalog() -> Vec<ProviderDescriptor> {
+        vec![
+            s3_high(ProviderId::new(0)),
+            s3_low(ProviderId::new(1)),
+            rackspace(ProviderId::new(2)),
+            azure(ProviderId::new(3)),
+            google(ProviderId::new(4)),
+        ]
+    }
+
+    fn rule() -> StorageRule {
+        StorageRule::new(
+            "cache",
+            Reliability::from_percent(99.999),
+            Reliability::from_percent(99.99),
+            ZoneSet::all(),
+            0.5,
+        )
+    }
+
+    #[test]
+    fn repeated_searches_hit_the_cache() {
+        let cache = PlacementCache::new();
+        let engine = PlacementEngine::new();
+        let usage = PredictedUsage::storage_only(ByteSize::from_mb(1), 24.0);
+        let first = cache
+            .best_placement(&engine, &rule(), &usage, catalog, 7)
+            .unwrap();
+        let second = cache
+            .best_placement(&engine, &rule(), &usage, catalog, 7)
+            .unwrap();
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn same_bucket_usage_reuses_the_decision_with_exact_cost() {
+        let cache = PlacementCache::new();
+        let engine = PlacementEngine::new();
+        // Same power-of-two bucket (600 KB and 1000 KB are both in
+        // (2^19, 2^20] bytes), different exact size.
+        let a = PredictedUsage::storage_only(ByteSize::from_kb(600), 24.0);
+        let b = PredictedUsage::storage_only(ByteSize::from_kb(1000), 24.0);
+        let da = cache
+            .best_placement(&engine, &rule(), &a, catalog, 1)
+            .unwrap();
+        let db = cache
+            .best_placement(&engine, &rule(), &b, catalog, 1)
+            .unwrap();
+        assert_eq!(cache.stats().hits, 1, "same class must hit");
+        assert!(da.placement.same_as(&db.placement));
+        // The cost is recomputed for the exact usage, not copied.
+        assert!(db.expected_cost > da.expected_cost);
+    }
+
+    #[test]
+    fn catalog_version_change_invalidates() {
+        let cache = PlacementCache::new();
+        let engine = PlacementEngine::new();
+        let usage = PredictedUsage::storage_only(ByteSize::from_mb(1), 24.0);
+        cache
+            .best_placement(&engine, &rule(), &usage, catalog, 1)
+            .unwrap();
+        cache
+            .best_placement(&engine, &rule(), &usage, catalog, 2)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2, "new catalog version must miss");
+    }
+
+    #[test]
+    fn different_rules_do_not_share_entries() {
+        let cache = PlacementCache::new();
+        let engine = PlacementEngine::new();
+        let usage = PredictedUsage::storage_only(ByteSize::from_mb(1), 24.0);
+        cache
+            .best_placement(&engine, &rule(), &usage, catalog, 1)
+            .unwrap();
+        let stricter = rule().with_lockin(0.2);
+        let d = cache
+            .best_placement(&engine, &stricter, &usage, catalog, 1)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(
+            d.placement.providers.len(),
+            5,
+            "lock-in 0.2 needs 5 providers"
+        );
+    }
+
+    #[test]
+    fn different_search_strategies_do_not_share_entries() {
+        use scalia_core::placement::SearchStrategy;
+        let cache = PlacementCache::new();
+        let usage = PredictedUsage::storage_only(ByteSize::from_mb(1), 24.0);
+        let heuristic = PlacementEngine::with_options(PlacementOptions {
+            strategy: SearchStrategy::Heuristic { max_candidates: 3 },
+        });
+        cache
+            .best_placement(&heuristic, &rule(), &usage, catalog, 1)
+            .unwrap();
+        // An exhaustive caller with the same rule/usage/version must run
+        // its own exact search, not inherit the heuristic's answer.
+        let exhaustive = PlacementEngine::new();
+        cache
+            .best_placement(&exhaustive, &rule(), &usage, catalog, 1)
+            .unwrap();
+        assert_eq!(
+            cache.stats().misses,
+            2,
+            "strategy must be part of the cache key"
+        );
+    }
+
+    #[test]
+    fn infeasible_revalidation_falls_back_to_search() {
+        let cache = PlacementCache::new();
+        let engine = PlacementEngine::new();
+        // Seed the class entry with a small object…
+        let small = PredictedUsage::storage_only(ByteSize::from_kb(600), 24.0);
+        let mut providers = catalog();
+        providers[0] = providers[0]
+            .clone()
+            .with_max_chunk_size(ByteSize::from_kb(700));
+        let d_small = cache
+            .best_placement(&engine, &rule(), &small, || providers.clone(), 3)
+            .unwrap();
+        // …then ask for a same-bucket larger object that breaks the cached
+        // set's chunk limit (if the limited provider was chosen).
+        let large = PredictedUsage::storage_only(ByteSize::from_kb(1000), 24.0);
+        let d_large = cache
+            .best_placement(&engine, &rule(), &large, || providers.clone(), 3)
+            .unwrap();
+        let chunk = large.size.div_ceil(d_large.placement.m as usize);
+        for p in &d_large.placement.providers {
+            assert!(p.accepts_chunk(chunk), "revalidation must keep feasibility");
+        }
+        let _ = d_small;
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        let cache = PlacementCache::with_capacity(2);
+        let engine = PlacementEngine::new();
+        for i in 0..5u64 {
+            let usage = PredictedUsage::storage_only(ByteSize::from_kb(10 << i), 24.0);
+            cache
+                .best_placement(&engine, &rule(), &usage, catalog, 1)
+                .unwrap();
+        }
+        assert!(cache.len() <= 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

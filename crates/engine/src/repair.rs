@@ -78,21 +78,22 @@ pub fn repair_provider(
 
     report.objects_affected = affected.len();
 
-    let providers = infra.catalog().available();
     let period_hours = infra.sampling_period().as_hours();
     for meta in affected {
-        let history = infra
-            .statistics(engine.datacenter())
-            .history(&meta.key.row_key(), scalia_types::stats::DEFAULT_HISTORY_LEN);
+        let history = infra.statistics(engine.datacenter()).history(
+            &meta.key.row_key(),
+            scalia_types::stats::DEFAULT_HISTORY_LEN,
+        );
         let periods = 24.max(history.len());
         let usage = PredictedUsage::from_history(meta.size, &history, periods, period_hours);
-        match placement_engine.best_placement(&meta.rule, &usage, &providers) {
-            Ok(decision) => {
-                match engine.replace_placement(&meta.key, &decision.placement) {
-                    Ok(_) => report.objects_repaired += 1,
-                    Err(_) => report.objects_failed += 1,
-                }
-            }
+        // Cached: objects of the same class sharing the failed provider are
+        // re-placed with one search (the outage bumped the catalog version,
+        // so no pre-outage decision can leak through).
+        match infra.best_placement_cached(placement_engine, &meta.rule, &usage) {
+            Ok(decision) => match engine.replace_placement(&meta.key, &decision.placement) {
+                Ok(_) => report.objects_repaired += 1,
+                Err(_) => report.objects_failed += 1,
+            },
             Err(_) => report.objects_failed += 1,
         }
     }
@@ -142,8 +143,7 @@ mod tests {
         };
         infra.set_provider_down(victim, true);
 
-        let report =
-            repair_provider(&engine, &infra, victim, &PlacementEngine::new()).unwrap();
+        let report = repair_provider(&engine, &infra, victim, &PlacementEngine::new()).unwrap();
         assert!(report.objects_affected >= 1);
         assert_eq!(report.objects_failed, 0);
         assert_eq!(report.objects_repaired, report.objects_affected);
@@ -164,7 +164,9 @@ mod tests {
         let engine = cluster.engine(0).clone();
         let infra = cluster.infra().clone();
         let key = ObjectKey::new("c", "k");
-        cluster.put(&key, vec![1u8; 10_000], "image/png", rule(), None).unwrap();
+        cluster
+            .put(&key, vec![1u8; 10_000], "image/png", rule(), None)
+            .unwrap();
         let meta = engine.read_metadata(&key).unwrap();
         // Pick a provider that holds no chunk of this object.
         let unused = infra
@@ -175,8 +177,7 @@ mod tests {
             .map(|p| p.id);
         if let Some(unused) = unused {
             infra.set_provider_down(unused, true);
-            let report =
-                repair_provider(&engine, &infra, unused, &PlacementEngine::new()).unwrap();
+            let report = repair_provider(&engine, &infra, unused, &PlacementEngine::new()).unwrap();
             assert_eq!(report.objects_affected, 0);
             assert_eq!(report.objects_repaired, 0);
         }

@@ -25,7 +25,11 @@ impl Chunk {
     /// Creates a chunk, computing its checksum.
     pub fn new(index: u32, data: Bytes) -> Self {
         let checksum = md5::md5_hex(&data);
-        Chunk { index, data, checksum }
+        Chunk {
+            index,
+            data,
+            checksum,
+        }
     }
 
     /// Returns `true` if the payload still matches the stored checksum.
@@ -179,7 +183,11 @@ mod tests {
         let data = sample_data(4097);
         let enc = encode_object(&data, params(3, 5)).unwrap();
         // Drop two chunks (providers down): use chunks 1, 3, 4.
-        let subset = vec![enc.chunks[1].clone(), enc.chunks[3].clone(), enc.chunks[4].clone()];
+        let subset = vec![
+            enc.chunks[1].clone(),
+            enc.chunks[3].clone(),
+            enc.chunks[4].clone(),
+        ];
         let decoded = decode_object(&subset, enc.params, enc.original_len).unwrap();
         assert_eq!(&decoded[..], &data[..]);
     }
@@ -210,7 +218,13 @@ mod tests {
             chunk.data = Bytes::from(corrupted);
         }
         let err = decode_object(&chunks, enc.params, enc.original_len).unwrap_err();
-        assert!(matches!(err, ScaliaError::NotEnoughChunks { available: 2, required: 3 }));
+        assert!(matches!(
+            err,
+            ScaliaError::NotEnoughChunks {
+                available: 2,
+                required: 3
+            }
+        ));
     }
 
     #[test]
@@ -219,7 +233,13 @@ mod tests {
         let enc = encode_object(&data, params(2, 3)).unwrap();
         let dup = vec![enc.chunks[0].clone(), enc.chunks[0].clone()];
         let err = decode_object(&dup, enc.params, enc.original_len).unwrap_err();
-        assert!(matches!(err, ScaliaError::NotEnoughChunks { available: 1, required: 2 }));
+        assert!(matches!(
+            err,
+            ScaliaError::NotEnoughChunks {
+                available: 1,
+                required: 2
+            }
+        ));
     }
 
     #[test]
@@ -239,7 +259,8 @@ mod tests {
         let enc = encode_object(&data, params(1, 3)).unwrap();
         for chunk in &enc.chunks {
             assert_eq!(chunk.len(), 100);
-            let decoded = decode_object(&[chunk.clone()], enc.params, enc.original_len).unwrap();
+            let decoded =
+                decode_object(std::slice::from_ref(chunk), enc.params, enc.original_len).unwrap();
             assert_eq!(&decoded[..], &data[..]);
         }
         // Raw footprint is 3× the object size.

@@ -25,8 +25,8 @@ fn tables() -> &'static Tables {
         let mut exp = [0u8; 512];
         let mut log = [0u16; 256];
         let mut x: u16 = 1;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
             log[x as usize] = i as u16;
             // Multiply x by the generator (2) with reduction.
             x <<= 1;
@@ -104,10 +104,56 @@ pub fn pow(a: u8, n: u32) -> u8 {
     t.exp[idx as usize]
 }
 
+/// Below this length the per-byte log/exp path beats amortising a
+/// 256-entry product table build.
+const PRODUCT_TABLE_THRESHOLD: usize = 64;
+
 /// Multiplies every byte of `slice` by the scalar `c`, XOR-accumulating into
 /// `acc` (`acc[i] ^= c * slice[i]`). This is the inner loop of Reed–Solomon
 /// encoding and decoding.
+///
+/// For long slices the scalar is expanded once into a 256-byte product
+/// table (`product[s] = c·s`), turning the per-byte work into a single
+/// branch-free table load + XOR — no double log/exp lookup, no `s != 0`
+/// test per byte. The table build costs 255 exp-table loads and amortises
+/// almost immediately (see `benches/erasure.rs`).
 pub fn mul_slice_xor(c: u8, slice: &[u8], acc: &mut [u8]) {
+    debug_assert_eq!(slice.len(), acc.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (a, &s) in acc.iter_mut().zip(slice.iter()) {
+            *a ^= s;
+        }
+        return;
+    }
+    let t = tables();
+    let log_c = t.log[c as usize] as usize;
+
+    if slice.len() < PRODUCT_TABLE_THRESHOLD {
+        for (a, &s) in acc.iter_mut().zip(slice.iter()) {
+            if s != 0 {
+                *a ^= t.exp[log_c + t.log[s as usize] as usize];
+            }
+        }
+        return;
+    }
+
+    // Expand the scalar into its full product row once, then stream.
+    let mut product = [0u8; 256];
+    for (s, p) in product.iter_mut().enumerate().skip(1) {
+        *p = t.exp[log_c + t.log[s] as usize];
+    }
+    for (a, &s) in acc.iter_mut().zip(slice.iter()) {
+        *a ^= product[s as usize];
+    }
+}
+
+/// The seed's `mul_slice_xor` loop (hoisted log lookup, per-byte branch and
+/// double table load), kept verbatim as the baseline for
+/// `benches/erasure.rs` and for differential tests.
+pub fn mul_slice_xor_reference(c: u8, slice: &[u8], acc: &mut [u8]) {
     debug_assert_eq!(slice.len(), acc.len());
     if c == 0 {
         return;
@@ -233,5 +279,24 @@ mod tests {
         assert_eq!(acc, [0u8; 5]);
         mul_slice_xor(1, &src, &mut acc);
         assert_eq!(acc, src);
+    }
+
+    #[test]
+    fn mul_slice_xor_table_path_matches_per_byte_path() {
+        // Long enough to take the product-table path; contents cover every
+        // byte value including zero runs.
+        let src: Vec<u8> = (0..1024u32).map(|i| (i % 256) as u8).collect();
+        for c in [2u8, 3, 29, 76, 143, 254, 255] {
+            let mut table_path = vec![0u8; src.len()];
+            mul_slice_xor(c, &src, &mut table_path);
+            // Reference: element-wise mul (the definition).
+            for (i, (&out, &s)) in table_path.iter().zip(src.iter()).enumerate() {
+                assert_eq!(out, mul(c, s), "c={c} i={i}");
+            }
+            // And the short-slice path agrees on a prefix.
+            let mut short = vec![0u8; 32];
+            mul_slice_xor(c, &src[..32], &mut short);
+            assert_eq!(&short[..], &table_path[..32]);
+        }
     }
 }

@@ -235,7 +235,10 @@ mod tests {
         ];
         for subset in &subsets {
             let sub = v.select_rows(subset);
-            assert!(sub.invert().is_some(), "subset {subset:?} should be invertible");
+            assert!(
+                sub.invert().is_some(),
+                "subset {subset:?} should be invertible"
+            );
         }
     }
 

@@ -48,8 +48,14 @@ impl std::fmt::Display for RsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RsError::InvalidParams { m, n } => write!(f, "invalid RS params m={m} n={n}"),
-            RsError::NotEnoughShards { available, required } => {
-                write!(f, "not enough shards: {available} available, {required} required")
+            RsError::NotEnoughShards {
+                available,
+                required,
+            } => {
+                write!(
+                    f,
+                    "not enough shards: {available} available, {required} required"
+                )
             }
             RsError::ShardLengthMismatch => write!(f, "shards have different lengths"),
             RsError::InvalidShardIndex(i) => write!(f, "invalid shard index {i}"),
@@ -119,10 +125,7 @@ impl ReedSolomon {
     ///
     /// `shards` is a list of `(shard_index, shard_data)` pairs; indices refer
     /// to the position of the shard in the encoded output (0-based).
-    pub fn reconstruct_data(
-        &self,
-        shards: &[(usize, Vec<u8>)],
-    ) -> Result<Vec<Vec<u8>>, RsError> {
+    pub fn reconstruct_data(&self, shards: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, RsError> {
         if shards.len() < self.data_shards {
             return Err(RsError::NotEnoughShards {
                 available: shards.len(),
@@ -182,7 +185,11 @@ mod tests {
 
     fn sample_shards(m: usize, len: usize) -> Vec<Vec<u8>> {
         (0..m)
-            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 7) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 131 + j * 17 + 7) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -203,7 +210,10 @@ mod tests {
         let encoded = rs.encode(&data).unwrap();
         assert_eq!(encoded.len(), 5);
         for i in 0..3 {
-            assert_eq!(encoded[i], data[i], "data shard {i} must be stored verbatim");
+            assert_eq!(
+                encoded[i], data[i],
+                "data shard {i} must be stored verbatim"
+            );
         }
     }
 
@@ -236,8 +246,8 @@ mod tests {
         let data = vec![vec![9u8, 8, 7, 6]];
         let encoded = rs.encode(&data).unwrap();
         // Every shard alone reconstructs the data.
-        for i in 0..3 {
-            let rebuilt = rs.reconstruct_data(&[(i, encoded[i].clone())]).unwrap();
+        for (i, shard) in encoded.iter().enumerate() {
+            let rebuilt = rs.reconstruct_data(&[(i, shard.clone())]).unwrap();
             assert_eq!(rebuilt, data);
         }
     }
@@ -248,8 +258,7 @@ mod tests {
         let data = sample_shards(4, 16);
         let encoded = rs.encode(&data).unwrap();
         assert_eq!(encoded, data);
-        let supplied: Vec<(usize, Vec<u8>)> =
-            encoded.iter().cloned().enumerate().collect();
+        let supplied: Vec<(usize, Vec<u8>)> = encoded.iter().cloned().enumerate().collect();
         assert_eq!(rs.reconstruct_data(&supplied).unwrap(), data);
     }
 
@@ -263,7 +272,13 @@ mod tests {
         let err = rs
             .reconstruct_data(&[(0, encoded[0].clone()), (1, encoded[1].clone())])
             .unwrap_err();
-        assert!(matches!(err, RsError::NotEnoughShards { available: 2, required: 3 }));
+        assert!(matches!(
+            err,
+            RsError::NotEnoughShards {
+                available: 2,
+                required: 3
+            }
+        ));
 
         // Mismatched lengths.
         let err = rs

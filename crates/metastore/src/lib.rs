@@ -37,7 +37,7 @@ pub mod replication;
 pub mod stats;
 pub mod store;
 
-pub use logagg::{AccessLogRecord, LogAggregator, LogAgent};
+pub use logagg::{AccessLogRecord, LogAgent, LogAggregator};
 pub use model::{Cell, Timestamp};
 pub use replication::ReplicatedStore;
 pub use stats::StatisticsStore;
@@ -45,7 +45,7 @@ pub use store::NoSqlNode;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::logagg::{AccessLogRecord, LogAggregator, LogAgent};
+    pub use crate::logagg::{AccessLogRecord, LogAgent, LogAggregator};
     pub use crate::model::{Cell, Timestamp};
     pub use crate::replication::ReplicatedStore;
     pub use crate::stats::StatisticsStore;

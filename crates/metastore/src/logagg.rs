@@ -115,7 +115,10 @@ impl LogAggregator {
             // sequence number disambiguates aggregates flushed at the same
             // simulated second.
             let ts = Timestamp::new(timestamp.secs, timestamp.seq + written as u64);
-            if stats.record_period(object_row_key, period_stats, ts).is_ok() {
+            if stats
+                .record_period(object_row_key, period_stats, ts)
+                .is_ok()
+            {
                 written += 1;
             }
         }
@@ -130,7 +133,10 @@ mod tests {
     use scalia_types::ids::DatacenterId;
 
     fn stats_store() -> StatisticsStore {
-        StatisticsStore::new(Arc::new(ReplicatedStore::with_datacenters(1)), DatacenterId::new(0))
+        StatisticsStore::new(
+            Arc::new(ReplicatedStore::with_datacenters(1)),
+            DatacenterId::new(0),
+        )
     }
 
     fn read_record(object: &str, period: u64, kb: u64) -> AccessLogRecord {

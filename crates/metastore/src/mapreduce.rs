@@ -80,7 +80,11 @@ pub fn class_lifetime_summaries(node: &NoSqlNode) -> BTreeMap<String, ClassLifet
             let max = hours.iter().cloned().fold(0.0f64, f64::max);
             ClassLifetimeSummary {
                 samples,
-                mean_hours: if samples == 0 { 0.0 } else { sum / samples as f64 },
+                mean_hours: if samples == 0 {
+                    0.0
+                } else {
+                    sum / samples as f64
+                },
                 max_hours: max,
             }
         },
@@ -118,7 +122,9 @@ mod tests {
             &node,
             |_, row| {
                 row.iter()
-                    .map(|(col, cells)| (col.clone(), cells.last().unwrap().value.as_i64().unwrap()))
+                    .map(|(col, cells)| {
+                        (col.clone(), cells.last().unwrap().value.as_i64().unwrap())
+                    })
                     .collect::<Vec<_>>()
             },
             |_, values| values.into_iter().sum::<i64>(),
@@ -131,11 +137,31 @@ mod tests {
     fn class_lifetime_job_summarises_per_class() {
         let node = NoSqlNode::new(DatacenterId::new(0));
         // Class A: lifetimes 2h, 4h. Class B: lifetime 6h.
-        node.put("stats:class:A", "lifetime:1:0", json!(2.0), Timestamp::new(1, 0));
-        node.put("stats:class:A", "lifetime:2:0", json!(4.0), Timestamp::new(2, 0));
-        node.put("stats:class:B", "lifetime:3:0", json!(6.0), Timestamp::new(3, 0));
+        node.put(
+            "stats:class:A",
+            "lifetime:1:0",
+            json!(2.0),
+            Timestamp::new(1, 0),
+        );
+        node.put(
+            "stats:class:A",
+            "lifetime:2:0",
+            json!(4.0),
+            Timestamp::new(2, 0),
+        );
+        node.put(
+            "stats:class:B",
+            "lifetime:3:0",
+            json!(6.0),
+            Timestamp::new(3, 0),
+        );
         // A non-class row is ignored.
-        node.put("stats:obj:xyz", "period:000000000001", json!({}), Timestamp::new(4, 0));
+        node.put(
+            "stats:obj:xyz",
+            "period:000000000001",
+            json!({}),
+            Timestamp::new(4, 0),
+        );
 
         let summaries = class_lifetime_summaries(&node);
         assert_eq!(summaries.len(), 2);

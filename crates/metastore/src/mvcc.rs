@@ -75,9 +75,18 @@ mod tests {
         let mut col = Column::new();
         // Two engines in different datacenters write concurrently; the one
         // with the later (NTP-synchronised) timestamp wins.
-        insert_version(&mut col, Cell::new(json!({"v": "dc1"}), Timestamp::new(100, 1)));
-        insert_version(&mut col, Cell::new(json!({"v": "dc2"}), Timestamp::new(100, 2)));
-        insert_version(&mut col, Cell::new(json!({"v": "stale"}), Timestamp::new(90, 0)));
+        insert_version(
+            &mut col,
+            Cell::new(json!({"v": "dc1"}), Timestamp::new(100, 1)),
+        );
+        insert_version(
+            &mut col,
+            Cell::new(json!({"v": "dc2"}), Timestamp::new(100, 2)),
+        );
+        insert_version(
+            &mut col,
+            Cell::new(json!({"v": "stale"}), Timestamp::new(90, 0)),
+        );
         assert!(has_conflict(&col));
         let r = resolve_latest(&col);
         assert!(r.had_conflict);

@@ -100,12 +100,7 @@ impl ReplicatedStore {
 
     /// Reads the latest version of a column from the first reachable node
     /// (preferring the caller's local datacenter).
-    pub fn get_latest(
-        &self,
-        local: DatacenterId,
-        row_key: &str,
-        column: &str,
-    ) -> Option<Cell> {
+    pub fn get_latest(&self, local: DatacenterId, row_key: &str, column: &str) -> Option<Cell> {
         let ordered = self.ordered_nodes(local);
         for node in ordered {
             if node.is_up() {
@@ -169,7 +164,14 @@ impl ReplicatedStore {
         while let Some(hint) = hints.pop_front() {
             let delivered = self
                 .node(hint.datacenter)
-                .map(|node| node.put(&hint.row_key, &hint.column, hint.cell.value.clone(), hint.cell.timestamp))
+                .map(|node| {
+                    node.put(
+                        &hint.row_key,
+                        &hint.column,
+                        hint.cell.value.clone(),
+                        hint.cell.timestamp,
+                    )
+                })
                 .unwrap_or(false);
             if !delivered {
                 remaining.push_back(hint);
@@ -238,7 +240,8 @@ mod tests {
     fn write_succeeds_while_one_node_is_down_then_heals() {
         let s = store();
         s.nodes()[1].set_up(false);
-        s.put("r", "c", json!("during-outage"), Timestamp::new(5, 0)).unwrap();
+        s.put("r", "c", json!("during-outage"), Timestamp::new(5, 0))
+            .unwrap();
         assert_eq!(s.pending_hints(), 1);
         // The down node has nothing yet.
         s.nodes()[1].set_up(true);

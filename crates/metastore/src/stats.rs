@@ -270,7 +270,10 @@ mod tests {
     use super::*;
 
     fn store() -> StatisticsStore {
-        StatisticsStore::new(Arc::new(ReplicatedStore::with_datacenters(2)), DatacenterId::new(0))
+        StatisticsStore::new(
+            Arc::new(ReplicatedStore::with_datacenters(2)),
+            DatacenterId::new(0),
+        )
     }
 
     fn stats(period: u64, reads: u64, writes: u64) -> PeriodStats {
@@ -288,8 +291,12 @@ mod tests {
     fn per_object_history_roundtrip() {
         let s = store();
         for period in 0..5 {
-            s.record_period("obj1", &stats(period, period * 2, 1), Timestamp::new(period * 3600, 0))
-                .unwrap();
+            s.record_period(
+                "obj1",
+                &stats(period, period * 2, 1),
+                Timestamp::new(period * 3600, 0),
+            )
+            .unwrap();
         }
         let history = s.history("obj1", 100);
         assert_eq!(history.len(), 5);
@@ -307,7 +314,8 @@ mod tests {
     #[test]
     fn object_class_roundtrip() {
         let s = store();
-        s.record_object_class("obj1", "class-abc", Timestamp::new(1, 0)).unwrap();
+        s.record_object_class("obj1", "class-abc", Timestamp::new(1, 0))
+            .unwrap();
         assert_eq!(s.object_class("obj1").unwrap(), "class-abc");
         assert!(s.object_class("other").is_none());
     }
@@ -315,10 +323,16 @@ mod tests {
     #[test]
     fn objects_accessed_since_filters_by_timestamp() {
         let s = store();
-        s.record_period("obj1", &stats(0, 1, 0), Timestamp::new(100, 0)).unwrap();
-        s.record_period("obj2", &stats(0, 1, 0), Timestamp::new(200, 0)).unwrap();
-        s.record_class_usage("classX", &ResourceUsage::operations(1), Timestamp::new(300, 0))
+        s.record_period("obj1", &stats(0, 1, 0), Timestamp::new(100, 0))
             .unwrap();
+        s.record_period("obj2", &stats(0, 1, 0), Timestamp::new(200, 0))
+            .unwrap();
+        s.record_class_usage(
+            "classX",
+            &ResourceUsage::operations(1),
+            Timestamp::new(300, 0),
+        )
+        .unwrap();
         let recent = s.objects_accessed_since(Timestamp::new(150, 0));
         assert_eq!(recent, vec!["obj2".to_string()]);
         let all = s.objects_accessed_since(Timestamp::ZERO);
@@ -361,9 +375,12 @@ mod tests {
     #[test]
     fn class_lifetimes_accumulate_sorted() {
         let s = store();
-        s.record_class_lifetime("c", 5.0, Timestamp::new(1, 0)).unwrap();
-        s.record_class_lifetime("c", 2.0, Timestamp::new(2, 0)).unwrap();
-        s.record_class_lifetime("c", 3.5, Timestamp::new(3, 0)).unwrap();
+        s.record_class_lifetime("c", 5.0, Timestamp::new(1, 0))
+            .unwrap();
+        s.record_class_lifetime("c", 2.0, Timestamp::new(2, 0))
+            .unwrap();
+        s.record_class_lifetime("c", 3.5, Timestamp::new(3, 0))
+            .unwrap();
         assert_eq!(s.class_lifetimes("c"), vec![2.0, 3.5, 5.0]);
         assert!(s.class_lifetimes("unknown").is_empty());
         assert_eq!(s.known_classes(), vec!["c".to_string()]);
@@ -372,7 +389,8 @@ mod tests {
     #[test]
     fn delete_object_stats_removes_row() {
         let s = store();
-        s.record_period("obj1", &stats(0, 1, 0), Timestamp::new(1, 0)).unwrap();
+        s.record_period("obj1", &stats(0, 1, 0), Timestamp::new(1, 0))
+            .unwrap();
         assert_eq!(s.history("obj1", 10).len(), 1);
         s.delete_object_stats("obj1");
         assert!(s.history("obj1", 10).is_empty());
@@ -381,7 +399,8 @@ mod tests {
     #[test]
     fn statistics_survive_datacenter_failure() {
         let s = store();
-        s.record_period("obj1", &stats(0, 3, 1), Timestamp::new(1, 0)).unwrap();
+        s.record_period("obj1", &stats(0, 3, 1), Timestamp::new(1, 0))
+            .unwrap();
         // Local datacenter goes down; history is served by the replica.
         s.database().nodes()[0].set_up(false);
         let history = s.history("obj1", 10);

@@ -121,8 +121,8 @@ impl NoSqlNode {
             return Vec::new();
         }
         let keep = col.pop().expect("non-empty column");
-        let removed = std::mem::replace(col, vec![keep]);
-        removed
+
+        std::mem::replace(col, vec![keep])
     }
 
     /// Deletes a whole row. Returns `true` if it existed.
@@ -203,7 +203,12 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let n = node();
-        assert!(n.put("row1", "file_meta", json!({"size": 42}), Timestamp::new(1, 0)));
+        assert!(n.put(
+            "row1",
+            "file_meta",
+            json!({"size": 42}),
+            Timestamp::new(1, 0)
+        ));
         let cell = n.get_latest("row1", "file_meta").unwrap();
         assert_eq!(cell.value["size"], 42);
         assert!(n.get_latest("row1", "missing").is_none());

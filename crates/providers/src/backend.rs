@@ -178,8 +178,9 @@ impl ObjectStore for SimulatedStore {
 
         state.meter.record_put(new_size);
         if let Some(old) = state.objects.insert(key.to_string(), data) {
-            state.stored_bytes =
-                state.stored_bytes.saturating_sub(ByteSize::from_bytes(old.len() as u64));
+            state.stored_bytes = state
+                .stored_bytes
+                .saturating_sub(ByteSize::from_bytes(old.len() as u64));
         }
         state.stored_bytes += new_size;
         Ok(())
@@ -190,7 +191,9 @@ impl ObjectStore for SimulatedStore {
         self.check_up(&state)?;
         match state.objects.get(key).cloned() {
             Some(data) => {
-                state.meter.record_get(ByteSize::from_bytes(data.len() as u64));
+                state
+                    .meter
+                    .record_get(ByteSize::from_bytes(data.len() as u64));
                 Ok(data)
             }
             None => {
@@ -208,8 +211,9 @@ impl ObjectStore for SimulatedStore {
         self.check_up(&state)?;
         state.meter.record_delete();
         if let Some(old) = state.objects.remove(key) {
-            state.stored_bytes =
-                state.stored_bytes.saturating_sub(ByteSize::from_bytes(old.len() as u64));
+            state.stored_bytes = state
+                .stored_bytes
+                .saturating_sub(ByteSize::from_bytes(old.len() as u64));
         }
         Ok(())
     }

@@ -14,12 +14,19 @@ use parking_lot::RwLock;
 use scalia_types::ids::ProviderId;
 use scalia_types::zone::{Zone, ZoneSet};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A thread-safe, mutable catalog of storage providers.
+///
+/// Every mutation (registration, deregistration, availability marking)
+/// bumps a monotonically increasing [`version`](Self::version); consumers
+/// that cache placement decisions key them by this version so any catalog
+/// change invalidates the cache.
 #[derive(Debug, Default)]
 pub struct ProviderCatalog {
     inner: RwLock<CatalogInner>,
+    version: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -41,6 +48,16 @@ impl ProviderCatalog {
         Arc::new(Self::new())
     }
 
+    /// The current catalog version: bumped by every mutation. Placement
+    /// caches key their entries by this value.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::SeqCst);
+    }
+
     /// Registers a provider described by a closure that receives the id the
     /// catalog assigned. Returns the assigned id.
     pub fn register_with(
@@ -52,6 +69,8 @@ impl ProviderCatalog {
         inner.next_id += 1;
         let descriptor = build(id);
         inner.providers.insert(id, descriptor);
+        drop(inner);
+        self.bump_version();
         id
     }
 
@@ -69,7 +88,10 @@ impl ProviderCatalog {
     pub fn deregister(&self, id: ProviderId) -> Option<ProviderDescriptor> {
         let mut inner = self.inner.write();
         inner.unavailable.remove(&id);
-        inner.providers.remove(&id)
+        let removed = inner.providers.remove(&id);
+        drop(inner);
+        self.bump_version();
+        removed
     }
 
     /// Returns the descriptor of a provider.
@@ -108,29 +130,30 @@ impl ProviderCatalog {
     /// Marks a provider unreachable (start of a transient outage).
     pub fn mark_unavailable(&self, id: ProviderId) {
         self.inner.write().unavailable.insert(id, true);
+        self.bump_version();
     }
 
     /// Marks a provider reachable again (outage over).
     pub fn mark_available(&self, id: ProviderId) {
         self.inner.write().unavailable.remove(&id);
+        self.bump_version();
     }
 
     /// Returns `true` if the provider is currently reachable.
     pub fn is_available(&self, id: ProviderId) -> bool {
         let inner = self.inner.read();
-        inner.providers.contains_key(&id)
-            && !inner.unavailable.get(&id).copied().unwrap_or(false)
+        inner.providers.contains_key(&id) && !inner.unavailable.get(&id).copied().unwrap_or(false)
     }
 
     /// Builds the paper's Fig. 3 catalog: S3(h), S3(l), Rackspace CloudFiles,
     /// Microsoft Azure and Google Storage, with their exact prices and SLAs.
     pub fn paper_catalog() -> Arc<Self> {
         let catalog = Self::shared();
-        catalog.register_with(|id| s3_high(id));
-        catalog.register_with(|id| s3_low(id));
-        catalog.register_with(|id| rackspace(id));
-        catalog.register_with(|id| azure(id));
-        catalog.register_with(|id| google(id));
+        catalog.register_with(s3_high);
+        catalog.register_with(s3_low);
+        catalog.register_with(rackspace);
+        catalog.register_with(azure);
+        catalog.register_with(google);
         catalog
     }
 }
@@ -282,6 +305,23 @@ mod tests {
         catalog.mark_available(s3l_id);
         assert!(catalog.is_available(s3l_id));
         assert_eq!(catalog.available().len(), 5);
+    }
+
+    #[test]
+    fn every_mutation_bumps_the_version() {
+        let catalog = ProviderCatalog::new();
+        let v0 = catalog.version();
+        let id = catalog.register_with(cheapstor);
+        let v1 = catalog.version();
+        assert!(v1 > v0, "register must bump the version");
+        catalog.mark_unavailable(id);
+        let v2 = catalog.version();
+        assert!(v2 > v1, "outage must bump the version");
+        catalog.mark_available(id);
+        let v3 = catalog.version();
+        assert!(v3 > v2, "recovery must bump the version");
+        catalog.deregister(id);
+        assert!(catalog.version() > v3, "deregister must bump the version");
     }
 
     #[test]

@@ -47,10 +47,7 @@ impl OutageSchedule {
 
     /// Returns `true` if the provider is reachable at `time`.
     pub fn is_up(&self, time: SimTime) -> bool {
-        !self
-            .windows
-            .iter()
-            .any(|w| time >= w.start && time < w.end)
+        !self.windows.iter().any(|w| time >= w.start && time < w.end)
     }
 
     /// Returns `true` if the provider is down at `time`.
@@ -103,7 +100,10 @@ mod tests {
         assert!(s.is_down(SimTime::from_hours(15)));
         assert!(s.is_up(SimTime::from_hours(25)));
         assert!(s.is_down(SimTime::from_hours(35)));
-        assert_eq!(s.next_transition(SimTime::ZERO), Some(SimTime::from_hours(10)));
+        assert_eq!(
+            s.next_transition(SimTime::ZERO),
+            Some(SimTime::from_hours(10))
+        );
         assert_eq!(
             s.next_transition(SimTime::from_hours(10)),
             Some(SimTime::from_hours(20))

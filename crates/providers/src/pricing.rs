@@ -96,7 +96,10 @@ mod tests {
     fn zero_usage_costs_nothing() {
         let p = PricingPolicy::from_dollars(0.14, 0.1, 0.15, 0.01);
         assert_eq!(p.cost(&ResourceUsage::ZERO), Money::ZERO);
-        assert_eq!(PricingPolicy::free().cost(&ResourceUsage::operations(1000)), Money::ZERO);
+        assert_eq!(
+            PricingPolicy::free().cost(&ResourceUsage::operations(1000)),
+            Money::ZERO
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl SignedRequest {
 
     /// Verifies the signature under `token`.
     pub fn verify(&self, token: &[u8]) -> bool {
-        let expected = hmac_md5(token, &Self::message(&self.operation, &self.key, self.timestamp));
+        let expected = hmac_md5(
+            token,
+            &Self::message(&self.operation, &self.key, self.timestamp),
+        );
         expected == self.signature
     }
 }
@@ -72,7 +75,11 @@ impl PrivateResource {
     /// The descriptor should carry a capacity (see
     /// [`ProviderDescriptor::private`]); requests older than `max_skew` are
     /// rejected as replays.
-    pub fn new(descriptor: ProviderDescriptor, token: impl Into<Vec<u8>>, max_skew: Duration) -> Self {
+    pub fn new(
+        descriptor: ProviderDescriptor,
+        token: impl Into<Vec<u8>>,
+        max_skew: Duration,
+    ) -> Self {
         PrivateResource {
             store: SimulatedStore::new(descriptor),
             token: token.into(),
@@ -150,7 +157,11 @@ mod tests {
             ZoneSet::of(&[Zone::EU]),
             ByteSize::from_mb(1),
         );
-        PrivateResource::new(descriptor, b"secret-token".to_vec(), Duration::from_hours(1))
+        PrivateResource::new(
+            descriptor,
+            b"secret-token".to_vec(),
+            Duration::from_hours(1),
+        )
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the criterion API
+//! subset the workspace benches use (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `black_box`, the `criterion_group!`
+//! / `criterion_main!` macros). Each benchmark is warmed up and then timed
+//! over a fixed budget; the mean and best per-iteration times are printed.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark. Overridable via the
+/// `CRITERION_SHIM_BUDGET_MS` environment variable.
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report("", id);
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    group: String,
+}
+
+impl BenchmarkGroup {
+    /// Sample-size hint (accepted for API compatibility; the shim's budget
+    /// is time-based).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Throughput annotation (accepted for API compatibility).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IdLike, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&self.group, &id.render());
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IdLike,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        bencher.report(&self.group, &id.render());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput annotation, mirroring criterion's.
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier with an optional parameter.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`BenchmarkId` or a plain string).
+pub trait IdLike {
+    /// Rendered label.
+    fn render(&self) -> String;
+}
+
+impl IdLike for BenchmarkId {
+    fn render(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl IdLike for &str {
+    fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl IdLike for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+/// Timing collector passed to the benchmark closure.
+#[derive(Default)]
+pub struct Bencher {
+    mean_ns: f64,
+    best_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then looping until the time
+    /// budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration cost estimate.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let first = warmup_start.elapsed();
+        // Batch size targeting ~1ms per batch so Instant overhead vanishes.
+        let batch = (Duration::from_millis(1).as_nanos() / first.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+
+        let budget = budget();
+        let run_start = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut best = f64::INFINITY;
+        while run_start.elapsed() < budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            total += elapsed;
+            iters += batch;
+            let per_iter = elapsed.as_nanos() as f64 / batch as f64;
+            if per_iter < best {
+                best = per_iter;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        self.best_ns = best;
+        self.iters = iters;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        if self.iters == 0 {
+            println!("  {label:<44} (not measured)");
+        } else {
+            println!(
+                "  {label:<44} mean {:>12} best {:>12} ({} iters)",
+                fmt_ns(self.mean_ns),
+                fmt_ns(self.best_ns),
+                self.iters
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        std::env::set_var("CRITERION_SHIM_BUDGET_MS", "5");
+        let mut c = Criterion;
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .throughput(Throughput::Bytes(1))
+            .bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| black_box(1 + 1)))
+            .bench_with_input(BenchmarkId::new("g", 2), &3, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 + 2)));
+    }
+}

@@ -1,0 +1,99 @@
+//! Offline shim for `rayon`.
+//!
+//! Provides `par_iter()` / `into_par_iter()` entry points that return a
+//! plain sequential iterator wrapper. Semantics are identical to rayon's
+//! for the pure map/flat-map/for-each pipelines this workspace runs; only
+//! the parallel speed-up is absent (acceptable for an offline build).
+
+/// Sequential stand-in for a rayon parallel iterator.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// rayon's `flat_map_iter`: flat-map with a serial inner iterator.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+}
+
+/// `prelude::*` imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// By-value conversion into a (sequential) "parallel" iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Underlying iterator type.
+    type IntoIter: Iterator<Item = Self::Item>;
+    /// Converts `self` into the iterator.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type IntoIter = T::IntoIter;
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// By-reference conversion into a (sequential) "parallel" iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type (a reference).
+    type Item;
+    /// Underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterates over `&self`.
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoIterator,
+{
+    type Item = <&'data T as IntoIterator>::Item;
+    type Iter = <&'data T as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn par_iter_pipelines() {
+        let v = vec![(1, vec!["a"]), (2, vec!["b", "c"])];
+        let flat: Vec<&str> = v
+            .par_iter()
+            .flat_map_iter(|(_, s)| s.iter().copied())
+            .collect();
+        assert_eq!(flat, vec!["a", "b", "c"]);
+
+        let mut m = BTreeMap::new();
+        m.insert("k", 1);
+        let pairs: Vec<(&str, i32)> = m.into_par_iter().map(|(k, v)| (k, v * 2)).collect();
+        assert_eq!(pairs, vec![("k", 2)]);
+
+        let mut sum = 0;
+        [1, 2, 3].par_iter().for_each(|x| sum += x);
+        assert_eq!(sum, 6);
+    }
+}

@@ -124,8 +124,7 @@ pub fn run_policy(
             }
             let history = histories.entry(obj.id.clone()).or_default();
 
-            let Some(placement) =
-                policy.placement_for(obj, period, &available, history, demand)
+            let Some(placement) = policy.placement_for(obj, period, &available, history, demand)
             else {
                 feasible = false;
                 continue;
@@ -136,8 +135,7 @@ pub fn run_policy(
             let previous = placements.get(&obj.id);
             match previous {
                 None => {
-                    sample.bw_in_gb +=
-                        obj.size.as_gb() * placement.n() as f64 / placement.m as f64;
+                    sample.bw_in_gb += obj.size.as_gb() * placement.n() as f64 / placement.m as f64;
                 }
                 Some(prev) if !prev.same_as(&placement) => {
                     migrations += 1;
@@ -157,8 +155,7 @@ pub fn run_policy(
                         .iter()
                         .filter(|p| !prev.providers.iter().any(|q| q.name == p.name))
                         .count();
-                    sample.bw_in_gb +=
-                        obj.size.as_gb() * moved as f64 / placement.m as f64;
+                    sample.bw_in_gb += obj.size.as_gb() * moved as f64 / placement.m as f64;
                 }
                 _ => {}
             }
@@ -302,7 +299,9 @@ mod tests {
     fn scalia_tracks_the_ideal_closely_on_a_spike() {
         // A small Slashdot-like workload.
         let mut reads = vec![0u64; 24];
-        reads.extend([20, 60, 120, 150, 148, 146, 140, 120, 100, 80, 60, 40, 20, 10, 5, 0]);
+        reads.extend([
+            20, 60, 120, 150, 148, 146, 140, 120, 100, 80, 60, 40, 20, 10, 5, 0,
+        ]);
         reads.extend(vec![0u64; 8]);
         let workload = simple_workload(&reads);
         let providers = catalog();
@@ -315,7 +314,10 @@ mod tests {
         assert!(scalia_run.feasible);
         assert!(scalia_run.total_cost >= ideal_run.total_cost);
         let over = scalia_run.total_cost.percent_over(ideal_run.total_cost);
-        assert!(over < 20.0, "Scalia should stay near the ideal, got {over:.2}%");
+        assert!(
+            over < 20.0,
+            "Scalia should stay near the ideal, got {over:.2}%"
+        );
 
         // And Scalia must beat the worst static choice.
         let mut worst: Option<Money> = None;

@@ -71,9 +71,11 @@ pub fn run_cost_comparison(
     workload: &Workload,
     catalog: &[ProviderDescriptor],
 ) -> ExperimentResult {
-    run_cost_comparison_with(workload, catalog, ScaliaPolicy::new(
-        workload.sampling_period.as_hours(),
-    ))
+    run_cost_comparison_with(
+        workload,
+        catalog,
+        ScaliaPolicy::new(workload.sampling_period.as_hours()),
+    )
 }
 
 /// Same as [`run_cost_comparison`] but with a custom (e.g. ablated) Scalia
@@ -159,7 +161,11 @@ pub fn format_cumulative_costs(runs: &[&PolicyRun]) -> String {
         out.push_str(&format!("\t{}", run.name));
     }
     out.push('\n');
-    let periods = runs.iter().map(|r| r.cumulative_cost.len()).max().unwrap_or(0);
+    let periods = runs
+        .iter()
+        .map(|r| r.cumulative_cost.len())
+        .max()
+        .unwrap_or(0);
     for period in 0..periods {
         out.push_str(&format!("{period}"));
         for run in runs {
@@ -203,7 +209,10 @@ mod tests {
             worst
         );
         assert!(result.scalia_over_cost() < 10.0);
-        assert!(worst > 5.0, "the worst static placement should be clearly bad");
+        assert!(
+            worst > 5.0,
+            "the worst static placement should be clearly bad"
+        );
         // The table contains Scalia as its last row.
         assert_eq!(result.outcomes.last().unwrap().name, "Scalia");
         // Formatting produces one line per outcome plus two header lines.

@@ -309,9 +309,9 @@ impl PlacementPolicy for ScaliaPolicy {
                 let rule = &obj.rule;
                 let size = obj.size;
                 let period_hours = self.period_hours;
-                let upper = sampling.times(history.len().max(1) as u64).max(
-                    sampling.times(self.default_decision_periods as u64),
-                );
+                let upper = sampling
+                    .times(history.len().max(1) as u64)
+                    .max(sampling.times(self.default_decision_periods as u64));
                 controller.on_optimization(upper, |window| {
                     let periods = window.periods(sampling).max(1) as usize;
                     let usage = PredictedUsage::from_history(size, history, periods, period_hours);
@@ -330,8 +330,7 @@ impl PlacementPolicy for ScaliaPolicy {
                 };
                 self.decision_periods(&temp_state)
             };
-            let usage =
-                PredictedUsage::from_history(obj.size, history, periods, self.period_hours);
+            let usage = PredictedUsage::from_history(obj.size, history, periods, self.period_hours);
             if let Ok(decision) = self.engine.best_placement(&obj.rule, &usage, available) {
                 let current_still_valid = !placement_broken;
                 let current_cost = if current_still_valid {
@@ -417,14 +416,25 @@ mod tests {
         let all = catalog();
         let mut policy = StaticSetPolicy::new("S3(h)-S3(l)", &all[..2]);
         let placement = policy
-            .placement_for(&obj(), 0, &all, &AccessHistory::default(), PeriodDemand::default())
+            .placement_for(
+                &obj(),
+                0,
+                &all,
+                &AccessHistory::default(),
+                PeriodDemand::default(),
+            )
             .unwrap();
         assert_eq!(placement.providers.len(), 2);
         assert!(placement.providers.iter().all(|p| p.name.starts_with("S3")));
         // During an outage of S3(l) the set shrinks and m is recomputed.
         let without_s3l: Vec<_> = all.iter().filter(|p| p.name != "S3(l)").cloned().collect();
-        let shrunk = policy
-            .placement_for(&obj(), 1, &without_s3l, &AccessHistory::default(), PeriodDemand::default());
+        let shrunk = policy.placement_for(
+            &obj(),
+            1,
+            &without_s3l,
+            &AccessHistory::default(),
+            PeriodDemand::default(),
+        );
         // A single 99.9 provider cannot meet 99.99 availability → infeasible.
         assert!(shrunk.is_none());
     }
@@ -435,7 +445,13 @@ mod tests {
         let mut policy = IdealPolicy::new();
         assert!(!policy.charges_migration());
         let cold = policy
-            .placement_for(&obj(), 0, &all, &AccessHistory::default(), PeriodDemand::default())
+            .placement_for(
+                &obj(),
+                0,
+                &all,
+                &AccessHistory::default(),
+                PeriodDemand::default(),
+            )
             .unwrap();
         let hot = policy
             .placement_for(
@@ -443,7 +459,10 @@ mod tests {
                 1,
                 &all,
                 &AccessHistory::default(),
-                PeriodDemand { reads: 200, writes: 0 },
+                PeriodDemand {
+                    reads: 200,
+                    writes: 0,
+                },
             )
             .unwrap();
         // Hot periods push the oracle towards mirroring on cheap-read
@@ -457,11 +476,26 @@ mod tests {
         let all = catalog();
         let mut policy = ScaliaPolicy::new(1.0);
         let first = policy
-            .placement_for(&obj(), 0, &all, &AccessHistory::default(), PeriodDemand::default())
+            .placement_for(
+                &obj(),
+                0,
+                &all,
+                &AccessHistory::default(),
+                PeriodDemand::default(),
+            )
             .unwrap();
         let steady = history_with_reads(&[3, 3, 3, 3, 3, 3]);
         let later = policy
-            .placement_for(&obj(), 6, &all, &steady, PeriodDemand { reads: 3, writes: 0 })
+            .placement_for(
+                &obj(),
+                6,
+                &all,
+                &steady,
+                PeriodDemand {
+                    reads: 3,
+                    writes: 0,
+                },
+            )
             .unwrap();
         assert!(first.same_as(&later), "no trend change → no migration");
     }
@@ -471,13 +505,28 @@ mod tests {
         let all = catalog();
         let mut policy = ScaliaPolicy::new(1.0);
         let first = policy
-            .placement_for(&obj(), 0, &all, &AccessHistory::default(), PeriodDemand::default())
+            .placement_for(
+                &obj(),
+                0,
+                &all,
+                &AccessHistory::default(),
+                PeriodDemand::default(),
+            )
             .unwrap();
         assert!(first.m > 1, "cold placement is striped");
         // A ramp ending in heavy traffic.
         let spike = history_with_reads(&[0, 0, 0, 0, 0, 20, 80, 150]);
         let hot = policy
-            .placement_for(&obj(), 8, &all, &spike, PeriodDemand { reads: 150, writes: 0 })
+            .placement_for(
+                &obj(),
+                8,
+                &all,
+                &spike,
+                PeriodDemand {
+                    reads: 150,
+                    writes: 0,
+                },
+            )
             .unwrap();
         assert_eq!(hot.m, 1, "hot object should be mirrored");
         assert!(!hot.same_as(&first));
@@ -488,13 +537,28 @@ mod tests {
         let all = catalog();
         let mut policy = ScaliaPolicy::new(1.0);
         let first = policy
-            .placement_for(&obj(), 0, &all, &AccessHistory::default(), PeriodDemand::default())
+            .placement_for(
+                &obj(),
+                0,
+                &all,
+                &AccessHistory::default(),
+                PeriodDemand::default(),
+            )
             .unwrap();
         let victim = first.providers[0].name.clone();
         let remaining: Vec<_> = all.iter().filter(|p| p.name != victim).cloned().collect();
         let steady = history_with_reads(&[1, 1, 1]);
         let repaired = policy
-            .placement_for(&obj(), 3, &remaining, &steady, PeriodDemand { reads: 1, writes: 0 })
+            .placement_for(
+                &obj(),
+                3,
+                &remaining,
+                &steady,
+                PeriodDemand {
+                    reads: 1,
+                    writes: 0,
+                },
+            )
             .unwrap();
         assert!(repaired.providers.iter().all(|p| p.name != victim));
     }
@@ -514,7 +578,13 @@ mod tests {
         backup.rule = backup.rule.with_lockin(0.5);
         for policy in [&mut ungated, &mut gated] {
             policy
-                .placement_for(&backup, 0, &all, &AccessHistory::default(), PeriodDemand::default())
+                .placement_for(
+                    &backup,
+                    0,
+                    &all,
+                    &AccessHistory::default(),
+                    PeriodDemand::default(),
+                )
                 .unwrap();
         }
         // CheapStor arrives.
@@ -527,14 +597,20 @@ mod tests {
             .placement_for(&backup, 800, &extended, &quiet, PeriodDemand::default())
             .unwrap();
         assert!(
-            after_ungated.providers.iter().any(|p| p.name == "CheapStor"),
+            after_ungated
+                .providers
+                .iter()
+                .any(|p| p.name == "CheapStor"),
             "recomputed optimum must adopt the cheaper provider: {}",
             after_ungated.label()
         );
         let after_gated = gated
             .placement_for(&backup, 800, &extended, &quiet, PeriodDemand::default())
             .unwrap();
-        assert!(after_gated.providers.len() >= 2, "gated placement stays feasible");
+        assert!(
+            after_gated.providers.len() >= 2,
+            "gated placement stays feasible"
+        );
         // Brand-new objects written after the arrival adopt CheapStor even
         // with the gate (no migration needed for them).
         let mut fresh = obj();
@@ -542,7 +618,13 @@ mod tests {
         fresh.size = ByteSize::from_mb(40);
         fresh.rule = fresh.rule.with_lockin(0.5);
         let first = gated
-            .placement_for(&fresh, 801, &extended, &AccessHistory::default(), PeriodDemand::default())
+            .placement_for(
+                &fresh,
+                801,
+                &extended,
+                &AccessHistory::default(),
+                PeriodDemand::default(),
+            )
             .unwrap();
         assert!(first.providers.iter().any(|p| p.name == "CheapStor"));
     }
@@ -554,19 +636,49 @@ mod tests {
         let mut gated = ScaliaPolicy::new(1.0);
         let spike = history_with_reads(&[0, 0, 0, 5, 6, 7]);
         let a = always_migrate
-            .placement_for(&obj(), 0, &all, &AccessHistory::default(), PeriodDemand::default())
+            .placement_for(
+                &obj(),
+                0,
+                &all,
+                &AccessHistory::default(),
+                PeriodDemand::default(),
+            )
             .unwrap();
         let b = gated
-            .placement_for(&obj(), 0, &all, &AccessHistory::default(), PeriodDemand::default())
+            .placement_for(
+                &obj(),
+                0,
+                &all,
+                &AccessHistory::default(),
+                PeriodDemand::default(),
+            )
             .unwrap();
         assert!(a.same_as(&b), "first placements agree");
         // With a mild trend change the un-gated policy may move while the
         // gated one stays (migration not worth it for a tiny object).
         let a2 = always_migrate
-            .placement_for(&obj(), 6, &all, &spike, PeriodDemand { reads: 7, writes: 0 })
+            .placement_for(
+                &obj(),
+                6,
+                &all,
+                &spike,
+                PeriodDemand {
+                    reads: 7,
+                    writes: 0,
+                },
+            )
             .unwrap();
         let b2 = gated
-            .placement_for(&obj(), 6, &all, &spike, PeriodDemand { reads: 7, writes: 0 })
+            .placement_for(
+                &obj(),
+                6,
+                &all,
+                &spike,
+                PeriodDemand {
+                    reads: 7,
+                    writes: 0,
+                },
+            )
             .unwrap();
         // Both must still be feasible placements.
         assert!(a2.m >= 1 && b2.m >= 1);

@@ -239,14 +239,17 @@ mod tests {
     fn adding_provider_schedules_cheapstor_arrival() {
         let w = adding_provider();
         assert_eq!(w.periods, 672);
-        assert_eq!(w.objects.len(), (672 + 4) / 5);
+        assert_eq!(w.objects.len(), 672usize.div_ceil(5));
         assert!(matches!(
             w.events[0],
             ProviderEvent::Arrival { period: 400, .. }
         ));
         // Objects keep accumulating (backups are never deleted).
         assert!(w.objects.iter().all(|o| o.deleted_period.is_none()));
-        assert_eq!(w.bytes_stored_at(671).bytes(), w.objects.len() as u64 * 40_000_000);
+        assert_eq!(
+            w.bytes_stored_at(671).bytes(),
+            w.objects.len() as u64 * 40_000_000
+        );
     }
 
     #[test]

@@ -60,8 +60,7 @@ impl WorkloadObject {
     /// Returns `true` if the object exists (has been created and not yet
     /// deleted) during `period`.
     pub fn alive_at(&self, period: u64) -> bool {
-        period >= self.created_period
-            && self.deleted_period.map(|d| period < d).unwrap_or(true)
+        period >= self.created_period && self.deleted_period.map(|d| period < d).unwrap_or(true)
     }
 }
 
@@ -210,7 +209,13 @@ mod tests {
 
     #[test]
     fn demand_respects_lifetime() {
-        let demand = vec![PeriodDemand { reads: 5, writes: 0 }; 10];
+        let demand = vec![
+            PeriodDemand {
+                reads: 5,
+                writes: 0
+            };
+            10
+        ];
         let o = object(2, Some(6), demand);
         assert_eq!(o.demand_at(0).reads, 0);
         assert_eq!(o.demand_at(2).reads, 5);
@@ -227,8 +232,28 @@ mod tests {
         let w = Workload {
             name: "t".into(),
             objects: vec![
-                object(0, None, vec![PeriodDemand { reads: 2, writes: 0 }; 3]),
-                object(1, None, vec![PeriodDemand { reads: 1, writes: 0 }; 3]),
+                object(
+                    0,
+                    None,
+                    vec![
+                        PeriodDemand {
+                            reads: 2,
+                            writes: 0
+                        };
+                        3
+                    ],
+                ),
+                object(
+                    1,
+                    None,
+                    vec![
+                        PeriodDemand {
+                            reads: 1,
+                            writes: 0
+                        };
+                        3
+                    ],
+                ),
             ],
             periods: 3,
             sampling_period: Duration::HOUR,
@@ -245,7 +270,10 @@ mod tests {
         assert_eq!(visits.len(), 168);
         let total: f64 = visits.iter().sum();
         // ~2500/day over 7 days, within noise.
-        assert!(total > 7.0 * 2500.0 * 0.8 && total < 7.0 * 2500.0 * 1.2, "total = {total}");
+        assert!(
+            total > 7.0 * 2500.0 * 0.8 && total < 7.0 * 2500.0 * 1.2,
+            "total = {total}"
+        );
         // Peak hours carry far more traffic than the quietest hours.
         let day: Vec<f64> = visits[..24].to_vec();
         let max = day.iter().cloned().fold(0.0f64, f64::max);

@@ -59,10 +59,7 @@ pub fn md5(data: &[u8]) -> [u8; 16] {
                 32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
                 _ => (c ^ (b | !d), (7 * i) % 16),
             };
-            let f = f
-                .wrapping_add(a)
-                .wrapping_add(K[i])
-                .wrapping_add(m[g]);
+            let f = f.wrapping_add(a).wrapping_add(K[i]).wrapping_add(m[g]);
             a = d;
             d = c;
             c = b;
@@ -129,7 +126,10 @@ mod tests {
         assert_eq!(md5_hex(b""), "d41d8cd98f00b204e9800998ecf8427e");
         assert_eq!(md5_hex(b"a"), "0cc175b9c0f1b6a831c399e269772661");
         assert_eq!(md5_hex(b"abc"), "900150983cd24fb0d6963f7d28e17f72");
-        assert_eq!(md5_hex(b"message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+        assert_eq!(
+            md5_hex(b"message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0"
+        );
         assert_eq!(
             md5_hex(b"abcdefghijklmnopqrstuvwxyz"),
             "c3fcd3d76192e4007dfb496cca67e13b"
@@ -170,7 +170,10 @@ mod tests {
         let digest = hmac_md5(b"Jefe", b"what do ya want for nothing?");
         assert_eq!(hex(&digest), "750c783e6ab0b503eaa86e310a5db738");
 
-        let digest = hmac_md5(&[0xaa; 80], b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let digest = hmac_md5(
+            &[0xaa; 80],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(hex(&digest), "6b1ab7fe4bd7bf8f0b62e6ce61b9d0cd");
     }
 

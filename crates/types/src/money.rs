@@ -20,7 +20,9 @@ pub const MICROS_PER_DOLLAR: i64 = 1_000_000;
 pub const NANOS_PER_DOLLAR: i64 = 1_000_000_000;
 
 /// A monetary amount, stored in nano-dollars (10⁻⁹ USD).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Money(i64);
 
 impl Money {
@@ -240,7 +242,7 @@ mod tests {
 
     #[test]
     fn sum_and_ordering() {
-        let v = vec![
+        let v = [
             Money::from_dollars(0.1),
             Money::from_dollars(0.2),
             Money::from_dollars(0.3),
@@ -260,6 +262,9 @@ mod tests {
 
     #[test]
     fn saturating_add_does_not_overflow() {
-        assert_eq!(Money::MAX.saturating_add(Money::from_dollars(1.0)), Money::MAX);
+        assert_eq!(
+            Money::MAX.saturating_add(Money::from_dollars(1.0)),
+            Money::MAX
+        );
     }
 }

@@ -55,18 +55,20 @@ impl fmt::Display for ObjectKey {
 pub struct ObjectVersionId(pub u128);
 
 impl serde::Serialize for ObjectVersionId {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+    fn serialize(&self) -> serde::Value {
         // JSON numbers cannot hold 128 bits; serialise as a hex string.
-        serializer.serialize_str(&self.to_hex())
+        serde::Value::String(self.to_hex())
     }
 }
 
-impl<'de> serde::Deserialize<'de> for ObjectVersionId {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let hex = String::deserialize(deserializer)?;
-        u128::from_str_radix(&hex, 16)
+impl serde::Deserialize for ObjectVersionId {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let hex = value
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected hex string version id"))?;
+        u128::from_str_radix(hex, 16)
             .map(ObjectVersionId)
-            .map_err(serde::de::Error::custom)
+            .map_err(serde::Error::custom)
     }
 }
 
@@ -183,9 +185,15 @@ mod tests {
         assert_eq!(k.row_key(), md5::md5_hex(b"pictures|myvacation.gif"));
         assert_eq!(k.row_key().len(), 32);
         // Deterministic.
-        assert_eq!(k.row_key(), ObjectKey::new("pictures", "myvacation.gif").row_key());
+        assert_eq!(
+            k.row_key(),
+            ObjectKey::new("pictures", "myvacation.gif").row_key()
+        );
         // Different keys yield different rows.
-        assert_ne!(k.row_key(), ObjectKey::new("pictures", "other.gif").row_key());
+        assert_ne!(
+            k.row_key(),
+            ObjectKey::new("pictures", "other.gif").row_key()
+        );
     }
 
     #[test]
@@ -242,6 +250,9 @@ mod tests {
 
     #[test]
     fn object_key_display() {
-        assert_eq!(ObjectKey::new("pictures", "a.gif").to_string(), "pictures/a.gif");
+        assert_eq!(
+            ObjectKey::new("pictures", "a.gif").to_string(),
+            "pictures/a.gif"
+        );
     }
 }

@@ -73,11 +73,7 @@ impl SimTime {
     /// The index of the sampling period containing this instant, for the
     /// given sampling period length.
     pub fn period_index(self, sampling_period: Duration) -> u64 {
-        if sampling_period.0 == 0 {
-            0
-        } else {
-            self.0 / sampling_period.0
-        }
+        self.0.checked_div(sampling_period.0).unwrap_or(0)
     }
 }
 
@@ -127,11 +123,7 @@ impl Duration {
     /// Number of whole sampling periods of length `period` that fit in this
     /// duration (at least one if the duration is non-zero).
     pub fn periods(self, period: Duration) -> u64 {
-        if period.0 == 0 {
-            0
-        } else {
-            self.0 / period.0
-        }
+        self.0.checked_div(period.0).unwrap_or(0)
     }
 
     /// Halves the duration (integer seconds), used by the dichotomic decision

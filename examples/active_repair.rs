@@ -28,7 +28,13 @@ fn main() {
         .collect();
     for key in &keys {
         cluster
-            .put(key, vec![9u8; 400_000], "application/x-tar", rule.clone(), None)
+            .put(
+                key,
+                vec![9u8; 400_000],
+                "application/x-tar",
+                rule.clone(),
+                None,
+            )
             .unwrap();
     }
     cluster.tick(SimTime::from_hours(60));

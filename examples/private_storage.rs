@@ -25,9 +25,19 @@ fn main() {
         Duration::from_hours(1),
     );
 
-    let put = SignedRequest::sign(b"corp-private-token", "PUT", "finance/q2.xlsx", SimTime::ZERO);
+    let put = SignedRequest::sign(
+        b"corp-private-token",
+        "PUT",
+        "finance/q2.xlsx",
+        SimTime::ZERO,
+    );
     nas.put(&put, Bytes::from(vec![1u8; 100_000])).unwrap();
-    let get = SignedRequest::sign(b"corp-private-token", "GET", "finance/q2.xlsx", SimTime::ZERO);
+    let get = SignedRequest::sign(
+        b"corp-private-token",
+        "GET",
+        "finance/q2.xlsx",
+        SimTime::ZERO,
+    );
     println!("NAS read back {} bytes", nas.get(&get).unwrap().len());
 
     let forged = SignedRequest::sign(b"attacker-token", "GET", "finance/q2.xlsx", SimTime::ZERO);
@@ -49,7 +59,13 @@ fn main() {
     for i in 0..6 {
         let key = ObjectKey::new("archives", format!("box-{i}.tar"));
         let meta = cluster
-            .put(&key, vec![3u8; 8_000_000], "application/x-tar", rule.clone(), None)
+            .put(
+                &key,
+                vec![3u8; 8_000_000],
+                "application/x-tar",
+                rule.clone(),
+                None,
+            )
             .unwrap();
         let names: Vec<String> = meta
             .striping
@@ -57,7 +73,11 @@ fn main() {
             .iter()
             .filter_map(|id| cluster.infra().catalog().get(*id).map(|p| p.name))
             .collect();
-        println!("box-{i}: placed on [{}] m={}", names.join(", "), meta.striping.m);
+        println!(
+            "box-{i}: placed on [{}] m={}",
+            names.join(", "),
+            meta.striping.m
+        );
     }
 
     cluster.tick(SimTime::from_hours(720));

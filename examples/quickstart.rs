@@ -29,7 +29,13 @@ fn main() {
     // Store a photo and a scratch file.
     let photo = ObjectKey::new("photos", "holiday.jpg");
     let meta = cluster
-        .put(&photo, vec![42u8; 512 * 1024], "image/jpeg", photo_rule, None)
+        .put(
+            &photo,
+            vec![42u8; 512 * 1024],
+            "image/jpeg",
+            photo_rule,
+            None,
+        )
         .expect("store photo");
     println!(
         "stored {} ({}) as {} chunks with threshold m={} (any {} rebuild it)",
@@ -51,7 +57,13 @@ fn main() {
 
     let scratch = ObjectKey::new("tmp", "scratch.bin");
     cluster
-        .put(&scratch, vec![7u8; 64 * 1024], "application/octet-stream", scratch_rule, Some(2.0))
+        .put(
+            &scratch,
+            vec![7u8; 64 * 1024],
+            "application/octet-stream",
+            scratch_rule,
+            Some(2.0),
+        )
         .expect("store scratch");
 
     // Read the photo back (twice: the second read is served by the cache).

@@ -63,7 +63,11 @@ fn main() {
     phase(&cluster, 60, &|h| 150u64.saturating_sub(2 * (h - 51)));
     println!("hour 135: traffic gone        {}", label_of(&cluster));
 
-    println!("\ntotal bill after {} hours: {}", hour, cluster.total_cost());
+    println!(
+        "\ntotal bill after {} hours: {}",
+        hour,
+        cluster.total_cost()
+    );
     let report = cluster.run_optimization(false);
     println!(
         "last optimisation procedure: {} object(s) considered, {} migrations",

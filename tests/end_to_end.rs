@@ -1,6 +1,6 @@
-//! Cross-crate integration tests: the full brokerage stack (placement engine
-//! + erasure coding + provider backends + metadata store + caches) driven
-//! through the public `ScaliaCluster` API.
+//! Cross-crate integration tests: the full brokerage stack (placement
+//! engine, erasure coding, provider backends, metadata store and caches)
+//! driven through the public `ScaliaCluster` API.
 
 use scalia::prelude::*;
 
@@ -33,7 +33,10 @@ fn objects_survive_the_full_lifecycle_across_datacenters() {
             .put(key, payload, "application/octet-stream", photo_rule(), None)
             .unwrap();
         assert_eq!(meta.size.bytes(), size as u64);
-        assert!(meta.striping.chunks.len() >= 2, "lock-in 0.5 demands ≥ 2 providers");
+        assert!(
+            meta.striping.chunks.len() >= 2,
+            "lock-in 0.5 demands ≥ 2 providers"
+        );
         assert!(meta.striping.m >= 1);
     }
 
@@ -81,14 +84,24 @@ fn placement_respects_every_rule_dimension() {
         .unwrap();
     for chunk in &meta.striping.chunks {
         let provider = catalog.get(chunk.provider).unwrap();
-        assert!(provider.zones.contains(Zone::EU), "{} is not EU", provider.name);
+        assert!(
+            provider.zones.contains(Zone::EU),
+            "{} is not EU",
+            provider.name
+        );
     }
 
     // A strict lock-in rule (0.2) forces all five providers.
     let lockin_rule = StorageRule::rule3().with_availability(Reliability::from_percent(99.9));
     let key5 = ObjectKey::new("spread", "everything.bin");
     let meta5 = cluster
-        .put(&key5, vec![2u8; 50_000], "application/octet-stream", lockin_rule, None)
+        .put(
+            &key5,
+            vec![2u8; 50_000],
+            "application/octet-stream",
+            lockin_rule,
+            None,
+        )
         .unwrap();
     assert_eq!(meta5.striping.chunks.len(), 5);
 
@@ -101,7 +114,13 @@ fn placement_respects_every_rule_dimension() {
         1.0,
     );
     let err = cluster
-        .put(&ObjectKey::new("x", "y"), vec![0u8; 10], "text/plain", impossible, None)
+        .put(
+            &ObjectKey::new("x", "y"),
+            vec![0u8; 10],
+            "text/plain",
+            impossible,
+            None,
+        )
         .unwrap_err();
     assert!(matches!(err, ScaliaError::NoFeasiblePlacement { .. }));
 }
@@ -112,8 +131,12 @@ fn statistics_pipeline_feeds_the_optimizer() {
     let rule = photo_rule();
     let hot = ObjectKey::new("site", "hot.png");
     let cold = ObjectKey::new("site", "cold.png");
-    cluster.put(&hot, vec![1u8; 100_000], "image/png", rule.clone(), None).unwrap();
-    cluster.put(&cold, vec![1u8; 100_000], "image/png", rule, None).unwrap();
+    cluster
+        .put(&hot, vec![1u8; 100_000], "image/png", rule.clone(), None)
+        .unwrap();
+    cluster
+        .put(&cold, vec![1u8; 100_000], "image/png", rule, None)
+        .unwrap();
     cluster.run_optimization(false);
 
     // Six quiet hours, then the hot object ramps up.
@@ -136,7 +159,10 @@ fn statistics_pipeline_feeds_the_optimizer() {
 
     let report = cluster.run_optimization(false);
     assert!(report.objects_considered >= 1);
-    assert!(report.trend_changes >= 1, "the ramp on the hot object must be detected");
+    assert!(
+        report.trend_changes >= 1,
+        "the ramp on the hot object must be detected"
+    );
     // The cold object's placement must not have been touched.
     let cold_meta = cluster.engine(0).read_metadata(&cold).unwrap();
     assert!(cold_meta.striping.chunks.len() >= 2);
@@ -167,7 +193,13 @@ fn concurrent_clients_through_multiple_engines() {
                 let key = ObjectKey::new("concurrent", format!("t{t}-obj{i}"));
                 let payload = vec![(t * 10 + i) as u8; 10_000 + i * 100];
                 cluster
-                    .put(&key, payload.clone(), "application/octet-stream", rule.clone(), None)
+                    .put(
+                        &key,
+                        payload.clone(),
+                        "application/octet-stream",
+                        rule.clone(),
+                        None,
+                    )
                     .unwrap();
                 let read = cluster.get(&key).unwrap();
                 assert_eq!(read.len(), payload.len());
