@@ -155,7 +155,17 @@ impl Engine {
             striping,
         };
 
-        self.commit_metadata(&meta)?;
+        // Serialise the commit against concurrent puts/deletes/migrations
+        // of the same object so MVCC pruning always sees a settled latest
+        // version. Chunk uploads (above) and deprecated-chunk GC (below)
+        // stay outside the lock — no provider round-trip happens under it.
+        let deprecated = {
+            let _commit = self.infra.lock_row_commit(&meta.row_key());
+            self.commit_metadata(&meta)?
+        };
+        for striping in &deprecated {
+            self.delete_chunks(striping);
+        }
         stats
             .record_object_class(&key.row_key(), class.id(), self.infra.next_timestamp())
             .ok();
@@ -210,9 +220,13 @@ impl Engine {
         })
     }
 
-    /// Writes the metadata version and garbage-collects deprecated versions
-    /// (their chunks are deleted from the providers).
-    fn commit_metadata(&self, meta: &ObjectMeta) -> Result<()> {
+    /// Writes the metadata version and prunes deprecated versions from the
+    /// database. Returns the deprecated versions' stripings: the caller must
+    /// garbage-collect their chunks with [`Self::delete_chunks`] **after**
+    /// releasing the row commit lock — provider round-trips must not happen
+    /// under the lock.
+    #[must_use = "the returned stripings' chunks must be garbage-collected"]
+    fn commit_metadata(&self, meta: &ObjectMeta) -> Result<Vec<StripingMeta>> {
         let row_key = meta.row_key();
         let value = serde_json::to_value(meta)
             .map_err(|e| ScaliaError::Internal(format!("serialize metadata: {e}")))?;
@@ -229,16 +243,14 @@ impl Engine {
         )?;
 
         // MVCC: the freshest version wins; deprecated versions are removed
-        // from the database and their chunks deleted from the providers.
+        // from the database here, their chunks by the caller.
         let deprecated = self.infra.database().prune_old_versions(&row_key, "meta");
-        for cell in deprecated {
-            if let Ok(old_meta) = serde_json::from_value::<ObjectMeta>(cell.value) {
-                if old_meta.version != meta.version {
-                    self.delete_chunks(&old_meta.striping);
-                }
-            }
-        }
-        Ok(())
+        Ok(deprecated
+            .into_iter()
+            .filter_map(|cell| serde_json::from_value::<ObjectMeta>(cell.value).ok())
+            .filter(|old_meta| old_meta.version != meta.version)
+            .map(|old_meta| old_meta.striping)
+            .collect())
     }
 
     // ------------------------------------------------------------------
@@ -246,6 +258,12 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Reads an object, serving it from the cache when possible.
+    ///
+    /// A read races MVCC garbage collection: a concurrent overwrite may
+    /// prune the version whose chunks are being fetched. The read therefore
+    /// retries a bounded number of times with freshly-read metadata before
+    /// giving up — each retry observes a strictly newer version, so the loop
+    /// cannot live-lock.
     pub fn get(&self, key: &ObjectKey) -> Result<Bytes> {
         let row_key = key.row_key();
         if let Some(data) = self.local_cache.get(&row_key) {
@@ -258,11 +276,46 @@ impl Engine {
             return Ok(data);
         }
 
-        let meta = self.read_metadata(key)?;
-        let data = self.fetch_and_reassemble(&meta)?;
-        self.local_cache.put(&row_key, data.clone());
-        self.log_access(key, AccessKind::Read, meta.size, meta.size);
-        Ok(data)
+        const READ_ATTEMPTS: usize = 3;
+        let mut last_err = ScaliaError::ObjectNotFound(key.clone());
+        for _ in 0..READ_ATTEMPTS {
+            let meta = self.read_metadata(key)?;
+            match self.fetch_and_reassemble(&meta) {
+                Ok(data) => {
+                    self.populate_cache_if_current(key, &meta, &data);
+                    self.log_access(key, AccessKind::Read, meta.size, meta.size);
+                    return Ok(data);
+                }
+                // Chunks vanished or failed mid-read: the version was likely
+                // deprecated by a concurrent writer. Re-read and retry.
+                Err(err @ (ScaliaError::NotEnoughChunks { .. } | ScaliaError::DecodeFailed(_))) => {
+                    last_err = err;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Populates the local cache with a freshly-reassembled payload — but
+    /// only if the object is still at the version that was read.
+    ///
+    /// Without the re-check, a slow reader could insert pre-overwrite bytes
+    /// *after* the writer's `invalidate_everywhere`, and the stale entry
+    /// would then be served until the next write of the same key. The
+    /// validate-and-populate runs under the row commit lock, so it cannot
+    /// interleave with a commit: either it completes before the commit (and
+    /// the writer's subsequent invalidation clears the entry) or it observes
+    /// the new version and skips.
+    fn populate_cache_if_current(&self, key: &ObjectKey, meta: &ObjectMeta, data: &Bytes) {
+        let row_key = key.row_key();
+        let _commit = self.infra.lock_row_commit(&row_key);
+        if self
+            .read_metadata(key)
+            .is_ok_and(|current| current.version == meta.version)
+        {
+            self.local_cache.put(&row_key, data.clone());
+        }
     }
 
     /// Reads and deserialises the current metadata version of an object.
@@ -356,8 +409,13 @@ impl Engine {
     /// unreachable providers), folds its lifetime and usage into its class
     /// statistics, and drops its metadata.
     pub fn delete(&self, key: &ObjectKey) -> Result<()> {
-        let meta = self.read_metadata(key)?;
         let row_key = key.row_key();
+        // The metadata mutation runs under the row commit lock (a migration
+        // committing between our read and the row drop would otherwise leak
+        // its freshly-written chunks); the provider-facing chunk deletion
+        // happens after release, like every other call site.
+        let commit_guard = self.infra.lock_row_commit(&row_key);
+        let meta = self.read_metadata(key)?;
         let stats = self.infra.statistics(self.datacenter);
         let timestamp = self.infra.next_timestamp();
 
@@ -375,7 +433,6 @@ impl Engine {
             stats.record_class_usage(class.id(), &mean, timestamp).ok();
         }
 
-        self.delete_chunks(&meta.striping);
         self.infra.database().delete_row(&row_key);
         self.infra.database().put(
             &format!("container:{}", key.container),
@@ -384,6 +441,12 @@ impl Engine {
             self.infra.next_timestamp(),
         )?;
         stats.delete_object_stats(&row_key);
+        drop(commit_guard);
+
+        // Chunk deletion (provider round-trips) after the metadata is gone:
+        // in-flight readers of the old version already tolerate vanishing
+        // chunks, and unreachable providers get a postponed delete.
+        self.delete_chunks(&meta.striping);
         self.invalidate_everywhere(&row_key);
         Ok(())
     }
@@ -413,6 +476,14 @@ impl Engine {
     /// Moves an object to a new placement: reassembles it, re-encodes it for
     /// the new `(m, n)`, writes the new chunks, commits the new metadata
     /// version and deletes the old chunks. Returns the new metadata.
+    ///
+    /// The commit is **conditional** (optimistic concurrency): the re-coded
+    /// payload is only valid for the version that was read, so if a client
+    /// write (or another migration) committed a newer version in the
+    /// meantime, committing ours would silently revert the client's data.
+    /// In that case the freshly-written chunks are rolled back and
+    /// [`ScaliaError::Conflict`] is returned — the optimiser simply skips
+    /// the object; it will be reconsidered next cycle.
     pub fn replace_placement(
         &self,
         key: &ObjectKey,
@@ -423,6 +494,7 @@ impl Engine {
 
         let version = ObjectVersionId::next(&key.row_key());
         let skey = StripingMeta::storage_key(key, version);
+        // Chunk uploads happen outside the commit lock (they may be slow).
         let striping = self.write_chunks(new_placement, &skey, &data)?;
 
         let new_meta = ObjectMeta {
@@ -431,10 +503,51 @@ impl Engine {
             striping,
             ..old_meta.clone()
         };
-        self.commit_metadata(&new_meta)?;
-        // commit_metadata prunes the old version and deletes its chunks.
-        self.invalidate_everywhere(&key.row_key());
-        Ok(new_meta)
+
+        enum CommitOutcome {
+            Committed(Vec<StripingMeta>),
+            Conflicted(ObjectVersionId),
+            Failed(ScaliaError),
+        }
+        // Validate-then-commit under the row lock: the object must still
+        // exist and still be at the version we re-encoded. All chunk
+        // deletions (GC of the old version, or rollback of ours) happen
+        // after the lock is released.
+        let outcome = {
+            let _commit = self.infra.lock_row_commit(&key.row_key());
+            match self.read_metadata(key) {
+                Ok(current) if current.version == old_meta.version => {
+                    match self.commit_metadata(&new_meta) {
+                        Ok(deprecated) => CommitOutcome::Committed(deprecated),
+                        Err(err) => CommitOutcome::Failed(err),
+                    }
+                }
+                Ok(current) => CommitOutcome::Conflicted(current.version),
+                Err(err) => CommitOutcome::Failed(err),
+            }
+        };
+        match outcome {
+            CommitOutcome::Committed(deprecated) => {
+                for striping in &deprecated {
+                    self.delete_chunks(striping);
+                }
+                self.invalidate_everywhere(&key.row_key());
+                Ok(new_meta)
+            }
+            CommitOutcome::Conflicted(current_version) => {
+                // Lost the race: roll back our chunks and report it.
+                self.delete_chunks(&new_meta.striping);
+                Err(ScaliaError::Conflict(format!(
+                    "placement of {key} moved from version {} to {current_version} \
+                     during migration",
+                    old_meta.version
+                )))
+            }
+            CommitOutcome::Failed(err) => {
+                self.delete_chunks(&new_meta.striping);
+                Err(err)
+            }
+        }
     }
 
     /// The access history of an object, as recorded by the statistics

@@ -21,8 +21,20 @@ use scalia_types::ids::{DatacenterId, ProviderId};
 use scalia_types::money::Money;
 use scalia_types::time::{Duration, SimTime};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Number of lock shards for per-row commit locks and decision-period
+/// controllers. Concurrent operations on different objects almost never
+/// contend; operations on the same object serialise on its shard.
+const LOCK_SHARDS: usize = 64;
+
+fn shard_of(key: &str) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % LOCK_SHARDS
+}
 
 /// A delete that could not be executed because the provider was down; it is
 /// retried when the provider recovers.
@@ -43,7 +55,8 @@ pub struct Infrastructure {
     write_seq: AtomicU64,
     sampling_period: Duration,
     pending_deletes: Mutex<Vec<PendingDelete>>,
-    decision_controllers: Mutex<HashMap<String, DecisionPeriodController>>,
+    decision_controllers: Vec<Mutex<HashMap<String, DecisionPeriodController>>>,
+    row_commit_locks: Vec<Mutex<()>>,
     placement_cache: PlacementCache,
 }
 
@@ -64,7 +77,10 @@ impl Infrastructure {
             write_seq: AtomicU64::new(0),
             sampling_period,
             pending_deletes: Mutex::new(Vec::new()),
-            decision_controllers: Mutex::new(HashMap::new()),
+            decision_controllers: (0..LOCK_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            row_commit_locks: (0..LOCK_SHARDS).map(|_| Mutex::new(())).collect(),
             placement_cache: PlacementCache::new(),
         });
         for descriptor in catalog.all() {
@@ -230,13 +246,14 @@ impl Infrastructure {
     }
 
     /// The decision-period controller of an object, created on first use
-    /// with the given initial window.
+    /// with the given initial window. Controllers are sharded by row-key
+    /// hash so the parallel optimiser's shards don't serialise on one map.
     pub fn decision_controller(
         &self,
         row_key: &str,
         initial: Duration,
     ) -> DecisionPeriodController {
-        self.decision_controllers
+        self.decision_controllers[shard_of(row_key)]
             .lock()
             .entry(row_key.to_string())
             .or_insert_with(|| DecisionPeriodController::new(initial, self.sampling_period, 4096))
@@ -245,9 +262,19 @@ impl Infrastructure {
 
     /// Stores back an updated decision-period controller.
     pub fn store_decision_controller(&self, row_key: &str, controller: DecisionPeriodController) {
-        self.decision_controllers
+        self.decision_controllers[shard_of(row_key)]
             .lock()
             .insert(row_key.to_string(), controller);
+    }
+
+    /// Serialises metadata commits for one object: `Engine::put`, `delete`
+    /// and `replace_placement` hold this guard around their read-validate-
+    /// commit sections so MVCC pruning and version garbage collection see a
+    /// consistent latest version. The lock is sharded by row-key hash and is
+    /// **never** held across a placement search or provider upload — only
+    /// across the metadata mutation itself.
+    pub fn lock_row_commit(&self, row_key: &str) -> parking_lot::MutexGuard<'_, ()> {
+        self.row_commit_locks[shard_of(row_key)].lock()
     }
 }
 

@@ -22,7 +22,6 @@ use scalia_types::ids::EngineId;
 use scalia_types::money::Money;
 use scalia_types::object::ObjectMeta;
 use scalia_types::time::Duration;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Statistics of one optimisation procedure.
@@ -38,6 +37,38 @@ pub struct OptimizationReport {
     pub placements_recomputed: usize,
     /// Objects actually migrated to a new provider set.
     pub migrations_executed: usize,
+}
+
+impl OptimizationReport {
+    /// Merges two partial reports by summing every counter. The `leader`
+    /// field is taken from `self` unless `self` is the empty/default report
+    /// (the `reduce` identity), which makes this an associative operation
+    /// with [`OptimizationReport::default`] as its neutral element: merging
+    /// per-shard partials yields the same total for **any** shard
+    /// interleaving or association.
+    pub fn merged_with(self, other: OptimizationReport) -> OptimizationReport {
+        OptimizationReport {
+            leader: if self == OptimizationReport::default() {
+                other.leader
+            } else {
+                self.leader
+            },
+            objects_considered: self.objects_considered + other.objects_considered,
+            trend_changes: self.trend_changes + other.trend_changes,
+            placements_recomputed: self.placements_recomputed + other.placements_recomputed,
+            migrations_executed: self.migrations_executed + other.migrations_executed,
+        }
+    }
+}
+
+/// What happened to a single object during the optimisation procedure;
+/// accumulated into per-shard [`OptimizationReport`] partials so the
+/// parallel fan-out shares no mutable state at all.
+#[derive(Debug, Clone, Copy, Default)]
+struct ObjectOutcome {
+    trend_changed: bool,
+    recomputed: bool,
+    migrated: bool,
 }
 
 /// The periodic optimiser.
@@ -82,12 +113,11 @@ impl PeriodicOptimizer {
         let stats = infra.statistics(leader.datacenter());
         let accessed = stats.objects_accessed_since(since);
 
-        let report_trends = AtomicUsize::new(0);
-        let report_recomputed = AtomicUsize::new(0);
-        let report_migrated = AtomicUsize::new(0);
-
         // 3) + 4) Split A into |E| shards, one per engine, processed in
-        // parallel.
+        // parallel. Each shard folds its outcomes into a private partial
+        // report; the partials are merged with `merged_with`, so the
+        // fan-out touches no shared counter (no Mutex, no atomics) and the
+        // totals are independent of how the shards interleave.
         let shard_count = engines.len().max(1);
         let shards: Vec<(usize, Vec<String>)> = accessed
             .chunks(accessed.len().div_ceil(shard_count).max(1))
@@ -95,62 +125,57 @@ impl PeriodicOptimizer {
             .map(|(i, chunk)| (i, chunk.to_vec()))
             .collect();
 
-        shards.par_iter().for_each(|(engine_idx, shard)| {
-            let engine = &engines[engine_idx % engines.len()];
-            for row_key in shard {
-                self.optimize_object(
-                    engine,
-                    infra,
-                    row_key,
-                    force,
-                    &report_trends,
-                    &report_recomputed,
-                    &report_migrated,
-                );
-            }
-        });
+        let merged = shards
+            .into_par_iter()
+            .map(|(engine_idx, shard)| {
+                let engine = &engines[engine_idx % engines.len()];
+                let mut partial = OptimizationReport {
+                    objects_considered: shard.len(),
+                    ..OptimizationReport::default()
+                };
+                for row_key in &shard {
+                    let outcome = self.optimize_object(engine, infra, row_key, force);
+                    partial.trend_changes += outcome.trend_changed as usize;
+                    partial.placements_recomputed += outcome.recomputed as usize;
+                    partial.migrations_executed += outcome.migrated as usize;
+                }
+                partial
+            })
+            .reduce(OptimizationReport::default, OptimizationReport::merged_with);
 
         OptimizationReport {
             leader: leader.id(),
-            objects_considered: accessed.len(),
-            trend_changes: report_trends.load(Ordering::Relaxed),
-            placements_recomputed: report_recomputed.load(Ordering::Relaxed),
-            migrations_executed: report_migrated.load(Ordering::Relaxed),
+            ..merged
         }
     }
 
     /// 5) For one object: detect a trend change and, if needed, recompute
-    ///    the placement and migrate.
-    #[allow(clippy::too_many_arguments)]
+    ///    the placement and migrate. Returns what happened so the caller can
+    ///    fold it into its shard-private partial report.
     fn optimize_object(
         &self,
         engine: &Arc<Engine>,
         infra: &Arc<Infrastructure>,
         row_key: &str,
         force: bool,
-        trends: &AtomicUsize,
-        recomputed: &AtomicUsize,
-        migrated: &AtomicUsize,
-    ) {
+    ) -> ObjectOutcome {
+        let mut outcome = ObjectOutcome::default();
         let stats = infra.statistics(engine.datacenter());
         let Some(cell) = infra
             .database()
             .get_latest(engine.datacenter(), row_key, "meta")
         else {
-            return; // Object deleted since it was accessed.
+            return outcome; // Object deleted since it was accessed.
         };
         let Ok(meta) = serde_json::from_value::<ObjectMeta>(cell.value) else {
-            return;
+            return outcome;
         };
 
         let history = stats.history(row_key, scalia_types::stats::DEFAULT_HISTORY_LEN);
         let series = history.ops_series(history.len());
-        let trend_changed = self.detector.detect(&series);
-        if trend_changed {
-            trends.fetch_add(1, Ordering::Relaxed);
-        }
-        if !trend_changed && !force {
-            return;
+        outcome.trend_changed = self.detector.detect(&series);
+        if !outcome.trend_changed && !force {
+            return outcome;
         }
 
         // Decision period for this object (adaptive, bounded by TTL).
@@ -179,9 +204,9 @@ impl PeriodicOptimizer {
         let usage = PredictedUsage::from_history(meta.size, &history, periods, period_hours);
 
         let Ok(decision) = infra.best_placement_cached(&self.placement, &meta.rule, &usage) else {
-            return;
+            return outcome;
         };
-        recomputed.fetch_add(1, Ordering::Relaxed);
+        outcome.recomputed = true;
 
         // Current placement and its expected cost over the same window.
         let current_providers: Vec<_> = meta
@@ -207,8 +232,9 @@ impl PeriodicOptimizer {
             && plan.is_beneficial()
             && engine.replace_placement(&meta.key, &plan.to).is_ok()
         {
-            migrated.fetch_add(1, Ordering::Relaxed);
+            outcome.migrated = true;
         }
+        outcome
     }
 
     /// Upper bound for the decision period: the TTL hint if the writer gave
@@ -275,6 +301,108 @@ mod tests {
             // for statistics purposes the log agent records them either way.
             cluster.tick(SimTime::from_hours(start_hour + i as u64 + 1));
         }
+    }
+
+    #[test]
+    fn report_merge_is_independent_of_shard_interleaving() {
+        // Partial reports as four shards of one procedure would produce them.
+        let partials = [
+            OptimizationReport {
+                leader: EngineId::new(2),
+                objects_considered: 10,
+                trend_changes: 1,
+                placements_recomputed: 3,
+                migrations_executed: 1,
+            },
+            OptimizationReport {
+                leader: EngineId::new(2),
+                objects_considered: 9,
+                trend_changes: 0,
+                placements_recomputed: 0,
+                migrations_executed: 0,
+            },
+            OptimizationReport {
+                leader: EngineId::new(2),
+                objects_considered: 10,
+                trend_changes: 4,
+                placements_recomputed: 4,
+                migrations_executed: 2,
+            },
+            OptimizationReport {
+                leader: EngineId::new(2),
+                objects_considered: 7,
+                trend_changes: 2,
+                placements_recomputed: 2,
+                migrations_executed: 0,
+            },
+        ];
+
+        // Every permutation, and every fold association the pool could pick
+        // (identity seeded per chunk), must agree.
+        let mut orders: Vec<Vec<usize>> = Vec::new();
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    for d in 0..4 {
+                        let order = vec![a, b, c, d];
+                        let mut sorted = order.clone();
+                        sorted.sort_unstable();
+                        if sorted == vec![0, 1, 2, 3] {
+                            orders.push(order);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(orders.len(), 24);
+        let reference = partials
+            .iter()
+            .fold(OptimizationReport::default(), |acc, p| acc.merged_with(*p));
+        for order in orders {
+            let merged = order.iter().fold(OptimizationReport::default(), |acc, &i| {
+                acc.merged_with(partials[i])
+            });
+            assert_eq!(merged, reference, "order {order:?}");
+            // Split association: (a·b)·(c·d) — how two pool chunks merge.
+            let left = OptimizationReport::default()
+                .merged_with(partials[order[0]])
+                .merged_with(partials[order[1]]);
+            let right = OptimizationReport::default()
+                .merged_with(partials[order[2]])
+                .merged_with(partials[order[3]]);
+            assert_eq!(left.merged_with(right), reference, "split order {order:?}");
+        }
+        assert_eq!(reference.objects_considered, 36);
+        assert_eq!(reference.trend_changes, 7);
+        assert_eq!(reference.placements_recomputed, 9);
+        assert_eq!(reference.migrations_executed, 3);
+        assert_eq!(reference.leader, EngineId::new(2));
+    }
+
+    #[test]
+    fn procedure_report_is_identical_across_pool_sizes() {
+        // The same deployment state optimised under different worker counts
+        // must produce the same report (the merge is order-insensitive and
+        // the per-object decisions are deterministic).
+        let run_with_pool = |workers: usize| {
+            let pool = rayon::ThreadPool::new(workers);
+            let cluster = ScaliaCluster::builder().build();
+            for i in 0..12 {
+                let key = ObjectKey::new("c", format!("obj{i}"));
+                cluster
+                    .put(&key, vec![1u8; 50_000], "image/png", rule(), None)
+                    .unwrap();
+                cluster.get(&key).unwrap();
+            }
+            cluster.tick(SimTime::from_hours(1));
+            pool.install(|| cluster.run_optimization(true))
+        };
+        let r1 = run_with_pool(1);
+        let r4 = run_with_pool(4);
+        assert_eq!(r1.objects_considered, r4.objects_considered);
+        assert_eq!(r1.trend_changes, r4.trend_changes);
+        assert_eq!(r1.placements_recomputed, r4.placements_recomputed);
+        assert_eq!(r1.migrations_executed, r4.migrations_executed);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! optimizer's migration gate compares exact costs, so a cached set is never
 //! migrated to unless it actually saves money.
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use scalia_core::cost::PredictedUsage;
 use scalia_core::placement::{Placement, PlacementDecision, PlacementEngine, PlacementOptions};
 use scalia_providers::descriptor::ProviderDescriptor;
@@ -115,9 +115,16 @@ pub struct PlacementCacheStats {
 }
 
 /// A bounded, thread-safe memo of placement decisions.
+///
+/// Concurrency: lookups take a **read** lock (concurrent optimiser shards
+/// revalidate hits fully in parallel) and no lock is ever held across a
+/// subset search or a revalidation — the write lock is taken only for the
+/// final insert of a freshly-computed decision. Racing threads may both run
+/// the same search on a miss; last insert wins, which is harmless because
+/// both computed the same optimum for the same catalog version.
 #[derive(Debug)]
 pub struct PlacementCache {
-    entries: Mutex<HashMap<PlacementCacheKey, Arc<Placement>>>,
+    entries: RwLock<HashMap<PlacementCacheKey, Arc<Placement>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     capacity: usize,
@@ -138,7 +145,7 @@ impl PlacementCache {
     /// Creates a cache bounded to `capacity` entries.
     pub fn with_capacity(capacity: usize) -> Self {
         PlacementCache {
-            entries: Mutex::new(HashMap::new()),
+            entries: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             capacity: capacity.max(1),
@@ -166,7 +173,7 @@ impl PlacementCache {
         // heuristic) must not share entries: a heuristic decision is not
         // necessarily the exact optimum an exhaustive caller expects.
         let key = PlacementCacheKey::new(catalog_version, engine.options(), rule, usage);
-        let cached = self.entries.lock().get(&key).cloned();
+        let cached = self.entries.read().get(&key).cloned();
         if let Some(placement) = cached {
             if let Some((m, price)) =
                 PlacementEngine::evaluate_set(rule, usage, &placement.providers)
@@ -188,7 +195,7 @@ impl PlacementCache {
 
         self.misses.fetch_add(1, Ordering::Relaxed);
         let decision = engine.best_placement(rule, usage, &providers())?;
-        let mut entries = self.entries.lock();
+        let mut entries = self.entries.write();
         if entries.len() >= self.capacity && !entries.contains_key(&key) {
             // Simple bound: drop everything. Entries are cheap to rebuild
             // (one search each) and stale versions never get hit anyway.
@@ -208,7 +215,7 @@ impl PlacementCache {
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.entries.read().len()
     }
 
     /// Returns `true` if no decision is cached.
@@ -218,7 +225,7 @@ impl PlacementCache {
 
     /// Drops every cached decision (tests and manual invalidation).
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        self.entries.write().clear();
     }
 }
 

@@ -159,6 +159,82 @@ mod tests {
     }
 
     #[test]
+    fn provider_flapping_across_period_boundary_never_double_repairs() {
+        // A provider flaps down → up → down across a sampling-period
+        // boundary (the paper's 1-hour statistics period). The first outage
+        // triggers an active repair that moves every affected chunk away;
+        // when the provider flaps again, the repair pass must find nothing
+        // to do — repairing twice would re-encode (and re-bill) every object
+        // for no benefit.
+        use scalia_providers::failure::OutageSchedule;
+        use scalia_types::time::SimTime;
+
+        let cluster = ScaliaCluster::builder().build();
+        let engine = cluster.engine(0).clone();
+        let infra = cluster.infra().clone();
+
+        let keys: Vec<ObjectKey> = (0..3)
+            .map(|i| ObjectKey::new("flap", format!("obj{i}.bin")))
+            .collect();
+        for key in &keys {
+            cluster
+                .put(key, vec![9u8; 300_000], "application/x-tar", rule(), None)
+                .unwrap();
+        }
+        let victim = engine.read_metadata(&keys[0]).unwrap().striping.chunks[0].provider;
+
+        // Down during [60, 61) and again during [61, 62): the flap spans the
+        // hour-60→61 sampling-period boundary exactly.
+        let schedule = OutageSchedule::from_hours(&[(60, 61), (61, 62)]);
+        let mut versions_after_first_repair = Vec::new();
+
+        for hour in 59..63u64 {
+            let now = SimTime::from_hours(hour);
+            cluster.tick(now);
+            let down = schedule.is_down(now);
+            infra.set_provider_down(victim, down);
+            if down {
+                let report =
+                    repair_provider(&engine, &infra, victim, &PlacementEngine::new()).unwrap();
+                match hour {
+                    60 => {
+                        assert_eq!(report.objects_affected, keys.len());
+                        assert_eq!(report.objects_repaired, keys.len());
+                        versions_after_first_repair = keys
+                            .iter()
+                            .map(|k| engine.read_metadata(k).unwrap().version)
+                            .collect();
+                    }
+                    61 => {
+                        assert_eq!(
+                            report.objects_affected, 0,
+                            "second pass of the flap must find nothing to repair"
+                        );
+                        assert_eq!(report.objects_repaired, 0);
+                        let versions_now: Vec<_> = keys
+                            .iter()
+                            .map(|k| engine.read_metadata(k).unwrap().version)
+                            .collect();
+                        assert_eq!(
+                            versions_now, versions_after_first_repair,
+                            "no object may be re-encoded by the second pass"
+                        );
+                    }
+                    _ => unreachable!("provider only down at hours 60 and 61"),
+                }
+            }
+        }
+
+        // After recovery everything is readable and off the victim.
+        cluster.caches().iter().for_each(|c| c.clear());
+        for key in &keys {
+            let meta = engine.read_metadata(key).unwrap();
+            assert!(meta.striping.chunks.iter().all(|c| c.provider != victim));
+            assert_eq!(cluster.get(key).unwrap().len(), 300_000);
+        }
+    }
+
+    #[test]
     fn repair_with_no_affected_objects_is_a_noop() {
         let cluster = ScaliaCluster::builder().build();
         let engine = cluster.engine(0).clone();

@@ -95,9 +95,7 @@ impl ReedSolomon {
         self.total_shards
     }
 
-    /// Encodes `m` equally-sized data shards into `n` shards. The first `m`
-    /// output shards are the data shards themselves (systematic coding).
-    pub fn encode(&self, data_shards: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
+    fn validate_data_shards(&self, data_shards: &[Vec<u8>]) -> Result<usize, RsError> {
         if data_shards.len() != self.data_shards {
             return Err(RsError::NotEnoughShards {
                 available: data_shards.len(),
@@ -108,16 +106,45 @@ impl ReedSolomon {
         if data_shards.iter().any(|s| s.len() != shard_len) {
             return Err(RsError::ShardLengthMismatch);
         }
+        Ok(shard_len)
+    }
 
+    /// Computes one parity row (`self.data_shards ≤ row < self.total_shards`).
+    fn parity_row(&self, row: usize, data_shards: &[Vec<u8>], shard_len: usize) -> Vec<u8> {
+        let mut parity = vec![0u8; shard_len];
+        for (col, data) in data_shards.iter().enumerate() {
+            gf256::mul_slice_xor(self.encode_matrix.get(row, col), data, &mut parity);
+        }
+        parity
+    }
+
+    /// Encodes `m` equally-sized data shards into `n` shards. The first `m`
+    /// output shards are the data shards themselves (systematic coding).
+    pub fn encode(&self, data_shards: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
+        let shard_len = self.validate_data_shards(data_shards)?;
         let mut shards = Vec::with_capacity(self.total_shards);
         shards.extend(data_shards.iter().cloned());
         for row in self.data_shards..self.total_shards {
-            let mut parity = vec![0u8; shard_len];
-            for (col, data) in data_shards.iter().enumerate() {
-                gf256::mul_slice_xor(self.encode_matrix.get(row, col), data, &mut parity);
-            }
-            shards.push(parity);
+            shards.push(self.parity_row(row, data_shards, shard_len));
         }
+        Ok(shards)
+    }
+
+    /// [`encode`](Self::encode) with the parity rows computed in parallel on
+    /// the rayon pool. Each parity row is independent (one row of the encode
+    /// matrix applied to all data shards), so the output is byte-identical
+    /// to the sequential path. Worth it only when `shard_len × (n − m)` is
+    /// large; the codec layer applies a size cutoff.
+    pub fn encode_par(&self, data_shards: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
+        use rayon::prelude::*;
+        let shard_len = self.validate_data_shards(data_shards)?;
+        let mut shards = Vec::with_capacity(self.total_shards);
+        shards.extend(data_shards.iter().cloned());
+        let parity: Vec<Vec<u8>> = (self.data_shards..self.total_shards)
+            .into_par_iter()
+            .map(|row| self.parity_row(row, data_shards, shard_len))
+            .collect();
+        shards.extend(parity);
         Ok(shards)
     }
 
@@ -126,6 +153,25 @@ impl ReedSolomon {
     /// `shards` is a list of `(shard_index, shard_data)` pairs; indices refer
     /// to the position of the shard in the encoded output (0-based).
     pub fn reconstruct_data(&self, shards: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, RsError> {
+        self.reconstruct_data_impl(shards, false)
+    }
+
+    /// [`reconstruct_data`](Self::reconstruct_data) with the decode rows
+    /// computed in parallel on the rayon pool. The decode matrix is built
+    /// once; each data row is an independent matrix-row application, so the
+    /// output is byte-identical to the sequential path.
+    pub fn reconstruct_data_par(
+        &self,
+        shards: &[(usize, Vec<u8>)],
+    ) -> Result<Vec<Vec<u8>>, RsError> {
+        self.reconstruct_data_impl(shards, true)
+    }
+
+    fn reconstruct_data_impl(
+        &self,
+        shards: &[(usize, Vec<u8>)],
+        parallel: bool,
+    ) -> Result<Vec<Vec<u8>>, RsError> {
         if shards.len() < self.data_shards {
             return Err(RsError::NotEnoughShards {
                 available: shards.len(),
@@ -167,15 +213,22 @@ impl ReedSolomon {
         let sub = self.encode_matrix.select_rows(&indices);
         let decode = sub.invert().ok_or(RsError::SingularMatrix)?;
 
-        let mut data = Vec::with_capacity(self.data_shards);
-        for row in 0..self.data_shards {
+        let decode_row = |row: usize| {
             let mut out = vec![0u8; shard_len];
             for (col, (_, shard)) in chosen.iter().enumerate() {
                 gf256::mul_slice_xor(decode.get(row, col), shard, &mut out);
             }
-            data.push(out);
+            out
+        };
+        if parallel {
+            use rayon::prelude::*;
+            Ok((0..self.data_shards)
+                .into_par_iter()
+                .map(decode_row)
+                .collect())
+        } else {
+            Ok((0..self.data_shards).map(decode_row).collect())
         }
-        Ok(data)
     }
 }
 
@@ -319,6 +372,37 @@ mod tests {
         let mut bad = sample_shards(3, 8);
         bad[1].pop();
         assert_eq!(rs.encode(&bad).unwrap_err(), RsError::ShardLengthMismatch);
+    }
+
+    #[test]
+    fn parallel_encode_is_byte_identical_to_sequential() {
+        for (m, n) in [(1usize, 3usize), (3, 5), (4, 4), (5, 9)] {
+            let rs = ReedSolomon::new(m, n).unwrap();
+            // Straddle the codec cutoff: big shards so the pool really runs.
+            let data = sample_shards(m, 300_000);
+            assert_eq!(
+                rs.encode_par(&data).unwrap(),
+                rs.encode(&data).unwrap(),
+                "(m,n)=({m},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_reconstruct_is_byte_identical_to_sequential() {
+        let rs = ReedSolomon::new(3, 6).unwrap();
+        let data = sample_shards(3, 200_000);
+        let encoded = rs.encode(&data).unwrap();
+        // A parity-heavy subset forces the general (matrix) path.
+        let subset = vec![
+            (1usize, encoded[1].clone()),
+            (4, encoded[4].clone()),
+            (5, encoded[5].clone()),
+        ];
+        let seq = rs.reconstruct_data(&subset).unwrap();
+        let par = rs.reconstruct_data_par(&subset).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq, data);
     }
 
     #[test]

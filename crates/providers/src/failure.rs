@@ -122,5 +122,65 @@ mod tests {
         s.add_window(SimTime::from_hours(20), SimTime::from_hours(15));
         assert_eq!(s.windows().len(), 0);
         assert!(s.is_up(SimTime::from_hours(10)));
+        assert!(s.next_transition(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn boundary_semantics_are_half_open() {
+        // [start, end): down at exactly `start`, up at exactly `end`.
+        let s = OutageSchedule::from_hours(&[(10, 20)]);
+        assert!(s.is_up(SimTime::from_secs(10 * 3600 - 1)));
+        assert!(s.is_down(SimTime::from_hours(10)), "t == start is down");
+        assert!(s.is_down(SimTime::from_secs(20 * 3600 - 1)));
+        assert!(s.is_up(SimTime::from_hours(20)), "t == end is up");
+        // A one-second outage still obeys both boundaries.
+        let tiny = OutageSchedule::from_hours(&[(5, 5)]);
+        assert!(tiny.is_up(SimTime::from_hours(5)), "empty window ignored");
+        let mut one_sec = OutageSchedule::always_up();
+        one_sec.add_window(SimTime::from_secs(100), SimTime::from_secs(101));
+        assert!(one_sec.is_up(SimTime::from_secs(99)));
+        assert!(one_sec.is_down(SimTime::from_secs(100)));
+        assert!(one_sec.is_up(SimTime::from_secs(101)));
+    }
+
+    #[test]
+    fn overlapping_windows_union_their_downtime() {
+        // (10,30) and (20,40) overlap; (40,50) is adjacent to the union.
+        let s = OutageSchedule::from_hours(&[(10, 30), (20, 40), (40, 50)]);
+        assert!(s.is_up(SimTime::from_hours(9)));
+        for hour in 10..50 {
+            assert!(s.is_down(SimTime::from_hours(hour)), "hour {hour}");
+        }
+        assert!(s.is_up(SimTime::from_hours(50)));
+        // Transitions inside the overlapped span still enumerate every
+        // window edge (callers re-evaluate `is_up`, so interior edges are
+        // harmless — but none may be *missed*).
+        assert_eq!(
+            s.next_transition(SimTime::from_hours(9)),
+            Some(SimTime::from_hours(10))
+        );
+        assert_eq!(
+            s.next_transition(SimTime::from_hours(45)),
+            Some(SimTime::from_hours(50))
+        );
+        assert_eq!(s.next_transition(SimTime::from_hours(50)), None);
+    }
+
+    #[test]
+    fn identical_and_nested_windows() {
+        // Duplicated and fully-nested windows must not distort the schedule.
+        let s = OutageSchedule::from_hours(&[(10, 20), (10, 20), (12, 15)]);
+        assert!(s.is_down(SimTime::from_hours(12)));
+        assert!(s.is_down(SimTime::from_hours(19)));
+        assert!(s.is_up(SimTime::from_hours(20)));
+        // A flap: down, up for one hour, down again.
+        let flap = OutageSchedule::from_hours(&[(10, 20), (21, 30)]);
+        assert!(flap.is_down(SimTime::from_hours(19)));
+        assert!(flap.is_up(SimTime::from_hours(20)));
+        assert!(flap.is_down(SimTime::from_hours(21)));
+        assert_eq!(
+            flap.next_transition(SimTime::from_hours(20)),
+            Some(SimTime::from_hours(21))
+        );
     }
 }

@@ -21,6 +21,14 @@ fn budget() -> Duration {
     Duration::from_millis(ms)
 }
 
+/// Mirrors criterion's `--test` mode (`cargo bench ... -- --test`): run every
+/// benchmark routine exactly once as a smoke check, without timing loops. CI
+/// uses it to keep benches compiling *and running* without paying for a full
+/// measurement.
+fn test_mode() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+}
+
 /// The benchmark driver handed to `criterion_group!` functions.
 #[derive(Default)]
 pub struct Criterion;
@@ -160,6 +168,12 @@ impl Bencher {
     /// Times `routine`, first warming up, then looping until the time
     /// budget is exhausted.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if test_mode() {
+            // Smoke mode: one run, no measurement.
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
         // Warm-up and per-iteration cost estimate.
         let warmup_start = Instant::now();
         black_box(routine());
@@ -197,7 +211,9 @@ impl Bencher {
         } else {
             format!("{group}/{id}")
         };
-        if self.iters == 0 {
+        if test_mode() {
+            println!("  {label:<44} ok (test mode, 1 iteration)");
+        } else if self.iters == 0 {
             println!("  {label:<44} (not measured)");
         } else {
             println!(

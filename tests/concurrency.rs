@@ -1,0 +1,402 @@
+//! Concurrency test suite: one `ScaliaCluster` driven from many OS threads.
+//!
+//! The rayon shim's work-stealing pool made the optimiser, the metastore
+//! map-reduce and the erasure codec genuinely parallel; these tests pin the
+//! system-level guarantees that parallelism must not erode:
+//!
+//! * **MVCC convergence** — concurrent writers of one key leave exactly one
+//!   metadata version per database node, and it is internally consistent
+//!   (checksum matches the stored bytes).
+//! * **Read atomicity** — a read never observes a torn object: it returns
+//!   the complete payload of *some* committed version, or a clean error
+//!   while the object is being replaced/deleted.
+//! * **No leaks** — every deprecated version's chunks are garbage-collected:
+//!   at quiescence the bytes at the providers equal exactly the footprint of
+//!   the surviving versions, and no postponed delete is stranded.
+//! * **Optimiser safety** — the periodic optimisation procedure racing
+//!   client writes never loses or reverts data (its conditional commit
+//!   aborts when the object moved underneath it).
+//!
+//! All schedules are seeded and thread counts fixed, so failures reproduce.
+
+use scalia::engine::cluster::ScaliaCluster;
+use scalia::prelude::*;
+use scalia::types::md5::md5_hex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn rule() -> StorageRule {
+    StorageRule::new(
+        "conc",
+        Reliability::from_percent(99.999),
+        Reliability::from_percent(99.99),
+        ZoneSet::all(),
+        0.5,
+    )
+}
+
+/// Deterministic per-thread RNG (splitmix64) so stress schedules reproduce.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A payload whose every byte identifies the writer and whose length
+/// identifies the write, so any torn or mixed read is detectable.
+fn payload(writer: usize, len: usize) -> Vec<u8> {
+    vec![(writer % 251) as u8; len]
+}
+
+/// Asserts that `data` is a payload some single writer produced.
+fn assert_untorn(data: &[u8], context: &str) {
+    if let Some(&first) = data.first() {
+        assert!(
+            data.iter().all(|&b| b == first),
+            "{context}: read mixed bytes from different writers"
+        );
+    }
+}
+
+/// Sum of bytes stored across all provider backends.
+fn stored_at_providers(cluster: &ScaliaCluster) -> u64 {
+    cluster
+        .infra()
+        .backends()
+        .iter()
+        .map(|b| b.stored_bytes().bytes())
+        .sum()
+}
+
+/// Expected provider footprint of one object's current metadata:
+/// `n` chunks of `ceil(size / m)` bytes (1 byte minimum, as the codec pads).
+fn expected_footprint(meta: &ObjectMeta) -> u64 {
+    let m = meta.striping.m as u64;
+    let n = meta.striping.chunks.len() as u64;
+    let shard = (meta.size.bytes().div_ceil(m)).max(1);
+    shard * n
+}
+
+/// Checks the full set of quiescent invariants for `keys`: single MVCC
+/// version per node, checksum-consistent reads, exact provider footprint.
+fn assert_quiescent_invariants(cluster: &ScaliaCluster, keys: &[ObjectKey]) {
+    // Settle replication and postponed deletes.
+    cluster.infra().retry_pending_deletes();
+    cluster.infra().database().anti_entropy();
+    assert_eq!(
+        cluster.infra().pending_delete_count(),
+        0,
+        "no postponed delete may be stranded while all providers are up"
+    );
+    cluster.caches().iter().for_each(|c| c.clear());
+
+    let mut expected_bytes = 0u64;
+    for key in keys {
+        let row_key = key.row_key();
+        match cluster.engine(0).read_metadata(key) {
+            Ok(meta) => {
+                // Exactly one surviving version on every database node.
+                for node in cluster.infra().database().nodes() {
+                    let versions = node.get_versions(&row_key, "meta");
+                    assert_eq!(
+                        versions.len(),
+                        1,
+                        "{key}: node dc_{} must hold exactly one version",
+                        node.datacenter()
+                    );
+                }
+                // The payload reassembles and matches the committed checksum.
+                let data = cluster
+                    .get(key)
+                    .unwrap_or_else(|e| panic!("{key}: quiescent read must succeed, got {e}"));
+                assert_eq!(data.len() as u64, meta.size.bytes(), "{key}: length");
+                assert_eq!(md5_hex(&data), meta.checksum, "{key}: checksum");
+                assert_untorn(&data, &format!("{key}"));
+                expected_bytes += expected_footprint(&meta);
+            }
+            Err(ScaliaError::ObjectNotFound(_)) => {
+                // Deleted: no node may still know the row.
+                for node in cluster.infra().database().nodes() {
+                    assert!(
+                        node.get_versions(&row_key, "meta").is_empty(),
+                        "{key}: deleted object must leave no metadata behind"
+                    );
+                }
+            }
+            Err(other) => panic!("{key}: unexpected metadata error {other}"),
+        }
+    }
+    assert_eq!(
+        stored_at_providers(cluster),
+        expected_bytes,
+        "provider bytes must equal the surviving versions' footprint \
+         (anything more is a leaked chunk, anything less is lost data)"
+    );
+}
+
+#[test]
+fn concurrent_lifecycles_on_distinct_keys_stay_isolated() {
+    let cluster = ScaliaCluster::builder()
+        .datacenters(2)
+        .engines_per_datacenter(2)
+        .build();
+    const THREADS: usize = 8;
+    const OBJECTS_PER_THREAD: usize = 4;
+
+    let all_keys: Vec<Vec<ObjectKey>> = (0..THREADS)
+        .map(|t| {
+            (0..OBJECTS_PER_THREAD)
+                .map(|i| ObjectKey::new("iso", format!("t{t}-obj{i}")))
+                .collect()
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (t, keys) in all_keys.iter().enumerate() {
+            let cluster = &cluster;
+            scope.spawn(move || {
+                for (i, key) in keys.iter().enumerate() {
+                    let len = 10_000 + t * 1_000 + i;
+                    cluster
+                        .put(key, payload(t, len), "image/png", rule(), None)
+                        .unwrap();
+                    assert_eq!(cluster.get(key).unwrap().len(), len);
+                    // Overwrite with new content, read again.
+                    let len2 = len + 77;
+                    cluster
+                        .put(key, payload(t, len2), "image/png", rule(), None)
+                        .unwrap();
+                    assert_eq!(cluster.get(key).unwrap().len(), len2);
+                }
+                // Delete every other object.
+                for key in keys.iter().skip(1).step_by(2) {
+                    cluster.delete(key).unwrap();
+                    assert!(matches!(
+                        cluster.get(key),
+                        Err(ScaliaError::ObjectNotFound(_))
+                    ));
+                }
+            });
+        }
+    });
+
+    let flat: Vec<ObjectKey> = all_keys.into_iter().flatten().collect();
+    assert_quiescent_invariants(&cluster, &flat);
+    // The deletes went through: half the objects per thread survive.
+    let survivors = flat
+        .iter()
+        .filter(|k| cluster.engine(0).read_metadata(k).is_ok())
+        .count();
+    assert_eq!(survivors, THREADS * OBJECTS_PER_THREAD.div_ceil(2));
+}
+
+#[test]
+fn concurrent_writers_of_one_key_converge_to_a_single_version() {
+    let cluster = ScaliaCluster::builder()
+        .datacenters(2)
+        .engines_per_datacenter(2)
+        .build();
+    const THREADS: usize = 6;
+    const ROUNDS: usize = 5;
+    let key = ObjectKey::new("contended", "hot-object");
+    let reads_ok = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cluster = &cluster;
+            let key = &key;
+            let reads_ok = &reads_ok;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    // Writer-distinguishable content; length encodes writer
+                    // too, so a mixed reassembly cannot masquerade as valid.
+                    let len = 30_000 + t * 100 + round;
+                    cluster
+                        .put(key, payload(t, len), "image/png", rule(), None)
+                        .unwrap();
+                    match cluster.get(key) {
+                        Ok(data) => {
+                            assert_untorn(&data, "contended read");
+                            reads_ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // A read can lose the race against back-to-back
+                        // overwrites pruning versions under it; what it may
+                        // never do is return wrong bytes.
+                        Err(ScaliaError::NotEnoughChunks { .. })
+                        | Err(ScaliaError::DecodeFailed(_)) => {}
+                        Err(other) => panic!("unexpected read error: {other}"),
+                    }
+                }
+            });
+        }
+    });
+
+    assert!(
+        reads_ok.load(Ordering::Relaxed) > 0,
+        "at least some contended reads must succeed"
+    );
+    assert_quiescent_invariants(&cluster, std::slice::from_ref(&key));
+}
+
+#[test]
+fn deletes_racing_writers_leave_no_orphans() {
+    let cluster = ScaliaCluster::builder().build();
+    const THREADS: usize = 4;
+    const KEYS: usize = 6;
+    let keys: Vec<ObjectKey> = (0..KEYS)
+        .map(|i| ObjectKey::new("churn", format!("obj{i}")))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cluster = &cluster;
+            let keys = &keys;
+            scope.spawn(move || {
+                let mut rng = Rng::new(0xD1CE + t as u64);
+                for _ in 0..40 {
+                    let key = &keys[(rng.next() as usize) % KEYS];
+                    match rng.next() % 3 {
+                        0 => {
+                            let len = 5_000 + (rng.next() % 20_000) as usize;
+                            cluster
+                                .put(key, payload(t, len), "image/gif", rule(), None)
+                                .unwrap();
+                        }
+                        1 => match cluster.get(key) {
+                            Ok(data) => assert_untorn(&data, "churn read"),
+                            Err(ScaliaError::ObjectNotFound(_))
+                            | Err(ScaliaError::NotEnoughChunks { .. })
+                            | Err(ScaliaError::DecodeFailed(_)) => {}
+                            Err(other) => panic!("unexpected read error: {other}"),
+                        },
+                        _ => match cluster.delete(key) {
+                            Ok(()) | Err(ScaliaError::ObjectNotFound(_)) => {}
+                            Err(other) => panic!("unexpected delete error: {other}"),
+                        },
+                    }
+                }
+            });
+        }
+    });
+
+    assert_quiescent_invariants(&cluster, &keys);
+}
+
+#[test]
+fn optimizer_racing_writers_never_loses_committed_data() {
+    // The archetype's seeded stress test: the periodic optimisation
+    // procedure (forced, so it migrates aggressively) runs concurrently
+    // with client overwrites of the same objects. The conditional commit in
+    // `replace_placement` must ensure the *newest client write* always
+    // survives, no matter how the migration interleaves.
+    let cluster = ScaliaCluster::builder()
+        .datacenters(2)
+        .engines_per_datacenter(2)
+        .build();
+    const KEYS: usize = 10;
+    let keys: Vec<ObjectKey> = (0..KEYS)
+        .map(|i| ObjectKey::new("stress", format!("obj{i}")))
+        .collect();
+
+    // Seed every object and give the optimiser access history to chew on.
+    for (i, key) in keys.iter().enumerate() {
+        cluster
+            .put(key, payload(i, 20_000 + i), "image/jpeg", rule(), None)
+            .unwrap();
+        cluster.get(key).unwrap();
+    }
+    cluster.tick(SimTime::from_hours(1));
+
+    let optimizer_runs = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        // Writer thread: seeded overwrites and reads.
+        let writer_keys = &keys;
+        let writer_cluster = &cluster;
+        scope.spawn(move || {
+            let mut rng = Rng::new(0x5EED);
+            for round in 0..120 {
+                let i = (rng.next() as usize) % KEYS;
+                let key = &writer_keys[i];
+                let len = 15_000 + (rng.next() % 30_000) as usize;
+                writer_cluster
+                    .put(key, payload(i, len), "image/jpeg", rule(), None)
+                    .unwrap();
+                if round % 3 == 0 {
+                    match writer_cluster.get(key) {
+                        Ok(data) => assert_untorn(&data, "stress read"),
+                        Err(ScaliaError::NotEnoughChunks { .. })
+                        | Err(ScaliaError::DecodeFailed(_)) => {}
+                        Err(other) => panic!("unexpected read error: {other}"),
+                    }
+                }
+            }
+        });
+        // Optimiser thread: repeated forced procedures while writes land.
+        let opt_cluster = &cluster;
+        let optimizer_runs = &optimizer_runs;
+        scope.spawn(move || {
+            for _ in 0..15 {
+                let report = opt_cluster.run_optimization(true);
+                optimizer_runs.fetch_add(1, Ordering::Relaxed);
+                // The report's totals must stay coherent regardless of races.
+                assert!(report.trend_changes <= report.objects_considered);
+                assert!(report.migrations_executed <= report.placements_recomputed);
+                std::thread::yield_now();
+            }
+        });
+    });
+    assert_eq!(optimizer_runs.load(Ordering::Relaxed), 15);
+
+    assert_quiescent_invariants(&cluster, &keys);
+    // Every object must still exist (nothing was deleted in this test) —
+    // a lost update would surface as ObjectNotFound or a stale checksum in
+    // the invariant pass above.
+    for key in &keys {
+        assert!(cluster.engine(0).read_metadata(key).is_ok(), "{key} lost");
+    }
+}
+
+#[test]
+fn mapreduce_concurrent_with_writes_is_a_consistent_snapshot() {
+    use scalia::metastore::mapreduce::class_lifetime_summaries;
+    let cluster = ScaliaCluster::builder().build();
+    let keys: Vec<ObjectKey> = (0..8)
+        .map(|i| ObjectKey::new("mr", format!("obj{i}")))
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        cluster
+            .put(key, payload(i, 9_000), "image/png", rule(), None)
+            .unwrap();
+    }
+
+    std::thread::scope(|scope| {
+        let cluster_ref = &cluster;
+        let keys_ref = &keys;
+        scope.spawn(move || {
+            // Deletes record class lifetimes, feeding the map-reduce input
+            // while it runs.
+            for key in keys_ref.iter().take(4) {
+                cluster_ref.delete(key).unwrap();
+            }
+        });
+        scope.spawn(move || {
+            for _ in 0..10 {
+                let node = cluster_ref.infra().database().nodes()[0].clone();
+                // Each job sees *some* consistent snapshot: summaries are
+                // internally coherent even while rows are being added.
+                for (class, summary) in class_lifetime_summaries(&node) {
+                    assert!(summary.samples > 0, "class {class} with zero samples");
+                    assert!(summary.mean_hours <= summary.max_hours + 1e-12);
+                }
+            }
+        });
+    });
+}

@@ -1,0 +1,169 @@
+//! Differential properties of the work-stealing pool: for every pipeline the
+//! workspace relies on, `par_iter().map(..).reduce(..)` through the real pool
+//! must equal the sequential result bit-for-bit — across pool sizes 1, 2 and
+//! 8, and for folds that *look* order-sensitive (Money sums with mixed signs,
+//! report merges, string concatenation) but are associative.
+//!
+//! The pool's contract (see the shim's `iter` module) is: chunks fold
+//! left-to-right from the identity, chunk results fold left-to-right in
+//! chunk order. Associativity of the operation is therefore sufficient for
+//! sequential equality — these tests pin that contract so a future scheduler
+//! change that reorders *combination* (not just execution) gets caught.
+
+use rayon::prelude::*;
+use rayon::ThreadPool;
+use scalia::engine::optimizer::OptimizationReport;
+use scalia::types::ids::EngineId;
+use scalia::types::money::Money;
+
+const POOL_SIZES: [usize; 3] = [1, 2, 8];
+
+/// Deterministic value stream (splitmix64).
+fn stream(seed: u64, len: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+#[test]
+fn money_sum_matches_sequential_across_pool_sizes() {
+    // Mixed-sign Money values: saturating/rounding pitfalls would make a
+    // reassociated fold drift if the implementation combined out of order
+    // with a non-associative op. Plain i64-nanos addition is associative,
+    // so every pool size must agree exactly with the sequential fold.
+    let monies: Vec<Money> = stream(7, 10_001)
+        .iter()
+        .map(|&v| Money::from_nanos((v % 2_000_003) as i64 - 1_000_001))
+        .collect();
+    let expected: Money = monies.iter().fold(Money::ZERO, |acc, &m| acc + m);
+
+    for workers in POOL_SIZES {
+        let pool = ThreadPool::new(workers);
+        let got = pool.install(|| {
+            monies
+                .clone()
+                .into_par_iter()
+                .reduce(|| Money::ZERO, |a, b| a + b)
+        });
+        assert_eq!(got, expected, "workers={workers}");
+    }
+}
+
+#[test]
+fn mapped_money_pipeline_matches_sequential() {
+    // The shape the cost accounting uses: map a raw usage number to a price,
+    // then fold. Exercises map + reduce through the same pool.
+    let raw = stream(99, 4_096);
+    let expected: Money = raw
+        .iter()
+        .map(|&v| Money::from_micros((v % 997) as i64).scale(1.5))
+        .fold(Money::ZERO, |acc, m| acc + m);
+    for workers in POOL_SIZES {
+        let pool = ThreadPool::new(workers);
+        let got = pool.install(|| {
+            raw.clone()
+                .into_par_iter()
+                .map(|v| Money::from_micros((v % 997) as i64).scale(1.5))
+                .reduce(|| Money::ZERO, |a, b| a + b)
+        });
+        assert_eq!(got, expected, "workers={workers}");
+    }
+}
+
+#[test]
+fn report_merge_matches_sequential_across_pool_sizes() {
+    // The optimiser's shard merge, at a scale where every pool size really
+    // splits into multiple chunks.
+    let partials: Vec<OptimizationReport> = stream(2024, 513)
+        .iter()
+        .map(|&v| OptimizationReport {
+            leader: EngineId::new(3),
+            objects_considered: (v % 100) as usize,
+            trend_changes: (v % 7) as usize,
+            placements_recomputed: (v % 5) as usize,
+            migrations_executed: (v % 3) as usize,
+        })
+        .collect();
+    let expected = partials
+        .iter()
+        .fold(OptimizationReport::default(), |acc, p| acc.merged_with(*p));
+
+    for workers in POOL_SIZES {
+        let pool = ThreadPool::new(workers);
+        let got = pool.install(|| {
+            partials
+                .clone()
+                .into_par_iter()
+                .reduce(OptimizationReport::default, OptimizationReport::merged_with)
+        });
+        assert_eq!(got, expected, "workers={workers}");
+    }
+}
+
+#[test]
+fn genuinely_noncommutative_fold_preserves_order() {
+    // String concatenation is associative but NOT commutative: if the pool
+    // ever combined chunk results out of order, this would scramble.
+    let words: Vec<String> = (0..1_000).map(|i| format!("w{i};")).collect();
+    let expected: String = words.concat();
+    for workers in POOL_SIZES {
+        let pool = ThreadPool::new(workers);
+        let got = pool.install(|| {
+            words
+                .clone()
+                .into_par_iter()
+                .reduce(String::new, |a, b| a + &b)
+        });
+        assert_eq!(got, expected, "workers={workers}");
+    }
+}
+
+#[test]
+fn flat_map_collect_preserves_order_across_pool_sizes() {
+    // The metastore map-reduce shape: flat_map_iter emitting a variable
+    // number of pairs per row, collected in row order.
+    let rows: Vec<(u64, usize)> = stream(5, 300)
+        .iter()
+        .map(|&v| (v, (v % 4) as usize))
+        .collect();
+    let expected: Vec<u64> = rows
+        .iter()
+        .flat_map(|&(v, reps)| std::iter::repeat_n(v, reps))
+        .collect();
+    for workers in POOL_SIZES {
+        let pool = ThreadPool::new(workers);
+        let got: Vec<u64> = pool.install(|| {
+            rows.par_iter()
+                .flat_map_iter(|&(v, reps)| std::iter::repeat_n(v, reps))
+                .collect()
+        });
+        assert_eq!(got, expected, "workers={workers}");
+    }
+}
+
+#[test]
+fn min_like_reduce_matches_sequential() {
+    // Money::min-style folds back the placement search's cost comparisons.
+    let monies: Vec<Money> = stream(31, 2_000)
+        .iter()
+        .map(|&v| Money::from_nanos((v % 1_000_000) as i64))
+        .collect();
+    let expected = monies.iter().fold(Money::MAX, |acc, &m| acc.min(m));
+    for workers in POOL_SIZES {
+        let pool = ThreadPool::new(workers);
+        let got = pool.install(|| {
+            monies
+                .clone()
+                .into_par_iter()
+                .reduce(|| Money::MAX, |a, b| a.min(b))
+        });
+        assert_eq!(got, expected, "workers={workers}");
+    }
+}
