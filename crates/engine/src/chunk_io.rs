@@ -1,0 +1,827 @@
+//! Unified parallel chunk I/O: every provider round-trip of the data path.
+//!
+//! Scalia stores an object as `n` erasure-coded chunks on `n` providers and
+//! serves it back from the best `m` of them (§III-D). Until this layer
+//! existed, each life-cycle hand-rolled its own sequential provider loop —
+//! a put summed `n` round-trips, a get summed `m`, and no scenario could
+//! observe a slow provider at all. All four call sites (write, read, delete
+//! and the repair/migration path through
+//! [`crate::engine::Engine::replace_placement`]) now route through this
+//! module, which fans transfers out over the work-stealing pool:
+//!
+//! * [`write_chunks`] — **parallel upload**, one task per chunk, with
+//!   abort-on-first-hard-failure: the first provider error flips an abort
+//!   flag (uploads not yet started are skipped), every chunk that did land
+//!   is rolled back (deleted, or queued as a postponed delete if the
+//!   provider is unreachable), and the failing provider is reported to the
+//!   failure detector and returned to the caller so the write can be
+//!   re-placed on the remaining providers.
+//! * [`fetch_chunks`] — **hedged first-`m`-of-`n` read**: the cheapest `m`
+//!   providers are raced concurrently; the moment any ranked fetch errors,
+//!   or exceeds its hedge deadline (a multiple of the provider's modelled
+//!   latency), the next-ranked parity provider is promoted into the race.
+//!   The read returns as soon as `m` chunks are in hand — a straggler keeps
+//!   running detached on the pool and simply finds its result unneeded.
+//!   Every outcome feeds the failure detector (§III-D3), replacing the old
+//!   silent `continue`.
+//! * [`delete_chunks`] — **parallel delete** with the postponed-delete
+//!   semantics for unreachable providers.
+//!
+//! # Virtual time, real time
+//!
+//! Latencies are *virtual* (deterministic microseconds from each provider's
+//! [`scalia_providers::latency::LatencyModel`], driven by the simulated
+//! clock), so the hedging timeline — completion times, deadline overruns,
+//! parity promotions and the recorded makespans — is exactly reproducible
+//! at any pool size, including the 1-worker degenerate case. When a store
+//! opts into real sleeping
+//! ([`scalia_providers::backend::SimulatedStore::set_real_sleep`], used by
+//! the `chunk_io` bench), the same controller hedges by wall clock: it
+//! parks on a condvar and promotes parity when a ranked fetch blows its
+//! real deadline, so a stalled provider cannot hold the read hostage.
+//!
+//! The object-level makespans (critical path of the fan-out, not the sum of
+//! round-trips) are recorded into the deployment-wide per-operation latency
+//! histograms ([`Infrastructure::io_latency_snapshot`]).
+
+use crate::infra::Infrastructure;
+use bytes::Bytes;
+use rayon::prelude::*;
+use scalia_core::cost::cheapest_read_providers;
+use scalia_core::placement::Placement;
+use scalia_erasure::codec::{decode_object, encode_object, Chunk};
+use scalia_providers::backend::StoreOp;
+use scalia_providers::descriptor::ProviderDescriptor;
+use scalia_providers::latency::LatencyModel;
+use scalia_types::error::{Result, ScaliaError};
+use scalia_types::ids::ProviderId;
+use scalia_types::object::{ChunkLocation, ObjectMeta, StripingMeta};
+use scalia_types::size::ByteSize;
+use scalia_types::ErasureParams;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Hedging policy of the first-`m`-of-`n` read.
+#[derive(Debug, Clone, Copy)]
+pub struct HedgeConfig {
+    /// A ranked fetch is hedged once its latency exceeds this multiple of
+    /// the provider's modelled (jitter-free) latency for the chunk size.
+    pub deadline_multiplier: u32,
+    /// Floor of the hedge deadline, in virtual microseconds, so zero-latency
+    /// catalogs (the default) never hedge on latency — only on errors.
+    pub min_deadline_us: u64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            deadline_multiplier: 3,
+            min_deadline_us: 2_000,
+        }
+    }
+}
+
+/// A failed parallel upload: which provider broke the write, and how.
+/// Already-uploaded chunks have been rolled back by the time this is
+/// returned; the caller decides whether to re-place and retry.
+#[derive(Debug)]
+pub struct WriteFailure {
+    /// The provider whose upload failed (`None` when the failure was not
+    /// attributable to one provider, e.g. an encoding error).
+    pub provider: Option<ProviderId>,
+    /// The underlying error.
+    pub error: ScaliaError,
+}
+
+impl From<WriteFailure> for ScaliaError {
+    fn from(failure: WriteFailure) -> ScaliaError {
+        failure.error
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel upload
+// ---------------------------------------------------------------------------
+
+enum UploadOutcome {
+    Uploaded {
+        provider: ProviderId,
+        chunk_key: String,
+        index: u32,
+        us: u64,
+    },
+    Failed {
+        provider: ProviderId,
+        error: ScaliaError,
+    },
+    /// Skipped because another upload had already failed.
+    Aborted,
+}
+
+/// Encodes `data` for `placement` and uploads one chunk per provider, all
+/// in parallel on the pool. On the first hard failure the remaining uploads
+/// are aborted, every chunk that already landed is deleted again (or queued
+/// as a postponed delete), and the failing provider is reported to the
+/// failure detector and returned in the [`WriteFailure`].
+pub fn write_chunks(
+    infra: &Infrastructure,
+    placement: &Placement,
+    skey: &str,
+    data: &Bytes,
+) -> std::result::Result<StripingMeta, WriteFailure> {
+    let params = placement.erasure_params();
+    let encoded = encode_object(data, params).map_err(|error| WriteFailure {
+        provider: None,
+        error,
+    })?;
+    let jobs: Vec<(&Chunk, &ProviderDescriptor)> = encoded
+        .chunks
+        .iter()
+        .zip(placement.providers.iter())
+        .collect();
+
+    let abort = AtomicBool::new(false);
+    let outcomes: Vec<UploadOutcome> = jobs
+        .par_iter()
+        .map(|(chunk, provider)| upload_one(infra, chunk, provider, skey, &abort))
+        .collect();
+
+    let mut failure: Option<(ProviderId, ScaliaError)> = None;
+    let mut uploaded: Vec<(ProviderId, String)> = Vec::new();
+    let mut locations: Vec<ChunkLocation> = Vec::with_capacity(jobs.len());
+    let mut makespan_us = 0u64;
+    for outcome in outcomes {
+        match outcome {
+            UploadOutcome::Uploaded {
+                provider,
+                chunk_key,
+                index,
+                us,
+            } => {
+                uploaded.push((provider, chunk_key));
+                locations.push(ChunkLocation { index, provider });
+                makespan_us = makespan_us.max(us);
+            }
+            UploadOutcome::Failed { provider, error } => {
+                // Keep the first (lowest-index) failure: par_iter preserves
+                // input order, so this is deterministic.
+                if failure.is_none() {
+                    failure = Some((provider, error));
+                }
+            }
+            UploadOutcome::Aborted => {}
+        }
+    }
+
+    if let Some((provider, error)) = failure {
+        // Roll back whatever landed, in parallel too.
+        uploaded.par_iter().for_each(|(provider, chunk_key)| {
+            delete_or_postpone(infra, *provider, chunk_key);
+        });
+        return Err(WriteFailure {
+            provider: Some(provider),
+            error,
+        });
+    }
+
+    // The put's virtual makespan is the slowest chunk upload — the critical
+    // path of the fan-out, not the sum of the round-trips.
+    infra.record_io_latency(StoreOp::Put, makespan_us);
+    Ok(StripingMeta {
+        chunks: locations,
+        m: placement.m,
+        skey: skey.to_string(),
+    })
+}
+
+fn upload_one(
+    infra: &Infrastructure,
+    chunk: &Chunk,
+    provider: &ProviderDescriptor,
+    skey: &str,
+    abort: &AtomicBool,
+) -> UploadOutcome {
+    if abort.load(Ordering::SeqCst) {
+        return UploadOutcome::Aborted;
+    }
+    let chunk_key = format!("{skey}.{}", chunk.index);
+    let Some(backend) = infra.backend(provider.id) else {
+        abort.store(true, Ordering::SeqCst);
+        return UploadOutcome::Failed {
+            provider: provider.id,
+            error: ScaliaError::ProviderUnavailable(provider.id),
+        };
+    };
+    let (result, us) = backend.timed_put(&chunk_key, chunk.data.clone());
+    match result {
+        Ok(()) => {
+            infra.report_provider_success(provider.id);
+            UploadOutcome::Uploaded {
+                provider: provider.id,
+                chunk_key,
+                index: chunk.index,
+                us,
+            }
+        }
+        Err(error) => {
+            abort.store(true, Ordering::SeqCst);
+            infra.report_provider_failure(provider.id, &error);
+            UploadOutcome::Failed {
+                provider: provider.id,
+                error,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel delete
+// ---------------------------------------------------------------------------
+
+/// Deletes every chunk of a striping in parallel, postponing chunks whose
+/// provider is unreachable ("the deletion of the chunk residing at a faulty
+/// provider is postponed until the provider recovers", §III-D3).
+pub fn delete_chunks(infra: &Infrastructure, striping: &StripingMeta) {
+    if striping.chunks.is_empty() {
+        return;
+    }
+    let latencies: Vec<u64> = striping
+        .chunks
+        .par_iter()
+        .map(|location| {
+            let chunk_key = striping.chunk_key(location.index);
+            delete_or_postpone(infra, location.provider, &chunk_key)
+        })
+        .collect();
+    let makespan = latencies.into_iter().max().unwrap_or(0);
+    infra.record_io_latency(StoreOp::Delete, makespan);
+}
+
+/// Deletes one chunk, falling back to a postponed delete when the provider
+/// is down or the delete fails. Returns the virtual latency paid.
+fn delete_or_postpone(infra: &Infrastructure, provider: ProviderId, chunk_key: &str) -> u64 {
+    let attempted = infra
+        .backend(provider)
+        .filter(|b| b.is_up())
+        .map(|b| b.timed_delete(chunk_key));
+    match attempted {
+        Some((Ok(()), us)) => us,
+        Some((Err(_), us)) => {
+            infra.postpone_delete(provider, chunk_key.to_string());
+            us
+        }
+        None => {
+            infra.postpone_delete(provider, chunk_key.to_string());
+            0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hedged first-m-of-n read
+// ---------------------------------------------------------------------------
+
+/// One fetch task's report back to the controller.
+struct FetchReply {
+    slot: usize,
+    result: Result<Bytes>,
+    us: u64,
+}
+
+/// The rendezvous between detached fetch tasks and the controller.
+struct FetchBoard {
+    replies: Mutex<Vec<FetchReply>>,
+    cv: Condvar,
+}
+
+impl FetchBoard {
+    fn new() -> Self {
+        FetchBoard {
+            replies: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, reply: FetchReply) {
+        self.replies.lock().unwrap().push(reply);
+        self.cv.notify_all();
+    }
+
+    fn take(&self) -> Vec<FetchReply> {
+        std::mem::take(&mut *self.replies.lock().unwrap())
+    }
+
+    /// Parks briefly unless a reply is already waiting. The short timeout
+    /// bounds the reaction time to wall-clock hedge deadlines (real-sleep
+    /// mode) without busy-spinning.
+    fn wait_brief(&self) {
+        let guard = self.replies.lock().unwrap();
+        if guard.is_empty() {
+            let _ = self
+                .cv
+                .wait_timeout(guard, Duration::from_micros(500))
+                .unwrap();
+        }
+    }
+}
+
+/// One launched fetch.
+struct Slot {
+    candidate: usize,
+    virt_start_us: u64,
+    deadline_us: u64,
+    real_start: Instant,
+    hedged: bool,
+    done: bool,
+}
+
+/// One ranked fetch candidate: where the chunk lives and how fast its
+/// provider is modelled to answer (all `Copy` — the descriptor itself is
+/// not needed past ranking).
+#[derive(Clone, Copy)]
+struct Candidate {
+    location: ChunkLocation,
+    latency: LatencyModel,
+}
+
+struct HedgedRead<'a> {
+    infra: &'a Arc<Infrastructure>,
+    striping: &'a StripingMeta,
+    config: &'a HedgeConfig,
+    chunk_bytes: u64,
+    /// Chunk locations and their latency models, cheapest-read first.
+    candidates: Vec<Candidate>,
+    board: Arc<FetchBoard>,
+    slots: Vec<Slot>,
+    next_candidate: usize,
+    /// Successful fetches: (virtual completion time, chunk).
+    oks: Vec<(u64, Chunk)>,
+    /// Latest virtual event time observed, used to timestamp late launches.
+    virtual_frontier_us: u64,
+    /// `true` once any involved store really sleeps its latency — enables
+    /// wall-clock hedging and disables inline helping (helping could adopt
+    /// a sleeping fetch and stall the controller).
+    any_real: bool,
+}
+
+impl<'a> HedgedRead<'a> {
+    /// Launches the next-ranked candidate (skipping providers with no
+    /// backend, which are reported as hard failures). The fetch task itself
+    /// reports its outcome to the failure detector, so a straggler that
+    /// errors *after* the read already returned still accumulates failure
+    /// evidence (the controller only folds replies into the timeline).
+    fn launch_next(&mut self, virt_start_us: u64) {
+        while self.next_candidate < self.candidates.len() {
+            let candidate = self.candidates[self.next_candidate];
+            self.next_candidate += 1;
+            let provider = candidate.location.provider;
+            let Some(backend) = self.infra.backend(provider) else {
+                self.infra
+                    .report_provider_failure(provider, &ScaliaError::ProviderUnavailable(provider));
+                continue;
+            };
+            self.any_real |= backend.real_sleep_enabled();
+            let deadline_us = candidate
+                .latency
+                .expected_us(self.chunk_bytes)
+                .saturating_mul(self.config.deadline_multiplier as u64)
+                .max(self.config.min_deadline_us);
+            let slot = self.slots.len();
+            self.slots.push(Slot {
+                candidate: self.next_candidate - 1,
+                virt_start_us,
+                deadline_us,
+                real_start: Instant::now(),
+                hedged: false,
+                done: false,
+            });
+            let chunk_key = self.striping.chunk_key(candidate.location.index);
+            let board = self.board.clone();
+            let infra = Arc::clone(self.infra);
+            rayon::spawn(move || {
+                let (result, us) = backend.timed_get(&chunk_key);
+                match &result {
+                    Ok(_) => infra.report_provider_success(provider),
+                    // §III-D3: feed the failure detector instead of
+                    // silently skipping the provider.
+                    Err(error) => infra.report_provider_failure(provider, error),
+                }
+                board.push(FetchReply { slot, result, us });
+            });
+            return;
+        }
+    }
+
+    /// Folds one reply into the hedging timeline (the detector was already
+    /// fed by the fetch task itself).
+    fn process(&mut self, reply: FetchReply) {
+        let (candidate, virt_start_us, deadline_us, hedged) = {
+            let slot = &mut self.slots[reply.slot];
+            slot.done = true;
+            (
+                slot.candidate,
+                slot.virt_start_us,
+                slot.deadline_us,
+                slot.hedged,
+            )
+        };
+        match reply.result {
+            Ok(bytes) => {
+                let completion = virt_start_us + reply.us;
+                self.virtual_frontier_us = self.virtual_frontier_us.max(completion);
+                let index = self.candidates[candidate].location.index;
+                self.oks.push((completion, Chunk::new(index, bytes)));
+                // The fetch succeeded but blew its deadline: in the hedged
+                // timeline a parity fetch was already launched at the
+                // deadline — launch it now (virtual mode learns about the
+                // overrun only when the reply lands; real mode has usually
+                // hedged already via the wall clock, `hedged` dedupes).
+                if reply.us > deadline_us && !hedged {
+                    self.slots[reply.slot].hedged = true;
+                    self.launch_next(virt_start_us + deadline_us);
+                }
+            }
+            Err(_) => {
+                // Promote the next-ranked parity provider at the moment the
+                // error was observed — unless this slot was already hedged
+                // past its wall-clock deadline, in which case its
+                // replacement is in flight and a second promotion would
+                // burn (and bill) a candidate for nothing.
+                let failed_at = virt_start_us + reply.us;
+                self.virtual_frontier_us = self.virtual_frontier_us.max(failed_at);
+                if !hedged {
+                    self.slots[reply.slot].hedged = true;
+                    self.launch_next(failed_at);
+                }
+            }
+        }
+    }
+
+    /// Promotes parity for every in-flight fetch that exceeded its hedge
+    /// deadline in *wall-clock* time (only meaningful when stores really
+    /// sleep their latency).
+    fn hedge_overdue_by_wall_clock(&mut self) {
+        for slot_index in 0..self.slots.len() {
+            let (due, virt_hedge_start) = {
+                let slot = &self.slots[slot_index];
+                let overdue = !slot.done
+                    && !slot.hedged
+                    && slot.real_start.elapsed() >= Duration::from_micros(slot.deadline_us);
+                (overdue, slot.virt_start_us + slot.deadline_us)
+            };
+            if due {
+                self.slots[slot_index].hedged = true;
+                self.launch_next(virt_hedge_start);
+            }
+        }
+    }
+
+    fn run(mut self, m: usize) -> Result<Vec<Chunk>> {
+        // Race the cheapest m providers.
+        for _ in 0..m {
+            self.launch_next(0);
+        }
+        loop {
+            let replies = self.board.take();
+            if !replies.is_empty() {
+                for reply in replies {
+                    self.process(reply);
+                }
+            }
+            let outstanding = self.slots.iter().filter(|s| !s.done).count();
+            // In real-sleep mode the wall clock *is* the race: the first m
+            // arrivals win and stragglers stay detached. In virtual mode
+            // every launched fetch returns within microseconds of real
+            // time, so the whole hedge timeline is settled first and the
+            // winners are the m earliest *virtual* completions — otherwise
+            // a virtually-slow fetch would "win" merely by being processed
+            // first.
+            if self.oks.len() >= m && (self.any_real || outstanding == 0) {
+                break;
+            }
+            if outstanding == 0 {
+                if self.next_candidate < self.candidates.len() && self.oks.len() < m {
+                    let frontier = self.virtual_frontier_us;
+                    self.launch_next(frontier);
+                    continue;
+                }
+                break; // nothing in flight, nothing left to try
+            }
+            if self.any_real {
+                // Wall-clock mode: promote parity past overdue deadlines,
+                // then park until the next reply (or the short timeout).
+                self.hedge_overdue_by_wall_clock();
+                self.board.wait_brief();
+            } else if !rayon::yield_now() {
+                // Virtual mode: help the pool drain fetch tasks (essential
+                // when the controller runs *inside* a 1-worker pool); park
+                // briefly only when there is nothing to steal.
+                self.board.wait_brief();
+            }
+        }
+
+        if self.oks.len() < m {
+            return Err(ScaliaError::NotEnoughChunks {
+                available: self.oks.len(),
+                required: m,
+            });
+        }
+        // First m completions of the hedged timeline win; the read's
+        // makespan is the slowest of the winners.
+        self.oks.sort_by_key(|(completion, _)| *completion);
+        let makespan = self.oks[m - 1].0;
+        self.infra.record_io_latency(StoreOp::Get, makespan);
+        Ok(self
+            .oks
+            .into_iter()
+            .take(m)
+            .map(|(_, chunk)| chunk)
+            .collect())
+    }
+}
+
+/// Fetches any `m` of the striping's `n` chunks with a hedged race over the
+/// cheapest providers (see the module docs for the full protocol). Records
+/// the read's virtual makespan and feeds every per-provider outcome into
+/// the failure detector.
+pub fn fetch_chunks(
+    infra: &Arc<Infrastructure>,
+    striping: &StripingMeta,
+    object_size: ByteSize,
+    config: &HedgeConfig,
+) -> Result<Vec<Chunk>> {
+    let m = striping.m.max(1) as usize;
+    // Rank chunk locations by the read cost of their provider — the same
+    // order the old sequential loop used, so the *first choice* of
+    // providers (and therefore billing) is unchanged; only the concurrency
+    // and failure handling are new. The descriptors (one unavoidable clone
+    // each, made by the catalog lookup) live only as long as the ranking;
+    // the race itself needs just the `Copy` location + latency model.
+    let mut locations: Vec<ChunkLocation> = Vec::with_capacity(striping.chunks.len());
+    let mut descriptors: Vec<ProviderDescriptor> = Vec::with_capacity(striping.chunks.len());
+    for location in &striping.chunks {
+        if let Some(descriptor) = infra.catalog().get(location.provider) {
+            locations.push(*location);
+            descriptors.push(descriptor);
+        }
+    }
+    let chunk_gb = object_size.as_gb() / striping.m.max(1) as f64;
+    let order = cheapest_read_providers(&descriptors, locations.len() as u32, chunk_gb);
+    let candidates: Vec<Candidate> = order
+        .into_iter()
+        .map(|i| Candidate {
+            location: locations[i],
+            latency: descriptors[i].latency,
+        })
+        .collect();
+
+    let read = HedgedRead {
+        infra,
+        striping,
+        config,
+        chunk_bytes: (object_size.bytes().div_ceil(striping.m.max(1) as u64)).max(1),
+        candidates,
+        board: Arc::new(FetchBoard::new()),
+        slots: Vec::new(),
+        next_candidate: 0,
+        oks: Vec::new(),
+        virtual_frontier_us: 0,
+        any_real: false,
+    };
+    let chunks = read.run(m)?;
+    Ok(chunks)
+}
+
+/// Fetches chunks with [`fetch_chunks`] and reassembles the object,
+/// tolerating up to `n − m` failed or straggling providers.
+pub fn fetch_and_reassemble(
+    infra: &Arc<Infrastructure>,
+    meta: &ObjectMeta,
+    config: &HedgeConfig,
+) -> Result<Bytes> {
+    let striping = &meta.striping;
+    let n = striping.chunks.len();
+    let params = ErasureParams::new(striping.m, n as u32)
+        .ok_or_else(|| ScaliaError::Internal("invalid striping metadata".into()))?;
+    let chunks = fetch_chunks(infra, striping, meta.size, config)?;
+    decode_object(&chunks, params, meta.size.bytes() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalia_providers::catalog::ProviderCatalog;
+    use scalia_types::time::Duration as SimDuration;
+
+    fn infra() -> Arc<Infrastructure> {
+        Infrastructure::new(ProviderCatalog::paper_catalog(), 1, SimDuration::HOUR)
+    }
+
+    fn placement_of(infra: &Infrastructure, count: usize, m: u32) -> Placement {
+        Placement {
+            providers: infra.catalog().all().into_iter().take(count).collect(),
+            m,
+        }
+    }
+
+    fn stored_total(infra: &Infrastructure) -> u64 {
+        infra
+            .backends()
+            .iter()
+            .map(|b| b.stored_bytes().bytes())
+            .sum()
+    }
+
+    #[test]
+    fn parallel_write_places_one_chunk_per_provider() {
+        let infra = infra();
+        let placement = placement_of(&infra, 3, 2);
+        let data = Bytes::from(vec![5u8; 90_000]);
+        let striping = write_chunks(&infra, &placement, "skey-w", &data).unwrap();
+        assert_eq!(striping.chunks.len(), 3);
+        assert_eq!(striping.m, 2);
+        // Locations come back in chunk-index order regardless of which
+        // upload finished first.
+        for (i, location) in striping.chunks.iter().enumerate() {
+            assert_eq!(location.index, i as u32);
+            assert_eq!(location.provider, placement.providers[i].id);
+        }
+        // One put recorded at the object level.
+        assert_eq!(infra.io_latency_snapshot(StoreOp::Put).count, 1);
+        // And the payload reassembles.
+        let chunks = fetch_chunks(
+            &infra,
+            &striping,
+            ByteSize::from_bytes(90_000),
+            &HedgeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(chunks.len(), 2);
+    }
+
+    #[test]
+    fn failed_upload_rolls_back_landed_chunks_and_names_the_provider() {
+        let infra = infra();
+        let placement = placement_of(&infra, 3, 2);
+        let victim = placement.providers[1].id;
+        infra.backend(victim).unwrap().set_down(true);
+
+        let data = Bytes::from(vec![7u8; 60_000]);
+        let failure = write_chunks(&infra, &placement, "skey-x", &data).unwrap_err();
+        assert_eq!(failure.provider, Some(victim));
+        assert!(matches!(
+            failure.error,
+            ScaliaError::ProviderUnavailable(p) if p == victim
+        ));
+        assert_eq!(
+            stored_total(&infra),
+            0,
+            "chunks that landed before the failure must be rolled back"
+        );
+        // §III-D3: the hard failure marked the provider unavailable.
+        assert!(!infra.catalog().is_available(victim));
+    }
+
+    #[test]
+    fn hedged_read_promotes_parity_past_a_dead_ranked_provider() {
+        let infra = infra();
+        let placement = placement_of(&infra, 4, 2);
+        let data = Bytes::from(vec![9u8; 120_000]);
+        let striping = write_chunks(&infra, &placement, "skey-h", &data).unwrap();
+
+        // Kill the cheapest-ranked provider (the one a sequential reader
+        // would contact first).
+        let descriptors: Vec<ProviderDescriptor> = striping
+            .chunks
+            .iter()
+            .filter_map(|c| infra.catalog().get(c.provider))
+            .collect();
+        let chunk_gb = ByteSize::from_bytes(120_000).as_gb() / 2.0;
+        let ranked = cheapest_read_providers(&descriptors, descriptors.len() as u32, chunk_gb);
+        let victim = striping.chunks[ranked[0]].provider;
+        infra.backend(victim).unwrap().set_down(true);
+
+        let chunks = fetch_chunks(
+            &infra,
+            &striping,
+            ByteSize::from_bytes(120_000),
+            &HedgeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert!(
+            chunks.iter().all(|c| c.verify()),
+            "fetched chunks must be checksum-exact"
+        );
+        // The read reported the dead provider to the failure detector.
+        assert!(!infra.catalog().is_available(victim));
+    }
+
+    #[test]
+    fn hedged_read_does_not_wait_out_a_stalled_provider() {
+        let infra = infra();
+        let placement = placement_of(&infra, 3, 1);
+        let data = Bytes::from(vec![3u8; 40_000]);
+        let striping = write_chunks(&infra, &placement, "skey-s", &data).unwrap();
+
+        let descriptors: Vec<ProviderDescriptor> = striping
+            .chunks
+            .iter()
+            .filter_map(|c| infra.catalog().get(c.provider))
+            .collect();
+        let chunk_gb = ByteSize::from_bytes(40_000).as_gb();
+        let ranked = cheapest_read_providers(&descriptors, descriptors.len() as u32, chunk_gb);
+        let stalled = striping.chunks[ranked[0]].provider;
+        let parity = striping.chunks[ranked[1]].provider;
+
+        // The ranked provider limps: 10 virtual seconds per request.
+        const STALL_US: u64 = 10_000_000;
+        infra.backend(stalled).unwrap().set_stall_us(STALL_US);
+        let parity_gets_before = infra
+            .backend(parity)
+            .unwrap()
+            .latency_snapshot(scalia_providers::backend::StoreOp::Get)
+            .count;
+
+        let chunks = fetch_chunks(
+            &infra,
+            &striping,
+            ByteSize::from_bytes(40_000),
+            &HedgeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].verify());
+
+        // The hedge promoted the parity provider…
+        let parity_gets_after = infra
+            .backend(parity)
+            .unwrap()
+            .latency_snapshot(scalia_providers::backend::StoreOp::Get)
+            .count;
+        assert!(
+            parity_gets_after > parity_gets_before,
+            "the parity provider must have been raced"
+        );
+        // …and the read's virtual makespan beat the stall by a wide margin.
+        let read = infra.io_latency_snapshot(StoreOp::Get);
+        assert!(read.count >= 1);
+        assert!(
+            read.max_us < STALL_US / 2,
+            "read makespan {}µs must not wait out the {}µs stall",
+            read.max_us,
+            STALL_US
+        );
+    }
+
+    #[test]
+    fn read_fails_cleanly_when_too_few_chunks_survive() {
+        let infra = infra();
+        let placement = placement_of(&infra, 3, 2);
+        let data = Bytes::from(vec![1u8; 30_000]);
+        let striping = write_chunks(&infra, &placement, "skey-f", &data).unwrap();
+        for provider in striping.providers().into_iter().take(2) {
+            infra.backend(provider).unwrap().set_down(true);
+        }
+        let err = fetch_chunks(
+            &infra,
+            &striping,
+            ByteSize::from_bytes(30_000),
+            &HedgeConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ScaliaError::NotEnoughChunks {
+                available: 1,
+                required: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn parallel_delete_removes_everything_and_postpones_on_outage() {
+        let infra = infra();
+        let placement = placement_of(&infra, 3, 2);
+        let data = Bytes::from(vec![2u8; 45_000]);
+        let striping = write_chunks(&infra, &placement, "skey-d", &data).unwrap();
+        let victim = striping.chunks[0].provider;
+        infra.backend(victim).unwrap().set_down(true);
+
+        delete_chunks(&infra, &striping);
+        assert_eq!(infra.pending_delete_count(), 1, "down provider postpones");
+        let survivors: u64 = infra
+            .backends()
+            .iter()
+            .filter(|b| b.descriptor().id != victim)
+            .map(|b| b.stored_bytes().bytes())
+            .sum();
+        assert_eq!(survivors, 0, "reachable providers delete immediately");
+        assert_eq!(infra.io_latency_snapshot(StoreOp::Delete).count, 1);
+
+        infra.backend(victim).unwrap().set_down(false);
+        infra.retry_pending_deletes();
+        assert_eq!(stored_total(&infra), 0);
+    }
+}

@@ -10,37 +10,46 @@
 //!   to the database, clean up deprecated versions (MVCC), and invalidate
 //!   the caches of every datacenter;
 //! * **read** — serve from the local cache if possible, otherwise read the
-//!   metadata, fetch chunks from the cheapest `m` reachable providers,
-//!   reassemble, populate the cache;
+//!   metadata, race the cheapest `m` providers with a hedged fetch
+//!   (promoting parity providers past errors and stragglers), reassemble,
+//!   populate the cache;
 //! * **delete** — remove the chunks (postponing deletes to unreachable
 //!   providers), fold the object's lifetime and mean usage into its class
 //!   statistics, and drop the metadata.
 //!
 //! Engines are stateless: everything they touch lives in the shared
 //! [`Infrastructure`], so adding engines scales the deployment linearly.
+//! Every provider round-trip goes through the parallel chunk-I/O layer
+//! ([`crate::chunk_io`]): puts and deletes fan out one task per chunk, and
+//! put/get latency scales with the slowest provider instead of summing
+//! round-trips.
 
 use crate::cache::Cache;
+use crate::chunk_io::{self, HedgeConfig};
 use crate::infra::Infrastructure;
 use bytes::Bytes;
 use scalia_core::classify::ObjectClass;
-use scalia_core::cost::{cheapest_read_providers, PredictedUsage};
+use scalia_core::cost::PredictedUsage;
 use scalia_core::placement::{Placement, PlacementEngine};
-use scalia_erasure::codec::{decode_object, encode_object, Chunk};
 use scalia_metastore::logagg::{AccessKind, AccessLogRecord, LogAgent};
-use scalia_providers::backend::ObjectStore;
 use scalia_types::error::{Result, ScaliaError};
 use scalia_types::ids::{DatacenterId, EngineId, ProviderId};
-use scalia_types::object::{ChunkLocation, ObjectKey, ObjectMeta, ObjectVersionId, StripingMeta};
+use scalia_types::object::{ObjectKey, ObjectMeta, ObjectVersionId, StripingMeta};
 use scalia_types::rules::StorageRule;
 use scalia_types::size::ByteSize;
 use scalia_types::stats::AccessHistory;
-use scalia_types::ErasureParams;
 use serde_json::json;
 use std::sync::Arc;
 
 /// Default decision period, in sampling periods, for freshly written objects
 /// whose class has no statistics yet (24 hourly periods = 1 day).
 pub const DEFAULT_DECISION_PERIODS: usize = 24;
+
+/// Bound on place-and-write attempts: a write runs at most this many
+/// parallel uploads, i.e. it survives up to `WRITE_ATTEMPTS − 1`
+/// provider-side upload failures before the error is surfaced (§III-D3's
+/// mark-unavailable-and-retry, made finite).
+pub const WRITE_ATTEMPTS: usize = 3;
 
 /// A stateless Scalia engine.
 pub struct Engine {
@@ -135,13 +144,9 @@ impl Engine {
             usage.duration_hours = usage.duration_hours.min(ttl.max(period_hours));
         }
 
-        let decision = self.place_with_retry(&rule, &usage)?;
-        let placement = decision;
-
-        // Encode and store the chunks.
-        let version = ObjectVersionId::next(&key.row_key());
-        let skey = StripingMeta::storage_key(key, version);
-        let striping = self.write_chunks(&placement, &skey, &data)?;
+        // Encode and store the chunks (re-placing and retrying, bounded, if
+        // a provider fails mid-write).
+        let (version, striping) = self.place_and_write(key, &rule, &usage, &data)?;
 
         let meta = ObjectMeta {
             key: key.clone(),
@@ -176,48 +181,74 @@ impl Engine {
         Ok(meta)
     }
 
-    /// Runs the placement search, excluding providers that turn out to be
-    /// unreachable while writing and retrying, as §III-D3 prescribes for
-    /// provider-side write errors. Searches are routed through the shared
-    /// placement decision cache (keyed by rule + usage class + catalog
-    /// version), so a burst of same-class writes prices one search, not one
-    /// per object.
-    fn place_with_retry(&self, rule: &StorageRule, usage: &PredictedUsage) -> Result<Placement> {
-        let decision = self
-            .infra
-            .best_placement_cached(&self.placement, rule, usage)?;
-        Ok(decision.placement)
+    /// Places and uploads an object's chunks, retrying — bounded by
+    /// [`WRITE_ATTEMPTS`] — when a provider fails mid-write, as §III-D3
+    /// prescribes: the parallel upload in [`chunk_io::write_chunks`] rolls
+    /// back the chunks that already landed and reports the failed provider
+    /// to the failure detector (a hard unreachability error marks it
+    /// unavailable in the catalog immediately); the write is then re-placed
+    /// over the remaining providers and retried. Returns the version the
+    /// successful attempt was stored under, along with its striping.
+    fn place_and_write(
+        &self,
+        key: &ObjectKey,
+        rule: &StorageRule,
+        usage: &PredictedUsage,
+        data: &Bytes,
+    ) -> Result<(ObjectVersionId, StripingMeta)> {
+        let mut excluded: Vec<ProviderId> = Vec::new();
+        loop {
+            let placement = self.place_excluding(rule, usage, &excluded)?;
+            // A fresh version — and therefore fresh chunk keys — per
+            // attempt: a failed attempt's rollback may have *postponed* a
+            // delete (the provider flapped down mid-rollback), and that
+            // delete fires unconditionally once the provider recovers. If
+            // the retry reused the same keys, it could land a committed
+            // chunk exactly where the pending delete will strike.
+            let version = ObjectVersionId::next(&key.row_key());
+            let skey = StripingMeta::storage_key(key, version);
+            match chunk_io::write_chunks(&self.infra, &placement, &skey, data) {
+                Ok(striping) => return Ok((version, striping)),
+                Err(failure) => match failure.provider {
+                    // The failed provider may or may not have tripped the
+                    // failure detector (e.g. a full private resource stays
+                    // catalog-available); exclude it from the re-placement
+                    // search explicitly either way.
+                    Some(provider) if excluded.len() + 1 < WRITE_ATTEMPTS => {
+                        excluded.push(provider);
+                    }
+                    _ => return Err(failure.error),
+                },
+            }
+        }
     }
 
-    /// Encodes `data` for `placement` and uploads one chunk per provider.
-    /// If a provider fails mid-write the whole write is retried on the
-    /// remaining providers (the failed one is marked unavailable first).
-    fn write_chunks(
+    /// Runs the placement search. The common no-exclusions case is routed
+    /// through the shared placement decision cache (keyed by rule + usage
+    /// class + catalog version), so a burst of same-class writes prices one
+    /// search, not one per object; retries with excluded providers search
+    /// directly — the cache cannot express an ad-hoc exclusion.
+    fn place_excluding(
         &self,
-        placement: &Placement,
-        skey: &str,
-        data: &Bytes,
-    ) -> Result<StripingMeta> {
-        let params = placement.erasure_params();
-        let encoded = encode_object(data, params)?;
-        let mut chunks = Vec::with_capacity(encoded.chunks.len());
-        for (chunk, provider) in encoded.chunks.iter().zip(placement.providers.iter()) {
-            let backend = self
+        rule: &StorageRule,
+        usage: &PredictedUsage,
+        excluded: &[ProviderId],
+    ) -> Result<Placement> {
+        if excluded.is_empty() {
+            let decision = self
                 .infra
-                .backend(provider.id)
-                .ok_or(ScaliaError::ProviderUnavailable(provider.id))?;
-            let chunk_key = format!("{skey}.{}", chunk.index);
-            backend.put(&chunk_key, chunk.data.clone())?;
-            chunks.push(ChunkLocation {
-                index: chunk.index,
-                provider: provider.id,
-            });
+                .best_placement_cached(&self.placement, rule, usage)?;
+            return Ok(decision.placement);
         }
-        Ok(StripingMeta {
-            chunks,
-            m: placement.m,
-            skey: skey.to_string(),
-        })
+        let providers: Vec<_> = self
+            .infra
+            .catalog()
+            .available()
+            .into_iter()
+            .filter(|p| !excluded.contains(&p.id))
+            .collect();
+        let decision = self.placement.best_placement(rule, usage, &providers)?;
+        Ok(decision.placement)
     }
 
     /// Writes the metadata version and prunes deprecated versions from the
@@ -330,48 +361,14 @@ impl Engine {
             .map_err(|e| ScaliaError::Internal(format!("deserialize metadata: {e}")))
     }
 
-    /// Fetches chunks from the cheapest reachable providers and reassembles
-    /// the object. Tolerates up to `n - m` unreachable providers.
+    /// Fetches chunks with a hedged race over the cheapest `m` providers
+    /// and reassembles the object, tolerating up to `n − m` failed or
+    /// straggling providers. Provider errors feed the failure detector
+    /// (§III-D3); a fetch that exceeds its hedge deadline has the
+    /// next-ranked parity provider promoted into the race (see
+    /// [`chunk_io::fetch_chunks`]).
     pub fn fetch_and_reassemble(&self, meta: &ObjectMeta) -> Result<Bytes> {
-        let striping = &meta.striping;
-        let m = striping.m as usize;
-        let n = striping.chunks.len();
-        let params = ErasureParams::new(striping.m, n as u32)
-            .ok_or_else(|| ScaliaError::Internal("invalid striping metadata".into()))?;
-
-        // Rank chunk locations by the read cost of their provider.
-        let descriptors: Vec<_> = striping
-            .chunks
-            .iter()
-            .filter_map(|c| self.infra.catalog().get(c.provider).map(|d| (c, d)))
-            .collect();
-        let chunk_gb = meta.size.as_gb() / striping.m as f64;
-        let only_descriptors: Vec<_> = descriptors.iter().map(|(_, d)| d.clone()).collect();
-        let order = cheapest_read_providers(&only_descriptors, n as u32, chunk_gb);
-
-        let mut fetched: Vec<Chunk> = Vec::with_capacity(m);
-        for idx in order {
-            if fetched.len() >= m {
-                break;
-            }
-            let (location, _descriptor) = &descriptors[idx];
-            let Some(backend) = self.infra.backend(location.provider) else {
-                continue;
-            };
-            let chunk_key = striping.chunk_key(location.index);
-            match backend.get(&chunk_key) {
-                Ok(data) => fetched.push(Chunk::new(location.index, data)),
-                Err(_) => continue,
-            }
-        }
-
-        if fetched.len() < m {
-            return Err(ScaliaError::NotEnoughChunks {
-                available: fetched.len(),
-                required: m,
-            });
-        }
-        decode_object(&fetched, params, meta.size.bytes() as usize)
+        chunk_io::fetch_and_reassemble(&self.infra, meta, &HedgeConfig::default())
     }
 
     /// Lists the keys currently stored in a container.
@@ -451,22 +448,11 @@ impl Engine {
         Ok(())
     }
 
-    /// Deletes every chunk of a striping, postponing chunks whose provider
-    /// is unreachable ("the deletion of the chunk residing at a faulty
-    /// provider is postponed until the provider recovers").
+    /// Deletes every chunk of a striping in parallel, postponing chunks
+    /// whose provider is unreachable ("the deletion of the chunk residing
+    /// at a faulty provider is postponed until the provider recovers").
     pub fn delete_chunks(&self, striping: &StripingMeta) {
-        for location in &striping.chunks {
-            let chunk_key = striping.chunk_key(location.index);
-            let deleted = self
-                .infra
-                .backend(location.provider)
-                .filter(|b| b.is_up())
-                .map(|b| b.delete(&chunk_key).is_ok())
-                .unwrap_or(false);
-            if !deleted {
-                self.infra.postpone_delete(location.provider, chunk_key);
-            }
-        }
+        chunk_io::delete_chunks(&self.infra, striping);
     }
 
     // ------------------------------------------------------------------
@@ -495,7 +481,12 @@ impl Engine {
         let version = ObjectVersionId::next(&key.row_key());
         let skey = StripingMeta::storage_key(key, version);
         // Chunk uploads happen outside the commit lock (they may be slow).
-        let striping = self.write_chunks(new_placement, &skey, &data)?;
+        // No re-placement on failure here: the caller chose this placement
+        // deliberately; a failed provider just fails the migration (the
+        // optimiser retries the object next cycle), and chunk_io has
+        // already rolled back the partial upload.
+        let striping = chunk_io::write_chunks(&self.infra, new_placement, &skey, &data)
+            .map_err(ScaliaError::from)?;
 
         let new_meta = ObjectMeta {
             version,

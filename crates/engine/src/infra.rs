@@ -3,8 +3,12 @@
 //! [`Infrastructure`] bundles everything every engine in every datacenter
 //! needs a handle to: the provider catalog and the per-provider simulated
 //! backends, the replicated metadata database and the statistics store, the
-//! simulation clock, the per-object decision-period controllers, and the
-//! queue of deletes postponed because a provider was unreachable (§III-D3).
+//! simulation clock, the per-object decision-period controllers, the queue
+//! of deletes postponed because a provider was unreachable (§III-D3), the
+//! provider **failure detector** fed by the chunk-I/O layer (consecutive
+//! errors trip the provider into catalog-unavailable; recovery is re-probed
+//! on every clock advance), and the deployment-wide per-operation latency
+//! histograms behind [`Infrastructure::io_latency_snapshot`].
 
 use crate::placement_cache::{PlacementCache, PlacementCacheStats};
 use parking_lot::{Mutex, RwLock};
@@ -14,13 +18,15 @@ use scalia_core::placement::{PlacementDecision, PlacementEngine};
 use scalia_metastore::model::Timestamp;
 use scalia_metastore::replication::ReplicatedStore;
 use scalia_metastore::stats::StatisticsStore;
-use scalia_providers::backend::{ObjectStore, SimulatedStore};
+use scalia_providers::backend::{ObjectStore, OpLatencies, SimulatedStore, StoreOp};
 use scalia_providers::catalog::ProviderCatalog;
 use scalia_providers::descriptor::ProviderDescriptor;
+use scalia_types::error::ScaliaError;
 use scalia_types::ids::{DatacenterId, ProviderId};
+use scalia_types::latency::LatencySnapshot;
 use scalia_types::money::Money;
 use scalia_types::time::{Duration, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -29,6 +35,11 @@ use std::sync::Arc;
 /// controllers. Concurrent operations on different objects almost never
 /// contend; operations on the same object serialise on its shard.
 const LOCK_SHARDS: usize = 64;
+
+/// Consecutive chunk-I/O failures after which the failure detector marks a
+/// provider unavailable in the catalog (a hard "connection refused" —
+/// [`ScaliaError::ProviderUnavailable`] — trips it immediately, §III-D3).
+pub const FAILURE_DETECTOR_THRESHOLD: u32 = 3;
 
 fn shard_of(key: &str) -> usize {
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
@@ -58,6 +69,15 @@ pub struct Infrastructure {
     decision_controllers: Vec<Mutex<HashMap<String, DecisionPeriodController>>>,
     row_commit_locks: Vec<Mutex<()>>,
     placement_cache: PlacementCache,
+    /// Failure detector: consecutive chunk-I/O failures per provider.
+    failure_counts: Mutex<HashMap<ProviderId, u32>>,
+    /// Providers the detector (not an operator) marked unavailable; these
+    /// are re-probed — and re-enabled when their backend responds — on
+    /// every clock advance.
+    detector_disabled: Mutex<HashSet<ProviderId>>,
+    /// Deployment-wide per-operation latency histograms (virtual µs),
+    /// recorded by the chunk-I/O layer per object-level put/get/delete.
+    io_latencies: Mutex<OpLatencies>,
 }
 
 impl Infrastructure {
@@ -82,6 +102,9 @@ impl Infrastructure {
                 .collect(),
             row_commit_locks: (0..LOCK_SHARDS).map(|_| Mutex::new(())).collect(),
             placement_cache: PlacementCache::new(),
+            failure_counts: Mutex::new(HashMap::new()),
+            detector_disabled: Mutex::new(HashSet::new()),
+            io_latencies: Mutex::new(OpLatencies::default()),
         });
         for descriptor in catalog.all() {
             infra.ensure_backend(&descriptor);
@@ -157,6 +180,7 @@ impl Infrastructure {
             backend.tick(now);
         }
         self.retry_pending_deletes();
+        self.reprobe_failed_providers();
     }
 
     /// A fresh, strictly monotonic metadata timestamp for the current time.
@@ -213,6 +237,90 @@ impl Infrastructure {
             .values()
             .map(|b| b.accrued_cost())
             .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Failure detector (§III-D3)
+    // ------------------------------------------------------------------
+
+    /// Feeds one chunk-I/O failure into the failure detector. A hard
+    /// unreachability error ([`ScaliaError::ProviderUnavailable`]) marks the
+    /// provider unavailable in the catalog immediately — §III-D3's "the
+    /// provider is marked as unavailable"; transport-level trouble counts
+    /// toward [`FAILURE_DETECTOR_THRESHOLD`] consecutive failures.
+    ///
+    /// Data-level responses from a live provider are **not** reachability
+    /// evidence and never touch availability: a missing chunk is the normal
+    /// aftermath of an MVCC prune racing a reader, a full private resource
+    /// and a rejected signature are provider *answers*. Knocking providers
+    /// out for those would let a burst of contended overwrites shrink the
+    /// catalog until writes find no feasible placement.
+    ///
+    /// Detector-tripped providers are re-probed (and re-enabled when their
+    /// backend responds again) on every clock advance.
+    pub fn report_provider_failure(&self, provider: ProviderId, error: &ScaliaError) {
+        let tripped = match error {
+            ScaliaError::ProviderUnavailable(_) => true,
+            ScaliaError::ChunkMissing { .. }
+            | ScaliaError::CapacityExceeded(_)
+            | ScaliaError::AuthenticationFailed(_) => false,
+            _ => {
+                let mut counts = self.failure_counts.lock();
+                let count = counts.entry(provider).or_insert(0);
+                *count += 1;
+                *count >= FAILURE_DETECTOR_THRESHOLD
+            }
+        };
+        if tripped {
+            self.catalog.mark_unavailable(provider);
+            self.detector_disabled.lock().insert(provider);
+        }
+    }
+
+    /// Feeds one chunk-I/O success into the failure detector, resetting the
+    /// provider's consecutive-failure count.
+    pub fn report_provider_success(&self, provider: ProviderId) {
+        self.failure_counts.lock().remove(&provider);
+    }
+
+    /// Consecutive failures currently recorded against a provider.
+    pub fn provider_failure_count(&self, provider: ProviderId) -> u32 {
+        self.failure_counts
+            .lock()
+            .get(&provider)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Re-probes every provider the failure detector disabled: if its
+    /// backend responds again, the provider returns to the catalog and its
+    /// failure count resets. Providers taken down by an operator (or an
+    /// outage schedule still in effect) stay down.
+    fn reprobe_failed_providers(&self) {
+        let disabled: Vec<ProviderId> = self.detector_disabled.lock().iter().copied().collect();
+        for provider in disabled {
+            if self.backend(provider).is_some_and(|b| b.is_up()) {
+                self.catalog.mark_available(provider);
+                self.detector_disabled.lock().remove(&provider);
+                self.failure_counts.lock().remove(&provider);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-operation latency accounting
+    // ------------------------------------------------------------------
+
+    /// Records the virtual makespan (µs) of one object-level chunk-I/O
+    /// operation — the parallel fan-out's critical path, not the sum of its
+    /// provider round-trips.
+    pub fn record_io_latency(&self, op: StoreOp, us: u64) {
+        self.io_latencies.lock().of(op).record(us);
+    }
+
+    /// Percentile summary of the recorded object-level latencies of `op`.
+    pub fn io_latency_snapshot(&self, op: StoreOp) -> LatencySnapshot {
+        self.io_latencies.lock().of(op).snapshot()
     }
 
     /// Queues a delete that could not reach its provider.
@@ -348,6 +456,97 @@ mod tests {
         infra.advance_clock(SimTime::from_hours(1));
         assert_eq!(infra.pending_delete_count(), 0);
         assert!(!backend.exists("stale-chunk").unwrap());
+    }
+
+    #[test]
+    fn hard_unreachability_trips_the_failure_detector_immediately() {
+        let infra = infra();
+        let target = infra.catalog().all()[0].id;
+        assert!(infra.catalog().is_available(target));
+        infra.report_provider_failure(target, &ScaliaError::ProviderUnavailable(target));
+        assert!(
+            !infra.catalog().is_available(target),
+            "ProviderUnavailable must mark the provider unavailable at once"
+        );
+        // The backend itself is up, so the next clock advance re-probes and
+        // restores the provider.
+        infra.advance_clock(SimTime::from_hours(1));
+        assert!(infra.catalog().is_available(target));
+        assert_eq!(infra.provider_failure_count(target), 0);
+    }
+
+    #[test]
+    fn soft_errors_count_to_the_threshold_and_successes_reset() {
+        let infra = infra();
+        let target = infra.catalog().all()[1].id;
+        let soft = ScaliaError::Internal("transport timeout".into());
+        for _ in 0..FAILURE_DETECTOR_THRESHOLD - 1 {
+            infra.report_provider_failure(target, &soft);
+        }
+        assert!(infra.catalog().is_available(target), "below threshold");
+        assert_eq!(
+            infra.provider_failure_count(target),
+            FAILURE_DETECTOR_THRESHOLD - 1
+        );
+        // A success resets the streak.
+        infra.report_provider_success(target);
+        assert_eq!(infra.provider_failure_count(target), 0);
+        // A full streak trips the detector.
+        for _ in 0..FAILURE_DETECTOR_THRESHOLD {
+            infra.report_provider_failure(target, &soft);
+        }
+        assert!(!infra.catalog().is_available(target));
+    }
+
+    #[test]
+    fn data_level_errors_never_touch_availability() {
+        // A provider that *answers* — even with "no such chunk" (the normal
+        // aftermath of MVCC pruning racing a reader) or "capacity full" —
+        // is alive. No volume of such answers may shrink the catalog.
+        let infra = infra();
+        let target = infra.catalog().all()[3].id;
+        let missing = ScaliaError::ChunkMissing {
+            provider: target,
+            chunk_key: "k".into(),
+        };
+        for _ in 0..10 * FAILURE_DETECTOR_THRESHOLD {
+            infra.report_provider_failure(target, &missing);
+            infra.report_provider_failure(target, &ScaliaError::CapacityExceeded(target));
+        }
+        assert!(infra.catalog().is_available(target));
+        assert_eq!(infra.provider_failure_count(target), 0);
+    }
+
+    #[test]
+    fn reprobe_leaves_operator_disabled_providers_down() {
+        let infra = infra();
+        let target = infra.catalog().all()[2].id;
+        // Down for real (backend + catalog): reads will feed the detector,
+        // but the re-probe must not resurrect it while the backend is down.
+        infra.set_provider_down(target, true);
+        infra.report_provider_failure(target, &ScaliaError::ProviderUnavailable(target));
+        infra.advance_clock(SimTime::from_hours(1));
+        assert!(
+            !infra.catalog().is_available(target),
+            "backend is down; re-probe must not re-enable"
+        );
+        infra.set_provider_down(target, false);
+        infra.advance_clock(SimTime::from_hours(2));
+        assert!(infra.catalog().is_available(target));
+    }
+
+    #[test]
+    fn io_latency_histograms_accumulate_per_operation() {
+        let infra = infra();
+        assert_eq!(infra.io_latency_snapshot(StoreOp::Get).count, 0);
+        infra.record_io_latency(StoreOp::Get, 1_000);
+        infra.record_io_latency(StoreOp::Get, 3_000);
+        infra.record_io_latency(StoreOp::Put, 500);
+        let get = infra.io_latency_snapshot(StoreOp::Get);
+        assert_eq!(get.count, 2);
+        assert_eq!(get.max_us, 3_000);
+        assert_eq!(infra.io_latency_snapshot(StoreOp::Put).count, 1);
+        assert_eq!(infra.io_latency_snapshot(StoreOp::Delete).count, 0);
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //! * [`engine`] — the stateless engine: write / read / delete life-cycles
 //!   (§III-D), including MVCC conflict cleanup and provider-failure
 //!   handling.
+//! * [`chunk_io`] — the unified parallel chunk-I/O layer: parallel uploads
+//!   with abort-on-first-hard-failure and rollback, parallel deletes, and
+//!   hedged first-`m`-of-`n` reads that promote parity providers past
+//!   errors and stragglers.
 //! * [`placement_cache`] — deployment-wide memo of placement decisions
 //!   (keyed by rule + usage class + catalog version) so the write path,
 //!   the optimiser and repair stop recomputing identical searches.
@@ -38,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chunk_io;
 pub mod cluster;
 pub mod engine;
 pub mod infra;

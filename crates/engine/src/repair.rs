@@ -6,6 +6,12 @@
 //! chunks. Repair changes the placement, so the threshold of the most
 //! cost-effective set may change too — in that case every chunk is
 //! re-written; otherwise only the missing chunk is.
+//!
+//! Repair migrations run through [`Engine::replace_placement`], so their
+//! chunk reads and writes use the same parallel chunk-I/O layer
+//! ([`crate::chunk_io`]) as the client data path: reconstruction reads are
+//! hedged across the surviving providers and the re-written chunks fan out
+//! in parallel with rollback on failure.
 
 use crate::engine::Engine;
 use crate::infra::Infrastructure;

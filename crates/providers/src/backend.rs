@@ -9,20 +9,32 @@
 //!   GB-hours for the bytes currently held,
 //! * failure injection — an [`OutageSchedule`] plus a manual up/down switch —
 //!   so the evaluation can take providers offline (§IV-E),
-//! * a capacity limit for private resources.
+//! * a capacity limit for private resources,
+//! * a deterministic response-time model ([`crate::latency::LatencyModel`],
+//!   from the provider descriptor): every operation — including errors —
+//!   reports a *virtual* latency in microseconds through the `timed_*`
+//!   variants, recorded into per-operation histograms. Latencies are plain
+//!   numbers by default so tests stay fast; [`SimulatedStore::set_real_sleep`]
+//!   (or the `SCALIA_LATENCY_REAL_SLEEP` environment variable) makes the
+//!   store actually sleep them, so benchmarks measure real wall-clock
+//!   fan-out. [`SimulatedStore::set_stall_us`] injects an additive stall to
+//!   model a limping provider.
 
 use crate::billing::BillingMeter;
 use crate::descriptor::ProviderDescriptor;
 use crate::failure::OutageSchedule;
+use crate::latency::salt_of;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use scalia_types::error::{Result, ScaliaError};
 use scalia_types::ids::ProviderId;
+use scalia_types::latency::{LatencyHistogram, LatencySnapshot};
 use scalia_types::money::Money;
 use scalia_types::size::ByteSize;
 use scalia_types::time::SimTime;
 use scalia_types::usage::ResourceUsage;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The S3-like interface every storage backend exposes.
@@ -46,10 +58,43 @@ pub trait ObjectStore: Send + Sync {
     fn exists(&self, key: &str) -> Result<bool>;
 }
 
+/// The operation classes a store records latency for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOp {
+    /// Chunk uploads.
+    Put,
+    /// Chunk downloads.
+    Get,
+    /// Chunk deletions.
+    Delete,
+}
+
+/// One latency histogram per [`StoreOp`] — the single place that maps an
+/// operation class to its histogram (shared by the per-store recording here
+/// and the deployment-wide object-level recording in the engine).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct OpLatencies {
+    put: LatencyHistogram,
+    get: LatencyHistogram,
+    delete: LatencyHistogram,
+}
+
+impl OpLatencies {
+    /// The histogram recording operations of class `op`.
+    pub fn of(&mut self, op: StoreOp) -> &mut LatencyHistogram {
+        match op {
+            StoreOp::Put => &mut self.put,
+            StoreOp::Get => &mut self.get,
+            StoreOp::Delete => &mut self.delete,
+        }
+    }
+}
+
 struct StoreState {
     objects: BTreeMap<String, Bytes>,
     stored_bytes: ByteSize,
     meter: BillingMeter,
+    latencies: OpLatencies,
     manually_down: bool,
     now: SimTime,
     last_tick: SimTime,
@@ -60,6 +105,10 @@ pub struct SimulatedStore {
     descriptor: ProviderDescriptor,
     outages: OutageSchedule,
     state: Mutex<StoreState>,
+    /// Additive virtual stall applied to every operation (limping provider).
+    stall_us: AtomicU64,
+    /// When set, operations really sleep their virtual latency (benches).
+    real_sleep: AtomicBool,
 }
 
 impl SimulatedStore {
@@ -71,6 +120,9 @@ impl SimulatedStore {
     /// Creates a store with a pre-programmed outage schedule.
     pub fn with_outages(descriptor: ProviderDescriptor, outages: OutageSchedule) -> Self {
         let meter = BillingMeter::new(descriptor.pricing);
+        let real_sleep = std::env::var("SCALIA_LATENCY_REAL_SLEEP")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
         SimulatedStore {
             descriptor,
             outages,
@@ -78,10 +130,13 @@ impl SimulatedStore {
                 objects: BTreeMap::new(),
                 stored_bytes: ByteSize::ZERO,
                 meter,
+                latencies: OpLatencies::default(),
                 manually_down: false,
                 now: SimTime::ZERO,
                 last_tick: SimTime::ZERO,
             }),
+            stall_us: AtomicU64::new(0),
+            real_sleep: AtomicBool::new(real_sleep),
         }
     }
 
@@ -141,6 +196,55 @@ impl SimulatedStore {
         self.state.lock().meter.total_cost()
     }
 
+    /// Makes every operation really sleep its virtual latency (wall-clock
+    /// mode for benchmarks; the default is virtual-only so tests stay fast).
+    pub fn set_real_sleep(&self, enabled: bool) {
+        self.real_sleep.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Returns `true` if operations really sleep their virtual latency.
+    pub fn real_sleep_enabled(&self) -> bool {
+        self.real_sleep.load(Ordering::SeqCst)
+    }
+
+    /// Injects an additive virtual stall (microseconds) into every
+    /// operation, modelling a limping provider. Zero clears the stall.
+    pub fn set_stall_us(&self, us: u64) {
+        self.stall_us.store(us, Ordering::SeqCst);
+    }
+
+    /// The currently injected stall, in microseconds.
+    pub fn stall_us(&self) -> u64 {
+        self.stall_us.load(Ordering::SeqCst)
+    }
+
+    /// Per-operation latency summary (virtual microseconds).
+    pub fn latency_snapshot(&self, op: StoreOp) -> LatencySnapshot {
+        self.state.lock().latencies.of(op).snapshot()
+    }
+
+    /// The virtual latency of one operation: the descriptor's model sampled
+    /// for this key and payload, plus any injected stall. Errors pay the
+    /// base round-trip (`bytes = 0`).
+    fn latency_us(&self, key: &str, bytes: u64) -> u64 {
+        self.descriptor.latency.sample_us(bytes, salt_of(key)) + self.stall_us()
+    }
+
+    /// Records the operation's latency and, in real-sleep mode, sleeps it.
+    /// Called with the state lock *held* for recording; the sleep happens
+    /// after the caller has released the lock (see `finish_op`).
+    fn record_latency(state: &mut StoreState, op: StoreOp, us: u64) {
+        state.latencies.of(op).record(us);
+    }
+
+    /// Completes a timed operation outside the state lock: really sleeps
+    /// the virtual latency when real-sleep mode is on.
+    fn finish_op(&self, us: u64) {
+        if us > 0 && self.real_sleep_enabled() {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+    }
+
     fn check_up(&self, state: &StoreState) -> Result<()> {
         if state.manually_down || self.outages.is_down(state.now) {
             Err(ScaliaError::ProviderUnavailable(self.descriptor.id))
@@ -150,14 +254,53 @@ impl SimulatedStore {
     }
 }
 
-impl ObjectStore for SimulatedStore {
-    fn provider_id(&self) -> ProviderId {
-        self.descriptor.id
+impl SimulatedStore {
+    /// [`ObjectStore::put`] returning the operation's virtual latency in
+    /// microseconds alongside the result. Errors pay the base round-trip.
+    pub fn timed_put(&self, key: &str, data: Bytes) -> (Result<()>, u64) {
+        let payload = data.len() as u64;
+        let (result, us) = {
+            let mut state = self.state.lock();
+            let result = self.put_locked(&mut state, key, data);
+            let us = self.latency_us(key, if result.is_ok() { payload } else { 0 });
+            Self::record_latency(&mut state, StoreOp::Put, us);
+            (result, us)
+        };
+        self.finish_op(us);
+        (result, us)
     }
 
-    fn put(&self, key: &str, data: Bytes) -> Result<()> {
-        let mut state = self.state.lock();
-        self.check_up(&state)?;
+    /// [`ObjectStore::get`] returning the operation's virtual latency in
+    /// microseconds alongside the result.
+    pub fn timed_get(&self, key: &str) -> (Result<Bytes>, u64) {
+        let (result, us) = {
+            let mut state = self.state.lock();
+            let result = self.get_locked(&mut state, key);
+            let payload = result.as_ref().map(|d| d.len() as u64).unwrap_or(0);
+            let us = self.latency_us(key, payload);
+            Self::record_latency(&mut state, StoreOp::Get, us);
+            (result, us)
+        };
+        self.finish_op(us);
+        (result, us)
+    }
+
+    /// [`ObjectStore::delete`] returning the operation's virtual latency in
+    /// microseconds alongside the result.
+    pub fn timed_delete(&self, key: &str) -> (Result<()>, u64) {
+        let (result, us) = {
+            let mut state = self.state.lock();
+            let result = self.delete_locked(&mut state, key);
+            let us = self.latency_us(key, 0);
+            Self::record_latency(&mut state, StoreOp::Delete, us);
+            (result, us)
+        };
+        self.finish_op(us);
+        (result, us)
+    }
+
+    fn put_locked(&self, state: &mut StoreState, key: &str, data: Bytes) -> Result<()> {
+        self.check_up(state)?;
         let new_size = ByteSize::from_bytes(data.len() as u64);
 
         // Enforce capacity for private resources ("will never grow beyond
@@ -186,9 +329,8 @@ impl ObjectStore for SimulatedStore {
         Ok(())
     }
 
-    fn get(&self, key: &str) -> Result<Bytes> {
-        let mut state = self.state.lock();
-        self.check_up(&state)?;
+    fn get_locked(&self, state: &mut StoreState, key: &str) -> Result<Bytes> {
+        self.check_up(state)?;
         match state.objects.get(key).cloned() {
             Some(data) => {
                 state
@@ -206,9 +348,8 @@ impl ObjectStore for SimulatedStore {
         }
     }
 
-    fn delete(&self, key: &str) -> Result<()> {
-        let mut state = self.state.lock();
-        self.check_up(&state)?;
+    fn delete_locked(&self, state: &mut StoreState, key: &str) -> Result<()> {
+        self.check_up(state)?;
         state.meter.record_delete();
         if let Some(old) = state.objects.remove(key) {
             state.stored_bytes = state
@@ -216,6 +357,24 @@ impl ObjectStore for SimulatedStore {
                 .saturating_sub(ByteSize::from_bytes(old.len() as u64));
         }
         Ok(())
+    }
+}
+
+impl ObjectStore for SimulatedStore {
+    fn provider_id(&self) -> ProviderId {
+        self.descriptor.id
+    }
+
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        self.timed_put(key, data).0
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.timed_get(key).0
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.timed_delete(key).0
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<String>> {
@@ -350,6 +509,72 @@ mod tests {
         s.tick(SimTime::from_hours(120));
         assert!(s.is_up());
         assert!(s.get("k").is_ok());
+    }
+
+    #[test]
+    fn timed_ops_report_model_latency_deterministically() {
+        use crate::latency::LatencyModel;
+        // 10 ms RTT, 1 MB/s, no jitter: a 1 MB get takes 10 ms + 1 s.
+        let descriptor = s3_high(ProviderId::new(0)).with_latency(LatencyModel::new(10, 1, 0, 42));
+        let s = SimulatedStore::new(descriptor);
+        let (put_result, put_us) = s.timed_put("k", Bytes::from(vec![0u8; 1_000_000]));
+        put_result.unwrap();
+        assert_eq!(put_us, 10_000 + 1_000_000);
+        let (get_result, get_us) = s.timed_get("k");
+        get_result.unwrap();
+        assert_eq!(get_us, put_us, "same key, same payload, same latency");
+        // A repeated request reproduces exactly.
+        assert_eq!(s.timed_get("k").1, get_us);
+        // Errors pay the base round-trip only.
+        let (missing, err_us) = s.timed_get("nope");
+        assert!(missing.is_err());
+        assert_eq!(err_us, 10_000);
+        // Histograms saw every operation.
+        assert_eq!(s.latency_snapshot(StoreOp::Get).count, 3);
+        assert_eq!(s.latency_snapshot(StoreOp::Put).count, 1);
+        assert_eq!(s.latency_snapshot(StoreOp::Delete).count, 0);
+    }
+
+    #[test]
+    fn zero_model_keeps_operations_instantaneous() {
+        let s = store();
+        let (result, us) = s.timed_put("k", Bytes::from_static(b"v"));
+        result.unwrap();
+        assert_eq!(us, 0, "default catalog must stay latency-free");
+        assert_eq!(s.timed_get("k").1, 0);
+    }
+
+    #[test]
+    fn stall_injection_adds_to_every_operation() {
+        let s = store();
+        s.set_stall_us(50_000);
+        assert_eq!(s.stall_us(), 50_000);
+        let (_, us) = s.timed_put("k", Bytes::from_static(b"v"));
+        assert_eq!(us, 50_000);
+        // Down providers stall too (the connection attempt hangs).
+        s.set_down(true);
+        let (result, err_us) = s.timed_get("k");
+        assert!(result.is_err());
+        assert_eq!(err_us, 50_000);
+        s.set_stall_us(0);
+        s.set_down(false);
+        assert_eq!(s.timed_get("k").1, 0);
+    }
+
+    #[test]
+    fn real_sleep_mode_actually_sleeps() {
+        use crate::latency::LatencyModel;
+        let descriptor = s3_high(ProviderId::new(0)).with_latency(LatencyModel::new(5, 0, 0, 0));
+        let s = SimulatedStore::new(descriptor);
+        s.set_real_sleep(true);
+        assert!(s.real_sleep_enabled());
+        let started = std::time::Instant::now();
+        s.put("k", Bytes::from_static(b"v")).unwrap();
+        assert!(
+            started.elapsed() >= std::time::Duration::from_millis(5),
+            "real-sleep mode must pay the modelled latency in wall-clock time"
+        );
+        s.set_real_sleep(false);
     }
 
     #[test]

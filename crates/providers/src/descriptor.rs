@@ -5,6 +5,7 @@
 //! private resource, SLA, pricing, zones of operation, optional chunk-size
 //! constraint and optional capacity (for private resources).
 
+use crate::latency::LatencyModel;
 use crate::pricing::PricingPolicy;
 use crate::sla::ProviderSla;
 use scalia_types::ids::ProviderId;
@@ -44,6 +45,9 @@ pub struct ProviderDescriptor {
     pub max_chunk_size: Option<ByteSize>,
     /// Total capacity, for private resources (`None` = effectively unlimited).
     pub capacity: Option<ByteSize>,
+    /// Deterministic response-time model of the provider's data path
+    /// (defaults to [`LatencyModel::ZERO`]: instantaneous).
+    pub latency: LatencyModel,
 }
 
 impl ProviderDescriptor {
@@ -67,6 +71,7 @@ impl ProviderDescriptor {
             zones,
             max_chunk_size: None,
             capacity: None,
+            latency: LatencyModel::ZERO,
         }
     }
 
@@ -89,12 +94,19 @@ impl ProviderDescriptor {
             zones,
             max_chunk_size: None,
             capacity: Some(capacity),
+            latency: LatencyModel::ZERO,
         }
     }
 
     /// Builder-style override of the chunk-size constraint.
     pub fn with_max_chunk_size(mut self, size: ByteSize) -> Self {
         self.max_chunk_size = Some(size);
+        self
+    }
+
+    /// Builder-style override of the provider's latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
         self
     }
 
@@ -172,6 +184,18 @@ mod tests {
         );
         assert!(p.is_private());
         assert_eq!(p.capacity, Some(ByteSize::from_gb(10)));
+    }
+
+    #[test]
+    fn latency_model_defaults_to_zero_and_is_overridable() {
+        let p = sample();
+        assert!(
+            p.latency.is_zero(),
+            "catalog default must stay latency-free"
+        );
+        let slow = sample().with_latency(LatencyModel::slow(3));
+        assert!(!slow.latency.is_zero());
+        assert!(slow.latency.expected_us(0) > 0);
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //!   mirroring the paper's standalone web-service design.
 //! * [`failure`] — outage schedules used by the evaluation's transient
 //!   failure scenario (§IV-E).
+//! * [`latency`] — deterministic per-provider response-time models (seeded
+//!   base RTT + throughput + jitter) driving the simulated data path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +35,7 @@ pub mod billing;
 pub mod catalog;
 pub mod descriptor;
 pub mod failure;
+pub mod latency;
 pub mod pricing;
 pub mod private;
 pub mod sla;
@@ -42,6 +45,7 @@ pub use billing::BillingMeter;
 pub use catalog::ProviderCatalog;
 pub use descriptor::{ProviderDescriptor, ProviderKind};
 pub use failure::OutageSchedule;
+pub use latency::LatencyModel;
 pub use pricing::PricingPolicy;
 pub use private::PrivateResource;
 pub use sla::ProviderSla;
@@ -53,6 +57,7 @@ pub mod prelude {
     pub use crate::catalog::ProviderCatalog;
     pub use crate::descriptor::{ProviderDescriptor, ProviderKind};
     pub use crate::failure::OutageSchedule;
+    pub use crate::latency::LatencyModel;
     pub use crate::pricing::PricingPolicy;
     pub use crate::private::PrivateResource;
     pub use crate::sla::ProviderSla;

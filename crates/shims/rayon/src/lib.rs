@@ -10,6 +10,10 @@
 //!   and the `map` / `flat_map_iter` / `filter` / `for_each` / `reduce` /
 //!   `collect` adaptors;
 //! * [`join`] and [`current_num_threads`];
+//! * [`spawn`] (fire-and-forget tasks, used by the engine's hedged chunk
+//!   reads so a straggling fetch cannot block the caller) and [`yield_now`]
+//!   (cooperative help: execute one pending task inline), mirroring rayon's
+//!   functions of the same names;
 //! * [`ThreadPool`] / [`ThreadPoolBuilder`] with `install`, so tests can pin
 //!   an exact worker count (`ThreadPool::new(8).install(|| ...)`).
 //!
@@ -22,7 +26,10 @@ mod iter;
 mod pool;
 
 pub use iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
-pub use pool::{current_num_threads, join, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+pub use pool::{
+    current_num_threads, join, spawn, yield_now, ThreadPool, ThreadPoolBuildError,
+    ThreadPoolBuilder,
+};
 
 /// `prelude::*` imports, mirroring `rayon::prelude`.
 pub mod prelude {
@@ -200,6 +207,54 @@ mod tests {
             });
         } // Drop joins here.
         assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn spawned_tasks_run_detached() {
+        use std::sync::Arc;
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.install(|| {
+            for _ in 0..16 {
+                let counter = counter.clone();
+                spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        // No join handle: wait for the workers to drain (bounded).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while counter.load(Ordering::SeqCst) < 16 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "spawned tasks must complete"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn yield_now_lets_the_caller_help() {
+        use std::sync::Arc;
+        // A 1-worker pool whose only worker is kept busy: the caller must be
+        // able to drain its own spawned task via yield_now.
+        let pool = ThreadPool::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        pool.install(|| {
+            let task_ran = ran.clone();
+            spawn(move || {
+                task_ran.fetch_add(1, Ordering::SeqCst);
+            });
+            // Either the worker takes it or we do; helping must not spin
+            // forever and must eventually observe completion.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            while ran.load(Ordering::SeqCst) == 0 {
+                assert!(std::time::Instant::now() < deadline);
+                yield_now();
+            }
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -445,6 +445,39 @@ pub fn current_num_threads() -> usize {
     current_pool().workers()
 }
 
+/// Pushes a fire-and-forget task onto the current pool, mirroring
+/// `rayon::spawn`. The task runs asynchronously on a pool worker (or on a
+/// thread calling [`yield_now`]); nothing joins it — callers that need
+/// completion must arrange their own latch.
+///
+/// A panicking spawned task is caught and its payload dropped: the queues'
+/// executors assume tasks never unwind (a worker's bare `task()` call would
+/// kill the worker; a scope help-loop stealing the task would unwind out of
+/// `scope_execute` while its scoped borrows are still live), so the catch
+/// happens here, at the only entry point that enqueues un-scoped tasks.
+pub fn spawn(f: impl FnOnce() + Send + 'static) {
+    current_pool().push(Box::new(move || {
+        let _ = catch_unwind(AssertUnwindSafe(f));
+    }));
+}
+
+/// Cooperatively executes one pending task of the current pool on the
+/// calling thread, mirroring `rayon::yield_now`. Returns `true` if a task
+/// was executed. This is what lets a caller that blocks on work submitted
+/// via [`spawn`] help drain the queues instead of deadlocking a 1-worker
+/// pool from inside a worker.
+pub fn yield_now() -> bool {
+    let pool = current_pool();
+    let home = pool.home_index();
+    match pool.find_task(home) {
+        Some(task) => {
+            task();
+            true
+        }
+        None => false,
+    }
+}
+
 /// Runs `a` and `b`, potentially in parallel, returning both results —
 /// mirroring `rayon::join`. `b` is offered to the pool; `a` runs on the
 /// calling thread, which then helps until `b` completes.

@@ -4,13 +4,22 @@
 //! by period, charging for storage, bandwidth and operations exactly as the
 //! providers' pricing policies dictate, plus the one-off cost of every chunk
 //! migration the policy performs. It also records the aggregate resources
-//! consumed per period — the series plotted in Figs. 12, 15 and 17.
+//! consumed per period — the series plotted in Figs. 12, 15 and 17 — and
+//! **per-operation latency percentiles**: every read is modelled as the
+//! engine's parallel first-`m`-of-`n` fetch from the cheapest `m` providers
+//! (latency = the *slowest* of those `m` chunk round-trips, not their sum)
+//! and every write as the parallel `n`-chunk upload (latency = the slowest
+//! provider), using each provider's deterministic
+//! [`scalia_providers::latency::LatencyModel`]. The tail of the resulting
+//! distribution is what the slow-/limping-provider scenarios exist to
+//! expose.
 
 use crate::policy::PlacementPolicy;
 use crate::workload::{ProviderEvent, Workload};
-use scalia_core::cost::{compute_price, migration_cost, PredictedUsage};
+use scalia_core::cost::{cheapest_read_providers, compute_price, migration_cost, PredictedUsage};
 use scalia_core::placement::Placement;
 use scalia_providers::descriptor::ProviderDescriptor;
+use scalia_types::latency::{LatencyHistogram, LatencySnapshot};
 use scalia_types::money::Money;
 use scalia_types::size::ByteSize;
 use scalia_types::stats::{AccessHistory, PeriodStats};
@@ -47,6 +56,39 @@ pub struct PolicyRun {
     /// `false` if at least one object had no feasible placement in some
     /// period (the policy cannot honour the workload's rules).
     pub feasible: bool,
+    /// Percentile summary of the modelled per-read latency (parallel
+    /// `m`-of-`n` fetch from the cheapest `m` providers), in virtual µs.
+    pub read_latency: LatencySnapshot,
+    /// Percentile summary of the modelled per-write latency (parallel
+    /// `n`-chunk upload), in virtual µs.
+    pub write_latency: LatencySnapshot,
+}
+
+/// The modelled latency of one read of an object at `placement`: the
+/// engine fetches the cheapest `m` chunks concurrently, so the read takes
+/// as long as the slowest of those `m` providers.
+pub fn modelled_read_latency_us(placement: &Placement, size: ByteSize) -> u64 {
+    let m = placement.m.max(1);
+    let chunk_bytes = size.bytes().div_ceil(m as u64).max(1);
+    let chunk_gb = size.as_gb() / m as f64;
+    cheapest_read_providers(&placement.providers, m, chunk_gb)
+        .into_iter()
+        .map(|i| placement.providers[i].latency.expected_us(chunk_bytes))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The modelled latency of one write of an object at `placement`: all `n`
+/// chunks upload concurrently, so the write takes as long as the slowest
+/// provider of the set.
+pub fn modelled_write_latency_us(placement: &Placement, size: ByteSize) -> u64 {
+    let chunk_bytes = size.bytes().div_ceil(placement.m.max(1) as u64).max(1);
+    placement
+        .providers
+        .iter()
+        .map(|p| p.latency.expected_us(chunk_bytes))
+        .max()
+        .unwrap_or(0)
 }
 
 /// The providers available during a given period, taking arrivals and
@@ -100,6 +142,8 @@ pub fn run_policy(
     let mut resources = Vec::with_capacity(workload.periods as usize);
     let mut migrations = 0usize;
     let mut feasible = true;
+    let mut read_latency = LatencyHistogram::new();
+    let mut write_latency = LatencyHistogram::new();
 
     for period in 0..workload.periods {
         let available = providers_at(base_catalog, &workload.events, period);
@@ -171,6 +215,14 @@ pub fn run_policy(
             };
             total += compute_price(&placement.providers, placement.m, &usage);
 
+            // Tail-latency accounting: one sample per read/write served
+            // this period, at the placement's modelled parallel latency.
+            read_latency.record_n(modelled_read_latency_us(&placement, obj.size), demand.reads);
+            write_latency.record_n(
+                modelled_write_latency_us(&placement, obj.size),
+                demand.writes,
+            );
+
             // Aggregate resources.
             sample.storage_gb += obj.size.as_gb() * placement.n() as f64 / placement.m as f64;
             sample.bw_out_gb += usage.bw_out.as_gb();
@@ -200,6 +252,8 @@ pub fn run_policy(
         resources,
         migrations,
         feasible,
+        read_latency: read_latency.snapshot(),
+        write_latency: write_latency.snapshot(),
     }
 }
 
@@ -331,6 +385,64 @@ mod tests {
         if let Some(worst) = worst {
             assert!(scalia_run.total_cost <= worst);
         }
+    }
+
+    #[test]
+    fn latency_free_catalog_reports_zero_latency_with_full_counts() {
+        let workload = simple_workload(&[0, 5, 10, 0, 0]);
+        let mut policy = IdealPolicy::new();
+        let run = run_policy(&workload, &catalog(), &mut policy);
+        // One sample per served read and write (creation counts as a write).
+        assert_eq!(run.read_latency.count, 15);
+        assert_eq!(run.write_latency.count, 1);
+        assert_eq!(run.read_latency.p99_us, 0, "no latency model, no latency");
+        assert_eq!(run.write_latency.max_us, 0);
+    }
+
+    #[test]
+    fn modelled_latencies_are_the_fanout_critical_path_not_the_sum() {
+        let providers = crate::scenarios::latency_catalog(3);
+        let placement = Placement {
+            providers: providers[..3].to_vec(),
+            m: 2,
+        };
+        let size = ByteSize::from_mb(1);
+        let chunk_bytes = size.bytes().div_ceil(2);
+        let per_provider: Vec<u64> = placement
+            .providers
+            .iter()
+            .map(|p| p.latency.expected_us(chunk_bytes))
+            .collect();
+        let read = modelled_read_latency_us(&placement, size);
+        let write = modelled_write_latency_us(&placement, size);
+        let sum: u64 = per_provider.iter().sum();
+        let max = *per_provider.iter().max().unwrap();
+        assert!(read > 0 && read <= max, "read {read} ≤ slowest {max}");
+        assert_eq!(write, max, "write waits for the slowest of all n");
+        assert!(
+            write < sum,
+            "parallel upload {write} must beat the sequential sum {sum}"
+        );
+    }
+
+    #[test]
+    fn slow_provider_scenario_shows_up_in_the_latency_tail() {
+        let (workload, slow_catalog) = crate::scenarios::slow_provider();
+        let baseline_catalog = crate::scenarios::latency_catalog(11);
+
+        let mut policy = ScaliaPolicy::new(1.0);
+        let slow_run = run_policy(&workload, &slow_catalog, &mut policy);
+        let mut policy = ScaliaPolicy::new(1.0);
+        let baseline_run = run_policy(&workload, &baseline_catalog, &mut policy);
+
+        assert!(slow_run.feasible && baseline_run.feasible);
+        assert!(baseline_run.read_latency.p95_us > 0, "latency model active");
+        assert!(
+            slow_run.read_latency.p99_us >= baseline_run.read_latency.p99_us,
+            "a far provider cannot improve the tail: {} vs {}",
+            slow_run.read_latency.p99_us,
+            baseline_run.read_latency.p99_us
+        );
     }
 
     #[test]

@@ -5,7 +5,9 @@ use crate::workload::{
     diffuse_rounding, pareto_popularity, website_hourly_visits, PeriodDemand, ProviderEvent,
     Workload, WorkloadObject,
 };
-use scalia_providers::catalog::cheapstor;
+use scalia_providers::catalog::{cheapstor, ProviderCatalog};
+use scalia_providers::descriptor::ProviderDescriptor;
+use scalia_providers::latency::LatencyModel;
 use scalia_types::ids::ProviderId;
 use scalia_types::reliability::Reliability;
 use scalia_types::rules::StorageRule;
@@ -184,6 +186,48 @@ pub fn active_repair() -> Workload {
     }
 }
 
+/// The paper's Fig. 3 catalog with realistic latency models attached: every
+/// provider gets a distinctly-seeded "typical public cloud" profile
+/// (~30 ms RTT, 80 MB/s, 10 % jitter), so data-path scenarios can observe
+/// round-trip times at all. Costs, SLAs and zones are unchanged.
+pub fn latency_catalog(seed: u64) -> Vec<ProviderDescriptor> {
+    ProviderCatalog::paper_catalog()
+        .all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, descriptor)| {
+            let model = LatencyModel::typical(seed.wrapping_add(i as u64));
+            descriptor.with_latency(model)
+        })
+        .collect()
+}
+
+/// **Slow-provider scenario**: Gallery-style traffic served from the
+/// latency-annotated catalog, with one provider (`S3(l)`, a frequent member
+/// of cheap read sets) moved far away — 10× the typical RTT and a fifth of
+/// the throughput. Every read that must touch it pays the distance; the
+/// tail of [`crate::accounting::PolicyRun::read_latency`] is where it
+/// shows.
+pub fn slow_provider() -> (Workload, Vec<ProviderDescriptor>) {
+    let mut catalog = latency_catalog(11);
+    catalog[1].latency = LatencyModel::slow(97);
+    let mut workload = gallery_with(40, 4.0, 7);
+    workload.name = "Gallery with a slow provider".into();
+    (workload, catalog)
+}
+
+/// **Limping-provider scenario**: same traffic, but one provider straggles
+/// instead of being uniformly slow — nominal latency near-typical with 90 %
+/// jitter, the profile hedged reads exist to absorb. The median barely
+/// moves while p99 blows up.
+pub fn limping_provider() -> (Workload, Vec<ProviderDescriptor>) {
+    let mut catalog = latency_catalog(23);
+    catalog[1].latency = LatencyModel::limping(5);
+    let mut workload = gallery_with(40, 4.0, 8);
+    workload.name = "Gallery with a limping provider".into();
+    (workload, catalog)
+}
+
 /// The per-period read counts of a single object following the reference
 /// website's pattern — the input series of the trend-detection Figs. 8
 /// (hourly samples over 7 days) and 9 (daily samples over 3 months).
@@ -260,6 +304,49 @@ mod tests {
             ProviderEvent::Outage { provider_name, from: 60, to: 120 } if provider_name == "S3(l)"
         ));
         assert_eq!(w.objects[0].size, ByteSize::from_mb(40));
+    }
+
+    #[test]
+    fn latency_catalog_preserves_pricing_and_annotates_every_provider() {
+        let base = ProviderCatalog::paper_catalog().all();
+        let annotated = latency_catalog(1);
+        assert_eq!(annotated.len(), base.len());
+        for (a, b) in annotated.iter().zip(base.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.pricing, b.pricing);
+            assert_eq!(a.sla, b.sla);
+            assert!(!a.latency.is_zero(), "{} must have latency", a.name);
+        }
+        // Seeds differ per provider, so jitter streams are independent.
+        assert_ne!(annotated[0].latency.seed, annotated[1].latency.seed);
+    }
+
+    #[test]
+    fn slow_provider_scenario_singles_out_one_far_provider() {
+        let (workload, catalog) = slow_provider();
+        assert!(!workload.objects.is_empty());
+        let slow: Vec<&ProviderDescriptor> = catalog
+            .iter()
+            .filter(|p| {
+                p.latency.expected_us(1_000_000)
+                    > 2 * LatencyModel::typical(0).expected_us(1_000_000)
+            })
+            .collect();
+        assert_eq!(slow.len(), 1, "exactly one provider is far away");
+    }
+
+    #[test]
+    fn limping_provider_scenario_straggles_instead_of_crawling() {
+        let (_, catalog) = limping_provider();
+        let limping: Vec<&ProviderDescriptor> = catalog
+            .iter()
+            .filter(|p| p.latency.jitter_pct > 50)
+            .collect();
+        assert_eq!(limping.len(), 1);
+        // Nominal latency stays near typical — only the spread explodes.
+        let nominal = limping[0].latency.expected_us(250_000);
+        let typical = LatencyModel::typical(0).expected_us(250_000);
+        assert!(nominal < 2 * typical, "{nominal} vs {typical}");
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! * [`usage`] — resource usage vectors (storage byte-hours, bandwidth in and
 //!   out, operations) used both for billing and for access statistics.
 //! * [`stats`] — per-sampling-period access statistics and access histories.
+//! * [`latency`] — log-bucketed latency histograms and percentile snapshots
+//!   for per-operation tail-latency accounting.
 //! * [`object`] — object keys, identifiers, metadata and striping metadata.
 //! * [`erasure`] — `(m, n)` erasure-coding parameters.
 //! * [`md5`] — a from-scratch MD5 implementation used for object
@@ -34,6 +36,7 @@
 pub mod erasure;
 pub mod error;
 pub mod ids;
+pub mod latency;
 pub mod md5;
 pub mod money;
 pub mod object;
@@ -48,6 +51,7 @@ pub mod zone;
 pub use erasure::ErasureParams;
 pub use error::ScaliaError;
 pub use ids::{DatacenterId, EngineId, ProviderId};
+pub use latency::{LatencyHistogram, LatencySnapshot};
 pub use money::Money;
 pub use object::{ObjectKey, ObjectMeta, ObjectVersionId, StripingMeta};
 pub use reliability::Reliability;
@@ -63,6 +67,7 @@ pub mod prelude {
     pub use crate::erasure::ErasureParams;
     pub use crate::error::ScaliaError;
     pub use crate::ids::{DatacenterId, EngineId, ProviderId};
+    pub use crate::latency::{LatencyHistogram, LatencySnapshot};
     pub use crate::money::Money;
     pub use crate::object::{ObjectKey, ObjectMeta, ObjectVersionId, StripingMeta};
     pub use crate::reliability::Reliability;

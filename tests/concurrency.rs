@@ -400,3 +400,103 @@ fn mapreduce_concurrent_with_writes_is_a_consistent_snapshot() {
         });
     });
 }
+
+#[test]
+fn slow_provider_writer_reader_stress_stays_consistent() {
+    // The data path under latency: every provider has a realistic virtual
+    // response-time model and one of them *limps* — a chaos thread flips a
+    // multi-second virtual stall on and off while writers overwrite and
+    // readers fetch. Hedged reads must keep returning checksum-exact bytes
+    // (promoting parity chunks past the stalled provider), and the usual
+    // quiescent invariants must hold when the dust settles.
+    use scalia::providers::catalog::ProviderCatalog;
+
+    let catalog = ProviderCatalog::shared();
+    for descriptor in scalia::sim::scenarios::latency_catalog(5) {
+        catalog.register(descriptor);
+    }
+    let cluster = ScaliaCluster::builder()
+        .datacenters(2)
+        .engines_per_datacenter(2)
+        .catalog(catalog)
+        .build();
+
+    const WRITERS: usize = 3;
+    const READERS: usize = 3;
+    const KEYS: usize = 8;
+    const ROUNDS: usize = 25;
+    let keys: Vec<ObjectKey> = (0..KEYS)
+        .map(|i| ObjectKey::new("slow", format!("obj{i}")))
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        cluster
+            .put(key, payload(i, 12_000 + i), "image/png", rule(), None)
+            .unwrap();
+    }
+    let victim = cluster
+        .engine(0)
+        .read_metadata(&keys[0])
+        .unwrap()
+        .striping
+        .chunks[0]
+        .provider;
+    let victim_backend = cluster.infra().backend(victim).unwrap();
+
+    std::thread::scope(|scope| {
+        // Chaos: the victim limps (6 virtual seconds per request), then
+        // recovers, repeatedly, while traffic flows.
+        let chaos_backend = &victim_backend;
+        scope.spawn(move || {
+            for i in 0..60 {
+                chaos_backend.set_stall_us(if i % 2 == 0 { 6_000_000 } else { 0 });
+                std::thread::yield_now();
+            }
+            chaos_backend.set_stall_us(0);
+        });
+        for t in 0..WRITERS {
+            let cluster = &cluster;
+            let keys = &keys;
+            scope.spawn(move || {
+                let mut rng = Rng::new(0x510_0000 + t as u64);
+                for _ in 0..ROUNDS {
+                    let key = &keys[(rng.next() as usize) % KEYS];
+                    let len = 8_000 + (rng.next() % 24_000) as usize;
+                    cluster
+                        .put(key, payload(t, len), "image/png", rule(), None)
+                        .unwrap();
+                }
+            });
+        }
+        for t in 0..READERS {
+            let cluster = &cluster;
+            let keys = &keys;
+            scope.spawn(move || {
+                let mut rng = Rng::new(0x4EAD + t as u64);
+                for _ in 0..ROUNDS {
+                    let key = &keys[(rng.next() as usize) % KEYS];
+                    match cluster.get(key) {
+                        Ok(data) => assert_untorn(&data, "slow-provider read"),
+                        // Overwrites may prune the version under a reader;
+                        // wrong bytes are never acceptable, clean retryable
+                        // errors are.
+                        Err(ScaliaError::NotEnoughChunks { .. })
+                        | Err(ScaliaError::DecodeFailed(_)) => {}
+                        Err(other) => panic!("unexpected read error: {other}"),
+                    }
+                }
+            });
+        }
+    });
+
+    victim_backend.set_stall_us(0);
+    assert_quiescent_invariants(&cluster, &keys);
+    // The latency pipeline observed the traffic: object-level read
+    // makespans were recorded throughout.
+    use scalia::providers::backend::StoreOp;
+    let reads = cluster.infra().io_latency_snapshot(StoreOp::Get);
+    assert!(reads.count > 0, "hedged reads must record their makespans");
+    assert!(
+        cluster.infra().io_latency_snapshot(StoreOp::Put).count >= (KEYS + WRITERS * ROUNDS) as u64,
+        "every committed write must record a put makespan"
+    );
+}
