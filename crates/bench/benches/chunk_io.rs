@@ -138,6 +138,73 @@ fn bench_chunk_io(c: &mut Criterion) {
         group.finish();
     }
 
+    // --- slow-cheap vs fast-pricey: reads before/after adaptation -------
+    // Two providers advertising the same 6 ms profile: "SlowCheap" is
+    // read-ranked first (cheapest bandwidth-out) but actually stalls
+    // 100 ms per request; "FastPricey" answers as advertised. Before
+    // adaptation every read contacts the stalled provider and is rescued
+    // only by the hedge (3×6 ms deadline + one 6 ms parity round-trip
+    // ≈ 24 ms). After a warm-up of observed samples the fan-out ranking
+    // demotes the stalled provider entirely and reads ride the fast one at
+    // ≈ 6 ms — the wall-clock gap is the adaptation win.
+    let mut group = c.benchmark_group("chunk_io/adaptation");
+    group.sample_size(10);
+    let adaptation_infra = || {
+        let catalog = scalia_providers::catalog::ProviderCatalog::shared();
+        let mut cheap = s3_high(ProviderId::new(0));
+        cheap.name = "SlowCheap".into();
+        cheap.pricing =
+            scalia_providers::pricing::PricingPolicy::from_dollars(0.09, 0.10, 0.10, 0.0);
+        catalog.register(cheap.with_latency(LatencyModel::new(RTT_MS, 0, 0, 0)));
+        let mut pricey = s3_high(ProviderId::new(1));
+        pricey.name = "FastPricey".into();
+        pricey.pricing =
+            scalia_providers::pricing::PricingPolicy::from_dollars(0.17, 0.10, 0.20, 0.01);
+        catalog.register(pricey.with_latency(LatencyModel::new(RTT_MS, 0, 0, 1)));
+        let infra = Infrastructure::new(catalog, 1, Duration::HOUR);
+        for backend in infra.backends() {
+            backend.set_real_sleep(true);
+        }
+        infra
+            .backend(ProviderId::new(0))
+            .unwrap()
+            .set_stall_us(100_000);
+        infra
+    };
+    group.bench_function("get_before_adaptation_slow_ranked_first", |b| {
+        let infra = adaptation_infra();
+        let placement = placement_of(&infra, 1);
+        let striping = chunk_io::write_chunks(&infra, &placement, "adapt-cold", &payload).unwrap();
+        let pool = rayon::ThreadPool::new(16);
+        // No observations ever (fixed-deadline baseline): the price
+        // ranking contacts the stalled provider first on every read.
+        b.iter(|| {
+            pool.install(|| {
+                chunk_io::fetch_chunks(&infra, &striping, size, &HedgeConfig::fixed_deadline())
+                    .unwrap()
+            })
+        })
+    });
+    group.bench_function("get_after_adaptation_fast_ranked_first", |b| {
+        let infra = adaptation_infra();
+        let placement = placement_of(&infra, 1);
+        let striping = chunk_io::write_chunks(&infra, &placement, "adapt-warm", &payload).unwrap();
+        let pool = rayon::ThreadPool::new(16);
+        // Warm the observed windows past the sample floor, so ranking and
+        // deadlines run on observations.
+        pool.install(|| {
+            for _ in 0..20 {
+                chunk_io::fetch_chunks(&infra, &striping, size, &HedgeConfig::default()).unwrap();
+            }
+        });
+        b.iter(|| {
+            pool.install(|| {
+                chunk_io::fetch_chunks(&infra, &striping, size, &HedgeConfig::default()).unwrap()
+            })
+        })
+    });
+    group.finish();
+
     // --- hedged read with one stalled ranked provider -------------------
     // The stall (> 5× the hedge deadline) must NOT show up in the read
     // time: the hedge fires after ~3×RTT and a parity chunk answers in one

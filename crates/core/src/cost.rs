@@ -10,6 +10,20 @@
 //! * **reads** — every read fetches `m` chunks *from the cheapest `m`
 //!   providers* of the set (the paper reads "from the cheapest provider"),
 //!   each transferring `size / m` of bandwidth-out and one GET operation.
+//!
+//! # Latency term
+//!
+//! A rule can additionally price latency
+//! ([`scalia_types::rules::StorageRule::latency_weight`], dollars per
+//! read-second): each read-serving provider then contributes
+//! `weight × reads × read_latency_seconds` on top of its bandwidth/ops
+//! cost, where the per-chunk read latency is the provider's *observed*
+//! summary when one exists and its advertised model otherwise
+//! ([`ProviderDescriptor::read_latency_us`]). The penalty also joins the
+//! read-provider ranking key, so a slow-but-cheap provider loses the read
+//! path (and, at sufficient weight, its slot in the set) to a pricier fast
+//! one. With weight `0.0` — the default — every expression below reduces to
+//! the latency-blind model bit for bit.
 
 use scalia_providers::descriptor::ProviderDescriptor;
 use scalia_types::money::Money;
@@ -116,28 +130,57 @@ fn per_read_cost(provider: &ProviderDescriptor, chunk_gb: f64) -> Money {
         + provider.pricing.ops_per_1000.scale(1.0 / 1000.0)
 }
 
+/// The latency penalty of **one** read served by `provider` at chunk size
+/// `chunk_bytes`, under latency weight `weight` (dollars per read-second):
+/// `weight × read_latency_seconds` as [`Money`]. This single expression is
+/// shared by the direct pricer, the precomputed price tables and the
+/// ranking key, so all three stay bit-identical.
+pub(crate) fn per_read_latency_penalty(
+    provider: &ProviderDescriptor,
+    chunk_bytes: u64,
+    weight: f64,
+) -> Money {
+    Money::from_dollars(weight * provider.read_latency_us(chunk_bytes) as f64 / 1e6)
+}
+
+/// The chunk size (bytes) of one of `m` erasure-coded chunks of an object
+/// of `size` bytes — the payload the latency term prices and the engine's
+/// read path transfers (clamped to 1 byte so even empty objects pay a
+/// round-trip). The single definition every layer shares.
+pub fn chunk_bytes_for(size: ByteSize, m: u32) -> u64 {
+    size.bytes().div_ceil(m.max(1) as u64).max(1)
+}
+
 /// Ranks the providers of `pset` by read-path cost for chunks of `chunk_gb`
-/// gigabytes into `scratch` (cleared first, capacity reused), cheapest
-/// first, ties broken by position. Allocation-free once `scratch` is warm.
+/// gigabytes — plus, when `weight > 0`, the per-read latency penalty at
+/// `chunk_bytes` — into `scratch` (cleared first, capacity reused),
+/// cheapest first, ties broken by position. Allocation-free once `scratch`
+/// is warm.
 pub(crate) fn rank_read_providers<P: std::borrow::Borrow<ProviderDescriptor>>(
     pset: &[P],
     chunk_gb: f64,
+    chunk_bytes: u64,
+    weight: f64,
     scratch: &mut Vec<(Money, usize)>,
 ) {
     scratch.clear();
-    scratch.extend(
-        pset.iter()
-            .enumerate()
-            .map(|(i, p)| (per_read_cost(p.borrow(), chunk_gb), i)),
-    );
+    scratch.extend(pset.iter().enumerate().map(|(i, p)| {
+        let p = p.borrow();
+        let mut key = per_read_cost(p, chunk_gb);
+        if weight > 0.0 {
+            key += per_read_latency_penalty(p, chunk_bytes, weight);
+        }
+        (key, i)
+    }));
     scratch.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
 }
 
 /// Returns the indices (into `pset`) of the `m` providers with the cheapest
-/// read path for chunks of `chunk_gb` gigabytes.
+/// read path for chunks of `chunk_gb` gigabytes (price only — the
+/// latency-blind ranking used for billing and migration estimates).
 pub fn cheapest_read_providers(pset: &[ProviderDescriptor], m: u32, chunk_gb: f64) -> Vec<usize> {
     let mut ranked = Vec::new();
-    rank_read_providers(pset, chunk_gb, &mut ranked);
+    rank_read_providers(pset, chunk_gb, 0, 0.0, &mut ranked);
     ranked
         .into_iter()
         .take(m as usize)
@@ -153,6 +196,7 @@ pub(crate) fn compute_price_with_scratch<P: std::borrow::Borrow<ProviderDescript
     pset: &[P],
     m: u32,
     usage: &PredictedUsage,
+    latency_weight: f64,
     rank_scratch: &mut Vec<(Money, usize)>,
 ) -> Money {
     if pset.is_empty() || m == 0 {
@@ -160,6 +204,7 @@ pub(crate) fn compute_price_with_scratch<P: std::borrow::Borrow<ProviderDescript
     }
     let m_f = m as f64;
     let chunk_gb = usage.size.as_gb() / m_f;
+    let chunk_bytes = chunk_bytes_for(usage.size, m);
     let months = usage.duration_hours / HOURS_PER_MONTH as f64;
 
     let mut total = Money::ZERO;
@@ -178,10 +223,11 @@ pub(crate) fn compute_price_with_scratch<P: std::borrow::Borrow<ProviderDescript
             .scale(usage.writes as f64 / 1000.0);
     }
 
-    // Read costs hit only the m cheapest providers.
+    // Read costs (and the latency penalty) hit only the m cheapest
+    // providers under the — possibly latency-aware — ranking key.
     if usage.reads > 0 || !usage.bw_out.is_zero() {
         let read_gb_per_provider = usage.bw_out.as_gb() / m_f;
-        rank_read_providers(pset, chunk_gb, rank_scratch);
+        rank_read_providers(pset, chunk_gb, chunk_bytes, latency_weight, rank_scratch);
         for &(_, idx) in rank_scratch.iter().take(m as usize) {
             let provider = pset[idx].borrow();
             total += provider
@@ -192,6 +238,10 @@ pub(crate) fn compute_price_with_scratch<P: std::borrow::Borrow<ProviderDescript
                 .pricing
                 .ops_per_1000
                 .scale(usage.reads as f64 / 1000.0);
+            if latency_weight > 0.0 {
+                total += per_read_latency_penalty(provider, chunk_bytes, latency_weight)
+                    .scale(usage.reads as f64);
+            }
         }
     }
 
@@ -199,10 +249,26 @@ pub(crate) fn compute_price_with_scratch<P: std::borrow::Borrow<ProviderDescript
 }
 
 /// `computePrice`: the expected cost of storing the object on `pset` with
-/// threshold `m` over the decision period described by `usage`.
+/// threshold `m` over the decision period described by `usage`
+/// (latency-blind — equivalent to [`compute_price_weighted`] at weight 0).
 pub fn compute_price(pset: &[ProviderDescriptor], m: u32, usage: &PredictedUsage) -> Money {
+    compute_price_weighted(pset, m, usage, 0.0)
+}
+
+/// `computePrice` with a latency term: the expected cost plus
+/// `latency_weight × reads × read_latency_seconds` for every read-serving
+/// provider (see the module docs). At `latency_weight == 0.0` this is
+/// bit-identical to [`compute_price`]. The penalty is an *optimization*
+/// cost — providers never bill it; billing paths keep using the unweighted
+/// price.
+pub fn compute_price_weighted(
+    pset: &[ProviderDescriptor],
+    m: u32,
+    usage: &PredictedUsage,
+    latency_weight: f64,
+) -> Money {
     let mut rank_scratch = Vec::new();
-    compute_price_with_scratch(pset, m, usage, &mut rank_scratch)
+    compute_price_with_scratch(pset, m, usage, latency_weight, &mut rank_scratch)
 }
 
 /// Precomputed per-(provider, threshold) pricing terms for one fixed
@@ -231,11 +297,13 @@ pub(crate) struct PriceTables {
 
 impl PriceTables {
     /// Builds the tables for `providers` (any order; indices are the
-    /// caller's) and thresholds `1..=max_m`.
+    /// caller's) and thresholds `1..=max_m`, under latency weight
+    /// `latency_weight` (0 ⇒ the latency-blind tables, term for term).
     pub(crate) fn build(
         providers: &[&ProviderDescriptor],
         max_m: usize,
         usage: &PredictedUsage,
+        latency_weight: f64,
     ) -> Self {
         let n_m = max_m.max(1);
         let months = usage.duration_hours / HOURS_PER_MONTH as f64;
@@ -246,6 +314,7 @@ impl PriceTables {
             for m in 1..=n_m {
                 let m_f = m as f64;
                 let chunk_gb = usage.size.as_gb() / m_f;
+                let chunk_bytes = chunk_bytes_for(usage.size, m as u32);
                 let upload_gb = usage.bw_in.as_gb() / m_f;
                 let read_gb_per_provider = usage.bw_out.as_gb() / m_f;
                 base.push(
@@ -256,17 +325,22 @@ impl PriceTables {
                             .ops_per_1000
                             .scale(usage.writes as f64 / 1000.0),
                 );
-                read.push(
-                    provider
+                let mut read_term = provider
+                    .pricing
+                    .bandwidth_out_gb
+                    .scale(read_gb_per_provider)
+                    + provider
                         .pricing
-                        .bandwidth_out_gb
-                        .scale(read_gb_per_provider)
-                        + provider
-                            .pricing
-                            .ops_per_1000
-                            .scale(usage.reads as f64 / 1000.0),
-                );
-                rank.push(per_read_cost(provider, chunk_gb));
+                        .ops_per_1000
+                        .scale(usage.reads as f64 / 1000.0);
+                let mut rank_term = per_read_cost(provider, chunk_gb);
+                if latency_weight > 0.0 {
+                    let unit = per_read_latency_penalty(provider, chunk_bytes, latency_weight);
+                    read_term += unit.scale(usage.reads as f64);
+                    rank_term += unit;
+                }
+                read.push(read_term);
+                rank.push(rank_term);
             }
         }
         PriceTables {
@@ -543,23 +617,106 @@ mod tests {
                 duration_hours: 24.0,
             },
         ] {
-            let refs: Vec<&ProviderDescriptor> = all.iter().collect();
-            let tables = PriceTables::build(&refs, all.len(), &usage);
-            let mut scratch = Vec::new();
-            // Every subset of the five-provider catalog, every threshold.
-            for mask in 1u32..(1 << all.len()) {
-                let members: Vec<usize> = (0..all.len()).filter(|i| mask & (1 << i) != 0).collect();
-                let pset: Vec<ProviderDescriptor> =
-                    members.iter().map(|&i| all[i].clone()).collect();
-                for m in 1..=members.len() as u32 {
-                    assert_eq!(
-                        tables.price(&members, m, &mut scratch),
-                        compute_price(&pset, m, &usage),
-                        "mask={mask:b} m={m}"
-                    );
+            // Annotate the catalog with latency so the weighted case has a
+            // term to price; weight 0 must ignore it bit for bit.
+            let all: Vec<ProviderDescriptor> = all
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let p = p
+                        .clone()
+                        .with_latency(scalia_providers::latency::LatencyModel::new(
+                            10 + 5 * i as u64,
+                            50,
+                            0,
+                            i as u64,
+                        ));
+                    if i % 2 == 0 {
+                        p.with_observed_read_latency_us(Some(20_000 + 7_000 * i as u64))
+                    } else {
+                        p
+                    }
+                })
+                .collect();
+            for weight in [0.0, 0.02] {
+                let refs: Vec<&ProviderDescriptor> = all.iter().collect();
+                let tables = PriceTables::build(&refs, all.len(), &usage, weight);
+                let mut scratch = Vec::new();
+                // Every subset of the five-provider catalog, every threshold.
+                for mask in 1u32..(1 << all.len()) {
+                    let members: Vec<usize> =
+                        (0..all.len()).filter(|i| mask & (1 << i) != 0).collect();
+                    let pset: Vec<ProviderDescriptor> =
+                        members.iter().map(|&i| all[i].clone()).collect();
+                    for m in 1..=members.len() as u32 {
+                        assert_eq!(
+                            tables.price(&members, m, &mut scratch),
+                            compute_price_weighted(&pset, m, &usage, weight),
+                            "mask={mask:b} m={m} weight={weight}"
+                        );
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn weight_zero_is_bit_identical_even_with_latency_annotations() {
+        let slow = scalia_providers::latency::LatencyModel::slow(3);
+        let annotated: Vec<ProviderDescriptor> = providers()
+            .into_iter()
+            .map(|p| {
+                p.with_latency(slow)
+                    .with_observed_read_latency_us(Some(500_000))
+            })
+            .collect();
+        let plain = providers();
+        let usage = PredictedUsage {
+            size: ByteSize::from_mb(1),
+            bw_in: ByteSize::from_mb(2),
+            bw_out: ByteSize::from_gb(1),
+            reads: 1000,
+            writes: 3,
+            duration_hours: 24.0,
+        };
+        for m in 1..=5u32 {
+            assert_eq!(
+                compute_price(&annotated, m, &usage),
+                compute_price(&plain, m, &usage),
+                "latency annotations must be inert at weight 0 (m={m})"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_term_penalises_slow_read_providers() {
+        // Two identically-priced providers, one 10× slower: with weight 0
+        // the prices tie; with weight > 0 the slow set costs more, by
+        // exactly weight × reads × Δlatency_seconds per read provider.
+        let fast = s3_high(ProviderId::new(0))
+            .with_latency(scalia_providers::latency::LatencyModel::new(30, 0, 0, 1));
+        let slow = s3_high(ProviderId::new(1))
+            .with_latency(scalia_providers::latency::LatencyModel::new(300, 0, 0, 2));
+        let usage = PredictedUsage {
+            size: ByteSize::from_mb(1),
+            bw_in: ByteSize::ZERO,
+            bw_out: ByteSize::from_mb(100),
+            reads: 100,
+            writes: 0,
+            duration_hours: 24.0,
+        };
+        let fast_price = compute_price_weighted(std::slice::from_ref(&fast), 1, &usage, 0.05);
+        let slow_price = compute_price_weighted(std::slice::from_ref(&slow), 1, &usage, 0.05);
+        assert!(slow_price > fast_price);
+        let delta = (slow_price - fast_price).dollars();
+        // Δ = 0.05 $/read-s × 100 reads × (0.3 − 0.03) s = 1.35 $.
+        assert!((delta - 1.35).abs() < 1e-6, "delta = {delta}");
+        // And an observed summary overrides the advertised model.
+        let observed_fast = slow.clone().with_observed_read_latency_us(Some(30_000));
+        assert_eq!(
+            compute_price_weighted(std::slice::from_ref(&observed_fast), 1, &usage, 0.05),
+            fast_price
+        );
     }
 
     #[test]

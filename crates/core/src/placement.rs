@@ -29,7 +29,10 @@
 //!
 //! * **Pruning.** A partial set `S` can only grow more expensive: every
 //!   completion costs at least `Σ_{p∈S} lb(p)` plus an admissible floor on
-//!   the read-path cost (`bw_out · min rate + read ops · min rate`).
+//!   the read-path cost (`bw_out · min rate + read ops · min rate`, plus —
+//!   under a latency-pricing rule — `weight · reads · min latency` over the
+//!   candidates at their smallest possible chunk, so the latency term never
+//!   weakens exactness of the pruning).
 //!   Whenever that optimistic bound exceeds the incumbent, the entire
 //!   subtree is skipped; because siblings are sorted by `lb`, the remaining
 //!   siblings can be skipped too. Subtrees that cannot reach the rule's
@@ -298,7 +301,7 @@ fn evaluate_candidate<P: Borrow<ProviderDescriptor>>(
     }
     Some((
         threshold,
-        compute_price_with_scratch(pset, threshold, usage, rank_scratch),
+        compute_price_with_scratch(pset, threshold, usage, rule.latency_weight, rank_scratch),
     ))
 }
 
@@ -332,9 +335,19 @@ fn provider_lower_bound(
 
 /// Admissible floor on the read-path cost of *any* feasible set: the whole
 /// predicted outbound volume must leave through some providers (at the
-/// cheapest catalog rate, at best) and at least one provider bills the read
-/// operations.
-fn read_cost_floor(candidates: &[Candidate<'_>], usage: &PredictedUsage) -> Money {
+/// cheapest catalog rate, at best), at least one provider bills the read
+/// operations, and — when the rule prices latency — at least one read
+/// provider pays the latency penalty.
+///
+/// The latency floor is built from the *same quantized per-read unit* the
+/// pricer bills ([`per_read_latency_penalty`] rounds to nano-dollars
+/// before scaling by `reads`), evaluated at each provider's fastest
+/// possible chunk (the `m = |candidates|` threshold: expected latency is
+/// monotone in payload bytes, observed summaries are payload-independent,
+/// and the nano-dollar rounding preserves monotonicity) — a floor computed
+/// from the un-quantized f64 product could exceed the billed penalty by up
+/// to half a nano-dollar *per read* and prune an optimal subtree.
+fn read_cost_floor(candidates: &[Candidate<'_>], usage: &PredictedUsage, weight: f64) -> Money {
     if usage.reads == 0 && usage.bw_out.is_zero() {
         return Money::ZERO;
     }
@@ -347,7 +360,17 @@ fn read_cost_floor(candidates: &[Candidate<'_>], usage: &PredictedUsage) -> Mone
         .map(|c| c.provider.pricing.ops_per_1000.dollars())
         .fold(f64::INFINITY, f64::min);
     let dollars = min_bw * usage.bw_out.as_gb() + min_ops * (usage.reads as f64 / 1000.0);
-    Money::from_nanos(((dollars * 1e9).floor() as i64 - 64).max(0))
+    let mut floor = Money::from_nanos(((dollars * 1e9).floor() as i64 - 64).max(0));
+    if weight > 0.0 {
+        let min_chunk = crate::cost::chunk_bytes_for(usage.size, candidates.len() as u32);
+        let min_unit = candidates
+            .iter()
+            .map(|c| crate::cost::per_read_latency_penalty(c.provider, min_chunk, weight))
+            .min()
+            .unwrap_or(Money::ZERO);
+        floor += min_unit.scale(usage.reads as f64);
+    }
+    floor
 }
 
 struct SearchState<'a> {
@@ -451,9 +474,9 @@ fn branch_and_bound(
             suffix_fail[i + 1] * (1.0 - candidates[i].provider.sla.durability.probability());
     }
 
-    let read_floor = read_cost_floor(&candidates, usage);
+    let read_floor = read_cost_floor(&candidates, usage, rule.latency_weight);
     let cand_refs: Vec<&ProviderDescriptor> = candidates.iter().map(|c| c.provider).collect();
-    let tables = PriceTables::build(&cand_refs, n_cand, usage);
+    let tables = PriceTables::build(&cand_refs, n_cand, usage, rule.latency_weight);
     let mut state = SearchState {
         rule,
         candidates,

@@ -14,7 +14,7 @@
 //! [`crate::availability`] and [`crate::placement`] instead.
 
 use crate::combinations::{all_subsets, k_combinations};
-use crate::cost::{compute_price, PredictedUsage};
+use crate::cost::{compute_price_weighted, PredictedUsage};
 use crate::placement::{Placement, PlacementDecision};
 use scalia_providers::descriptor::ProviderDescriptor;
 use scalia_types::money::Money;
@@ -135,7 +135,14 @@ pub fn evaluate_set_combinatorial(
     if pset.iter().any(|p| !p.accepts_chunk(chunk)) {
         return None;
     }
-    Some((threshold, compute_price(pset, threshold, usage)))
+    // The latency term rides on the same weighted pricer the production
+    // search uses; at the default weight 0 this is bit-identical to the
+    // seed's `compute_price`, so the reference stays the brute-force oracle
+    // for both the latency-blind and the latency-aware search.
+    Some((
+        threshold,
+        compute_price_weighted(pset, threshold, usage, rule.latency_weight),
+    ))
 }
 
 /// The seed's exhaustive search: materializes every non-empty subset as a

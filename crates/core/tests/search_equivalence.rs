@@ -14,6 +14,7 @@ use scalia_core::placement::PlacementEngine;
 use scalia_core::reference;
 use scalia_core::{availability, durability};
 use scalia_providers::descriptor::ProviderDescriptor;
+use scalia_providers::latency::LatencyModel;
 use scalia_providers::pricing::PricingPolicy;
 use scalia_providers::sla::ProviderSla;
 use scalia_types::ids::ProviderId;
@@ -62,6 +63,37 @@ fn random_catalog(mut seed: u64, n: usize) -> Vec<ProviderDescriptor> {
                 p = p.with_max_chunk_size(ByteSize::from_kb(200 + ((r >> 58) % 20) * 50));
             }
             p
+        })
+        .collect()
+}
+
+/// The random catalog with latency annotations: every provider gets a
+/// random advertised model and some get an observed summary overriding it —
+/// the inputs the latency term prices.
+fn random_latency_catalog(seed: u64, n: usize) -> Vec<ProviderDescriptor> {
+    let mut next_seed = seed;
+    let mut next = move || {
+        next_seed = next_seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = next_seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    random_catalog(seed, n)
+        .into_iter()
+        .map(|p| {
+            let r = next();
+            let p = p.with_latency(LatencyModel::new(
+                5 + r % 400,         // 5–404 ms RTT
+                1 + (r >> 16) % 100, // 1–100 MB/s
+                0,
+                r,
+            ));
+            if (r >> 32) % 3 == 0 {
+                p.with_observed_read_latency_us(Some(1_000 + (r >> 34) % 1_000_000))
+            } else {
+                p
+            }
         })
         .collect()
 }
@@ -166,6 +198,76 @@ proptest! {
             }
         }
     }
+
+    /// **Latency weight 0 is inert**: on catalogs carrying latency models
+    /// AND observed summaries, the search's decision is bit-identical to
+    /// the same search over the un-annotated catalog — and to the seed
+    /// reference over either.
+    #[test]
+    fn weight_zero_ignores_latency_annotations_bitwise(
+        seed in any::<u64>(),
+        rule_seed in any::<u64>(),
+        usage_seed in any::<u64>(),
+        n in 1usize..8,
+    ) {
+        let plain = random_catalog(seed, n);
+        let annotated = random_latency_catalog(seed, n);
+        let rule = random_rule(rule_seed);
+        prop_assert_eq!(rule.latency_weight, 0.0, "rules default latency-blind");
+        let usage = random_usage(usage_seed);
+
+        let on_plain = PlacementEngine::new().best_placement(&rule, &usage, &plain);
+        let on_annotated = PlacementEngine::new().best_placement(&rule, &usage, &annotated);
+        match (on_plain, on_annotated) {
+            (Err(_), Err(_)) => {}
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.placement.provider_ids(), b.placement.provider_ids());
+                prop_assert_eq!(a.placement.m, b.placement.m);
+                prop_assert_eq!(a.expected_cost, b.expected_cost);
+            }
+            _ => prop_assert!(false, "annotation changed feasibility at weight 0"),
+        }
+    }
+
+    /// **Latency weight > 0 stays exact**: the branch-and-bound (with its
+    /// latency-extended admissible bound) returns the identical
+    /// (providers, m, cost) as brute-force enumeration of every subset via
+    /// the reference implementation, over random latency-annotated
+    /// catalogs.
+    #[test]
+    fn weighted_branch_and_bound_matches_brute_force(
+        seed in any::<u64>(),
+        rule_seed in any::<u64>(),
+        usage_seed in any::<u64>(),
+        n in 1usize..9,
+        weight_pick in 0usize..4,
+    ) {
+        let catalog = random_latency_catalog(seed, n);
+        let weight = [0.0001, 0.01, 1.0, 100.0][weight_pick];
+        let rule = random_rule(rule_seed).with_latency_weight(weight);
+        let usage = random_usage(usage_seed);
+
+        let bnb = PlacementEngine::new().best_placement(&rule, &usage, &catalog);
+        let brute = reference::exhaustive_search_combinatorial(&rule, &usage, &catalog);
+        match (bnb, brute) {
+            (Err(_), None) => {}
+            (Ok(fast), Some(slow)) => {
+                prop_assert_eq!(
+                    fast.placement.provider_ids(),
+                    slow.placement.provider_ids(),
+                    "provider sets differ at weight {}", weight
+                );
+                prop_assert_eq!(fast.placement.m, slow.placement.m);
+                prop_assert_eq!(fast.expected_cost, slow.expected_cost);
+            }
+            (Ok(fast), None) => {
+                prop_assert!(false, "bnb found {} where brute force found none", fast.placement);
+            }
+            (Err(_), Some(slow)) => {
+                prop_assert!(false, "brute force found {} where bnb found none", slow.placement);
+            }
+        }
+    }
 }
 
 /// Fixed larger catalog: the paper's five providers plus synthetic ones, as
@@ -221,5 +323,50 @@ fn twelve_provider_catalog_matches_reference() {
         assert_eq!(fast.placement.provider_ids(), slow.placement.provider_ids());
         assert_eq!(fast.placement.m, slow.placement.m);
         assert_eq!(fast.expected_cost, slow.expected_cost);
+    }
+}
+
+/// The same 12-provider deterministic cross-check with the latency term
+/// engaged: latency-annotated catalog, weighted rule, B&B == brute force —
+/// at a size where the (latency-extended) pruning actually engages.
+#[test]
+fn twelve_provider_weighted_catalog_matches_reference() {
+    let catalog = random_latency_catalog(0xA5A5_1234, 12);
+    let usage = PredictedUsage {
+        size: ByteSize::from_mb(1),
+        bw_in: ByteSize::from_mb(1),
+        bw_out: ByteSize::from_mb(500),
+        reads: 500,
+        writes: 1,
+        duration_hours: 24.0,
+    };
+    for weight in [0.001, 0.05, 2.0] {
+        let rule = StorageRule::new(
+            "weighted-cross",
+            Reliability::from_percent(99.999),
+            Reliability::from_percent(99.0),
+            ZoneSet::all(),
+            0.5,
+        )
+        .with_latency_weight(weight);
+        let fast = PlacementEngine::new().best_placement(&rule, &usage, &catalog);
+        let slow = reference::exhaustive_search_combinatorial(&rule, &usage, &catalog);
+        match (fast, slow) {
+            (Err(_), None) => {}
+            (Ok(fast), Some(slow)) => {
+                assert_eq!(
+                    fast.placement.provider_ids(),
+                    slow.placement.provider_ids(),
+                    "weight {weight}"
+                );
+                assert_eq!(fast.placement.m, slow.placement.m, "weight {weight}");
+                assert_eq!(fast.expected_cost, slow.expected_cost, "weight {weight}");
+            }
+            (fast, slow) => panic!(
+                "feasibility mismatch at weight {weight}: bnb {:?} vs brute {:?}",
+                fast.map(|d| d.placement.label()),
+                slow.map(|d| d.placement.label())
+            ),
+        }
     }
 }

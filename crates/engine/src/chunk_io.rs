@@ -16,14 +16,20 @@
 //!   provider is unreachable), and the failing provider is reported to the
 //!   failure detector and returned to the caller so the write can be
 //!   re-placed on the remaining providers.
-//! * [`fetch_chunks`] — **hedged first-`m`-of-`n` read**: the cheapest `m`
-//!   providers are raced concurrently; the moment any ranked fetch errors,
-//!   or exceeds its hedge deadline (a multiple of the provider's modelled
-//!   latency), the next-ranked parity provider is promoted into the race.
-//!   The read returns as soon as `m` chunks are in hand — a straggler keeps
-//!   running detached on the pool and simply finds its result unneeded.
-//!   Every outcome feeds the failure detector (§III-D3), replacing the old
-//!   silent `continue`.
+//! * [`fetch_chunks`] — **hedged first-`m`-of-`n` read**: the best `m`
+//!   providers are raced concurrently — ranked by expected read latency
+//!   (the *observed* summary once enough samples exist, the advertised
+//!   model otherwise), with the read-price order breaking latency ties —
+//!   so a provider that has recently been slow is demoted to parity rank
+//!   while a latency-free catalog keeps the seed's exact price order.
+//!   The moment any ranked fetch errors, or exceeds its hedge deadline —
+//!   the provider's observed p95 once warm, a multiple of its modelled
+//!   latency until then ([`hedge_deadline_us`]) — the next-ranked parity
+//!   provider is promoted into the race. The read returns as soon as `m`
+//!   chunks are in hand — a straggler keeps running detached on the pool
+//!   and simply finds its result unneeded. Every outcome feeds the failure
+//!   detector (§III-D3) and every success feeds the provider's
+//!   observed-latency window, closing the adaptation loop.
 //! * [`delete_chunks`] — **parallel delete** with the postponed-delete
 //!   semantics for unreachable providers.
 //!
@@ -47,7 +53,7 @@
 use crate::infra::Infrastructure;
 use bytes::Bytes;
 use rayon::prelude::*;
-use scalia_core::cost::cheapest_read_providers;
+use scalia_core::cost::{cheapest_read_providers, chunk_bytes_for};
 use scalia_core::placement::Placement;
 use scalia_erasure::codec::{decode_object, encode_object, Chunk};
 use scalia_providers::backend::StoreOp;
@@ -65,12 +71,24 @@ use std::time::{Duration, Instant};
 /// Hedging policy of the first-`m`-of-`n` read.
 #[derive(Debug, Clone, Copy)]
 pub struct HedgeConfig {
-    /// A ranked fetch is hedged once its latency exceeds this multiple of
-    /// the provider's modelled (jitter-free) latency for the chunk size.
+    /// Fallback: a ranked fetch is hedged once its latency exceeds this
+    /// multiple of the provider's modelled (jitter-free) latency for the
+    /// chunk size — used until the provider has enough *observed* samples.
     pub deadline_multiplier: u32,
     /// Floor of the hedge deadline, in virtual microseconds, so zero-latency
     /// catalogs (the default) never hedge on latency — only on errors.
     pub min_deadline_us: u64,
+    /// Observed percentile used as the hedge deadline once enough samples
+    /// exist: a fetch that outlives the provider's recent p`observed_percentile`
+    /// gets its parity promoted. Tighter than the modelled fallback for any
+    /// healthy provider (p95 ≈ 1.1× nominal vs 3× nominal), so deadlines
+    /// *tighten* as observations accumulate.
+    pub observed_percentile: f64,
+    /// Minimum observed samples (in the provider's sliding window) before
+    /// the observed deadline replaces the modelled fallback. Set to
+    /// `u64::MAX` to pin the pre-adaptive fixed-deadline behaviour
+    /// (baselines and A/B tests).
+    pub min_observed_samples: u64,
 }
 
 impl Default for HedgeConfig {
@@ -78,8 +96,49 @@ impl Default for HedgeConfig {
         HedgeConfig {
             deadline_multiplier: 3,
             min_deadline_us: 2_000,
+            observed_percentile: crate::infra::OBSERVED_PERCENTILE,
+            min_observed_samples: crate::infra::OBSERVED_MIN_SAMPLES,
         }
     }
+}
+
+impl HedgeConfig {
+    /// The default policy with adaptation disabled: deadlines stay at the
+    /// fixed modelled multiple forever (the PR 3 behaviour), regardless of
+    /// observations. Used as the baseline the adaptive policy is measured
+    /// against.
+    pub fn fixed_deadline() -> Self {
+        HedgeConfig {
+            min_observed_samples: u64::MAX,
+            ..HedgeConfig::default()
+        }
+    }
+}
+
+/// The hedge deadline of one fetch from `provider`: the provider's observed
+/// read-latency percentile when at least `config.min_observed_samples`
+/// recent samples exist, otherwise `config.deadline_multiplier ×` the
+/// modelled latency for the chunk size — floored by `min_deadline_us`
+/// either way.
+pub fn hedge_deadline_us(
+    infra: &Infrastructure,
+    provider: ProviderId,
+    latency: &LatencyModel,
+    chunk_bytes: u64,
+    config: &HedgeConfig,
+) -> u64 {
+    infra
+        .observed_read_percentile_with_min(
+            provider,
+            config.observed_percentile,
+            config.min_observed_samples,
+        )
+        .unwrap_or_else(|| {
+            latency
+                .expected_us(chunk_bytes)
+                .saturating_mul(config.deadline_multiplier as u64)
+        })
+        .max(config.min_deadline_us)
 }
 
 /// A failed parallel upload: which provider broke the write, and how.
@@ -382,11 +441,13 @@ impl<'a> HedgedRead<'a> {
                 continue;
             };
             self.any_real |= backend.real_sleep_enabled();
-            let deadline_us = candidate
-                .latency
-                .expected_us(self.chunk_bytes)
-                .saturating_mul(self.config.deadline_multiplier as u64)
-                .max(self.config.min_deadline_us);
+            let deadline_us = hedge_deadline_us(
+                self.infra,
+                provider,
+                &candidate.latency,
+                self.chunk_bytes,
+                self.config,
+            );
             let slot = self.slots.len();
             self.slots.push(Slot {
                 candidate: self.next_candidate - 1,
@@ -402,9 +463,20 @@ impl<'a> HedgedRead<'a> {
             rayon::spawn(move || {
                 let (result, us) = backend.timed_get(&chunk_key);
                 match &result {
-                    Ok(_) => infra.report_provider_success(provider),
+                    Ok(_) => {
+                        infra.report_provider_success(provider);
+                        // Feed the observed-latency summary the placement
+                        // ranking and future hedge deadlines adapt to. A
+                        // straggler that lands after the read returned
+                        // still counts — slow providers cannot hide behind
+                        // the hedge.
+                        infra.record_provider_read_latency(provider, us);
+                    }
                     // §III-D3: feed the failure detector instead of
-                    // silently skipping the provider.
+                    // silently skipping the provider. Error round-trips pay
+                    // only the base RTT and carry no payload, so they do
+                    // NOT feed the latency summary — a refusing provider
+                    // must not look fast.
                     Err(error) => infra.report_provider_failure(provider, error),
                 }
                 board.push(FetchReply { slot, result, us });
@@ -552,12 +624,16 @@ pub fn fetch_chunks(
     config: &HedgeConfig,
 ) -> Result<Vec<Chunk>> {
     let m = striping.m.max(1) as usize;
-    // Rank chunk locations by the read cost of their provider — the same
-    // order the old sequential loop used, so the *first choice* of
-    // providers (and therefore billing) is unchanged; only the concurrency
-    // and failure handling are new. The descriptors (one unavoidable clone
-    // each, made by the catalog lookup) live only as long as the ranking;
-    // the race itself needs just the `Copy` location + latency model.
+    // Rank chunk locations by the read cost of their provider first (the
+    // seed's order, so billing ties break exactly as before), then by
+    // *expected read latency* — the observed summary when the provider has
+    // enough recent samples, the advertised model otherwise. The sort is
+    // stable, so on a latency-free catalog (every key 0) the fan-out is
+    // still the static price order; once observations accumulate, a
+    // slow-but-cheap provider drops to parity rank and the fast providers
+    // are raced first. The descriptors (one unavoidable clone each, made by
+    // the catalog lookup) live only as long as the ranking; the race itself
+    // needs just the `Copy` location + latency model.
     let mut locations: Vec<ChunkLocation> = Vec::with_capacity(striping.chunks.len());
     let mut descriptors: Vec<ProviderDescriptor> = Vec::with_capacity(striping.chunks.len());
     for location in &striping.chunks {
@@ -567,7 +643,25 @@ pub fn fetch_chunks(
         }
     }
     let chunk_gb = object_size.as_gb() / striping.m.max(1) as f64;
-    let order = cheapest_read_providers(&descriptors, locations.len() as u32, chunk_gb);
+    let chunk_bytes = chunk_bytes_for(object_size, striping.m);
+    let mut order = cheapest_read_providers(&descriptors, locations.len() as u32, chunk_gb);
+    // Precompute the latency keys (one lock acquisition each, none held
+    // while sorting) — the sample floor is the hedging policy's, so
+    // ranking and deadlines trust observations under the same conditions.
+    let latency_keys: Vec<u64> = locations
+        .iter()
+        .zip(descriptors.iter())
+        .map(|(location, descriptor)| {
+            infra
+                .observed_read_percentile_with_min(
+                    location.provider,
+                    config.observed_percentile,
+                    config.min_observed_samples,
+                )
+                .unwrap_or_else(|| descriptor.latency.expected_us(chunk_bytes))
+        })
+        .collect();
+    order.sort_by_key(|&i| latency_keys[i]);
     let candidates: Vec<Candidate> = order
         .into_iter()
         .map(|i| Candidate {
@@ -580,7 +674,7 @@ pub fn fetch_chunks(
         infra,
         striping,
         config,
-        chunk_bytes: (object_size.bytes().div_ceil(striping.m.max(1) as u64)).max(1),
+        chunk_bytes,
         candidates,
         board: Arc::new(FetchBoard::new()),
         slots: Vec::new(),
@@ -772,6 +866,95 @@ mod tests {
             "read makespan {}µs must not wait out the {}µs stall",
             read.max_us,
             STALL_US
+        );
+    }
+
+    #[test]
+    fn hedge_deadline_tightens_once_observations_accumulate() {
+        use crate::infra::OBSERVED_MIN_SAMPLES;
+        let infra = infra();
+        let provider = infra.catalog().all()[0].id;
+        // A ~30 ms provider with healthy jitter: p95 of real round-trips
+        // sits near 1.1× nominal, far under the 3× modelled fallback.
+        let model = LatencyModel::new(30, 0, 10, 7);
+        let config = HedgeConfig::default();
+        let cold = hedge_deadline_us(&infra, provider, &model, 1_000, &config);
+        assert_eq!(cold, 3 * 30_000, "cold deadline is the modelled multiple");
+
+        for salt in 0..4 * OBSERVED_MIN_SAMPLES {
+            infra.record_provider_read_latency(provider, model.sample_us(1_000, salt));
+        }
+        let warm = hedge_deadline_us(&infra, provider, &model, 1_000, &config);
+        assert!(
+            warm < cold && warm >= 30_000 * 9 / 10,
+            "warm deadline {warm} must tighten to the observed p95, not below the floor"
+        );
+        // The fixed-deadline baseline ignores the observations entirely.
+        assert_eq!(
+            hedge_deadline_us(
+                &infra,
+                provider,
+                &model,
+                1_000,
+                &HedgeConfig::fixed_deadline()
+            ),
+            cold
+        );
+        // And the 2 ms floor still holds for near-instant providers.
+        assert_eq!(
+            hedge_deadline_us(
+                &infra,
+                provider,
+                &LatencyModel::ZERO,
+                0,
+                &HedgeConfig::fixed_deadline()
+            ),
+            2_000
+        );
+    }
+
+    #[test]
+    fn observed_slow_provider_is_demoted_out_of_the_initial_fanout() {
+        use crate::infra::OBSERVED_MIN_SAMPLES;
+        let infra = infra();
+        let placement = placement_of(&infra, 3, 1);
+        let data = Bytes::from(vec![8u8; 50_000]);
+        let striping = write_chunks(&infra, &placement, "skey-rank", &data).unwrap();
+
+        // The price-ranked first choice develops a bad observed record.
+        let chunk_gb = ByteSize::from_bytes(50_000).as_gb();
+        let descriptors: Vec<ProviderDescriptor> = striping
+            .chunks
+            .iter()
+            .filter_map(|c| infra.catalog().get(c.provider))
+            .collect();
+        let ranked = cheapest_read_providers(&descriptors, descriptors.len() as u32, chunk_gb);
+        let tainted = striping.chunks[ranked[0]].provider;
+        for _ in 0..2 * OBSERVED_MIN_SAMPLES {
+            infra.record_provider_read_latency(tainted, 500_000);
+        }
+
+        let gets_before = infra
+            .backend(tainted)
+            .unwrap()
+            .latency_snapshot(StoreOp::Get)
+            .count;
+        let chunks = fetch_chunks(
+            &infra,
+            &striping,
+            ByteSize::from_bytes(50_000),
+            &HedgeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(chunks.len(), 1);
+        let gets_after = infra
+            .backend(tainted)
+            .unwrap()
+            .latency_snapshot(StoreOp::Get)
+            .count;
+        assert_eq!(
+            gets_before, gets_after,
+            "the observed-slow provider must be demoted to parity rank and never contacted"
         );
     }
 

@@ -23,7 +23,7 @@ use scalia_providers::catalog::ProviderCatalog;
 use scalia_providers::descriptor::ProviderDescriptor;
 use scalia_types::error::ScaliaError;
 use scalia_types::ids::{DatacenterId, ProviderId};
-use scalia_types::latency::LatencySnapshot;
+use scalia_types::latency::{DecayingHistogram, LatencySnapshot};
 use scalia_types::money::Money;
 use scalia_types::time::{Duration, SimTime};
 use std::collections::{HashMap, HashSet};
@@ -40,6 +40,17 @@ const LOCK_SHARDS: usize = 64;
 /// provider unavailable in the catalog (a hard "connection refused" —
 /// [`ScaliaError::ProviderUnavailable`] — trips it immediately, §III-D3).
 pub const FAILURE_DETECTOR_THRESHOLD: u32 = 3;
+
+/// Minimum number of observed chunk-GET samples (across the last two
+/// observation windows) before a provider's observed-latency summary is
+/// trusted — by the catalog's placement ranking and by the hedged read's
+/// deadline. Below the floor, callers fall back to the advertised model.
+pub const OBSERVED_MIN_SAMPLES: u64 = 16;
+
+/// The percentile published as a provider's observed read latency: p95, the
+/// classic hedging percentile — high enough that healthy jitter stays under
+/// it, low enough that a limping provider's stragglers move it.
+pub const OBSERVED_PERCENTILE: f64 = 95.0;
 
 fn shard_of(key: &str) -> usize {
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
@@ -78,6 +89,12 @@ pub struct Infrastructure {
     /// Deployment-wide per-operation latency histograms (virtual µs),
     /// recorded by the chunk-I/O layer per object-level put/get/delete.
     io_latencies: Mutex<OpLatencies>,
+    /// Per-provider windowed summaries of *successful* chunk-GET
+    /// round-trips (virtual µs), recorded by the hedged read's fetch tasks.
+    /// Rotated on every clock advance, then summarised into the catalog
+    /// (observed p95) so placement and hedging adapt to what providers
+    /// actually do — and forgive them once the bad window decays out.
+    observed_reads: Mutex<HashMap<ProviderId, DecayingHistogram>>,
 }
 
 impl Infrastructure {
@@ -105,6 +122,7 @@ impl Infrastructure {
             failure_counts: Mutex::new(HashMap::new()),
             detector_disabled: Mutex::new(HashSet::new()),
             io_latencies: Mutex::new(OpLatencies::default()),
+            observed_reads: Mutex::new(HashMap::new()),
         });
         for descriptor in catalog.all() {
             infra.ensure_backend(&descriptor);
@@ -181,6 +199,7 @@ impl Infrastructure {
         }
         self.retry_pending_deletes();
         self.reprobe_failed_providers();
+        self.rotate_and_publish_observed_latencies();
     }
 
     /// A fresh, strictly monotonic metadata timestamp for the current time.
@@ -321,6 +340,87 @@ impl Infrastructure {
     /// Percentile summary of the recorded object-level latencies of `op`.
     pub fn io_latency_snapshot(&self, op: StoreOp) -> LatencySnapshot {
         self.io_latencies.lock().of(op).snapshot()
+    }
+
+    // ------------------------------------------------------------------
+    // Observed read latency (feeds latency-aware placement and hedging)
+    // ------------------------------------------------------------------
+
+    /// Records one *successful* chunk-GET round-trip against its provider's
+    /// windowed observed-latency summary. Called by the hedged read's fetch
+    /// tasks — including stragglers whose result the read no longer needed,
+    /// so slow providers keep accumulating evidence.
+    pub fn record_provider_read_latency(&self, provider: ProviderId, us: u64) {
+        self.observed_reads
+            .lock()
+            .entry(provider)
+            .or_default()
+            .record(us);
+    }
+
+    /// A provider's observed read-latency percentile over the last two
+    /// observation windows, or `None` while fewer than
+    /// [`OBSERVED_MIN_SAMPLES`] samples are in view (the warm-up guard: one
+    /// unlucky round-trip must not re-rank a provider).
+    pub fn observed_read_percentile(&self, provider: ProviderId, percentile: f64) -> Option<u64> {
+        self.observed_read_percentile_with_min(provider, percentile, OBSERVED_MIN_SAMPLES)
+    }
+
+    /// [`Self::observed_read_percentile`] with a caller-chosen sample floor
+    /// (the hedging policy's `min_observed_samples`; `u64::MAX` never
+    /// trusts observations). One lock acquisition, no snapshot.
+    pub fn observed_read_percentile_with_min(
+        &self,
+        provider: ProviderId,
+        percentile: f64,
+        min_samples: u64,
+    ) -> Option<u64> {
+        let summaries = self.observed_reads.lock();
+        let summary = summaries.get(&provider)?;
+        if summary.count() < min_samples {
+            return None;
+        }
+        Some(summary.percentile_us(percentile))
+    }
+
+    /// Snapshot of a provider's windowed observed-read summary (diagnostics
+    /// and tests).
+    pub fn observed_read_snapshot(&self, provider: ProviderId) -> LatencySnapshot {
+        self.observed_reads
+            .lock()
+            .get(&provider)
+            .map(|s| s.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Rotates every provider's observation window and publishes the
+    /// refreshed summaries (observed p95, or `None` below the sample
+    /// floor) into the catalog descriptors. Runs on every clock advance:
+    /// one sampling period per window, so a provider whose latest windows
+    /// are clean — or empty, because the traffic moved away — is forgiven
+    /// within two periods. Zero-valued summaries are never published, so
+    /// zero-latency catalogs (the default) are completely unaffected.
+    /// The catalog applies its own hysteresis and bumps its version only on
+    /// material shifts, invalidating the placement cache exactly when
+    /// rankings can actually move.
+    fn rotate_and_publish_observed_latencies(&self) {
+        let mut summaries = self.observed_reads.lock();
+        let published: Vec<(ProviderId, Option<u64>)> = summaries
+            .iter_mut()
+            .map(|(&provider, summary)| {
+                summary.rotate();
+                let observed = if summary.count() >= OBSERVED_MIN_SAMPLES {
+                    Some(summary.percentile_us(OBSERVED_PERCENTILE)).filter(|&p| p > 0)
+                } else {
+                    None
+                };
+                (provider, observed)
+            })
+            .collect();
+        drop(summaries);
+        for (provider, observed) in published {
+            self.catalog.set_observed_read_latency(provider, observed);
+        }
     }
 
     /// Queues a delete that could not reach its provider.
@@ -547,6 +647,62 @@ mod tests {
         assert_eq!(get.max_us, 3_000);
         assert_eq!(infra.io_latency_snapshot(StoreOp::Put).count, 1);
         assert_eq!(infra.io_latency_snapshot(StoreOp::Delete).count, 0);
+    }
+
+    #[test]
+    fn observed_read_latencies_publish_and_decay() {
+        let infra = infra();
+        let target = infra.catalog().all()[0].id;
+
+        // Below the sample floor nothing is trusted or published.
+        for _ in 0..OBSERVED_MIN_SAMPLES - 1 {
+            infra.record_provider_read_latency(target, 80_000);
+        }
+        assert_eq!(infra.observed_read_percentile(target, 95.0), None);
+        infra.advance_clock(SimTime::from_hours(1));
+        assert_eq!(infra.catalog().observed_read_latency(target), None);
+
+        // Enough samples: the p95 summary reaches the catalog descriptor.
+        for _ in 0..2 * OBSERVED_MIN_SAMPLES {
+            infra.record_provider_read_latency(target, 80_000);
+        }
+        let p95 = infra.observed_read_percentile(target, 95.0).unwrap();
+        assert!(p95 >= 80_000);
+        infra.advance_clock(SimTime::from_hours(2));
+        let published = infra.catalog().observed_read_latency(target).unwrap();
+        assert!(published >= 80_000);
+        assert_eq!(
+            infra.catalog().get(target).unwrap().read_latency_us(1),
+            published,
+            "placement-visible latency must be the observed summary"
+        );
+
+        // Two idle periods later the window has decayed: the provider is
+        // forgiven and the advertised model speaks again.
+        infra.advance_clock(SimTime::from_hours(3));
+        infra.advance_clock(SimTime::from_hours(4));
+        assert_eq!(infra.catalog().observed_read_latency(target), None);
+        assert_eq!(infra.observed_read_percentile(target, 95.0), None);
+    }
+
+    #[test]
+    fn zero_latency_observations_never_touch_the_catalog() {
+        // The default catalogs are zero-latency: reads record 0 µs. Those
+        // summaries must never be published — otherwise every deployment
+        // would pay a placement-cache invalidation for nothing.
+        let infra = infra();
+        let target = infra.catalog().all()[1].id;
+        let version = infra.catalog().version();
+        for _ in 0..10 * OBSERVED_MIN_SAMPLES {
+            infra.record_provider_read_latency(target, 0);
+        }
+        infra.advance_clock(SimTime::from_hours(1));
+        assert_eq!(infra.catalog().observed_read_latency(target), None);
+        assert_eq!(
+            infra.catalog().version(),
+            version,
+            "zero summaries must not bump the catalog version"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::engine::Engine;
 use crate::infra::Infrastructure;
 use parking_lot::Mutex;
 use rayon::prelude::*;
-use scalia_core::cost::{compute_price, PredictedUsage};
+use scalia_core::cost::{compute_price_weighted, PredictedUsage};
 use scalia_core::migration::MigrationPlan;
 use scalia_core::placement::{Placement, PlacementEngine};
 use scalia_core::trend::TrendDetector;
@@ -219,7 +219,15 @@ impl PeriodicOptimizer {
             providers: current_providers.clone(),
             m: meta.striping.m,
         };
-        let current_cost = compute_price(&current_providers, meta.striping.m, &usage);
+        // Priced with the rule's latency weight so the migration gate
+        // compares like with like: the candidate's expected_cost already
+        // includes the latency penalty (billing itself never does).
+        let current_cost = compute_price_weighted(
+            &current_providers,
+            meta.striping.m,
+            &usage,
+            meta.rule.latency_weight,
+        );
 
         let plan = MigrationPlan::build(
             current,

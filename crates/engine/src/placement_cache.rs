@@ -82,6 +82,7 @@ pub struct PlacementCacheKey {
     availability_bits: u64,
     zones: scalia_types::zone::ZoneSet,
     lockin_bits: u64,
+    latency_weight_bits: u64,
     usage: UsageClassKey,
 }
 
@@ -100,6 +101,7 @@ impl PlacementCacheKey {
             availability_bits: rule.availability.probability().to_bits(),
             zones: rule.zones,
             lockin_bits: rule.lockin.to_bits(),
+            latency_weight_bits: rule.latency_weight.to_bits(),
             usage: UsageClassKey::of(usage),
         }
     }

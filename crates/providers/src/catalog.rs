@@ -29,6 +29,12 @@ pub struct ProviderCatalog {
     version: AtomicU64,
 }
 
+/// Relative shift (in percent) below which a refreshed observed-latency
+/// summary is considered noise: the published value is kept and the catalog
+/// version is *not* bumped, so steady-state refreshes don't thrash the
+/// placement cache. 25 % comfortably exceeds the latency models' jitter.
+pub const OBSERVED_LATENCY_SHIFT_PCT: u64 = 25;
+
 #[derive(Debug, Default)]
 struct CatalogInner {
     providers: BTreeMap<ProviderId, ProviderDescriptor>,
@@ -125,6 +131,49 @@ impl ProviderCatalog {
     /// Returns `true` if the catalog is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Publishes a provider's observed read-latency summary (a windowed p95
+    /// in microseconds, `None` when too few recent samples exist) into its
+    /// descriptor, so placement searches and hedged reads see it.
+    ///
+    /// The update is **hysteretic**: a summary that did not shift materially
+    /// — same presence and within [`OBSERVED_LATENCY_SHIFT_PCT`] percent of
+    /// the published value — is dropped entirely, leaving the descriptor and
+    /// the catalog [`version`](Self::version) untouched. Rankings therefore
+    /// only move (and placement caches only invalidate) when observations
+    /// actually changed the picture, not on every jittery refresh. Returns
+    /// `true` if the catalog changed.
+    pub fn set_observed_read_latency(&self, id: ProviderId, observed: Option<u64>) -> bool {
+        let mut inner = self.inner.write();
+        let Some(descriptor) = inner.providers.get_mut(&id) else {
+            return false;
+        };
+        let current = descriptor.observed_read_latency_us;
+        let material = match (current, observed) {
+            (None, None) => false,
+            (None, Some(_)) | (Some(_), None) => true,
+            (Some(old), Some(new)) => {
+                let (lo, hi) = (old.min(new) as u128, old.max(new) as u128);
+                hi * 100 > lo * (100 + OBSERVED_LATENCY_SHIFT_PCT as u128)
+            }
+        };
+        if !material {
+            return false;
+        }
+        descriptor.observed_read_latency_us = observed;
+        drop(inner);
+        self.bump_version();
+        true
+    }
+
+    /// The observed read-latency summary currently published for a provider.
+    pub fn observed_read_latency(&self, id: ProviderId) -> Option<u64> {
+        self.inner
+            .read()
+            .providers
+            .get(&id)
+            .and_then(|p| p.observed_read_latency_us)
     }
 
     /// Marks a provider unreachable (start of a transient outage).
@@ -322,6 +371,45 @@ mod tests {
         assert!(v3 > v2, "recovery must bump the version");
         catalog.deregister(id);
         assert!(catalog.version() > v3, "deregister must bump the version");
+    }
+
+    #[test]
+    fn observed_latency_updates_are_hysteretic() {
+        let catalog = ProviderCatalog::paper_catalog();
+        let id = catalog.all()[0].id;
+        let v0 = catalog.version();
+
+        // First publication is material: descriptor + version move.
+        assert!(catalog.set_observed_read_latency(id, Some(40_000)));
+        assert_eq!(catalog.observed_read_latency(id), Some(40_000));
+        assert_eq!(
+            catalog.get(id).unwrap().observed_read_latency_us,
+            Some(40_000)
+        );
+        let v1 = catalog.version();
+        assert!(v1 > v0);
+
+        // A jittery refresh within the shift band is dropped entirely.
+        assert!(!catalog.set_observed_read_latency(id, Some(44_000)));
+        assert_eq!(catalog.observed_read_latency(id), Some(40_000));
+        assert_eq!(catalog.version(), v1, "noise must not bump the version");
+
+        // A material shift (>25 %) replaces the summary and invalidates.
+        assert!(catalog.set_observed_read_latency(id, Some(120_000)));
+        assert_eq!(catalog.observed_read_latency(id), Some(120_000));
+        assert!(catalog.version() > v1);
+
+        // Forgiveness (None) is always material; repeating it is not.
+        let v2 = catalog.version();
+        assert!(catalog.set_observed_read_latency(id, None));
+        assert_eq!(catalog.observed_read_latency(id), None);
+        assert!(catalog.version() > v2);
+        let v3 = catalog.version();
+        assert!(!catalog.set_observed_read_latency(id, None));
+        assert_eq!(catalog.version(), v3);
+
+        // Unknown providers are a no-op.
+        assert!(!catalog.set_observed_read_latency(ProviderId::new(99), Some(1)));
     }
 
     #[test]

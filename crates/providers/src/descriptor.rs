@@ -48,6 +48,12 @@ pub struct ProviderDescriptor {
     /// Deterministic response-time model of the provider's data path
     /// (defaults to [`LatencyModel::ZERO`]: instantaneous).
     pub latency: LatencyModel,
+    /// Observed per-chunk read latency summary (typically a windowed p95 of
+    /// real GET round-trips), in microseconds. `None` until enough samples
+    /// accumulate; when set it overrides the advertised model in
+    /// [`ProviderDescriptor::read_latency_us`], so placement and hedging
+    /// trust what the provider *does* over what its descriptor claims.
+    pub observed_read_latency_us: Option<u64>,
 }
 
 impl ProviderDescriptor {
@@ -72,6 +78,7 @@ impl ProviderDescriptor {
             max_chunk_size: None,
             capacity: None,
             latency: LatencyModel::ZERO,
+            observed_read_latency_us: None,
         }
     }
 
@@ -95,6 +102,7 @@ impl ProviderDescriptor {
             max_chunk_size: None,
             capacity: Some(capacity),
             latency: LatencyModel::ZERO,
+            observed_read_latency_us: None,
         }
     }
 
@@ -108,6 +116,24 @@ impl ProviderDescriptor {
     pub fn with_latency(mut self, latency: LatencyModel) -> Self {
         self.latency = latency;
         self
+    }
+
+    /// Builder-style override of the observed read-latency summary.
+    pub fn with_observed_read_latency_us(mut self, observed: Option<u64>) -> Self {
+        self.observed_read_latency_us = observed;
+        self
+    }
+
+    /// The provider's expected latency for reading one chunk of
+    /// `chunk_bytes` bytes, in microseconds: the observed summary when one
+    /// exists, otherwise the advertised model's jitter-free expectation.
+    /// This is the latency the cost model prices and the hedged read ranks
+    /// by.
+    pub fn read_latency_us(&self, chunk_bytes: u64) -> u64 {
+        match self.observed_read_latency_us {
+            Some(observed) => observed,
+            None => self.latency.expected_us(chunk_bytes),
+        }
     }
 
     /// Returns `true` if the provider can hold a chunk of the given size.
@@ -196,6 +222,26 @@ mod tests {
         let slow = sample().with_latency(LatencyModel::slow(3));
         assert!(!slow.latency.is_zero());
         assert!(slow.latency.expected_us(0) > 0);
+    }
+
+    #[test]
+    fn observed_latency_overrides_the_advertised_model() {
+        let p = sample().with_latency(LatencyModel::new(30, 0, 0, 1));
+        assert_eq!(p.observed_read_latency_us, None);
+        assert_eq!(p.read_latency_us(1_000), 30_000, "modelled fallback");
+        let observed = p.with_observed_read_latency_us(Some(250_000));
+        assert_eq!(
+            observed.read_latency_us(1_000),
+            250_000,
+            "observation beats the advertisement"
+        );
+        assert_eq!(
+            observed
+                .with_observed_read_latency_us(None)
+                .read_latency_us(1_000),
+            30_000,
+            "forgiveness restores the model"
+        );
     }
 
     #[test]

@@ -13,17 +13,56 @@
 //! [`scalia_providers::latency::LatencyModel`]. The tail of the resulting
 //! distribution is what the slow-/limping-provider scenarios exist to
 //! expose.
+//!
+//! # Observation loop and SLA accounting
+//!
+//! [`run_policy_with_actual`] additionally separates what a provider
+//! *advertises* (its descriptor's latency model, all the policy would know
+//! a priori) from what it actually *does* (an [`ActualLatencies`] override
+//! by provider name). Every served read feeds the actual chunk latencies
+//! into per-provider sliding windows
+//! ([`scalia_types::latency::DecayingHistogram`], rotated every
+//! [`OBSERVATION_WINDOW_PERIODS`] periods); once a provider has
+//! [`SIM_OBSERVED_MIN_SAMPLES`] recent samples its windowed p95 is
+//! published into the descriptors handed to the policy
+//! (`observed_read_latency_us`) — exactly the feedback path the engine's
+//! `Infrastructure` implements — so a latency-weighted rule can migrate
+//! objects off a provider that turned out slower than it claimed. Reads of
+//! objects whose rule declares a `read_sla_us` are checked against their
+//! *actual* latency and counted into [`PolicyRun::sla_read_violations`].
 
 use crate::policy::PlacementPolicy;
 use crate::workload::{ProviderEvent, Workload};
-use scalia_core::cost::{cheapest_read_providers, compute_price, migration_cost, PredictedUsage};
+use scalia_core::cost::{
+    cheapest_read_providers, chunk_bytes_for, compute_price, migration_cost, PredictedUsage,
+};
 use scalia_core::placement::Placement;
 use scalia_providers::descriptor::ProviderDescriptor;
-use scalia_types::latency::{LatencyHistogram, LatencySnapshot};
+use scalia_providers::latency::LatencyModel;
+use scalia_types::latency::{DecayingHistogram, LatencyHistogram, LatencySnapshot};
 use scalia_types::money::Money;
 use scalia_types::size::ByteSize;
 use scalia_types::stats::{AccessHistory, PeriodStats};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-provider *actual* latency models (keyed by provider name),
+/// overriding the advertised descriptor models for everything that really
+/// happens in the simulation: observed samples, latency percentiles and SLA
+/// checks. The policy itself never sees these — it only sees the
+/// observations they generate.
+pub type ActualLatencies = BTreeMap<String, LatencyModel>;
+
+/// Number of sampling periods per observation window: summaries cover the
+/// last two windows, so a provider is fully forgiven (or fully convicted)
+/// within `2 × OBSERVATION_WINDOW_PERIODS` periods.
+pub const OBSERVATION_WINDOW_PERIODS: u64 = 24;
+
+/// Minimum samples in a provider's sliding window before its observed p95
+/// is published to the policy (mirrors the engine's warm-up guard).
+pub const SIM_OBSERVED_MIN_SAMPLES: u64 = 16;
+
+/// The percentile published as a provider's observed read latency.
+pub const SIM_OBSERVED_PERCENTILE: f64 = 95.0;
 
 /// Aggregate resources consumed during one sampling period (across all
 /// providers).
@@ -62,16 +101,69 @@ pub struct PolicyRun {
     /// Percentile summary of the modelled per-write latency (parallel
     /// `n`-chunk upload), in virtual µs.
     pub write_latency: LatencySnapshot,
+    /// Reads served under a rule that declares a `read_sla_us` bound.
+    pub sla_reads_total: u64,
+    /// Of those, reads whose actual latency exceeded the rule's bound.
+    pub sla_read_violations: u64,
+}
+
+impl PolicyRun {
+    /// Fraction of SLA-governed reads that violated their latency bound
+    /// (0.0 when no rule declared one).
+    pub fn sla_violation_rate(&self) -> f64 {
+        if self.sla_reads_total == 0 {
+            0.0
+        } else {
+            self.sla_read_violations as f64 / self.sla_reads_total as f64
+        }
+    }
+}
+
+/// The latency model that actually answers for a provider: the
+/// [`ActualLatencies`] override when one exists, the advertised descriptor
+/// model otherwise.
+fn actual_model(provider: &ProviderDescriptor, actual: &ActualLatencies) -> LatencyModel {
+    actual
+        .get(&provider.name)
+        .copied()
+        .unwrap_or(provider.latency)
+}
+
+/// The read-serving providers of a placement (indices into
+/// `placement.providers`), mirroring the engine's hedged-read fan-out:
+/// price-ranked first (the seed's tie-breaking order), then stably
+/// re-ranked by expected read latency — each provider's observed summary
+/// when `observations` holds a warm window for it, its advertised model
+/// otherwise — and truncated to the `m` providers actually raced.
+fn read_providers(
+    placement: &Placement,
+    size: ByteSize,
+    observations: &BTreeMap<String, DecayingHistogram>,
+) -> Vec<usize> {
+    let m = placement.m.max(1);
+    let chunk_gb = size.as_gb() / m as f64;
+    let chunk_bytes = chunk_bytes_for(size, m);
+    let mut order = cheapest_read_providers(&placement.providers, placement.n().max(1), chunk_gb);
+    order.sort_by_key(|&i| {
+        let provider = &placement.providers[i];
+        observations
+            .get(&provider.name)
+            .filter(|window| window.count() >= SIM_OBSERVED_MIN_SAMPLES)
+            .map(|window| window.percentile_us(SIM_OBSERVED_PERCENTILE))
+            .filter(|&p95| p95 > 0)
+            .unwrap_or_else(|| provider.latency.expected_us(chunk_bytes))
+    });
+    order.truncate(m as usize);
+    order
 }
 
 /// The modelled latency of one read of an object at `placement`: the
-/// engine fetches the cheapest `m` chunks concurrently, so the read takes
-/// as long as the slowest of those `m` providers.
+/// engine fetches the `m` best-ranked chunks concurrently (fastest by
+/// advertised model, price order among latency ties), so the read takes as
+/// long as the slowest of those `m` providers.
 pub fn modelled_read_latency_us(placement: &Placement, size: ByteSize) -> u64 {
-    let m = placement.m.max(1);
-    let chunk_bytes = size.bytes().div_ceil(m as u64).max(1);
-    let chunk_gb = size.as_gb() / m as f64;
-    cheapest_read_providers(&placement.providers, m, chunk_gb)
+    let chunk_bytes = chunk_bytes_for(size, placement.m);
+    read_providers(placement, size, &BTreeMap::new())
         .into_iter()
         .map(|i| placement.providers[i].latency.expected_us(chunk_bytes))
         .max()
@@ -82,11 +174,17 @@ pub fn modelled_read_latency_us(placement: &Placement, size: ByteSize) -> u64 {
 /// chunks upload concurrently, so the write takes as long as the slowest
 /// provider of the set.
 pub fn modelled_write_latency_us(placement: &Placement, size: ByteSize) -> u64 {
-    let chunk_bytes = size.bytes().div_ceil(placement.m.max(1) as u64).max(1);
+    actual_write_latency_us(placement, size, &ActualLatencies::new())
+}
+
+/// The actual latency of one write under the given overrides (slowest of
+/// the `n` parallel chunk uploads).
+fn actual_write_latency_us(placement: &Placement, size: ByteSize, actual: &ActualLatencies) -> u64 {
+    let chunk_bytes = chunk_bytes_for(size, placement.m);
     placement
         .providers
         .iter()
-        .map(|p| p.latency.expected_us(chunk_bytes))
+        .map(|p| actual_model(p, actual).expected_us(chunk_bytes))
         .max()
         .unwrap_or(0)
 }
@@ -127,11 +225,25 @@ pub fn providers_at(
     providers
 }
 
-/// Runs `policy` over `workload` with the given base provider catalog.
+/// Runs `policy` over `workload` with the given base provider catalog
+/// (providers behave exactly as advertised — no overrides).
 pub fn run_policy(
     workload: &Workload,
     base_catalog: &[ProviderDescriptor],
     policy: &mut dyn PlacementPolicy,
+) -> PolicyRun {
+    run_policy_with_actual(workload, base_catalog, policy, &ActualLatencies::new())
+}
+
+/// Runs `policy` over `workload`, with providers *actually* answering at
+/// the latencies in `actual` (falling back to their advertised models) and
+/// the resulting observations fed back into the descriptors the policy
+/// sees. See the module docs for the full loop.
+pub fn run_policy_with_actual(
+    workload: &Workload,
+    base_catalog: &[ProviderDescriptor],
+    policy: &mut dyn PlacementPolicy,
+    actual: &ActualLatencies,
 ) -> PolicyRun {
     let period_hours = workload.sampling_period.as_hours();
     let mut histories: HashMap<String, AccessHistory> = HashMap::new();
@@ -144,9 +256,25 @@ pub fn run_policy(
     let mut feasible = true;
     let mut read_latency = LatencyHistogram::new();
     let mut write_latency = LatencyHistogram::new();
+    let mut sla_reads_total = 0u64;
+    let mut sla_read_violations = 0u64;
+    // Per-provider sliding windows of actual chunk-read latencies — the
+    // simulator's stand-in for the engine's observed-latency summaries.
+    let mut observations: BTreeMap<String, DecayingHistogram> = BTreeMap::new();
 
     for period in 0..workload.periods {
-        let available = providers_at(base_catalog, &workload.events, period);
+        let mut available = providers_at(base_catalog, &workload.events, period);
+        // Publish the observed summaries into the descriptors the policy
+        // will see this period: windowed p95 once warm, nothing before.
+        // Zero summaries are never published, so latency-free catalogs are
+        // untouched.
+        for provider in &mut available {
+            provider.observed_read_latency_us = observations
+                .get(&provider.name)
+                .filter(|window| window.count() >= SIM_OBSERVED_MIN_SAMPLES)
+                .map(|window| window.percentile_us(SIM_OBSERVED_PERCENTILE))
+                .filter(|&p95| p95 > 0);
+        }
         let mut sample = ResourceSample {
             period,
             ..ResourceSample::default()
@@ -204,7 +332,10 @@ pub fn run_policy(
                 _ => {}
             }
 
-            // Per-period serving cost.
+            // Per-period serving cost. Storage and writes bill every set
+            // member; reads bill the providers that *actually* serve them —
+            // the latency-ranked serving set, which can differ from the
+            // price-cheapest m once observations demote a slow provider.
             let usage = PredictedUsage {
                 size: obj.size,
                 bw_in: ByteSize::from_bytes(demand.writes * obj.size.bytes()),
@@ -213,15 +344,64 @@ pub fn run_policy(
                 writes: demand.writes,
                 duration_hours: period_hours,
             };
-            total += compute_price(&placement.providers, placement.m, &usage);
+            let serving = read_providers(&placement, obj.size, &observations);
+            let storage_and_writes = PredictedUsage {
+                bw_out: ByteSize::ZERO,
+                reads: 0,
+                ..usage
+            };
+            total += compute_price(&placement.providers, placement.m, &storage_and_writes);
+            if usage.reads > 0 || !usage.bw_out.is_zero() {
+                let read_gb_per_provider = usage.bw_out.as_gb() / placement.m.max(1) as f64;
+                for &i in &serving {
+                    let provider = &placement.providers[i];
+                    total += provider
+                        .pricing
+                        .bandwidth_out_gb
+                        .scale(read_gb_per_provider);
+                    total += provider
+                        .pricing
+                        .ops_per_1000
+                        .scale(usage.reads as f64 / 1000.0);
+                }
+            }
 
             // Tail-latency accounting: one sample per read/write served
-            // this period, at the placement's modelled parallel latency.
-            read_latency.record_n(modelled_read_latency_us(&placement, obj.size), demand.reads);
+            // this period, at the placement's *actual* parallel latency.
+            let chunk_bytes = chunk_bytes_for(obj.size, placement.m);
+            let read_us = serving
+                .iter()
+                .map(|&i| actual_model(&placement.providers[i], actual).expected_us(chunk_bytes))
+                .max()
+                .unwrap_or(0);
+            read_latency.record_n(read_us, demand.reads);
             write_latency.record_n(
-                modelled_write_latency_us(&placement, obj.size),
+                actual_write_latency_us(&placement, obj.size, actual),
                 demand.writes,
             );
+
+            // SLA accounting: reads under a latency-bounded rule either all
+            // meet the bound this period or all miss it (identical requests
+            // see identical latency).
+            if let Some(sla_us) = obj.rule.read_sla_us {
+                sla_reads_total += demand.reads;
+                if read_us > sla_us {
+                    sla_read_violations += demand.reads;
+                }
+            }
+
+            // Feed the observation windows: every read-serving provider
+            // answered `reads` chunk fetches at its actual latency.
+            if demand.reads > 0 {
+                for &i in &serving {
+                    let provider = &placement.providers[i];
+                    let us = actual_model(provider, actual).expected_us(chunk_bytes);
+                    observations
+                        .entry(provider.name.clone())
+                        .or_default()
+                        .record_n(us, demand.reads);
+                }
+            }
 
             // Aggregate resources.
             sample.storage_gb += obj.size.as_gb() * placement.n() as f64 / placement.m as f64;
@@ -243,6 +423,15 @@ pub fn run_policy(
 
         cumulative.push(total);
         resources.push(sample);
+
+        // Window rotation: summaries cover the last two windows, so a
+        // provider whose recent behaviour changed is re-judged (or
+        // forgiven) within two windows.
+        if (period + 1) % OBSERVATION_WINDOW_PERIODS == 0 {
+            for window in observations.values_mut() {
+                window.rotate();
+            }
+        }
     }
 
     PolicyRun {
@@ -254,6 +443,8 @@ pub fn run_policy(
         feasible,
         read_latency: read_latency.snapshot(),
         write_latency: write_latency.snapshot(),
+        sla_reads_total,
+        sla_read_violations,
     }
 }
 
@@ -442,6 +633,90 @@ mod tests {
             "a far provider cannot improve the tail: {} vs {}",
             slow_run.read_latency.p99_us,
             baseline_run.read_latency.p99_us
+        );
+    }
+
+    #[test]
+    fn sla_accounting_counts_violations_against_the_rule_bound() {
+        // One object, latency-annotated catalog, a 1 µs SLA nothing can
+        // meet vs a 10 s SLA nothing can miss.
+        let providers = crate::scenarios::latency_catalog(3);
+        let mut workload = simple_workload(&[0, 5, 10, 0]);
+        workload.objects[0].rule = workload.objects[0].rule.clone().with_read_sla_us(1);
+        let strict = run_policy(&workload, &providers, &mut IdealPolicy::new());
+        assert_eq!(strict.sla_reads_total, 15);
+        assert_eq!(strict.sla_read_violations, 15);
+        assert!((strict.sla_violation_rate() - 1.0).abs() < 1e-9);
+
+        workload.objects[0].rule = workload.objects[0]
+            .rule
+            .clone()
+            .with_read_sla_us(10_000_000);
+        let lax = run_policy(&workload, &providers, &mut IdealPolicy::new());
+        assert_eq!(lax.sla_read_violations, 0);
+        assert_eq!(lax.sla_violation_rate(), 0.0);
+
+        // Rules without a bound keep the accounting off entirely.
+        let none = run_policy(
+            &simple_workload(&[0, 5]),
+            &providers,
+            &mut IdealPolicy::new(),
+        );
+        assert_eq!(none.sla_reads_total, 0);
+        assert_eq!(none.sla_violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn cheap_but_slow_provider_loses_placements_once_observed() {
+        let (workload, catalog, actual) = crate::scenarios::cheap_but_slow();
+
+        // Adaptive run: latency-weighted rules + observation feedback.
+        let mut policy = ScaliaPolicy::new(1.0);
+        let adaptive = run_policy_with_actual(&workload, &catalog, &mut policy, &actual);
+
+        // Baseline: identical workload and actual latencies, but the rules
+        // are latency-blind — the policy keeps trusting the advertised
+        // (cheap, "fast") provider forever.
+        let mut blind_workload = workload.clone();
+        for obj in &mut blind_workload.objects {
+            obj.rule = obj.rule.clone().with_latency_weight(0.0);
+        }
+        let mut blind_policy = ScaliaPolicy::new(1.0);
+        let blind = run_policy_with_actual(&blind_workload, &catalog, &mut blind_policy, &actual);
+
+        assert!(adaptive.feasible && blind.feasible);
+        assert_eq!(adaptive.sla_reads_total, blind.sla_reads_total);
+        assert!(blind.sla_reads_total > 0);
+        // The blind baseline's read tail sits at the slow pair's latency,
+        // far past the 120 ms SLA; the adaptive run pulls the whole tail
+        // back under the bound once observations accumulate.
+        assert!(
+            blind.read_latency.p99_us > 120_000,
+            "blind p99 {} must blow the SLA",
+            blind.read_latency.p99_us
+        );
+        assert!(
+            adaptive.read_latency.p99_us <= 120_000,
+            "adaptive p99 {} must end up within the SLA",
+            adaptive.read_latency.p99_us
+        );
+        // And the violation count collapses (what is left is the warm-up
+        // window plus low-traffic objects whose reads never justify a
+        // migration).
+        assert!(
+            2 * adaptive.sla_read_violations < blind.sla_read_violations,
+            "observation-driven placement must shed most SLA violations: \
+             adaptive {} vs blind {} (of {})",
+            adaptive.sla_read_violations,
+            blind.sla_read_violations,
+            blind.sla_reads_total
+        );
+        assert!(
+            adaptive.migrations > blind.migrations,
+            "shedding the slow pair requires latency-driven migrations: \
+             adaptive {} vs blind {}",
+            adaptive.migrations,
+            blind.migrations
         );
     }
 

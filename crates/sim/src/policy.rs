@@ -14,7 +14,7 @@
 //!   reaction to provider arrivals and outages.
 
 use crate::workload::{PeriodDemand, WorkloadObject};
-use scalia_core::cost::{compute_price, PredictedUsage};
+use scalia_core::cost::{compute_price_weighted, PredictedUsage};
 use scalia_core::decision::DecisionPeriodController;
 use scalia_core::migration::MigrationPlan;
 use scalia_core::placement::{Placement, PlacementEngine};
@@ -167,6 +167,33 @@ struct ObjectState {
     placement: Placement,
     controller: DecisionPeriodController,
     known_providers: usize,
+    /// Fingerprint of the available providers' observed-latency summaries
+    /// at the last evaluation: when observations shift the ranking picture,
+    /// the placement is re-evaluated even without a traffic trend change —
+    /// the sim-side analogue of the engine's catalog-version invalidation.
+    latency_fingerprint: u64,
+}
+
+/// FNV-1a over the (name, observed latency) pairs of the available set.
+fn latency_fingerprint(available: &[ProviderDescriptor]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    let mut eat = |byte: u8| {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    };
+    for provider in available {
+        for byte in provider.name.bytes() {
+            eat(byte);
+        }
+        let tag = provider
+            .observed_read_latency_us
+            .map(|us| us.wrapping_add(1))
+            .unwrap_or(0);
+        for byte in tag.to_le_bytes() {
+            eat(byte);
+        }
+    }
+    hash
 }
 
 /// The Scalia adaptive placement policy.
@@ -274,6 +301,7 @@ impl PlacementPolicy for ScaliaPolicy {
                         4096,
                     ),
                     known_providers: available.len(),
+                    latency_fingerprint: latency_fingerprint(available),
                 },
             );
             return Some(placement);
@@ -281,12 +309,13 @@ impl PlacementPolicy for ScaliaPolicy {
 
         // Work on a detached copy of the state to keep the borrow checker
         // happy while we call helper methods on `self`.
-        let (mut placement, mut controller, known_providers) = {
+        let (mut placement, mut controller, known_providers, last_fingerprint) = {
             let state = self.state.get(&obj.id).expect("state exists");
             (
                 state.placement.clone(),
                 state.controller.clone(),
                 state.known_providers,
+                state.latency_fingerprint,
             )
         };
 
@@ -297,12 +326,17 @@ impl PlacementPolicy for ScaliaPolicy {
             .providers
             .iter()
             .any(|p| !available.iter().any(|a| a.id == p.id || a.name == p.name));
+        // Did the observed-latency picture shift? Only matters to rules
+        // that actually price latency — latency-blind rules would recompute
+        // the same optimum, so skip the churn.
+        let latency_shifted =
+            obj.rule.latency_weight > 0.0 && latency_fingerprint(available) != last_fingerprint;
 
         // Did the access pattern change?
         let series = history.ops_series(history.len());
         let trend_changed = self.detector.detect(&series);
 
-        if trend_changed || catalog_changed || placement_broken {
+        if trend_changed || catalog_changed || placement_broken || latency_shifted {
             // Optionally adapt the decision period first.
             if self.adaptive_decision_period && trend_changed {
                 let engine = &self.engine;
@@ -327,6 +361,7 @@ impl PlacementPolicy for ScaliaPolicy {
                     placement: placement.clone(),
                     controller: controller.clone(),
                     known_providers,
+                    latency_fingerprint: last_fingerprint,
                 };
                 self.decision_periods(&temp_state)
             };
@@ -334,7 +369,26 @@ impl PlacementPolicy for ScaliaPolicy {
             if let Ok(decision) = self.engine.best_placement(&obj.rule, &usage, available) {
                 let current_still_valid = !placement_broken;
                 let current_cost = if current_still_valid {
-                    compute_price(&placement.providers, placement.m, &usage)
+                    // The current placement's providers may carry stale
+                    // observed annotations from the period they were
+                    // chosen; price them as the catalog sees them now.
+                    let current_providers: Vec<ProviderDescriptor> = placement
+                        .providers
+                        .iter()
+                        .map(|p| {
+                            available
+                                .iter()
+                                .find(|a| a.id == p.id || a.name == p.name)
+                                .cloned()
+                                .unwrap_or_else(|| p.clone())
+                        })
+                        .collect();
+                    compute_price_weighted(
+                        &current_providers,
+                        placement.m,
+                        &usage,
+                        obj.rule.latency_weight,
+                    )
                 } else {
                     Money::MAX
                 };
@@ -359,6 +413,7 @@ impl PlacementPolicy for ScaliaPolicy {
             placement: placement.clone(),
             controller,
             known_providers: available.len(),
+            latency_fingerprint: latency_fingerprint(available),
         };
         self.state.insert(obj.id.clone(), new_state);
         Some(placement)

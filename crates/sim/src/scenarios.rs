@@ -228,6 +228,60 @@ pub fn limping_provider() -> (Workload, Vec<ProviderDescriptor>) {
     (workload, catalog)
 }
 
+/// **Cheap-but-slow scenario**: the latency-annotated paper catalog plus
+/// "BargainBin" — a provider that undercuts everyone on price and
+/// *advertises* a typical latency profile. In reality both BargainBin and
+/// S3(l) — the two providers every cheap placement leans on — answer from
+/// the other side of the planet (10× RTT, a fifth of the throughput; the
+/// [`ActualLatencies`] override), so the cheapest feasible sets carry *two*
+/// slow members and the hedged read's ranking alone cannot dodge them: with
+/// `m`-of-`n` slack of one, some read chunk must come from a slow provider
+/// until the placement itself moves. Objects follow a read-heavy Gallery
+/// pattern under a rule that prices latency
+/// ([`scalia_types::rules::StorageRule::latency_weight`]) and declares a
+/// 120 ms read SLA.
+///
+/// Run through [`crate::accounting::run_policy_with_actual`]: the adaptive
+/// policy first places on the cheap set (nothing is known against it), the
+/// observation loop accumulates the real latencies, and once the windowed
+/// p95s are published the latency term makes the slow pair lose read-heavy
+/// placements to the pricier fast providers. The same rules at weight 0
+/// keep paying the SLA violations forever — the baseline the scenario is
+/// asserted against.
+pub fn cheap_but_slow() -> (
+    Workload,
+    Vec<ProviderDescriptor>,
+    crate::accounting::ActualLatencies,
+) {
+    let mut catalog = latency_catalog(31);
+    let next_id = catalog.len() as u32;
+    catalog.push(
+        ProviderDescriptor::public(
+            ProviderId::new(next_id),
+            "BargainBin",
+            "cheapest offer on the market; latency not as advertised",
+            scalia_providers::sla::ProviderSla::from_percent(99.9999, 99.9),
+            scalia_providers::pricing::PricingPolicy::from_dollars(0.05, 0.08, 0.10, 0.0),
+            ZoneSet::all(),
+        )
+        .with_latency(LatencyModel::typical(77)),
+    );
+    let mut actual = crate::accounting::ActualLatencies::new();
+    actual.insert("BargainBin".into(), LatencyModel::slow(13));
+    actual.insert("S3(l)".into(), LatencyModel::slow(41));
+
+    let mut workload = gallery_with(30, 4.0, 9);
+    workload.name = "Gallery on cheap-but-slow providers".into();
+    for obj in &mut workload.objects {
+        obj.rule = obj
+            .rule
+            .clone()
+            .with_latency_weight(0.01)
+            .with_read_sla_us(120_000);
+    }
+    (workload, catalog, actual)
+}
+
 /// The per-period read counts of a single object following the reference
 /// website's pattern — the input series of the trend-detection Figs. 8
 /// (hourly samples over 7 days) and 9 (daily samples over 3 months).

@@ -7,6 +7,12 @@
 //! answers percentile queries with ≤ 2× bucket resolution (count, mean and
 //! max are exact). A [`LatencySnapshot`] is the frozen summary (p50/p95/p99)
 //! the simulator and the engine expose for tail-latency accounting.
+//!
+//! A [`DecayingHistogram`] is the *windowed* variant used for per-provider
+//! observed-latency summaries: it sees only the samples of the last two
+//! observation windows, so a provider that stops limping (or stops being
+//! read at all) is forgiven after two window rotations instead of dragging
+//! its bad history around forever.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -100,8 +106,10 @@ impl LatencyHistogram {
     }
 
     /// The `p`-th percentile (0 < p ≤ 100), as the upper bound of the bucket
-    /// containing it — an over-approximation by at most 2×. Returns the exact
-    /// max for any percentile that lands in the top bucket.
+    /// containing it — an over-approximation by at most 2×, and always a
+    /// true upper bound of the exact percentile. Percentiles landing in the
+    /// unbounded overflow bucket (samples ≥ 2^61 µs) report the exact max —
+    /// the only valid upper bound there.
     pub fn percentile_us(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -111,6 +119,11 @@ impl LatencyHistogram {
         for (bucket, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
+                if bucket == BUCKETS - 1 {
+                    // The overflow bucket has no finite upper bound of its
+                    // own; 2^62 could *under*-approximate its samples.
+                    return self.max_us;
+                }
                 // Never report beyond the exact observed maximum.
                 return bucket_value(bucket).min(self.max_us);
             }
@@ -138,6 +151,66 @@ impl LatencyHistogram {
             p99_us: self.percentile_us(99.0),
             max_us: self.max_us,
         }
+    }
+}
+
+/// A sliding-window latency summary: samples are recorded into a *current*
+/// window; [`DecayingHistogram::rotate`] retires the current window into the
+/// *previous* slot (evicting whatever was there). Queries always cover the
+/// union of both windows, so the summary spans between one and two windows
+/// of history and mass older than two rotations is gone for good — the
+/// "decay" that lets a recovered provider earn its ranking back.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecayingHistogram {
+    current: LatencyHistogram,
+    previous: LatencyHistogram,
+}
+
+impl DecayingHistogram {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample, in microseconds, into the current window.
+    pub fn record(&mut self, us: u64) {
+        self.current.record(us);
+    }
+
+    /// Records `n` identical samples into the current window.
+    pub fn record_n(&mut self, us: u64, n: u64) {
+        self.current.record_n(us, n);
+    }
+
+    /// Retires the current window: whatever was in the previous window is
+    /// evicted permanently, the current window becomes the previous one, and
+    /// recording starts into a fresh window. Rotating can therefore never
+    /// increase any count — evicted mass does not come back.
+    pub fn rotate(&mut self) {
+        self.previous = std::mem::take(&mut self.current);
+    }
+
+    /// Number of samples in the last two windows.
+    pub fn count(&self) -> u64 {
+        self.current.count() + self.previous.count()
+    }
+
+    /// The `p`-th percentile over the last two windows (same ≤ 2× bucket
+    /// resolution and exact-max clamp as [`LatencyHistogram::percentile_us`]).
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        self.combined().percentile_us(p)
+    }
+
+    /// The union of both windows as a plain histogram.
+    pub fn combined(&self) -> LatencyHistogram {
+        let mut merged = self.current.clone();
+        merged.merge(&self.previous);
+        merged
+    }
+
+    /// Freezes the last two windows into a percentile summary.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        self.combined().snapshot()
     }
 }
 
@@ -267,6 +340,32 @@ mod tests {
         let text = h.snapshot().to_string();
         assert!(text.contains("n=100"));
         assert!(text.contains("p99="));
+    }
+
+    #[test]
+    fn decaying_histogram_forgets_after_two_rotations() {
+        let mut d = DecayingHistogram::new();
+        d.record_n(100_000, 50);
+        assert_eq!(d.count(), 50);
+        assert!(d.percentile_us(95.0) >= 100_000);
+
+        // One rotation: the bad window is still visible (previous slot).
+        d.rotate();
+        assert_eq!(d.count(), 50);
+        d.record_n(1_000, 50);
+        assert_eq!(d.count(), 100);
+        assert!(d.percentile_us(95.0) >= 100_000, "old tail still in view");
+
+        // Second rotation evicts the bad window entirely.
+        d.rotate();
+        assert_eq!(d.count(), 50);
+        assert!(d.percentile_us(99.0) <= 2_000, "recovered summary");
+
+        // Two idle rotations drain the summary completely.
+        d.rotate();
+        d.rotate();
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.snapshot().p95_us, 0);
     }
 
     #[test]

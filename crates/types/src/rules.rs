@@ -7,6 +7,15 @@
 //! providers that must hold chunks of the object (Eq. 1): a lock-in of 1
 //! allows a single provider, 0.5 requires at least two providers, 0.2 at
 //! least five.
+//!
+//! Beyond the paper's constraints a rule can also express a **latency
+//! preference**: [`StorageRule::latency_weight`] converts each read-serving
+//! provider's expected per-chunk read latency into dollars
+//! (`weight × reads × latency_seconds` is added to the placement cost of
+//! every read provider), and [`StorageRule::read_sla_us`] declares the
+//! latency bound the simulator counts SLA violations against. Both default
+//! to "off" (`0.0` / `None`), leaving latency-blind rules bit-identical to
+//! their previous behaviour.
 
 use crate::reliability::Reliability;
 use crate::zone::ZoneSet;
@@ -28,6 +37,18 @@ pub struct StorageRule {
     /// Vendor lock-in factor in `(0, 1]`; the placement must use at least
     /// `ceil(1 / lockin)` distinct providers.
     pub lockin: f64,
+    /// Weight of the latency term in the placement cost model, in dollars
+    /// per read-second of expected per-chunk read latency: every provider
+    /// serving reads contributes `latency_weight × reads × latency_seconds`
+    /// to the candidate's price. `0.0` (the default) keeps the cost model —
+    /// and every placement decision — bit-identical to the latency-blind
+    /// model.
+    pub latency_weight: f64,
+    /// The per-read latency SLA of the rule, in microseconds: a read whose
+    /// (modelled or observed) latency exceeds this bound counts as an SLA
+    /// violation in the simulator's accounting. `None` (the default)
+    /// disables violation accounting for objects under this rule.
+    pub read_sla_us: Option<u64>,
 }
 
 impl StorageRule {
@@ -46,6 +67,8 @@ impl StorageRule {
             availability,
             zones,
             lockin: if lockin <= 0.0 { 1.0 } else { lockin.min(1.0) },
+            latency_weight: 0.0,
+            read_sla_us: None,
         }
     }
 
@@ -137,6 +160,23 @@ impl StorageRule {
         self.zones = zones;
         self
     }
+
+    /// Builder-style override of the latency weight (dollars per
+    /// read-second of expected read latency; negative values clamp to 0).
+    pub fn with_latency_weight(mut self, weight: f64) -> Self {
+        self.latency_weight = if weight.is_finite() {
+            weight.max(0.0)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Builder-style override of the per-read latency SLA, in microseconds.
+    pub fn with_read_sla_us(mut self, sla_us: u64) -> Self {
+        self.read_sla_us = Some(sla_us);
+        self
+    }
 }
 
 impl fmt::Display for StorageRule {
@@ -210,6 +250,22 @@ mod tests {
         assert_eq!(r.durability, Reliability::nines(11));
         assert_eq!(r.availability, Reliability::from_percent(99.99));
         assert!(r.zones.contains(Zone::EU) && !r.zones.contains(Zone::US));
+    }
+
+    #[test]
+    fn latency_fields_default_off_and_are_overridable() {
+        let r = StorageRule::default_rule();
+        assert_eq!(r.latency_weight, 0.0, "latency term must default off");
+        assert_eq!(r.read_sla_us, None);
+        let tuned = r
+            .clone()
+            .with_latency_weight(0.25)
+            .with_read_sla_us(150_000);
+        assert_eq!(tuned.latency_weight, 0.25);
+        assert_eq!(tuned.read_sla_us, Some(150_000));
+        // Negative or non-finite weights clamp to the latency-blind model.
+        assert_eq!(r.clone().with_latency_weight(-1.0).latency_weight, 0.0);
+        assert_eq!(r.with_latency_weight(f64::NAN).latency_weight, 0.0);
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Property tests for the latency summaries ([`LatencyHistogram`] and the
+//! windowed [`DecayingHistogram`]) — the math latency-aware placement and
+//! adaptive hedging stand on:
+//!
+//! * percentile queries are monotone in the percentile;
+//! * `merge` is associative (and commutative), so parallel shards can fold
+//!   histograms in any order;
+//! * `percentile_us` is an **upper bound** of the exact percentile over the
+//!   recorded samples, never exceeding the exact maximum — so a hedge
+//!   deadline or a placement penalty derived from it can be pessimistic but
+//!   never optimistic;
+//! * window decay only ever removes mass: rotations never resurrect evicted
+//!   samples, and an idle summary drains to empty in two rotations.
+
+use proptest::prelude::*;
+use scalia_types::latency::{DecayingHistogram, LatencyHistogram};
+
+fn histogram_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &us in samples {
+        h.record(us);
+    }
+    h
+}
+
+/// The exact `p`-th percentile of `samples` (the histogram's contract: the
+/// value at rank `ceil(p/100 × n)`).
+fn exact_percentile(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// p ≤ q ⇒ percentile(p) ≤ percentile(q), for any sample set.
+    #[test]
+    fn percentiles_are_monotone(
+        samples in proptest::collection::vec(any::<u64>(), 1..48),
+        p in 1u32..100,
+        q in 1u32..100,
+    ) {
+        let (lo, hi) = (p.min(q), p.max(q));
+        let h = histogram_of(&samples);
+        prop_assert!(
+            h.percentile_us(lo as f64) <= h.percentile_us(hi as f64),
+            "p{lo} > p{hi} over {samples:?}"
+        );
+    }
+
+    /// merge is associative and commutative: any fold order over shards
+    /// produces the identical histogram.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..32),
+        b in proptest::collection::vec(any::<u64>(), 0..32),
+        c in proptest::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right, "associativity");
+
+        // b ⊕ a == a ⊕ b
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba, "commutativity");
+
+        // And merging equals recording the concatenation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &histogram_of(&all), "merge == concat");
+    }
+
+    /// The histogram percentile is an upper bound of the exact percentile
+    /// and never exceeds the exact maximum.
+    #[test]
+    fn percentile_upper_bounds_the_exact_reference(
+        samples in proptest::collection::vec(any::<u64>(), 1..48),
+        p in 1u32..101,
+    ) {
+        let h = histogram_of(&samples);
+        let reported = h.percentile_us(p as f64);
+        let exact = exact_percentile(&samples, p as f64);
+        let max = *samples.iter().max().unwrap();
+        prop_assert!(
+            reported >= exact,
+            "p{p}: reported {reported} < exact {exact} over {samples:?}"
+        );
+        prop_assert!(
+            reported <= max,
+            "p{p}: reported {reported} > max {max} over {samples:?}"
+        );
+        // Bucket resolution: at most 2× the exact value — for values below
+        // the unbounded overflow bucket (≥ 2^61 µs ≈ 73 000 years), where
+        // the only honest upper bound is the exact max.
+        if exact > 0 && exact < (1u64 << 61) {
+            prop_assert!(
+                reported / exact <= 2,
+                "p{p}: reported {reported} more than 2x exact {exact}"
+            );
+        }
+    }
+
+    /// Decay only removes: a rotation never increases the visible count,
+    /// evicted mass never comes back, and an idle window drains in two
+    /// rotations. The window's percentile always stays within what was
+    /// recorded into it.
+    #[test]
+    fn decay_never_resurrects_evicted_mass(
+        windows in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..16),
+            1..6,
+        ),
+    ) {
+        let mut d = DecayingHistogram::new();
+        let mut last_two: Vec<Vec<u64>> = Vec::new();
+        for window in &windows {
+            for &us in window {
+                d.record(us);
+            }
+            // Visible state == exactly the last (≤ 2) windows, nothing older.
+            last_two.push(window.clone());
+            if last_two.len() > 2 {
+                last_two.remove(0);
+            }
+            let visible: Vec<u64> = last_two.concat();
+            prop_assert_eq!(d.count(), visible.len() as u64);
+            prop_assert_eq!(d.combined(), histogram_of(&visible));
+
+            let count_before = d.count();
+            d.rotate();
+            prop_assert!(d.count() <= count_before, "rotation added mass");
+        }
+        // Two idle rotations drain everything.
+        d.rotate();
+        d.rotate();
+        prop_assert_eq!(d.count(), 0);
+        prop_assert_eq!(d.percentile_us(99.0), 0);
+    }
+}

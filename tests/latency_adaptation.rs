@@ -1,0 +1,404 @@
+//! Deterministic end-to-end scenarios for latency-aware placement and
+//! adaptive percentile hedging — the full observe → publish → decide loop:
+//!
+//! * a provider that starts limping sees its observed p95 published into
+//!   the catalog, which raises its latency-weighted placement cost, and the
+//!   next optimization cycle migrates objects off it;
+//! * hedge deadlines tighten from the modelled `3×` fallback to the
+//!   observed p95 once a warm-up window of samples exists, and the hedged
+//!   read's p99 beats the fixed-deadline baseline when a ranked provider
+//!   stalls mid-run;
+//! * a recovered provider is forgiven once its bad observation window
+//!   decays out, and it wins its placements back.
+//!
+//! Everything runs in *virtual* time (flat, jitter-free latency models and
+//! stall injection), so every assertion is exact — and the whole scenario
+//! is replayed under pool sizes 1, 2 and 8 and must produce bit-identical
+//! outcomes. CI additionally runs the suite with `SCALIA_POOL_WORKERS=1`
+//! and `RUST_TEST_THREADS=1`.
+
+use std::sync::Arc;
+
+use scalia::engine::chunk_io::{self, HedgeConfig};
+use scalia::engine::cluster::ScaliaCluster;
+use scalia::engine::infra::Infrastructure;
+use scalia::prelude::*;
+use scalia::providers::backend::StoreOp;
+use scalia::providers::catalog::ProviderCatalog;
+use scalia::providers::descriptor::ProviderDescriptor;
+use scalia::providers::latency::LatencyModel;
+use scalia::providers::pricing::PricingPolicy;
+use scalia::providers::sla::ProviderSla;
+use scalia::types::size::ByteSize;
+
+/// Reads driven per sampling period — enough to clear the observed-summary
+/// warm-up floor (16 samples) within one period.
+const READS_PER_PERIOD: usize = 24;
+
+/// The virtual stall injected into the limping provider (µs).
+const STALL_US: u64 = 250_000;
+
+/// Three providers, all advertising the same flat latency profile
+/// (30 ms RTT, 80 MB/s, no jitter — virtual time stays exact):
+///
+/// * `Cheap` — undercuts everyone (cheapest storage *and* read path), so
+///   every latency-blind decision lands on it;
+/// * `Fast` — pricier across the board;
+/// * `Spare` — slightly pricier still (parity variety).
+fn scenario_catalog() -> Arc<ProviderCatalog> {
+    let catalog = ProviderCatalog::shared();
+    for (i, (name, storage, bw_in, bw_out, ops)) in [
+        ("Cheap", 0.05, 0.05, 0.08, 0.0),
+        ("Fast", 0.15, 0.10, 0.15, 0.01),
+        ("Spare", 0.16, 0.10, 0.16, 0.01),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        catalog.register(
+            ProviderDescriptor::public(
+                ProviderId::new(i as u32),
+                name,
+                format!("{name} (latency-adaptation scenario)"),
+                ProviderSla::from_percent(99.99, 99.9),
+                PricingPolicy::from_dollars(storage, bw_in, bw_out, ops),
+                ZoneSet::all(),
+            )
+            .with_latency(LatencyModel::new(30, 80, 0, i as u64)),
+        );
+    }
+    catalog
+}
+
+/// A rule that *prices* latency: 0.05 $ per read-second of expected read
+/// latency, on top of the paper's constraint set (availability relaxed so a
+/// single 99.9 provider is feasible — placements have no forced slack and
+/// the read path cannot silently dodge a slow member).
+fn weighted_rule() -> StorageRule {
+    StorageRule::new(
+        "latency-aware",
+        Reliability::from_percent(99.9),
+        Reliability::from_percent(99.0),
+        ZoneSet::all(),
+        1.0,
+    )
+    .with_latency_weight(0.05)
+    .with_read_sla_us(100_000)
+}
+
+/// Provider names currently holding the object's chunks.
+fn placement_names(cluster: &ScaliaCluster, key: &ObjectKey) -> Vec<String> {
+    let meta = cluster.engine(0).read_metadata(key).unwrap();
+    meta.striping
+        .providers()
+        .iter()
+        .filter_map(|id| cluster.infra().catalog().get(*id))
+        .map(|d| d.name)
+        .collect()
+}
+
+/// One sampling period: `READS_PER_PERIOD` cache-bypassing reads, then the
+/// clock advance that flushes statistics and rotates/publishes the
+/// observed-latency windows.
+fn drive_period(cluster: &ScaliaCluster, key: &ObjectKey, end_hour: u64) {
+    for _ in 0..READS_PER_PERIOD {
+        cluster.caches().iter().for_each(|c| c.clear());
+        cluster.get(key).unwrap();
+    }
+    cluster.tick(SimTime::from_hours(end_hour));
+}
+
+/// Everything the limping-provider scenario decides, for exact cross-pool
+/// comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ScenarioOutcome {
+    initial: Vec<String>,
+    quiet_cycle_migrations: usize,
+    observed_during_stall: Option<u64>,
+    cycles_to_migrate: usize,
+    after_stall: Vec<String>,
+    forgiven: bool,
+    cycles_to_return: usize,
+    final_placement: Vec<String>,
+}
+
+/// The full scenario: place on the cheap provider, limp, migrate off,
+/// recover, migrate back.
+fn run_limping_scenario() -> ScenarioOutcome {
+    let cluster = ScaliaCluster::builder()
+        .datacenters(1)
+        .engines_per_datacenter(2)
+        .catalog(scenario_catalog())
+        .build();
+    let cheap = cluster.infra().catalog().all()[0].id;
+    let key = ObjectKey::new("video", "hot.mp4");
+    cluster
+        .put(
+            &key,
+            vec![7u8; 1_000_000],
+            "video/mp4",
+            weighted_rule(),
+            None,
+        )
+        .unwrap();
+    let initial = placement_names(&cluster, &key);
+
+    // Phase 1 — healthy traffic. Observations confirm the advertised
+    // latency, so a forced optimization cycle changes nothing.
+    let mut hour = 0;
+    for _ in 0..2 {
+        hour += 1;
+        drive_period(&cluster, &key, hour);
+    }
+    let quiet = cluster.run_optimization(true);
+
+    // Phase 2 — the cheap provider starts limping: +250 ms on every
+    // round-trip. One period of reads is enough observed evidence.
+    cluster
+        .infra()
+        .backend(cheap)
+        .unwrap()
+        .set_stall_us(STALL_US);
+    hour += 1;
+    drive_period(&cluster, &key, hour);
+    let observed_during_stall = cluster.infra().catalog().observed_read_latency(cheap);
+
+    // The next optimization cycles must move the object off the limping
+    // provider — bounded at 3 cycles, expected in the first.
+    let mut cycles_to_migrate = 0;
+    for cycle in 1..=3 {
+        cluster.run_optimization(true);
+        cycles_to_migrate = cycle;
+        if !placement_names(&cluster, &key).contains(&"Cheap".to_string()) {
+            break;
+        }
+        hour += 1;
+        drive_period(&cluster, &key, hour);
+    }
+    let after_stall = placement_names(&cluster, &key);
+
+    // Phase 3 — recovery: the stall clears, traffic keeps flowing to the
+    // new placement, and the cheap provider's bad window decays out
+    // (nothing reads from it, so two rotations empty its summary).
+    cluster.infra().backend(cheap).unwrap().set_stall_us(0);
+    for _ in 0..2 {
+        hour += 1;
+        drive_period(&cluster, &key, hour);
+    }
+    let forgiven = cluster
+        .infra()
+        .catalog()
+        .observed_read_latency(cheap)
+        .is_none();
+
+    // Forgiven ⇒ the advertised model speaks again ⇒ the cheap provider
+    // wins the placement back (reads are billed 0.08 vs 0.15 $/GB there,
+    // which dwarfs the one-off migration cost).
+    let mut cycles_to_return = 0;
+    for cycle in 1..=3 {
+        cluster.run_optimization(true);
+        cycles_to_return = cycle;
+        if placement_names(&cluster, &key).contains(&"Cheap".to_string()) {
+            break;
+        }
+        hour += 1;
+        drive_period(&cluster, &key, hour);
+    }
+    let final_placement = placement_names(&cluster, &key);
+
+    ScenarioOutcome {
+        initial,
+        quiet_cycle_migrations: quiet.migrations_executed,
+        observed_during_stall,
+        cycles_to_migrate,
+        after_stall,
+        forgiven,
+        cycles_to_return,
+        final_placement,
+    }
+}
+
+#[test]
+fn limping_provider_loses_placements_and_regains_them_after_recovery() {
+    let outcome = run_limping_scenario();
+
+    // Latency-blind start: everything lands on the cheapest provider.
+    assert_eq!(outcome.initial, vec!["Cheap".to_string()]);
+    // Healthy observations migrate nothing.
+    assert_eq!(outcome.quiet_cycle_migrations, 0);
+
+    // The stall is visible in the published summary: flat 30 ms RTT +
+    // 12.5 ms transfer (1 MB at 80 MB/s) + 250 ms stall, exactly.
+    assert_eq!(outcome.observed_during_stall, Some(292_500));
+
+    // The very next optimization cycle sheds the limping provider.
+    assert_eq!(outcome.cycles_to_migrate, 1, "must migrate in one cycle");
+    assert!(
+        !outcome.after_stall.contains(&"Cheap".to_string()),
+        "placement must leave the limping provider: {:?}",
+        outcome.after_stall
+    );
+    assert!(
+        outcome.after_stall.contains(&"Fast".to_string()),
+        "the pricier fast provider takes over: {:?}",
+        outcome.after_stall
+    );
+
+    // Decay forgives, and the first cycle after forgiveness returns the
+    // placement to the (cheap, now healthy) provider.
+    assert!(outcome.forgiven, "bad window must decay out");
+    assert_eq!(outcome.cycles_to_return, 1, "must return in one cycle");
+    assert!(
+        outcome.final_placement.contains(&"Cheap".to_string()),
+        "recovered provider must regain the placement: {:?}",
+        outcome.final_placement
+    );
+}
+
+#[test]
+fn limping_scenario_is_exact_across_pool_sizes() {
+    let reference = rayon::ThreadPool::new(1).install(run_limping_scenario);
+    for workers in [2usize, 8] {
+        let outcome = rayon::ThreadPool::new(workers).install(run_limping_scenario);
+        assert_eq!(
+            outcome, reference,
+            "scenario outcome diverged at {workers} workers"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hedging: deadlines tighten, and the adaptive tail beats the fixed baseline
+// ---------------------------------------------------------------------------
+
+/// Two providers with identical flat 30 ms models; `A` is read-ranked first
+/// (cheapest bandwidth-out).
+fn hedge_infra() -> Arc<Infrastructure> {
+    let catalog = ProviderCatalog::shared();
+    for (i, (name, bw_out)) in [("A", 0.08), ("B", 0.15)].into_iter().enumerate() {
+        catalog.register(
+            ProviderDescriptor::public(
+                ProviderId::new(i as u32),
+                name,
+                format!("{name} (hedge scenario)"),
+                ProviderSla::from_percent(99.99, 99.9),
+                PricingPolicy::from_dollars(0.10, 0.10, bw_out, 0.01),
+                ZoneSet::all(),
+            )
+            .with_latency(LatencyModel::new(30, 0, 0, i as u64)),
+        );
+    }
+    Infrastructure::new(catalog, 1, Duration::HOUR)
+}
+
+/// Runs the stall-mid-run hedge scenario under one hedging policy and
+/// returns the read-makespan percentile summary: 20 healthy warm-up reads,
+/// then the ranked provider stalls 300 ms and 30 more reads race it.
+fn hedged_read_tail(config: &HedgeConfig) -> scalia::types::latency::LatencySnapshot {
+    let infra = hedge_infra();
+    let placement = scalia::core::placement::Placement {
+        providers: infra.catalog().all(),
+        m: 1,
+    };
+    let payload = bytes::Bytes::from(vec![3u8; 64 * 1024]);
+    let size = ByteSize::from_bytes(payload.len() as u64);
+    let striping = chunk_io::write_chunks(&infra, &placement, "tail", &payload).unwrap();
+
+    for _ in 0..20 {
+        chunk_io::fetch_chunks(&infra, &striping, size, config).unwrap();
+    }
+    let a = infra.catalog().all()[0].id;
+    infra.backend(a).unwrap().set_stall_us(300_000);
+    for _ in 0..30 {
+        chunk_io::fetch_chunks(&infra, &striping, size, config).unwrap();
+    }
+    infra.io_latency_snapshot(StoreOp::Get)
+}
+
+#[test]
+fn hedge_deadline_tightens_to_observed_p95_after_warmup() {
+    let infra = hedge_infra();
+    let placement = scalia::core::placement::Placement {
+        providers: infra.catalog().all(),
+        m: 1,
+    };
+    let payload = bytes::Bytes::from(vec![9u8; 64 * 1024]);
+    let size = ByteSize::from_bytes(payload.len() as u64);
+    let striping = chunk_io::write_chunks(&infra, &placement, "warm", &payload).unwrap();
+
+    let a = infra.catalog().all()[0].clone();
+    let config = HedgeConfig::default();
+    let cold = chunk_io::hedge_deadline_us(&infra, a.id, &a.latency, 64 * 1024, &config);
+    assert_eq!(
+        cold,
+        3 * 30_000,
+        "cold deadline is the 3x modelled fallback"
+    );
+
+    // Warm up past the sample floor: flat model, so every read observes
+    // exactly 30 ms and the published p95 is exact.
+    for _ in 0..20 {
+        chunk_io::fetch_chunks(&infra, &striping, size, &config).unwrap();
+    }
+    let warm = chunk_io::hedge_deadline_us(&infra, a.id, &a.latency, 64 * 1024, &config);
+    assert_eq!(
+        warm, 30_000,
+        "warm deadline is the observed p95: 3x tighter"
+    );
+
+    // The fixed-deadline baseline never tightens.
+    let fixed = HedgeConfig::fixed_deadline();
+    assert_eq!(
+        chunk_io::hedge_deadline_us(&infra, a.id, &a.latency, 64 * 1024, &fixed),
+        cold
+    );
+}
+
+#[test]
+fn adaptive_hedging_beats_fixed_deadlines_when_a_ranked_provider_stalls() {
+    let adaptive = hedged_read_tail(&HedgeConfig::default());
+    let fixed = hedged_read_tail(&HedgeConfig::fixed_deadline());
+
+    assert_eq!(adaptive.count, 50);
+    assert_eq!(fixed.count, 50);
+    // Fixed baseline: every stalled read waits out the full 3x modelled
+    // deadline (90 ms) before parity answers at 120 ms.
+    assert_eq!(fixed.max_us, 120_000);
+    assert!(fixed.p99_us >= 120_000, "fixed p99 {}", fixed.p99_us);
+    // Adaptive: the first stalled reads hedge at the observed 30 ms
+    // deadline (60 ms total), after which the observed ranking stops
+    // contacting the stalled provider altogether and reads return to 30 ms.
+    assert!(
+        adaptive.max_us <= 60_000,
+        "adaptive worst case {} must be one tight hedge",
+        adaptive.max_us
+    );
+    assert!(
+        adaptive.p99_us < fixed.p99_us,
+        "adaptive p99 {} must beat fixed p99 {}",
+        adaptive.p99_us,
+        fixed.p99_us
+    );
+}
+
+#[test]
+fn hedged_tail_is_exact_across_pool_sizes() {
+    let reference = rayon::ThreadPool::new(1).install(|| {
+        (
+            hedged_read_tail(&HedgeConfig::default()),
+            hedged_read_tail(&HedgeConfig::fixed_deadline()),
+        )
+    });
+    for workers in [2usize, 8] {
+        let outcome = rayon::ThreadPool::new(workers).install(|| {
+            (
+                hedged_read_tail(&HedgeConfig::default()),
+                hedged_read_tail(&HedgeConfig::fixed_deadline()),
+            )
+        });
+        assert_eq!(
+            outcome, reference,
+            "hedged tails diverged at {workers} workers"
+        );
+    }
+}
