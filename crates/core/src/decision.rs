@@ -1,4 +1,4 @@
-//! Adaptive decision-period controller.
+//! Adaptive decision-period controller and class-group decisions.
 //!
 //! The decision period `D_obj` is the window of historical statistics used
 //! to predict the next window and choose the placement. The paper adapts it
@@ -10,8 +10,16 @@
 //! upper bound of a few weeks' worth of procedures. `D` is further bounded
 //! above by the object's expected remaining lifetime (TTL) and by the amount
 //! of history actually available.
+//!
+//! The class-centric optimiser additionally groups the accessed set by
+//! `(class, storage rule)` — [`GroupKey`] — runs **one** placement search
+//! per group against the current catalog version, and maps the result onto
+//! every member via a [`GroupDecision`].
 
+use crate::cost::PredictedUsage;
+use crate::placement::PlacementDecision;
 use scalia_types::money::Money;
+use scalia_types::rules::StorageRule;
 use scalia_types::time::Duration;
 use serde::{Deserialize, Serialize};
 
@@ -114,6 +122,81 @@ impl DecisionPeriodController {
             self.t = 1;
             AdjustOutcome::Changed(best)
         }
+    }
+}
+
+/// Identity of one optimisation group: all accessed objects of one class
+/// stored under one (structurally identical) rule. Rules are fingerprinted
+/// by every constraint field, so two rules sharing a name but differing in
+/// constraints never share a group — or a placement search.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupKey {
+    /// The object class identifier (`C(obj)`).
+    pub class_id: String,
+    /// Rule name (first for readable ordering/debugging).
+    pub rule_name: String,
+    /// Bit-exact fingerprint of the rule's constraint fields: durability,
+    /// availability, lock-in, latency weight and the zone set.
+    fingerprint: [u64; 5],
+}
+
+impl GroupKey {
+    /// Builds the key for an object of `class_id` stored under `rule`.
+    pub fn of(class_id: impl Into<String>, rule: &StorageRule) -> Self {
+        Self::from_fingerprint(class_id, rule.name.clone(), Self::rule_fingerprint(rule))
+    }
+
+    /// The bit-exact fingerprint of a rule's constraint fields — what the
+    /// engine persists in each object's optimiser digest so the class sweep
+    /// can subgroup members by rule without deserialising full metadata.
+    pub fn rule_fingerprint(rule: &StorageRule) -> [u64; 5] {
+        [
+            rule.durability.probability().to_bits(),
+            rule.availability.probability().to_bits(),
+            rule.lockin.to_bits(),
+            rule.latency_weight.to_bits(),
+            rule.zones.bits() as u64,
+        ]
+    }
+
+    /// Rebuilds a key from a persisted fingerprint (see
+    /// [`GroupKey::rule_fingerprint`]).
+    pub fn from_fingerprint(
+        class_id: impl Into<String>,
+        rule_name: String,
+        fingerprint: [u64; 5],
+    ) -> Self {
+        GroupKey {
+            class_id: class_id.into(),
+            rule_name,
+            fingerprint,
+        }
+    }
+}
+
+/// One placement search result mapped onto every member of a
+/// `(class, rule, catalog version)` group: the paper's amortisation made
+/// explicit — `members.len()` objects covered by a single run of
+/// Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupDecision {
+    /// The group the decision covers.
+    pub key: GroupKey,
+    /// Catalog version the search ran against (the decision is invalid —
+    /// and re-searched — once the catalog mutates).
+    pub catalog_version: u64,
+    /// The class-level predicted usage the search priced.
+    pub usage: PredictedUsage,
+    /// The winning placement and its expected cost under `usage`.
+    pub decision: PlacementDecision,
+    /// Row keys of the members the decision applies to.
+    pub members: Vec<String>,
+}
+
+impl GroupDecision {
+    /// Number of objects covered by this single search.
+    pub fn objects_covered(&self) -> usize {
+        self.members.len()
     }
 }
 

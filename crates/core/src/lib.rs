@@ -66,11 +66,11 @@ pub use trend::TrendDetector;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::classify::ObjectClass;
+    pub use crate::classify::{ClassUsage, ObjectClass};
     pub use crate::cost::PredictedUsage;
     pub use crate::decision::DecisionPeriodController;
     pub use crate::lifetime::LifetimeDistribution;
-    pub use crate::migration::MigrationPlan;
+    pub use crate::migration::{MigrationBudget, MigrationPlan};
     pub use crate::placement::{Placement, PlacementEngine, PlacementOptions, SearchStrategy};
     pub use crate::trend::TrendDetector;
 }

@@ -64,6 +64,117 @@ impl MigrationPlan {
     pub fn changes_placement(&self) -> bool {
         !self.from.same_as(&self.to)
     }
+
+    /// Bytes this migration uploads to providers: every chunk when the
+    /// threshold changes (the object is re-coded), otherwise one chunk per
+    /// provider joining the set. The currency of the per-cycle migration
+    /// byte budget.
+    pub fn bytes_moved(&self, size: scalia_types::size::ByteSize) -> u64 {
+        if !self.changes_placement() {
+            return 0;
+        }
+        let chunk = size.bytes().div_ceil(self.to.m.max(1) as u64).max(1);
+        if self.from.m != self.to.m {
+            return chunk * self.to.providers.len() as u64;
+        }
+        let added = self
+            .to
+            .providers
+            .iter()
+            .filter(|p| !self.from.providers.iter().any(|q| q.id == p.id))
+            .count() as u64;
+        chunk * added
+    }
+
+    /// Expected saving per migrated byte (dollars/byte) — the key the
+    /// budgeted optimiser orders candidate migrations by, so a tight budget
+    /// spends its bytes where they buy the most. Plans that move nothing
+    /// rank by raw saving.
+    pub fn savings_per_byte(&self, size: scalia_types::size::ByteSize) -> f64 {
+        let bytes = self.bytes_moved(size).max(1);
+        self.expected_saving().dollars() / bytes as f64
+    }
+}
+
+/// A per-optimisation-cycle migration budget: caps on the bytes uploaded
+/// and the one-off dollars spent moving chunks. `None` dimensions are
+/// unlimited. The optimiser orders candidates by
+/// [`MigrationPlan::savings_per_byte`] and *defers* (never drops) the tail
+/// once the budget runs out; at least one migration is always admitted per
+/// cycle, so a deferred backlog converges to the unbudgeted placement
+/// within a bounded number of cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MigrationBudget {
+    /// Maximum bytes uploaded per cycle (`None` = unlimited).
+    pub max_bytes: Option<u64>,
+    /// Maximum one-off migration spend per cycle (`None` = unlimited).
+    pub max_cost: Option<Money>,
+}
+
+impl MigrationBudget {
+    /// No caps: every beneficial migration executes immediately (the
+    /// pre-budget behaviour).
+    pub const UNLIMITED: MigrationBudget = MigrationBudget {
+        max_bytes: None,
+        max_cost: None,
+    };
+
+    /// Caps the bytes uploaded per cycle.
+    pub fn with_max_bytes(mut self, bytes: u64) -> Self {
+        self.max_bytes = Some(bytes);
+        self
+    }
+
+    /// Caps the migration spend per cycle.
+    pub fn with_max_cost(mut self, cost: Money) -> Self {
+        self.max_cost = Some(cost);
+        self
+    }
+
+    /// Starts a fresh per-cycle ledger.
+    pub fn start(&self) -> BudgetLedger {
+        BudgetLedger {
+            bytes_left: self.max_bytes,
+            cost_left: self.max_cost,
+            admitted: 0,
+        }
+    }
+}
+
+/// Running per-cycle budget state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetLedger {
+    bytes_left: Option<u64>,
+    cost_left: Option<Money>,
+    admitted: usize,
+}
+
+impl BudgetLedger {
+    /// Admits a migration if any budget remains in **both** dimensions,
+    /// deducting (saturating) on admission. The **first** candidate of a
+    /// cycle is always admitted — even against a zero or smaller budget —
+    /// the guarantee that every cycle makes progress and deferral
+    /// terminates rather than re-deferring the backlog forever.
+    pub fn admit(&mut self, bytes: u64, cost: Money) -> bool {
+        let has_bytes = self.bytes_left.is_none_or(|left| left > 0);
+        let has_cost = self.cost_left.is_none_or(|left| left > Money::ZERO);
+        if self.admitted > 0 && (!has_bytes || !has_cost) {
+            return false;
+        }
+        if let Some(left) = &mut self.bytes_left {
+            *left = left.saturating_sub(bytes);
+        }
+        if let Some(left) = &mut self.cost_left {
+            *left = Money::from_nanos(left.nanos().saturating_sub(cost.nanos().max(0)));
+        }
+        self.admitted += 1;
+        true
+    }
+
+    /// Migrations admitted so far this cycle.
+    pub fn admitted(&self) -> usize {
+        self.admitted
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +256,78 @@ mod tests {
         assert!(!plan.changes_placement());
         assert_eq!(plan.migration_cost, Money::ZERO);
         assert!(!plan.is_beneficial());
+    }
+
+    #[test]
+    fn bytes_moved_counts_only_uploaded_chunks() {
+        let usage = usage(8); // 8 MB object
+                              // Same m, one provider swapped: one chunk of size/m uploaded.
+        let plan = MigrationPlan::build(
+            placement(&[0, 1, 2], 2),
+            placement(&[0, 1, 3], 2),
+            &usage,
+            Money::from_dollars(1.0),
+            Money::from_dollars(0.5),
+        );
+        assert_eq!(plan.bytes_moved(usage.size), usage.size.bytes().div_ceil(2));
+        // Threshold change: every chunk is re-uploaded.
+        let recode = MigrationPlan::build(
+            placement(&[0, 1, 2], 2),
+            placement(&[0, 1], 1),
+            &usage,
+            Money::from_dollars(1.0),
+            Money::from_dollars(0.5),
+        );
+        assert_eq!(recode.bytes_moved(usage.size), 2 * usage.size.bytes());
+        // No change: nothing moves, and savings/byte falls back to raw
+        // saving.
+        let noop = MigrationPlan::build(
+            placement(&[0, 1], 1),
+            placement(&[0, 1], 1),
+            &usage,
+            Money::from_dollars(1.0),
+            Money::from_dollars(1.0),
+        );
+        assert_eq!(noop.bytes_moved(usage.size), 0);
+        assert!(plan.savings_per_byte(usage.size) > recode.savings_per_byte(usage.size));
+    }
+
+    #[test]
+    fn budget_ledger_admits_at_least_one_and_then_caps() {
+        let budget = MigrationBudget::default().with_max_bytes(1000);
+        let mut ledger = budget.start();
+        // First candidate dwarfs the budget but is admitted anyway —
+        // guaranteed progress.
+        assert!(ledger.admit(50_000, Money::from_dollars(1.0)));
+        assert!(!ledger.admit(10, Money::ZERO), "budget exhausted");
+        assert_eq!(ledger.admitted(), 1);
+
+        let both = MigrationBudget::default()
+            .with_max_bytes(1000)
+            .with_max_cost(Money::from_dollars(0.10));
+        let mut ledger = both.start();
+        assert!(ledger.admit(400, Money::from_dollars(0.04)));
+        assert!(ledger.admit(400, Money::from_dollars(0.04)));
+        // Bytes remain but the dollar cap is gone after the next admit.
+        assert!(ledger.admit(100, Money::from_dollars(0.04)));
+        assert!(!ledger.admit(1, Money::ZERO));
+        assert_eq!(ledger.admitted(), 3);
+
+        // Unlimited never refuses.
+        let mut unlimited = MigrationBudget::UNLIMITED.start();
+        for _ in 0..100 {
+            assert!(unlimited.admit(u64::MAX / 2, Money::MAX));
+        }
+
+        // Even a zero budget admits exactly one candidate per cycle — the
+        // progress guarantee that makes deferral terminate.
+        let mut zero = MigrationBudget::default()
+            .with_max_bytes(0)
+            .with_max_cost(Money::ZERO)
+            .start();
+        assert!(zero.admit(100, Money::from_dollars(1.0)));
+        assert!(!zero.admit(1, Money::ZERO));
+        assert_eq!(zero.admitted(), 1);
     }
 
     #[test]

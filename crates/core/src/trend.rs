@@ -79,6 +79,17 @@ impl TrendDetector {
         }
     }
 
+    /// Class-level trend detection: runs the momentum detector over the
+    /// class's *mean-member* operation series (bounded to `max_periods`).
+    /// Aggregating the series across members amortises trend detection over
+    /// the whole class (§III-A2); for a singleton class the series — and
+    /// therefore the verdict — is identical to the per-object detector's.
+    pub fn detect_class(&self, usage: &crate::classify::ClassUsage, max_periods: usize) -> bool {
+        let history = usage.mean_member_history(max_periods);
+        let series = history.ops_series(history.len());
+        self.detect(&series)
+    }
+
     /// Scans a whole per-period series and returns the indices at which a
     /// trend change is detected — used to regenerate Figs. 8 and 9.
     pub fn detection_points(&self, series: &[u64]) -> Vec<usize> {

@@ -5,12 +5,35 @@
 //! providers' bandwidth-out and operation charges (§III-B). The cache is a
 //! byte-bounded LRU; on every write the object is invalidated in *all*
 //! datacenters to keep reads consistent.
+//!
+//! # Invalidation epochs
+//!
+//! A slow reader races writers: it reads metadata, spends a while fetching
+//! chunks, and only then wants to populate the cache — by which time a
+//! writer may have committed a newer version and invalidated the entry.
+//! Inserting the stale payload *after* that invalidation would poison the
+//! cache until the next write. Each key therefore carries an
+//! **invalidation epoch**: readers snapshot it ([`Cache::read_epoch`])
+//! *before* reading metadata and populate conditionally
+//! ([`Cache::put_if_epoch`]) — if any invalidation touched the key in
+//! between, the insert is skipped. This replaces the previous
+//! revalidate-by-re-reading-metadata scheme, eliminating one metadata read
+//! per uncached get.
+//!
+//! The epoch table is bounded: past [`EPOCH_CAP`] tracked keys it is
+//! cleared and a *generation* counter (the epoch's high bits) is bumped,
+//! which conservatively invalidates every outstanding snapshot — readers
+//! skip their populate, never serve stale data.
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 use scalia_types::size::ByteSize;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Bound on per-key invalidation epochs kept; exceeding it clears the table
+/// and bumps the generation (safe: outstanding populates are skipped).
+pub const EPOCH_CAP: usize = 65_536;
 
 struct CacheInner {
     map: HashMap<String, Bytes>,
@@ -19,6 +42,25 @@ struct CacheInner {
     used: u64,
     hits: u64,
     misses: u64,
+    /// Per-key invalidation counters (low 32 bits of the epoch).
+    epochs: HashMap<String, u32>,
+    /// Epoch high bits; bumped whenever the per-key table is reset.
+    generation: u32,
+}
+
+impl CacheInner {
+    fn epoch_of(&self, key: &str) -> u64 {
+        ((self.generation as u64) << 32) | self.epochs.get(key).copied().unwrap_or(0) as u64
+    }
+
+    fn bump_epoch(&mut self, key: &str) {
+        let counter = self.epochs.entry(key.to_string()).or_insert(0);
+        *counter = counter.wrapping_add(1);
+        if self.epochs.len() > EPOCH_CAP {
+            self.epochs.clear();
+            self.generation = self.generation.wrapping_add(1);
+        }
+    }
 }
 
 /// A byte-bounded LRU cache for fully reassembled objects.
@@ -39,6 +81,8 @@ impl Cache {
                 used: 0,
                 hits: 0,
                 misses: 0,
+                epochs: HashMap::new(),
+                generation: 0,
             }),
         }
     }
@@ -67,11 +111,37 @@ impl Cache {
     /// Inserts an object, evicting least-recently-used entries as needed.
     /// Objects larger than the whole cache are not cached.
     pub fn put(&self, key: &str, data: Bytes) {
+        let mut inner = self.inner.lock();
+        self.insert_locked(&mut inner, key, data);
+    }
+
+    /// The key's current invalidation epoch. Readers snapshot this *before*
+    /// reading the object's metadata, so [`Cache::put_if_epoch`] can tell
+    /// whether any write invalidated the key while the payload was being
+    /// fetched.
+    pub fn read_epoch(&self, key: &str) -> u64 {
+        self.inner.lock().epoch_of(key)
+    }
+
+    /// Inserts only if the key's invalidation epoch still equals `epoch`
+    /// (snapshotted via [`Cache::read_epoch`] before the metadata read).
+    /// Returns whether the insert happened. A concurrent write's
+    /// invalidation bumps the epoch, so a payload fetched for a deprecated
+    /// version can never land after the invalidation that should have
+    /// covered it.
+    pub fn put_if_epoch(&self, key: &str, data: Bytes, epoch: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.epoch_of(key) != epoch {
+            return false;
+        }
+        self.insert_locked(&mut inner, key, data)
+    }
+
+    fn insert_locked(&self, inner: &mut CacheInner, key: &str, data: Bytes) -> bool {
         let size = data.len() as u64;
         if size > self.capacity {
-            return;
+            return false;
         }
-        let mut inner = self.inner.lock();
         if let Some(old) = inner.map.remove(key) {
             inner.used -= old.len() as u64;
             if let Some(pos) = inner.order.iter().position(|k| k == key) {
@@ -90,10 +160,12 @@ impl Cache {
         inner.map.insert(key.to_string(), data);
         inner.order.push(key.to_string());
         inner.used += size;
+        true
     }
 
     /// Invalidates one object (called on writes and deletes, in every
-    /// datacenter).
+    /// datacenter) and bumps its invalidation epoch, so in-flight reads of
+    /// the deprecated version skip their populate.
     pub fn invalidate(&self, key: &str) {
         let mut inner = self.inner.lock();
         if let Some(old) = inner.map.remove(key) {
@@ -102,14 +174,18 @@ impl Cache {
         if let Some(pos) = inner.order.iter().position(|k| k == key) {
             inner.order.remove(pos);
         }
+        inner.bump_epoch(key);
     }
 
-    /// Empties the cache.
+    /// Empties the cache. Bumps the epoch generation so every outstanding
+    /// populate snapshot is conservatively stale.
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
         inner.map.clear();
         inner.order.clear();
         inner.used = 0;
+        inner.epochs.clear();
+        inner.generation = inner.generation.wrapping_add(1);
     }
 
     /// Bytes currently cached.
@@ -196,6 +272,32 @@ mod tests {
         cache.put("a", Bytes::from(vec![0u8; 10]));
         assert_eq!(cache.used_bytes(), 10);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn epoch_gates_stale_populates() {
+        let cache = Cache::new(ByteSize::from_kb(1));
+        let epoch = cache.read_epoch("k");
+        assert!(cache.put_if_epoch("k", Bytes::from_static(b"v1"), epoch));
+        assert_eq!(cache.get("k").unwrap(), Bytes::from_static(b"v1"));
+
+        // A write's invalidation bumps the epoch: a reader that snapshotted
+        // before the write can no longer insert its (now deprecated) bytes.
+        cache.invalidate("k");
+        assert!(!cache.put_if_epoch("k", Bytes::from_static(b"stale"), epoch));
+        assert!(cache.get("k").is_none());
+
+        // A fresh snapshot works again.
+        let fresh = cache.read_epoch("k");
+        assert_ne!(fresh, epoch);
+        assert!(cache.put_if_epoch("k", Bytes::from_static(b"v2"), fresh));
+
+        // clear() bumps the generation: every outstanding snapshot — even
+        // of keys never individually invalidated — becomes stale.
+        let other = cache.read_epoch("other");
+        cache.clear();
+        assert!(!cache.put_if_epoch("other", Bytes::from_static(b"x"), other));
+        assert!(cache.is_empty());
     }
 
     #[test]

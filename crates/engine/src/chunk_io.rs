@@ -141,6 +141,40 @@ pub fn hedge_deadline_us(
         .max(config.min_deadline_us)
 }
 
+/// The upload hedge deadline of one chunk-PUT to `provider`:
+/// `deadline_multiplier ×` the provider's *observed* write-latency
+/// percentile once warm (recorded by every successful upload into the same
+/// `DecayingHistogram` observation loop the read path uses), the same
+/// multiple of the modelled latency until then. An upload that outlives
+/// this deadline is treated as a failed-slow provider: the chunk is rolled
+/// back and the write re-placed on the remaining providers, so a provider
+/// stalling anomalously on PUTs cannot hold a write hostage.
+///
+/// Unlike the read hedge — where outliving the raw p95 merely races an
+/// extra parity fetch — a write overrun aborts real work, so the deadline
+/// keeps the multiplier headroom above the p95: healthy jitter (by
+/// definition ~5 % of round-trips land past the p95) must never fail a
+/// write, while a multi-second stall on a ~30 ms provider still trips it.
+/// The adaptation is in the *base*: a provider whose observed writes are
+/// far from its advertised model gets a deadline grounded in reality.
+pub fn write_hedge_deadline_us(
+    infra: &Infrastructure,
+    provider: ProviderId,
+    latency: &LatencyModel,
+    chunk_bytes: u64,
+    config: &HedgeConfig,
+) -> u64 {
+    infra
+        .observed_write_percentile_with_min(
+            provider,
+            config.observed_percentile,
+            config.min_observed_samples,
+        )
+        .unwrap_or_else(|| latency.expected_us(chunk_bytes))
+        .saturating_mul(config.deadline_multiplier as u64)
+        .max(config.min_deadline_us)
+}
+
 /// A failed parallel upload: which provider broke the write, and how.
 /// Already-uploaded chunks have been rolled back by the time this is
 /// returned; the caller decides whether to re-place and retry.
@@ -179,15 +213,32 @@ enum UploadOutcome {
 }
 
 /// Encodes `data` for `placement` and uploads one chunk per provider, all
-/// in parallel on the pool. On the first hard failure the remaining uploads
-/// are aborted, every chunk that already landed is deleted again (or queued
-/// as a postponed delete), and the failing provider is reported to the
-/// failure detector and returned in the [`WriteFailure`].
+/// in parallel on the pool, under the default upload-hedge policy. See
+/// [`write_chunks_with`].
 pub fn write_chunks(
     infra: &Infrastructure,
     placement: &Placement,
     skey: &str,
     data: &Bytes,
+) -> std::result::Result<StripingMeta, WriteFailure> {
+    write_chunks_with(infra, placement, skey, data, &HedgeConfig::default())
+}
+
+/// Encodes `data` for `placement` and uploads one chunk per provider, all
+/// in parallel on the pool. On the first hard failure the remaining uploads
+/// are aborted, every chunk that already landed is deleted again (or queued
+/// as a postponed delete), and the failing provider is reported to the
+/// failure detector and returned in the [`WriteFailure`]. An upload
+/// exceeding its hedge deadline ([`write_hedge_deadline_us`] — the observed
+/// PUT p95 once warm, a modelled multiple until then) counts as a failure
+/// of its provider: the landed chunk is rolled back so the caller can
+/// re-place the write without the straggler.
+pub fn write_chunks_with(
+    infra: &Infrastructure,
+    placement: &Placement,
+    skey: &str,
+    data: &Bytes,
+    config: &HedgeConfig,
 ) -> std::result::Result<StripingMeta, WriteFailure> {
     let params = placement.erasure_params();
     let encoded = encode_object(data, params).map_err(|error| WriteFailure {
@@ -203,7 +254,7 @@ pub fn write_chunks(
     let abort = AtomicBool::new(false);
     let outcomes: Vec<UploadOutcome> = jobs
         .par_iter()
-        .map(|(chunk, provider)| upload_one(infra, chunk, provider, skey, &abort))
+        .map(|(chunk, provider)| upload_one(infra, chunk, provider, skey, &abort, config))
         .collect();
 
     let mut failure: Option<(ProviderId, ScaliaError)> = None;
@@ -260,6 +311,7 @@ fn upload_one(
     provider: &ProviderDescriptor,
     skey: &str,
     abort: &AtomicBool,
+    config: &HedgeConfig,
 ) -> UploadOutcome {
     if abort.load(Ordering::SeqCst) {
         return UploadOutcome::Aborted;
@@ -272,10 +324,41 @@ fn upload_one(
             error: ScaliaError::ProviderUnavailable(provider.id),
         };
     };
+    let deadline_us = write_hedge_deadline_us(
+        infra,
+        provider.id,
+        &provider.latency,
+        chunk.data.len() as u64,
+        config,
+    );
     let (result, us) = backend.timed_put(&chunk_key, chunk.data.clone());
     match result {
+        Ok(()) if us > deadline_us => {
+            // The upload landed but blew its hedge deadline: a provider
+            // stalling far beyond its recent (or modelled) write behaviour.
+            // Waiting it out made this write's makespan `us` already; treat
+            // it as a failed-slow provider so the caller re-places the
+            // *next* attempt without it. The landed chunk is rolled back —
+            // the striping that will be committed must not reference it.
+            // The overrun itself still feeds the observation window (it is
+            // a real, successful round-trip — evidence the deadline should
+            // widen if this is the provider's new normal).
+            infra.record_provider_write_latency(provider.id, us);
+            abort.store(true, Ordering::SeqCst);
+            let error = ScaliaError::Internal(format!(
+                "chunk PUT to provider {} took {us}µs, past its {deadline_us}µs hedge deadline",
+                provider.id
+            ));
+            infra.report_provider_failure(provider.id, &error);
+            delete_or_postpone(infra, provider.id, &chunk_key);
+            UploadOutcome::Failed {
+                provider: provider.id,
+                error,
+            }
+        }
         Ok(()) => {
             infra.report_provider_success(provider.id);
+            infra.record_provider_write_latency(provider.id, us);
             UploadOutcome::Uploaded {
                 provider: provider.id,
                 chunk_key,

@@ -14,6 +14,7 @@ use crate::engine::Engine;
 use crate::infra::Infrastructure;
 use crate::optimizer::{OptimizationReport, PeriodicOptimizer};
 use bytes::Bytes;
+use scalia_core::migration::MigrationBudget;
 use scalia_core::placement::{PlacementEngine, PlacementOptions};
 use scalia_core::trend::TrendDetector;
 use scalia_metastore::logagg::{LogAgent, LogAggregator};
@@ -54,6 +55,7 @@ pub struct ScaliaClusterBuilder {
     sampling_period: Duration,
     placement_options: PlacementOptions,
     trend_detector: TrendDetector,
+    migration_budget: MigrationBudget,
 }
 
 impl Default for ScaliaClusterBuilder {
@@ -66,6 +68,7 @@ impl Default for ScaliaClusterBuilder {
             sampling_period: Duration::HOUR,
             placement_options: PlacementOptions::default(),
             trend_detector: TrendDetector::default(),
+            migration_budget: MigrationBudget::UNLIMITED,
         }
     }
 }
@@ -113,6 +116,15 @@ impl ScaliaClusterBuilder {
         self
     }
 
+    /// Per-cycle migration budget of the periodic optimiser (default:
+    /// unlimited). With a budget, candidate migrations are executed
+    /// best-savings-per-byte-first and the tail is deferred to the next
+    /// cycle.
+    pub fn migration_budget(mut self, budget: MigrationBudget) -> Self {
+        self.migration_budget = budget;
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> ScaliaCluster {
         let catalog = self.catalog.unwrap_or_else(ProviderCatalog::paper_catalog);
@@ -155,7 +167,8 @@ impl ScaliaClusterBuilder {
             optimizer: PeriodicOptimizer::new(
                 self.trend_detector,
                 PlacementEngine::with_options(self.placement_options),
-            ),
+            )
+            .with_migration_budget(self.migration_budget),
             next_engine: AtomicUsize::new(0),
         }
     }
@@ -227,20 +240,38 @@ impl ScaliaCluster {
 
     /// Advances simulated time: charges storage at every provider, retries
     /// postponed deletes, flushes the log-aggregation pipeline into the
-    /// statistics tables and runs anti-entropy across the database replicas.
+    /// statistics tables, garbage-collects the statistics footprint (class
+    /// sample caps, rollup retention) and runs anti-entropy across the
+    /// database replicas.
     pub fn tick(&self, now: SimTime) {
         self.infra.advance_clock(now);
         let stats = self.infra.statistics(DatacenterId::new(0));
         self.aggregator.flush(&stats, self.infra.next_timestamp());
+        stats.gc_statistics(self.infra.current_period());
         self.infra.database().anti_entropy();
     }
 
-    /// Runs one periodic optimisation procedure (§III-A3). Pass
-    /// `force = true` to re-evaluate every recently accessed object even if
-    /// its access trend did not change (used right after the provider
-    /// catalog changes).
+    /// Runs one periodic optimisation procedure (§III-A3), class-centric:
+    /// one placement search per `(class, rule)` group of the accessed set,
+    /// migrations batched under the configured budget. Pass `force = true`
+    /// to re-evaluate every group even if its class trend did not change
+    /// (used right after the provider catalog changes).
     pub fn run_optimization(&self, force: bool) -> OptimizationReport {
         self.optimizer.run(&self.engines, &self.infra, force)
+    }
+
+    /// Runs the pre-class per-object optimisation sweep — the differential
+    /// baseline (one trend detection + search per accessed object, full
+    /// accessed-set scan).
+    pub fn run_optimization_per_object(&self, force: bool) -> OptimizationReport {
+        self.optimizer
+            .run_per_object(&self.engines, &self.infra, force)
+    }
+
+    /// Row keys whose beneficial migrations the budget pushed to a later
+    /// cycle.
+    pub fn deferred_migrations(&self) -> usize {
+        self.optimizer.deferred_backlog()
     }
 
     /// Total amount billed by all providers so far.

@@ -146,7 +146,7 @@ impl Engine {
 
         // Encode and store the chunks (re-placing and retrying, bounded, if
         // a provider fails mid-write).
-        let (version, striping) = self.place_and_write(key, &rule, &usage, &data)?;
+        let (version, striping) = self.place_and_write(key, &rule, &class, &usage, &data)?;
 
         let meta = ObjectMeta {
             key: key.clone(),
@@ -162,11 +162,18 @@ impl Engine {
 
         // Serialise the commit against concurrent puts/deletes/migrations
         // of the same object so MVCC pruning always sees a settled latest
-        // version. Chunk uploads (above) and deprecated-chunk GC (below)
-        // stay outside the lock — no provider round-trip happens under it.
+        // version. The cache invalidation happens under the same lock: a
+        // reader's epoch-gated populate (see `Engine::get`) also runs under
+        // the row lock, so commit + invalidation are atomic with respect to
+        // it — a deprecated payload can never be inserted after the
+        // invalidation that covers it. Chunk uploads (above) and
+        // deprecated-chunk GC (below) stay outside the lock — no provider
+        // round-trip happens under it.
         let deprecated = {
             let _commit = self.infra.lock_row_commit(&meta.row_key());
-            self.commit_metadata(&meta)?
+            let deprecated = self.commit_metadata(&meta)?;
+            self.invalidate_everywhere(&meta.row_key());
+            deprecated
         };
         for striping in &deprecated {
             self.delete_chunks(striping);
@@ -175,9 +182,8 @@ impl Engine {
             .record_object_class(&key.row_key(), class.id(), self.infra.next_timestamp())
             .ok();
 
-        // Log the write for the statistics pipeline and invalidate caches.
+        // Log the write for the statistics pipeline.
         self.log_access(key, AccessKind::Write, size, size);
-        self.invalidate_everywhere(&key.row_key());
         Ok(meta)
     }
 
@@ -193,12 +199,13 @@ impl Engine {
         &self,
         key: &ObjectKey,
         rule: &StorageRule,
+        class: &ObjectClass,
         usage: &PredictedUsage,
         data: &Bytes,
     ) -> Result<(ObjectVersionId, StripingMeta)> {
         let mut excluded: Vec<ProviderId> = Vec::new();
         loop {
-            let placement = self.place_excluding(rule, usage, &excluded)?;
+            let placement = self.place_excluding(rule, class, usage, &excluded)?;
             // A fresh version — and therefore fresh chunk keys — per
             // attempt: a failed attempt's rollback may have *postponed* a
             // delete (the provider flapped down mid-rollback), and that
@@ -224,20 +231,22 @@ impl Engine {
     }
 
     /// Runs the placement search. The common no-exclusions case is routed
-    /// through the shared placement decision cache (keyed by rule + usage
-    /// class + catalog version), so a burst of same-class writes prices one
-    /// search, not one per object; retries with excluded providers search
-    /// directly — the cache cannot express an ad-hoc exclusion.
+    /// through the shared placement decision cache (keyed by rule + exact
+    /// object class + usage bucket + catalog version), so a burst of
+    /// same-class writes prices one search, not one per object; retries
+    /// with excluded providers search directly — the cache cannot express
+    /// an ad-hoc exclusion.
     fn place_excluding(
         &self,
         rule: &StorageRule,
+        class: &ObjectClass,
         usage: &PredictedUsage,
         excluded: &[ProviderId],
     ) -> Result<Placement> {
         if excluded.is_empty() {
-            let decision = self
-                .infra
-                .best_placement_cached(&self.placement, rule, usage)?;
+            let decision =
+                self.infra
+                    .best_placement_cached(&self.placement, rule, class.id(), usage)?;
             return Ok(decision.placement);
         }
         let providers: Vec<_> = self
@@ -265,6 +274,17 @@ impl Engine {
         self.infra
             .database()
             .put(&row_key, "meta", value, timestamp)?;
+        // The optimiser digest: the compact slice of the metadata the
+        // class-centric sweep needs per member (rule fingerprint, current
+        // placement, size, lifetime hints). Reading it costs a fraction of
+        // deserialising full metadata, so a steady-state optimisation cycle
+        // never touches the `meta` column of members that stay put.
+        self.infra.database().put(
+            &row_key,
+            "opt",
+            crate::optimizer::optimizer_digest(meta),
+            timestamp,
+        )?;
         // Container index for LIST.
         self.infra.database().put(
             &format!("container:{}", meta.key.container),
@@ -276,6 +296,7 @@ impl Engine {
         // MVCC: the freshest version wins; deprecated versions are removed
         // from the database here, their chunks by the caller.
         let deprecated = self.infra.database().prune_old_versions(&row_key, "meta");
+        self.infra.database().prune_old_versions(&row_key, "opt");
         Ok(deprecated
             .into_iter()
             .filter_map(|cell| serde_json::from_value::<ObjectMeta>(cell.value).ok())
@@ -310,10 +331,13 @@ impl Engine {
         const READ_ATTEMPTS: usize = 3;
         let mut last_err = ScaliaError::ObjectNotFound(key.clone());
         for _ in 0..READ_ATTEMPTS {
+            // Snapshot the cache's invalidation epoch BEFORE the metadata
+            // read: any write committed after this point bumps it.
+            let epoch = self.local_cache.read_epoch(&row_key);
             let meta = self.read_metadata(key)?;
             match self.fetch_and_reassemble(&meta) {
                 Ok(data) => {
-                    self.populate_cache_if_current(key, &meta, &data);
+                    self.populate_cache_if_unchanged(&row_key, &data, epoch);
                     self.log_access(key, AccessKind::Read, meta.size, meta.size);
                     return Ok(data);
                 }
@@ -329,24 +353,19 @@ impl Engine {
     }
 
     /// Populates the local cache with a freshly-reassembled payload — but
-    /// only if the object is still at the version that was read.
+    /// only if no write invalidated the key since the `epoch` snapshot
+    /// taken before the metadata read.
     ///
-    /// Without the re-check, a slow reader could insert pre-overwrite bytes
-    /// *after* the writer's `invalidate_everywhere`, and the stale entry
-    /// would then be served until the next write of the same key. The
-    /// validate-and-populate runs under the row commit lock, so it cannot
-    /// interleave with a commit: either it completes before the commit (and
-    /// the writer's subsequent invalidation clears the entry) or it observes
-    /// the new version and skips.
-    fn populate_cache_if_current(&self, key: &ObjectKey, meta: &ObjectMeta, data: &Bytes) {
-        let row_key = key.row_key();
-        let _commit = self.infra.lock_row_commit(&row_key);
-        if self
-            .read_metadata(key)
-            .is_ok_and(|current| current.version == meta.version)
-        {
-            self.local_cache.put(&row_key, data.clone());
-        }
+    /// Without the gate, a slow reader could insert pre-overwrite bytes
+    /// *after* the writer's invalidation, and the stale entry would then be
+    /// served until the next write of the same key. Writers commit and
+    /// invalidate atomically under the row commit lock; taking the same
+    /// lock here means an unchanged epoch proves no commit has deprecated
+    /// the payload — closing the race **without** the extra metadata read
+    /// per uncached get the previous revalidate-by-re-reading scheme paid.
+    fn populate_cache_if_unchanged(&self, row_key: &str, data: &Bytes, epoch: u64) {
+        let _commit = self.infra.lock_row_commit(row_key);
+        self.local_cache.put_if_epoch(row_key, data.clone(), epoch);
     }
 
     /// Reads and deserialises the current metadata version of an object.
@@ -438,13 +457,16 @@ impl Engine {
             self.infra.next_timestamp(),
         )?;
         stats.delete_object_stats(&row_key);
+        // Invalidate under the commit lock — atomic with the metadata drop,
+        // so an in-flight reader's epoch-gated populate cannot resurrect
+        // the deleted payload.
+        self.invalidate_everywhere(&row_key);
         drop(commit_guard);
 
         // Chunk deletion (provider round-trips) after the metadata is gone:
         // in-flight readers of the old version already tolerate vanishing
         // chunks, and unreachable providers get a postponed delete.
         self.delete_chunks(&meta.striping);
-        self.invalidate_everywhere(&row_key);
         Ok(())
     }
 
@@ -501,15 +523,19 @@ impl Engine {
             Failed(ScaliaError),
         }
         // Validate-then-commit under the row lock: the object must still
-        // exist and still be at the version we re-encoded. All chunk
-        // deletions (GC of the old version, or rollback of ours) happen
-        // after the lock is released.
+        // exist and still be at the version we re-encoded. The cache
+        // invalidation is atomic with the commit (see `Engine::put`). All
+        // chunk deletions (GC of the old version, or rollback of ours)
+        // happen after the lock is released.
         let outcome = {
             let _commit = self.infra.lock_row_commit(&key.row_key());
             match self.read_metadata(key) {
                 Ok(current) if current.version == old_meta.version => {
                     match self.commit_metadata(&new_meta) {
-                        Ok(deprecated) => CommitOutcome::Committed(deprecated),
+                        Ok(deprecated) => {
+                            self.invalidate_everywhere(&key.row_key());
+                            CommitOutcome::Committed(deprecated)
+                        }
                         Err(err) => CommitOutcome::Failed(err),
                     }
                 }
@@ -522,7 +548,6 @@ impl Engine {
                 for striping in &deprecated {
                     self.delete_chunks(striping);
                 }
-                self.invalidate_everywhere(&key.row_key());
                 Ok(new_meta)
             }
             CommitOutcome::Conflicted(current_version) => {

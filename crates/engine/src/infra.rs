@@ -95,6 +95,13 @@ pub struct Infrastructure {
     /// (observed p95) so placement and hedging adapt to what providers
     /// actually do — and forgive them once the bad window decays out.
     observed_reads: Mutex<HashMap<ProviderId, DecayingHistogram>>,
+    /// Per-provider windowed summaries of *successful* chunk-PUT
+    /// round-trips (virtual µs), recorded by the parallel upload's tasks.
+    /// The write path's upload hedge deadlines use the windowed p95 once
+    /// warm — closing the "write-path hedging uses modelled latency only"
+    /// gap. Rotated alongside the read windows so a recovered provider is
+    /// forgiven in two periods.
+    observed_writes: Mutex<HashMap<ProviderId, DecayingHistogram>>,
 }
 
 impl Infrastructure {
@@ -123,6 +130,7 @@ impl Infrastructure {
             detector_disabled: Mutex::new(HashSet::new()),
             io_latencies: Mutex::new(OpLatencies::default()),
             observed_reads: Mutex::new(HashMap::new()),
+            observed_writes: Mutex::new(HashMap::new()),
         });
         for descriptor in catalog.all() {
             infra.ensure_backend(&descriptor);
@@ -141,14 +149,16 @@ impl Infrastructure {
     }
 
     /// Runs Algorithm 1 through the deployment-wide placement decision
-    /// cache: identical searches (same rule, same usage class, same catalog
-    /// version) are answered from the memo; every catalog mutation bumps
-    /// the version and implicitly invalidates it. All placement call sites
-    /// (write path, periodic optimiser, active repair) go through here.
+    /// cache: identical searches (same rule, same object class, same usage
+    /// bucket, same catalog version) are answered from the memo; every
+    /// catalog mutation bumps the version and implicitly invalidates it.
+    /// All placement call sites (write path, periodic optimiser, active
+    /// repair) go through here.
     pub fn best_placement_cached(
         &self,
         engine: &PlacementEngine,
         rule: &scalia_types::rules::StorageRule,
+        class_id: &str,
         usage: &PredictedUsage,
     ) -> Result<PlacementDecision, scalia_types::error::ScaliaError> {
         // Read the version BEFORE the provider snapshot: if a catalog
@@ -159,6 +169,7 @@ impl Infrastructure {
         self.placement_cache.best_placement(
             engine,
             rule,
+            class_id,
             usage,
             || self.catalog.available(),
             version,
@@ -393,6 +404,46 @@ impl Infrastructure {
             .unwrap_or_default()
     }
 
+    /// Records one *successful* chunk-PUT round-trip against its provider's
+    /// windowed observed write-latency summary. Called by the parallel
+    /// upload's tasks, so every write keeps accumulating evidence for the
+    /// upload hedge deadlines.
+    pub fn record_provider_write_latency(&self, provider: ProviderId, us: u64) {
+        self.observed_writes
+            .lock()
+            .entry(provider)
+            .or_default()
+            .record(us);
+    }
+
+    /// A provider's observed write-latency percentile over the last two
+    /// observation windows, or `None` while fewer than `min_samples` are in
+    /// view (same warm-up guard as the read summaries; `u64::MAX` never
+    /// trusts observations).
+    pub fn observed_write_percentile_with_min(
+        &self,
+        provider: ProviderId,
+        percentile: f64,
+        min_samples: u64,
+    ) -> Option<u64> {
+        let summaries = self.observed_writes.lock();
+        let summary = summaries.get(&provider)?;
+        if summary.count() < min_samples {
+            return None;
+        }
+        Some(summary.percentile_us(percentile))
+    }
+
+    /// Snapshot of a provider's windowed observed-write summary
+    /// (diagnostics and tests).
+    pub fn observed_write_snapshot(&self, provider: ProviderId) -> LatencySnapshot {
+        self.observed_writes
+            .lock()
+            .get(&provider)
+            .map(|s| s.snapshot())
+            .unwrap_or_default()
+    }
+
     /// Rotates every provider's observation window and publishes the
     /// refreshed summaries (observed p95, or `None` below the sample
     /// floor) into the catalog descriptors. Runs on every clock advance:
@@ -420,6 +471,13 @@ impl Infrastructure {
         drop(summaries);
         for (provider, observed) in published {
             self.catalog.set_observed_read_latency(provider, observed);
+        }
+        // Write windows rotate on the same cadence; their summaries stay
+        // engine-internal (upload hedge deadlines) — the catalog's
+        // placement-visible latency remains read-path, matching what read
+        // clients experience.
+        for summary in self.observed_writes.lock().values_mut() {
+            summary.rotate();
         }
     }
 

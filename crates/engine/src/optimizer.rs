@@ -1,27 +1,50 @@
-//! The periodic optimisation procedure (§III-A3).
+//! The periodic optimisation procedure (§III-A3), class-centric.
 //!
 //! Every few minutes a new optimisation procedure starts: a *leader* elected
 //! among all engines retrieves from the statistics database the set `A` of
-//! objects accessed or modified since the previous procedure, splits it into
-//! equal shards and assigns one shard per engine. Each engine, in parallel,
-//! runs the trend detector on every object of its shard and — only when the
-//! access pattern changed considerably — recomputes the placement with
-//! Algorithm 1, migrating the chunks when the migration cost is covered by
-//! the expected savings.
+//! objects accessed or modified since the previous procedure (a range scan
+//! over the dirty-set index — cost proportional to the objects touched, not
+//! the rows stored), splits it into shards and, in parallel, groups the
+//! members by `(class, storage rule)`. Scalia's scalability argument
+//! (§III-A1/A2) is that statistics and re-placement amortise across a
+//! class: the optimiser therefore runs the trend detector and Algorithm 1
+//! **once per group** — `K` searches for `N` accessed objects in `K`
+//! classes — and maps each group decision onto every member (members whose
+//! persisted placement digest already matches the decision are done with
+//! zero further reads).
+//!
+//! Migrations are executed through a per-cycle **budget** (bytes uploaded
+//! and one-off dollars): candidates are ordered by expected saving per
+//! migrated byte, admitted until the budget runs out, and the tail is
+//! *deferred* — never dropped — to the next cycle, which re-evaluates the
+//! deferred objects against fresh statistics and catalog state. At least
+//! one candidate is admitted per cycle, so a backlog always converges to
+//! the unbudgeted placement.
+//!
+//! The pre-class per-object sweep is preserved as
+//! [`PeriodicOptimizer::run_per_object`]: it is the differential baseline —
+//! a cycle over singleton classes must reproduce its report and migrations
+//! bit for bit — and the benchmark's point of comparison.
 
 use crate::engine::Engine;
 use crate::infra::Infrastructure;
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use scalia_core::classify::{ClassUsage, ObjectClass};
 use scalia_core::cost::{compute_price_weighted, PredictedUsage};
-use scalia_core::migration::MigrationPlan;
+use scalia_core::decision::{GroupDecision, GroupKey};
+use scalia_core::migration::{MigrationBudget, MigrationPlan};
 use scalia_core::placement::{Placement, PlacementEngine};
 use scalia_core::trend::TrendDetector;
 use scalia_metastore::model::Timestamp;
+use scalia_metastore::stats::StatisticsStore;
 use scalia_types::ids::EngineId;
 use scalia_types::money::Money;
-use scalia_types::object::ObjectMeta;
+use scalia_types::object::{ObjectKey, ObjectMeta};
+use scalia_types::size::ByteSize;
+use scalia_types::stats::DEFAULT_HISTORY_LEN;
 use scalia_types::time::Duration;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Statistics of one optimisation procedure.
@@ -29,14 +52,26 @@ use std::sync::Arc;
 pub struct OptimizationReport {
     /// Engine elected leader for this procedure.
     pub leader: EngineId,
-    /// Objects in the accessed/modified set `A`.
+    /// Objects in the accessed/modified set `A` (plus re-queued deferrals).
     pub objects_considered: usize,
-    /// Objects whose access pattern changed (trend detected).
+    /// Objects whose access pattern changed (every member of a group whose
+    /// class-level trend moved; per-object mode: objects individually).
     pub trend_changes: usize,
-    /// Objects whose placement was recomputed with Algorithm 1.
+    /// Objects whose placement was re-evaluated against a fresh decision.
     pub placements_recomputed: usize,
     /// Objects actually migrated to a new provider set.
     pub migrations_executed: usize,
+    /// Placement searches the optimiser initiated for decisions: one per
+    /// re-evaluated group in class mode (≤ number of classes touched), one
+    /// per recomputed object in per-object mode.
+    pub searches_executed: usize,
+    /// Objects covered by the decisions those searches produced.
+    pub objects_covered: usize,
+    /// Beneficial migrations pushed past the end of the cycle by the
+    /// migration budget (re-queued, never dropped).
+    pub migrations_deferred: usize,
+    /// Bytes uploaded by the executed migrations.
+    pub bytes_migrated: u64,
 }
 
 impl OptimizationReport {
@@ -57,18 +92,152 @@ impl OptimizationReport {
             trend_changes: self.trend_changes + other.trend_changes,
             placements_recomputed: self.placements_recomputed + other.placements_recomputed,
             migrations_executed: self.migrations_executed + other.migrations_executed,
+            searches_executed: self.searches_executed + other.searches_executed,
+            objects_covered: self.objects_covered + other.objects_covered,
+            migrations_deferred: self.migrations_deferred + other.migrations_deferred,
+            bytes_migrated: self.bytes_migrated + other.bytes_migrated,
         }
     }
 }
 
-/// What happened to a single object during the optimisation procedure;
-/// accumulated into per-shard [`OptimizationReport`] partials so the
-/// parallel fan-out shares no mutable state at all.
+/// What happened to a single object during the per-object sweep; accumulated
+/// into per-shard [`OptimizationReport`] partials so the parallel fan-out
+/// shares no mutable state at all.
 #[derive(Debug, Clone, Copy, Default)]
 struct ObjectOutcome {
     trend_changed: bool,
     recomputed: bool,
     migrated: bool,
+    bytes_migrated: u64,
+}
+
+/// One beneficial migration awaiting budget admission.
+struct MigrationCandidate {
+    row_key: String,
+    key: ObjectKey,
+    size: ByteSize,
+    savings_per_byte: f64,
+    plan: MigrationPlan,
+}
+
+/// The compact per-object **optimiser digest** the engine persists next to
+/// the metadata (`opt` column) on every commit: exactly the fields the
+/// class-centric sweep needs per member — rule identity for subgrouping,
+/// current placement for the already-there short-circuit, size and
+/// lifetime hints for the group's usage prediction. Reading and decoding it
+/// costs a fraction of deserialising full [`ObjectMeta`], so a cycle only
+/// pays the metadata read for members that actually diverge from their
+/// group's decision.
+#[derive(Debug, Clone)]
+struct MemberDigest {
+    row_key: String,
+    rule_name: String,
+    rule_fingerprint: [u64; 5],
+    size: ByteSize,
+    m: u32,
+    /// Sorted provider ids of the current placement.
+    providers: Vec<u32>,
+    written_at: scalia_types::time::SimTime,
+    ttl_hint_hours: Option<f64>,
+    /// Full metadata, already in hand when the digest was synthesised from
+    /// a `meta` read (the missing-digest fallback path).
+    meta: Option<ObjectMeta>,
+}
+
+/// Serialises the optimiser digest of a metadata version (written by
+/// `Engine::commit_metadata` under the same timestamp as the `meta`
+/// column). One compact delimited string — a single allocation to read
+/// back, where a structured JSON object would clone a whole key/value tree
+/// per member per cycle. Layout (the rule name goes last because it is the
+/// only field that may contain the delimiter):
+///
+/// `1|rfp0|rfp1|rfp2|rfp3|rfp4|m|size|written_secs|ttl_bits-or-n|p0,p1,…|rule name`
+pub(crate) fn optimizer_digest(meta: &ObjectMeta) -> serde_json::Value {
+    let mut providers: Vec<u32> = meta.striping.chunks.iter().map(|c| c.provider.0).collect();
+    providers.sort_unstable();
+    let rfp = GroupKey::rule_fingerprint(&meta.rule);
+    let providers = providers
+        .iter()
+        .map(|p| p.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let ttl = match meta.ttl_hint_hours {
+        Some(ttl) => ttl.to_bits().to_string(),
+        None => "n".to_string(),
+    };
+    serde_json::Value::String(format!(
+        "1|{}|{}|{}|{}|{}|{}|{}|{}|{ttl}|{providers}|{}",
+        rfp[0],
+        rfp[1],
+        rfp[2],
+        rfp[3],
+        rfp[4],
+        meta.striping.m,
+        meta.size.bytes(),
+        meta.written_at.secs(),
+        meta.rule.name,
+    ))
+}
+
+impl MemberDigest {
+    /// Decodes a persisted digest; `None` on any structural mismatch (the
+    /// caller falls back to the full metadata read).
+    fn decode(row_key: String, value: &serde_json::Value) -> Option<MemberDigest> {
+        let mut fields = value.as_str()?.splitn(12, '|');
+        if fields.next()? != "1" {
+            return None;
+        }
+        let mut rule_fingerprint = [0u64; 5];
+        for slot in rule_fingerprint.iter_mut() {
+            *slot = fields.next()?.parse().ok()?;
+        }
+        let m: u32 = fields.next()?.parse().ok()?;
+        let size: u64 = fields.next()?.parse().ok()?;
+        let written_secs: u64 = fields.next()?.parse().ok()?;
+        let ttl_hint_hours = match fields.next()? {
+            "n" => None,
+            bits => Some(f64::from_bits(bits.parse().ok()?)),
+        };
+        let providers_field = fields.next()?;
+        let providers = if providers_field.is_empty() {
+            Vec::new()
+        } else {
+            providers_field
+                .split(',')
+                .map(|p| p.parse().ok())
+                .collect::<Option<Vec<u32>>>()?
+        };
+        Some(MemberDigest {
+            row_key,
+            rule_name: fields.next()?.to_string(),
+            rule_fingerprint,
+            size: ByteSize::from_bytes(size),
+            m,
+            providers,
+            written_at: scalia_types::time::SimTime::from_secs(written_secs),
+            ttl_hint_hours,
+            meta: None,
+        })
+    }
+
+    /// Synthesises the digest from full metadata (objects written before
+    /// the digest column existed), keeping the deserialised metadata for
+    /// the gate.
+    fn from_meta(row_key: String, meta: ObjectMeta) -> MemberDigest {
+        let mut providers: Vec<u32> = meta.striping.chunks.iter().map(|c| c.provider.0).collect();
+        providers.sort_unstable();
+        MemberDigest {
+            row_key,
+            rule_name: meta.rule.name.clone(),
+            rule_fingerprint: GroupKey::rule_fingerprint(&meta.rule),
+            size: meta.size,
+            m: meta.striping.m,
+            providers,
+            written_at: meta.written_at,
+            ttl_hint_hours: meta.ttl_hint_hours,
+            meta: Some(meta),
+        }
+    }
 }
 
 /// The periodic optimiser.
@@ -76,23 +245,105 @@ pub struct PeriodicOptimizer {
     detector: TrendDetector,
     placement: PlacementEngine,
     last_run: Mutex<Timestamp>,
+    budget: MigrationBudget,
+    /// Row keys of beneficial migrations the budget pushed to a later
+    /// cycle. Re-queued into the next accessed set and force-re-evaluated,
+    /// so a deferral is never dropped.
+    deferred: Mutex<BTreeSet<String>>,
 }
 
 impl PeriodicOptimizer {
     /// Creates an optimiser with the given trend detector and placement
-    /// engine.
+    /// engine (and no migration budget: every beneficial migration executes
+    /// in the cycle that finds it).
     pub fn new(detector: TrendDetector, placement: PlacementEngine) -> Self {
         PeriodicOptimizer {
             detector,
             placement,
             last_run: Mutex::new(Timestamp::ZERO),
+            budget: MigrationBudget::UNLIMITED,
+            deferred: Mutex::new(BTreeSet::new()),
         }
     }
 
-    /// Runs one optimisation procedure over all engines. With
-    /// `force = true` every object of the accessed set is re-evaluated even
-    /// if its trend did not change (used after the provider catalog changes,
-    /// e.g. a new provider registered or one failed).
+    /// Builder-style override of the per-cycle migration budget.
+    pub fn with_migration_budget(mut self, budget: MigrationBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Row keys currently deferred by the migration budget.
+    pub fn deferred_backlog(&self) -> usize {
+        self.deferred.lock().len()
+    }
+
+    /// Takes the deferred backlog and advances `last_run`, returning the
+    /// fetch window `since` — shared by both sweep flavours.
+    fn take_window(&self, infra: &Arc<Infrastructure>) -> (Timestamp, BTreeSet<String>) {
+        let since = {
+            let mut last = self.last_run.lock();
+            let since = *last;
+            *last = infra.next_timestamp();
+            since
+        };
+        let deferred: BTreeSet<String> = std::mem::take(&mut *self.deferred.lock());
+        (since, deferred)
+    }
+
+    /// The per-object baseline's accessed set: the seed's full
+    /// `modified_since` scan, merged with the budget-deferred backlog.
+    fn take_accessed_set_scan(
+        &self,
+        stats: &StatisticsStore,
+        infra: &Arc<Infrastructure>,
+    ) -> (Vec<String>, BTreeSet<String>) {
+        let (since, deferred) = self.take_window(infra);
+        let mut accessed = stats.objects_accessed_since_scan(since);
+        accessed.extend(deferred.iter().cloned());
+        accessed.sort_unstable();
+        accessed.dedup();
+        (accessed, deferred)
+    }
+
+    /// The class-centric accessed set: a range scan over the dirty-set
+    /// index, each entry carrying its class tag, merged with the deferred
+    /// backlog (whose tags are resolved from the objects' recorded classes).
+    fn take_accessed_set_classified(
+        &self,
+        stats: &StatisticsStore,
+        infra: &Arc<Infrastructure>,
+    ) -> (Vec<(String, Option<String>)>, BTreeSet<String>) {
+        let (since, deferred) = self.take_window(infra);
+        let (mut accessed, _) = stats.objects_accessed_since_classified(since);
+        // Buckets older than `since` can never qualify again: drop them
+        // so the index footprint tracks recent traffic, not history.
+        stats.prune_dirty_before(since);
+        if !deferred.is_empty() {
+            // O(A + D): one hash set over the accessed keys, not a linear
+            // scan per deferred key (a tight budget can defer thousands).
+            let present: std::collections::HashSet<&str> =
+                accessed.iter().map(|(key, _)| key.as_str()).collect();
+            let missing: Vec<String> = deferred
+                .iter()
+                .filter(|row_key| !present.contains(row_key.as_str()))
+                .cloned()
+                .collect();
+            drop(present);
+            accessed.extend(missing.into_iter().map(|row_key| (row_key, None)));
+        }
+        (accessed, deferred)
+    }
+
+    // ------------------------------------------------------------------
+    // Class-centric sweep (the default)
+    // ------------------------------------------------------------------
+
+    /// Runs one optimisation procedure over all engines: shard the accessed
+    /// set, group by `(class, rule)`, one placement search per group, map
+    /// the decision onto the members, then execute the beneficial
+    /// migrations best-savings-per-byte-first under the migration budget.
+    /// With `force = true` every group is re-evaluated even if its class
+    /// trend did not change (used after the provider catalog changes).
     pub fn run(
         &self,
         engines: &[Arc<Engine>],
@@ -103,21 +354,438 @@ impl PeriodicOptimizer {
             return OptimizationReport::default();
         };
 
-        // 1) + 2) The leader fetches the accessed/modified object set.
-        let since = {
-            let mut last = self.last_run.lock();
-            let since = *last;
-            *last = infra.next_timestamp();
-            since
-        };
+        // 1) + 2) The leader fetches the accessed/modified set from the
+        // dirty-set index and merges in the budget-deferred backlog.
         let stats = infra.statistics(leader.datacenter());
-        let accessed = stats.objects_accessed_since(since);
+        let (accessed, deferred) = self.take_accessed_set_classified(&stats, infra);
 
-        // 3) + 4) Split A into |E| shards, one per engine, processed in
-        // parallel. Each shard folds its outcomes into a private partial
-        // report; the partials are merged with `merged_with`, so the
-        // fan-out touches no shared counter (no Mutex, no atomics) and the
-        // totals are independent of how the shards interleave.
+        // 3) Bucket the accessed keys by their dirty-index class tag — no
+        // per-object metadata reads. Untagged entries (re-queued deferrals,
+        // marks written before the class was known) resolve through the
+        // class recorded at insertion; objects with neither have been
+        // deleted or never finished their first write, and fall through to
+        // the metadata read of step 4 if their class ever evaluates.
+        let objects_considered = accessed.len();
+        // Hash-indexed first-seen-order grouping: O(1) per entry, no sort
+        // of the whole accessed set (each class re-sorts its own members).
+        let mut by_class: Vec<(String, Vec<String>)> = Vec::new();
+        let mut class_index: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for (row_key, class) in accessed {
+            let class_id = match class {
+                Some(class_id) => Some(class_id),
+                None => stats.object_class(&row_key),
+            };
+            let Some(class_id) = class_id else { continue };
+            match class_index.get(class_id.as_str()) {
+                Some(&at) => by_class[at].1.push(row_key),
+                None => {
+                    class_index.insert(class_id.clone(), by_class.len());
+                    by_class.push((class_id, vec![row_key]));
+                }
+            }
+        }
+
+        // 4) One class-level trend detection per class (from the rollup
+        // series); only classes that trend — or are forced, or carry a
+        // deferral — read member metadata, split by rule and run **one**
+        // placement search per `(class, rule)` group. Classes are processed
+        // in parallel; members are sorted, so the whole cycle is
+        // deterministic at any pool size.
+        let classes: Vec<(usize, (String, Vec<String>))> =
+            by_class.into_iter().enumerate().collect();
+        let group_results: Vec<(OptimizationReport, Vec<MigrationCandidate>)> = classes
+            .into_par_iter()
+            .map(|(i, (class_id, members))| {
+                let engine = &engines[i % engines.len()];
+                self.optimize_class(engine, infra, class_id, members, force, &deferred)
+            })
+            .collect();
+
+        let mut report = OptimizationReport {
+            leader: leader.id(),
+            objects_considered,
+            ..OptimizationReport::default()
+        };
+        let mut candidates: Vec<MigrationCandidate> = Vec::new();
+        for (partial, mut group_candidates) in group_results {
+            report = report.merged_with(partial);
+            candidates.append(&mut group_candidates);
+        }
+        report.leader = leader.id();
+
+        // 5) Budgeted batch migration: best saving per migrated byte first,
+        // the tail deferred (never dropped) to the next cycle.
+        candidates.sort_by(|a, b| {
+            b.savings_per_byte
+                .partial_cmp(&a.savings_per_byte)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.row_key.cmp(&b.row_key))
+        });
+        let mut ledger = self.budget.start();
+        let mut admitted: Vec<MigrationCandidate> = Vec::new();
+        for candidate in candidates {
+            if ledger.admit(
+                candidate.plan.bytes_moved(candidate.size),
+                candidate.plan.migration_cost,
+            ) {
+                admitted.push(candidate);
+            } else {
+                report.migrations_deferred += 1;
+                self.deferred.lock().insert(candidate.row_key);
+            }
+        }
+        let admitted: Vec<(usize, MigrationCandidate)> = admitted.into_iter().enumerate().collect();
+        let migration_totals: (usize, u64) = admitted
+            .into_par_iter()
+            .map(|(i, candidate)| {
+                let engine = &engines[i % engines.len()];
+                match engine.replace_placement(&candidate.key, &candidate.plan.to) {
+                    Ok(_) => (1usize, candidate.plan.bytes_moved(candidate.size)),
+                    // Lost a race against a client write (or a provider
+                    // failed): the object is reconsidered when it is next
+                    // accessed, exactly like the per-object sweep.
+                    Err(_) => (0, 0),
+                }
+            })
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        report.migrations_executed += migration_totals.0;
+        report.bytes_migrated += migration_totals.1;
+        report
+    }
+
+    /// One class of the accessed set: trend detection over the rollup
+    /// series **before** any member metadata is touched — a class whose
+    /// access pattern did not change (and is not forced, and carries no
+    /// deferral) costs one rollup read and nothing else. Classes that do
+    /// evaluate read their members' metadata, split by rule fingerprint and
+    /// run [`Self::optimize_group`] once per `(class, rule)` group.
+    fn optimize_class(
+        &self,
+        engine: &Arc<Engine>,
+        infra: &Arc<Infrastructure>,
+        class_id: String,
+        mut member_keys: Vec<String>,
+        force: bool,
+        deferred: &BTreeSet<String>,
+    ) -> (OptimizationReport, Vec<MigrationCandidate>) {
+        let mut partial = OptimizationReport::default();
+        let mut candidates: Vec<MigrationCandidate> = Vec::new();
+        member_keys.sort_unstable();
+        member_keys.dedup();
+        if member_keys.is_empty() {
+            return (partial, candidates);
+        }
+        let stats = infra.statistics(engine.datacenter());
+
+        // Class-level trend detection: one detector run per class, fed by
+        // the incrementally-maintained rollups instead of per-object
+        // history reads.
+        let class_usage = ClassUsage::from_records(
+            stats
+                .class_period_records(&class_id, DEFAULT_HISTORY_LEN)
+                .into_iter()
+                .map(|(period, record)| (period, record.stats, record.objects)),
+        );
+        let trend_changed = self
+            .detector
+            .detect_class(&class_usage, DEFAULT_HISTORY_LEN);
+        let has_deferred = member_keys.iter().any(|row_key| deferred.contains(row_key));
+        if !trend_changed && !force && !has_deferred {
+            return (partial, candidates);
+        }
+
+        // The class evaluates: now (and only now) read member digests —
+        // decoded in place, no cell clone — with a full metadata read only
+        // for objects without one. Objects deleted since they were accessed
+        // drop out here, exactly like the per-object sweep.
+        let mut digests: Vec<MemberDigest> = Vec::with_capacity(member_keys.len());
+        for row_key in member_keys {
+            let digest = infra
+                .database()
+                .with_latest(engine.datacenter(), &row_key, "opt", |cell| {
+                    MemberDigest::decode(row_key.clone(), &cell.value)
+                })
+                .flatten();
+            let digest = match digest {
+                Some(digest) => digest,
+                None => {
+                    let Some(cell) =
+                        infra
+                            .database()
+                            .get_latest(engine.datacenter(), &row_key, "meta")
+                    else {
+                        continue;
+                    };
+                    let Ok(meta) = serde_json::from_value::<ObjectMeta>(cell.value) else {
+                        continue;
+                    };
+                    MemberDigest::from_meta(row_key, meta)
+                }
+            };
+            digests.push(digest);
+        }
+        // Split by rule identity: one sort with borrowed comparators (no
+        // per-member key clones), then slice-grouping of the consecutive
+        // runs. Members stay sorted by row key inside each group, so the
+        // cycle is deterministic at any pool size.
+        digests.sort_unstable_by(|a, b| {
+            a.rule_fingerprint
+                .cmp(&b.rule_fingerprint)
+                .then_with(|| a.rule_name.cmp(&b.rule_name))
+                .then_with(|| a.row_key.cmp(&b.row_key))
+        });
+        let mut groups: Vec<Vec<MemberDigest>> = Vec::new();
+        for digest in digests {
+            match groups.last_mut() {
+                Some(group)
+                    if group[0].rule_fingerprint == digest.rule_fingerprint
+                        && group[0].rule_name == digest.rule_name =>
+                {
+                    group.push(digest)
+                }
+                _ => groups.push(vec![digest]),
+            }
+        }
+        // The class's lifetime samples are fetched — and the deletion-time
+        // distribution built — once for the whole class, not once per
+        // member, which would re-read the class row (and re-sort the
+        // samples) O(members) times.
+        let class_lifetimes = infra
+            .statistics(scalia_types::ids::DatacenterId::new(0))
+            .class_lifetimes(&class_id);
+        let lifetime_dist = (!class_lifetimes.is_empty())
+            .then(|| scalia_core::lifetime::LifetimeDistribution::from_samples(class_lifetimes));
+        for members in groups {
+            let group_key = GroupKey::from_fingerprint(
+                class_id.clone(),
+                members[0].rule_name.clone(),
+                members[0].rule_fingerprint,
+            );
+            let (group_partial, mut group_candidates) = self.optimize_group(
+                engine,
+                infra,
+                group_key,
+                members,
+                trend_changed,
+                &class_usage,
+                lifetime_dist.as_ref(),
+            );
+            partial = partial.merged_with(group_partial);
+            candidates.append(&mut group_candidates);
+        }
+        (partial, candidates)
+    }
+
+    /// One `(class, rule)` group of an evaluating class: **one** placement
+    /// search, and the per-member migration gate against the shared
+    /// [`GroupDecision`]. Members whose digest already matches the decided
+    /// placement are done with zero further reads (a plan that moves
+    /// nothing can never be beneficial); only divergent members pay the
+    /// full metadata read for the exact gate. Returns the group's report
+    /// partial and its beneficial migration candidates.
+    #[allow(clippy::too_many_arguments)]
+    fn optimize_group(
+        &self,
+        engine: &Arc<Engine>,
+        infra: &Arc<Infrastructure>,
+        group_key: GroupKey,
+        members: Vec<MemberDigest>,
+        trend_changed: bool,
+        class_usage: &ClassUsage,
+        lifetime_dist: Option<&scalia_core::lifetime::LifetimeDistribution>,
+    ) -> (OptimizationReport, Vec<MigrationCandidate>) {
+        let mut partial = OptimizationReport::default();
+        let mut candidates: Vec<MigrationCandidate> = Vec::new();
+        if members.is_empty() {
+            return (partial, candidates);
+        }
+        if trend_changed {
+            partial.trend_changes += members.len();
+        }
+
+        // The class's mean-member demand: for a singleton class this is the
+        // member's own history, record for record.
+        let mean_history = class_usage.mean_member_history(DEFAULT_HISTORY_LEN);
+        let period_hours = infra.sampling_period().as_hours();
+        let mean_size = ByteSize::from_bytes(
+            (members.iter().map(|m| m.size.bytes()).sum::<u64>() as f64 / members.len() as f64)
+                .round() as u64,
+        );
+        // The search needs the full rule; one representative member's
+        // metadata supplies it (every member of the group shares the rule
+        // fingerprint). The fallback path has it in hand already.
+        let Some(rule) = members.iter().find_map(|member| match &member.meta {
+            Some(meta) => Some(meta.rule.clone()),
+            None => infra
+                .database()
+                .get_latest(engine.datacenter(), &member.row_key, "meta")
+                .and_then(|cell| serde_json::from_value::<ObjectMeta>(cell.value).ok())
+                .map(|meta| meta.rule),
+        }) else {
+            return (partial, candidates); // Every member vanished mid-cycle.
+        };
+
+        // Decision period for the group (adaptive, bounded by the tightest
+        // member TTL), amortised across all members on one controller.
+        let upper_bound = members
+            .iter()
+            .map(|member| {
+                self.ttl_upper_bound_with(
+                    member.ttl_hint_hours,
+                    member.written_at,
+                    infra,
+                    lifetime_dist,
+                    &mean_history,
+                )
+            })
+            .min()
+            .expect("non-empty group");
+        let controller_key = format!("class:{}:{}", group_key.class_id, group_key.rule_name);
+        let mut controller = infra.decision_controller(&controller_key, Duration::from_hours(24));
+        controller.on_optimization(upper_bound, |window| {
+            let periods = window.periods(infra.sampling_period()).max(1) as usize;
+            let usage =
+                PredictedUsage::from_history(mean_size, &mean_history, periods, period_hours);
+            match infra.best_placement_cached(&self.placement, &rule, &group_key.class_id, &usage) {
+                Ok(decision) => decision
+                    .expected_cost
+                    .scale(1.0 / usage.duration_hours.max(1e-9)),
+                Err(_) => Money::MAX,
+            }
+        });
+        let decision_period = controller.current();
+        infra.store_decision_controller(&controller_key, controller);
+
+        // **One** placement search for the whole group.
+        let periods = decision_period.periods(infra.sampling_period()).max(1) as usize;
+        let usage = PredictedUsage::from_history(mean_size, &mean_history, periods, period_hours);
+        let Ok(decision) =
+            infra.best_placement_cached(&self.placement, &rule, &group_key.class_id, &usage)
+        else {
+            return (partial, candidates);
+        };
+        partial.searches_executed += 1;
+        partial.objects_covered += members.len();
+        // One result mapped onto every member — the paper's amortisation
+        // made explicit.
+        let group_decision = GroupDecision {
+            key: group_key,
+            catalog_version: infra.catalog().version(),
+            usage,
+            decision,
+            members: members.iter().map(|m| m.row_key.clone()).collect(),
+        };
+        let usage = group_decision.usage;
+        let decision = &group_decision.decision;
+        let mut decision_providers: Vec<u32> = decision
+            .placement
+            .providers
+            .iter()
+            .map(|p| p.id.0)
+            .collect();
+        decision_providers.sort_unstable();
+        let decision_m = decision.placement.m;
+
+        // Map the decision onto every member: exact per-member pricing (the
+        // class rates at the member's exact size), exact migration gate.
+        for member in members {
+            if member.m == decision_m && member.providers == decision_providers {
+                // Already on the decided placement: re-evaluated, nothing
+                // to move (a plan whose `from` equals its `to` is never
+                // beneficial) — no metadata read needed.
+                partial.placements_recomputed += 1;
+                continue;
+            }
+            // Divergent member: now (and only now) deserialise its full
+            // metadata for the exact migration gate.
+            let meta = match member.meta {
+                Some(meta) => meta,
+                None => {
+                    let Some(cell) =
+                        infra
+                            .database()
+                            .get_latest(engine.datacenter(), &member.row_key, "meta")
+                    else {
+                        continue; // Deleted mid-cycle.
+                    };
+                    let Ok(meta) = serde_json::from_value::<ObjectMeta>(cell.value) else {
+                        continue;
+                    };
+                    meta
+                }
+            };
+            let row_key = member.row_key;
+            let member_usage = PredictedUsage {
+                size: meta.size,
+                ..usage
+            };
+            let Some((m, member_cost)) =
+                PlacementEngine::evaluate_set(&rule, &member_usage, &decision.placement.providers)
+            else {
+                continue; // Decision infeasible at this member's exact size.
+            };
+            partial.placements_recomputed += 1;
+
+            let current_providers: Vec<_> = meta
+                .striping
+                .chunks
+                .iter()
+                .filter_map(|c| infra.catalog().get(c.provider))
+                .collect();
+            let current = Placement {
+                providers: current_providers.clone(),
+                m: meta.striping.m,
+            };
+            // Priced with the rule's latency weight so the migration gate
+            // compares like with like: the candidate's cost already includes
+            // the latency penalty (billing itself never does).
+            let current_cost = compute_price_weighted(
+                &current_providers,
+                meta.striping.m,
+                &member_usage,
+                rule.latency_weight,
+            );
+            let to = Placement {
+                providers: decision.placement.providers.clone(),
+                m,
+            };
+            let plan = MigrationPlan::build(current, to, &member_usage, current_cost, member_cost);
+            if plan.changes_placement() && plan.is_beneficial() {
+                candidates.push(MigrationCandidate {
+                    savings_per_byte: plan.savings_per_byte(meta.size),
+                    row_key,
+                    key: meta.key.clone(),
+                    size: meta.size,
+                    plan,
+                });
+            }
+        }
+        (partial, candidates)
+    }
+
+    // ------------------------------------------------------------------
+    // Per-object sweep (differential baseline)
+    // ------------------------------------------------------------------
+
+    /// The pre-class per-object procedure: full-scan accessed-set fetch,
+    /// then trend detection, decision-period control and one placement
+    /// search **per object**. Kept as the baseline the class-centric sweep
+    /// is differential-tested (singleton classes must match bit for bit)
+    /// and benchmarked against.
+    pub fn run_per_object(
+        &self,
+        engines: &[Arc<Engine>],
+        infra: &Arc<Infrastructure>,
+        force: bool,
+    ) -> OptimizationReport {
+        let Some(leader) = engines.iter().min_by_key(|e| e.id().0) else {
+            return OptimizationReport::default();
+        };
+
+        let stats = infra.statistics(leader.datacenter());
+        let (accessed, _) = self.take_accessed_set_scan(&stats, infra);
+
         let shard_count = engines.len().max(1);
         let shards: Vec<(usize, Vec<String>)> = accessed
             .chunks(accessed.len().div_ceil(shard_count).max(1))
@@ -137,7 +805,10 @@ impl PeriodicOptimizer {
                     let outcome = self.optimize_object(engine, infra, row_key, force);
                     partial.trend_changes += outcome.trend_changed as usize;
                     partial.placements_recomputed += outcome.recomputed as usize;
+                    partial.searches_executed += outcome.recomputed as usize;
+                    partial.objects_covered += outcome.recomputed as usize;
                     partial.migrations_executed += outcome.migrated as usize;
+                    partial.bytes_migrated += outcome.bytes_migrated;
                 }
                 partial
             })
@@ -149,9 +820,9 @@ impl PeriodicOptimizer {
         }
     }
 
-    /// 5) For one object: detect a trend change and, if needed, recompute
-    ///    the placement and migrate. Returns what happened so the caller can
-    ///    fold it into its shard-private partial report.
+    /// For one object: detect a trend change and, if needed, recompute the
+    /// placement and migrate. Returns what happened so the caller can fold
+    /// it into its shard-private partial report.
     fn optimize_object(
         &self,
         engine: &Arc<Engine>,
@@ -170,8 +841,9 @@ impl PeriodicOptimizer {
         let Ok(meta) = serde_json::from_value::<ObjectMeta>(cell.value) else {
             return outcome;
         };
+        let class = ObjectClass::of(&meta.mime, meta.size);
 
-        let history = stats.history(row_key, scalia_types::stats::DEFAULT_HISTORY_LEN);
+        let history = stats.history(row_key, DEFAULT_HISTORY_LEN);
         let series = history.ops_series(history.len());
         outcome.trend_changed = self.detector.detect(&series);
         if !outcome.trend_changed && !force {
@@ -185,12 +857,12 @@ impl PeriodicOptimizer {
         let rule = meta.rule.clone();
         let size = meta.size;
         // All searches below go through the shared placement decision cache
-        // (rule + usage class + catalog version): one optimisation cycle
-        // re-prices each class once instead of once per object.
+        // (rule + class + usage bucket + catalog version): one optimisation
+        // cycle re-prices each class once instead of once per object.
         controller.on_optimization(upper_bound, |window| {
             let periods = window.periods(infra.sampling_period()).max(1) as usize;
             let usage = PredictedUsage::from_history(size, &history, periods, period_hours);
-            match infra.best_placement_cached(&self.placement, &rule, &usage) {
+            match infra.best_placement_cached(&self.placement, &rule, class.id(), &usage) {
                 Ok(decision) => decision
                     .expected_cost
                     .scale(1.0 / usage.duration_hours.max(1e-9)),
@@ -203,7 +875,9 @@ impl PeriodicOptimizer {
         let periods = decision_period.periods(infra.sampling_period()).max(1) as usize;
         let usage = PredictedUsage::from_history(meta.size, &history, periods, period_hours);
 
-        let Ok(decision) = infra.best_placement_cached(&self.placement, &meta.rule, &usage) else {
+        let Ok(decision) =
+            infra.best_placement_cached(&self.placement, &meta.rule, class.id(), &usage)
+        else {
             return outcome;
         };
         outcome.recomputed = true;
@@ -236,11 +910,12 @@ impl PeriodicOptimizer {
             current_cost,
             decision.expected_cost,
         );
-        if plan.changes_placement()
-            && plan.is_beneficial()
-            && engine.replace_placement(&meta.key, &plan.to).is_ok()
-        {
-            outcome.migrated = true;
+        if plan.changes_placement() && plan.is_beneficial() {
+            let bytes = plan.bytes_moved(meta.size);
+            if engine.replace_placement(&meta.key, &plan.to).is_ok() {
+                outcome.migrated = true;
+                outcome.bytes_migrated = bytes;
+            }
         }
         outcome
     }
@@ -254,15 +929,47 @@ impl PeriodicOptimizer {
         infra: &Arc<Infrastructure>,
         history: &scalia_types::stats::AccessHistory,
     ) -> Duration {
-        if let Some(ttl) = meta.ttl_hint_hours {
-            return Duration::from_secs((ttl * 3600.0) as u64);
+        // The writer's TTL hint short-circuits before the class row is ever
+        // read — no lifetime fetch + sort for hinted objects.
+        if meta.ttl_hint_hours.is_some() {
+            return self.ttl_upper_bound_with(
+                meta.ttl_hint_hours,
+                meta.written_at,
+                infra,
+                None,
+                history,
+            );
         }
         let stats = infra.statistics(scalia_types::ids::DatacenterId::new(0));
-        let class = scalia_core::classify::ObjectClass::of(&meta.mime, meta.size);
+        let class = ObjectClass::of(&meta.mime, meta.size);
         let lifetimes = stats.class_lifetimes(class.id());
-        if !lifetimes.is_empty() {
-            let dist = scalia_core::lifetime::LifetimeDistribution::from_samples(lifetimes);
-            let age = infra.now().since(meta.written_at).as_hours();
+        let dist = (!lifetimes.is_empty())
+            .then(|| scalia_core::lifetime::LifetimeDistribution::from_samples(lifetimes));
+        self.ttl_upper_bound_with(
+            meta.ttl_hint_hours,
+            meta.written_at,
+            infra,
+            dist.as_ref(),
+            history,
+        )
+    }
+
+    /// [`Self::ttl_upper_bound`] on the digest fields, with the class's
+    /// deletion-time distribution supplied by the caller (the class-centric
+    /// sweep builds it once per class).
+    fn ttl_upper_bound_with(
+        &self,
+        ttl_hint_hours: Option<f64>,
+        written_at: scalia_types::time::SimTime,
+        infra: &Arc<Infrastructure>,
+        lifetime_dist: Option<&scalia_core::lifetime::LifetimeDistribution>,
+        history: &scalia_types::stats::AccessHistory,
+    ) -> Duration {
+        if let Some(ttl) = ttl_hint_hours {
+            return Duration::from_secs((ttl * 3600.0) as u64);
+        }
+        if let Some(dist) = lifetime_dist {
+            let age = infra.now().since(written_at).as_hours();
             if let Some(remaining) = dist.expected_remaining(age) {
                 return Duration::from_secs((remaining.max(1.0) * 3600.0) as u64);
             }
@@ -321,13 +1028,15 @@ mod tests {
                 trend_changes: 1,
                 placements_recomputed: 3,
                 migrations_executed: 1,
+                searches_executed: 1,
+                objects_covered: 3,
+                migrations_deferred: 1,
+                bytes_migrated: 1000,
             },
             OptimizationReport {
                 leader: EngineId::new(2),
                 objects_considered: 9,
-                trend_changes: 0,
-                placements_recomputed: 0,
-                migrations_executed: 0,
+                ..OptimizationReport::default()
             },
             OptimizationReport {
                 leader: EngineId::new(2),
@@ -335,6 +1044,10 @@ mod tests {
                 trend_changes: 4,
                 placements_recomputed: 4,
                 migrations_executed: 2,
+                searches_executed: 2,
+                objects_covered: 4,
+                migrations_deferred: 0,
+                bytes_migrated: 5000,
             },
             OptimizationReport {
                 leader: EngineId::new(2),
@@ -342,6 +1055,10 @@ mod tests {
                 trend_changes: 2,
                 placements_recomputed: 2,
                 migrations_executed: 0,
+                searches_executed: 1,
+                objects_covered: 2,
+                migrations_deferred: 2,
+                bytes_migrated: 0,
             },
         ];
 
@@ -384,14 +1101,18 @@ mod tests {
         assert_eq!(reference.trend_changes, 7);
         assert_eq!(reference.placements_recomputed, 9);
         assert_eq!(reference.migrations_executed, 3);
+        assert_eq!(reference.searches_executed, 4);
+        assert_eq!(reference.objects_covered, 9);
+        assert_eq!(reference.migrations_deferred, 3);
+        assert_eq!(reference.bytes_migrated, 6000);
         assert_eq!(reference.leader, EngineId::new(2));
     }
 
     #[test]
     fn procedure_report_is_identical_across_pool_sizes() {
         // The same deployment state optimised under different worker counts
-        // must produce the same report (the merge is order-insensitive and
-        // the per-object decisions are deterministic).
+        // must produce the same report (the merges are order-insensitive and
+        // the per-group decisions are deterministic).
         let run_with_pool = |workers: usize| {
             let pool = rayon::ThreadPool::new(workers);
             let cluster = ScaliaCluster::builder().build();
@@ -407,10 +1128,7 @@ mod tests {
         };
         let r1 = run_with_pool(1);
         let r4 = run_with_pool(4);
-        assert_eq!(r1.objects_considered, r4.objects_considered);
-        assert_eq!(r1.trend_changes, r4.trend_changes);
-        assert_eq!(r1.placements_recomputed, r4.placements_recomputed);
-        assert_eq!(r1.migrations_executed, r4.migrations_executed);
+        assert_eq!(r1, r4);
     }
 
     #[test]
@@ -420,6 +1138,7 @@ mod tests {
         let report = cluster.run_optimization(false);
         assert_eq!(report.objects_considered, 0);
         assert_eq!(report.migrations_executed, 0);
+        assert_eq!(report.searches_executed, 0);
     }
 
     #[test]
@@ -435,6 +1154,7 @@ mod tests {
         let report = cluster.run_optimization(false);
         assert_eq!(report.objects_considered, 1);
         assert_eq!(report.trend_changes, 0);
+        assert_eq!(report.searches_executed, 0);
         assert_eq!(report.migrations_executed, 0);
     }
 
@@ -462,6 +1182,10 @@ mod tests {
         assert_eq!(report.objects_considered, 1);
         assert!(report.trend_changes >= 1, "the spike must be detected");
         assert!(report.placements_recomputed >= 1);
+        assert_eq!(
+            report.searches_executed, 1,
+            "one object in one class: exactly one search"
+        );
 
         let after = cluster.engine(0).read_metadata(&key).unwrap();
         if report.migrations_executed > 0 {
@@ -516,6 +1240,7 @@ mod tests {
             report.migrations_executed >= 1,
             "the huge saving must justify migration"
         );
+        assert!(report.bytes_migrated > 0);
         let meta = cluster.engine(0).read_metadata(&key).unwrap();
         let names: Vec<String> = meta
             .striping
@@ -527,5 +1252,45 @@ mod tests {
         assert!(names.contains(&"UltraCheap".to_string()));
         cluster.caches().iter().for_each(|c| c.clear());
         assert_eq!(cluster.get(&key).unwrap().len(), 2_000_000);
+    }
+
+    #[test]
+    fn one_search_covers_every_member_of_a_class() {
+        // 30 objects, all one class (same MIME, same discretised size):
+        // a forced cycle runs exactly one placement search and covers all
+        // 30 objects with it.
+        let cluster = ScaliaCluster::builder().build();
+        for i in 0..30 {
+            let key = ObjectKey::new("c", format!("member{i}"));
+            cluster
+                .put(&key, vec![1u8; 64_000], "image/png", rule(), None)
+                .unwrap();
+            cluster.get(&key).unwrap();
+        }
+        cluster.tick(SimTime::from_hours(1));
+        let report = cluster.run_optimization(true);
+        assert_eq!(report.objects_considered, 30);
+        assert_eq!(report.searches_executed, 1, "one class ⇒ one search");
+        assert_eq!(report.objects_covered, 30);
+        assert_eq!(report.placements_recomputed, 30);
+    }
+
+    #[test]
+    fn searches_are_bounded_by_class_count() {
+        // 24 objects in 3 classes (distinct MIME types).
+        let cluster = ScaliaCluster::builder().build();
+        let mimes = ["image/png", "image/jpeg", "application/pdf"];
+        for i in 0..24 {
+            let key = ObjectKey::new("c", format!("obj{i}"));
+            cluster
+                .put(&key, vec![1u8; 64_000], mimes[i % 3], rule(), None)
+                .unwrap();
+            cluster.get(&key).unwrap();
+        }
+        cluster.tick(SimTime::from_hours(1));
+        let report = cluster.run_optimization(true);
+        assert_eq!(report.objects_considered, 24);
+        assert_eq!(report.searches_executed, 3, "3 classes ⇒ 3 searches");
+        assert_eq!(report.objects_covered, 24);
     }
 }

@@ -11,8 +11,14 @@
 //! [`PlacementCache`] memoizes the chosen provider set + threshold, keyed by
 //!
 //! * the **storage rule** (all constraint fields),
-//! * the **usage class** — each predicted-usage dimension quantized to its
-//!   power-of-two bucket, so "equivalent" workloads share an entry, and
+//! * the **object class** — the exact class identifier
+//!   (`C(obj) = MD5(mime | discretize(size))`), so only true class members
+//!   ever share a decision (the coarse cross-class power-of-two sharing of
+//!   earlier revisions is gone),
+//! * the **usage bucket** — each predicted-usage dimension quantized to its
+//!   power-of-two bucket, which catches *temporal* drift: when a class's
+//!   access pattern moves materially (a Slashdot spike), its key changes
+//!   and the search re-runs instead of revalidating a stale set forever,
 //! * the **catalog version** — any provider registration, removal or
 //!   outage bumps the version ([`scalia_providers::catalog::ProviderCatalog::version`])
 //!   and implicitly invalidates every cached decision.
@@ -72,7 +78,8 @@ impl UsageClassKey {
     }
 }
 
-/// The full cache key: rule + usage class + catalog version.
+/// The full cache key: rule + exact object class + usage bucket + catalog
+/// version.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlacementCacheKey {
     catalog_version: u64,
@@ -83,6 +90,7 @@ pub struct PlacementCacheKey {
     zones: scalia_types::zone::ZoneSet,
     lockin_bits: u64,
     latency_weight_bits: u64,
+    class_id: String,
     usage: UsageClassKey,
 }
 
@@ -91,6 +99,7 @@ impl PlacementCacheKey {
         catalog_version: u64,
         options: PlacementOptions,
         rule: &StorageRule,
+        class_id: &str,
         usage: &PredictedUsage,
     ) -> Self {
         PlacementCacheKey {
@@ -102,6 +111,7 @@ impl PlacementCacheKey {
             zones: rule.zones,
             lockin_bits: rule.lockin.to_bits(),
             latency_weight_bits: rule.latency_weight.to_bits(),
+            class_id: class_id.to_string(),
             usage: UsageClassKey::of(usage),
         }
     }
@@ -154,10 +164,10 @@ impl PlacementCache {
         }
     }
 
-    /// Runs (or reuses) the placement search for `rule` + `usage` against
-    /// the catalog snapshot produced by `providers` (the available set at
-    /// `catalog_version`). The supplier is only invoked on a miss, so cache
-    /// hits never pay the catalog clone.
+    /// Runs (or reuses) the placement search for `rule` + `class_id` +
+    /// `usage` against the catalog snapshot produced by `providers` (the
+    /// available set at `catalog_version`). The supplier is only invoked on
+    /// a miss, so cache hits never pay the catalog clone.
     ///
     /// On a hit, the cached provider set is revalidated against the exact
     /// usage and its cost recomputed exactly; on a miss (or failed
@@ -167,6 +177,7 @@ impl PlacementCache {
         &self,
         engine: &PlacementEngine,
         rule: &StorageRule,
+        class_id: &str,
         usage: &PredictedUsage,
         providers: impl FnOnce() -> Vec<ProviderDescriptor>,
         catalog_version: u64,
@@ -174,7 +185,7 @@ impl PlacementCache {
         // Engines with different search strategies (exhaustive vs pruning
         // heuristic) must not share entries: a heuristic decision is not
         // necessarily the exact optimum an exhaustive caller expects.
-        let key = PlacementCacheKey::new(catalog_version, engine.options(), rule, usage);
+        let key = PlacementCacheKey::new(catalog_version, engine.options(), rule, class_id, usage);
         let cached = self.entries.read().get(&key).cloned();
         if let Some(placement) = cached {
             if let Some((m, price)) =
@@ -266,10 +277,10 @@ mod tests {
         let engine = PlacementEngine::new();
         let usage = PredictedUsage::storage_only(ByteSize::from_mb(1), 24.0);
         let first = cache
-            .best_placement(&engine, &rule(), &usage, catalog, 7)
+            .best_placement(&engine, &rule(), "cls", &usage, catalog, 7)
             .unwrap();
         let second = cache
-            .best_placement(&engine, &rule(), &usage, catalog, 7)
+            .best_placement(&engine, &rule(), "cls", &usage, catalog, 7)
             .unwrap();
         assert_eq!(first, second);
         let stats = cache.stats();
@@ -286,10 +297,10 @@ mod tests {
         let a = PredictedUsage::storage_only(ByteSize::from_kb(600), 24.0);
         let b = PredictedUsage::storage_only(ByteSize::from_kb(1000), 24.0);
         let da = cache
-            .best_placement(&engine, &rule(), &a, catalog, 1)
+            .best_placement(&engine, &rule(), "cls", &a, catalog, 1)
             .unwrap();
         let db = cache
-            .best_placement(&engine, &rule(), &b, catalog, 1)
+            .best_placement(&engine, &rule(), "cls", &b, catalog, 1)
             .unwrap();
         assert_eq!(cache.stats().hits, 1, "same class must hit");
         assert!(da.placement.same_as(&db.placement));
@@ -303,10 +314,10 @@ mod tests {
         let engine = PlacementEngine::new();
         let usage = PredictedUsage::storage_only(ByteSize::from_mb(1), 24.0);
         cache
-            .best_placement(&engine, &rule(), &usage, catalog, 1)
+            .best_placement(&engine, &rule(), "cls", &usage, catalog, 1)
             .unwrap();
         cache
-            .best_placement(&engine, &rule(), &usage, catalog, 2)
+            .best_placement(&engine, &rule(), "cls", &usage, catalog, 2)
             .unwrap();
         assert_eq!(cache.stats().misses, 2, "new catalog version must miss");
     }
@@ -317,11 +328,11 @@ mod tests {
         let engine = PlacementEngine::new();
         let usage = PredictedUsage::storage_only(ByteSize::from_mb(1), 24.0);
         cache
-            .best_placement(&engine, &rule(), &usage, catalog, 1)
+            .best_placement(&engine, &rule(), "cls", &usage, catalog, 1)
             .unwrap();
         let stricter = rule().with_lockin(0.2);
         let d = cache
-            .best_placement(&engine, &stricter, &usage, catalog, 1)
+            .best_placement(&engine, &stricter, "cls", &usage, catalog, 1)
             .unwrap();
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(
@@ -340,13 +351,13 @@ mod tests {
             strategy: SearchStrategy::Heuristic { max_candidates: 3 },
         });
         cache
-            .best_placement(&heuristic, &rule(), &usage, catalog, 1)
+            .best_placement(&heuristic, &rule(), "cls", &usage, catalog, 1)
             .unwrap();
         // An exhaustive caller with the same rule/usage/version must run
         // its own exact search, not inherit the heuristic's answer.
         let exhaustive = PlacementEngine::new();
         cache
-            .best_placement(&exhaustive, &rule(), &usage, catalog, 1)
+            .best_placement(&exhaustive, &rule(), "cls", &usage, catalog, 1)
             .unwrap();
         assert_eq!(
             cache.stats().misses,
@@ -366,13 +377,13 @@ mod tests {
             .clone()
             .with_max_chunk_size(ByteSize::from_kb(700));
         let d_small = cache
-            .best_placement(&engine, &rule(), &small, || providers.clone(), 3)
+            .best_placement(&engine, &rule(), "cls", &small, || providers.clone(), 3)
             .unwrap();
         // …then ask for a same-bucket larger object that breaks the cached
         // set's chunk limit (if the limited provider was chosen).
         let large = PredictedUsage::storage_only(ByteSize::from_kb(1000), 24.0);
         let d_large = cache
-            .best_placement(&engine, &rule(), &large, || providers.clone(), 3)
+            .best_placement(&engine, &rule(), "cls", &large, || providers.clone(), 3)
             .unwrap();
         let chunk = large.size.div_ceil(d_large.placement.m as usize);
         for p in &d_large.placement.providers {
@@ -388,7 +399,7 @@ mod tests {
         for i in 0..5u64 {
             let usage = PredictedUsage::storage_only(ByteSize::from_kb(10 << i), 24.0);
             cache
-                .best_placement(&engine, &rule(), &usage, catalog, 1)
+                .best_placement(&engine, &rule(), "cls", &usage, catalog, 1)
                 .unwrap();
         }
         assert!(cache.len() <= 2);

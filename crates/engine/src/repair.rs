@@ -95,7 +95,8 @@ pub fn repair_provider(
         // Cached: objects of the same class sharing the failed provider are
         // re-placed with one search (the outage bumped the catalog version,
         // so no pre-outage decision can leak through).
-        match infra.best_placement_cached(placement_engine, &meta.rule, &usage) {
+        let class = scalia_core::classify::ObjectClass::of(&meta.mime, meta.size);
+        match infra.best_placement_cached(placement_engine, &meta.rule, class.id(), &usage) {
             Ok(decision) => match engine.replace_placement(&meta.key, &decision.placement) {
                 Ok(_) => report.objects_repaired += 1,
                 Err(_) => report.objects_failed += 1,

@@ -87,8 +87,20 @@ impl LogAggregator {
     }
 
     /// Drains every agent, aggregates the records per `(object, period)` and
-    /// writes the aggregates to `stats`. Returns the number of
-    /// `(object, period)` aggregates written.
+    /// writes the aggregates to `stats` — each tagged with the object's
+    /// class (one point read of the class recorded at insertion, so the
+    /// dirty-set index carries the tag and the class-centric optimiser can
+    /// group the accessed set with no metadata reads). The same pass folds
+    /// the per-object aggregates into **one pre-aggregated delta per
+    /// `(class, period)`** ([`StatisticsStore::record_class_period`]), so a
+    /// class's usage series costs O(periods) to read, not
+    /// O(members × periods). Returns the number of `(object, period)`
+    /// aggregates written.
+    ///
+    /// The aggregator flushes each sampling period once (the cluster ticks
+    /// at period boundaries); a re-flush of the same `(object, period)`
+    /// *replaces* the per-object column but *adds* a rollup delta — the
+    /// rollup keeps the complete count, the object column the latest flush.
     pub fn flush(&self, stats: &StatisticsStore, timestamp: Timestamp) -> usize {
         let mut grouped: BTreeMap<(String, u64), PeriodStats> = BTreeMap::new();
         for agent in &self.agents {
@@ -109,18 +121,42 @@ impl LogAggregator {
                 }
             }
         }
+        let mut classes: BTreeMap<String, Option<String>> = BTreeMap::new();
+        let mut rollups: BTreeMap<(String, u64), (PeriodStats, u64)> = BTreeMap::new();
         let mut written = 0;
-        for ((object_row_key, _period), period_stats) in &grouped {
-            // Statistics writes use unique keys so they never conflict; the
-            // sequence number disambiguates aggregates flushed at the same
-            // simulated second.
-            let ts = Timestamp::new(timestamp.secs, timestamp.seq + written as u64);
+        // Every write of one flush shares the caller's timestamp: each
+        // targets a distinct column (rollup column names embed the
+        // timestamp), so nothing conflicts — and no timestamp beyond the
+        // allocated one is ever fabricated. (The previous scheme stamped
+        // `seq + i`, minting marks that post-dated timestamps the clock
+        // handed out *later* — the optimiser's `last_run` watermark would
+        // then re-admit the whole previous window as freshly accessed.)
+        for ((object_row_key, period), period_stats) in &grouped {
+            let class = classes
+                .entry(object_row_key.clone())
+                .or_insert_with(|| stats.object_class(object_row_key));
             if stats
-                .record_period(object_row_key, period_stats, ts)
+                .record_period_classified(object_row_key, class.as_deref(), period_stats, timestamp)
                 .is_ok()
             {
                 written += 1;
+                if let Some(class_id) = class {
+                    let (delta, objects) = rollups
+                        .entry((class_id.clone(), *period))
+                        .or_insert_with(|| (PeriodStats::empty(*period), 0));
+                    delta.storage += period_stats.storage;
+                    delta.bw_in += period_stats.bw_in;
+                    delta.bw_out += period_stats.bw_out;
+                    delta.reads += period_stats.reads;
+                    delta.writes += period_stats.writes;
+                    *objects += 1;
+                }
             }
+        }
+        for ((class_id, _period), (delta, objects)) in &rollups {
+            stats
+                .record_class_period(class_id, delta, *objects, timestamp)
+                .ok();
         }
         written
     }

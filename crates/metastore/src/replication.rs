@@ -98,16 +98,36 @@ impl ReplicatedStore {
         }
     }
 
+    /// The first reachable node, preferring the caller's local datacenter —
+    /// the single read policy every best-effort single-replica read
+    /// delegates to. Allocation-free: this sits under the hottest metadata
+    /// reads.
+    pub fn read_node(&self, local: DatacenterId) -> Option<&Arc<NoSqlNode>> {
+        self.nodes
+            .iter()
+            .find(|n| n.is_up() && n.datacenter() == local)
+            .or_else(|| self.nodes.iter().find(|n| n.is_up()))
+    }
+
     /// Reads the latest version of a column from the first reachable node
     /// (preferring the caller's local datacenter).
     pub fn get_latest(&self, local: DatacenterId, row_key: &str, column: &str) -> Option<Cell> {
-        let ordered = self.ordered_nodes(local);
-        for node in ordered {
-            if node.is_up() {
-                return node.get_latest(row_key, column);
-            }
-        }
-        None
+        self.read_node(local)
+            .and_then(|n| n.get_latest(row_key, column))
+    }
+
+    /// Applies `read` to the latest version of a column on the first
+    /// reachable node (preferring `local`) without cloning the cell — see
+    /// [`NoSqlNode::with_latest`].
+    pub fn with_latest<T>(
+        &self,
+        local: DatacenterId,
+        row_key: &str,
+        column: &str,
+        read: impl FnOnce(&Cell) -> T,
+    ) -> Option<T> {
+        self.read_node(local)
+            .and_then(|n| n.with_latest(row_key, column, read))
     }
 
     /// Reads every version of a column from the first reachable node.
@@ -124,6 +144,14 @@ impl ReplicatedStore {
     pub fn delete_row(&self, row_key: &str) {
         for node in &self.nodes {
             node.delete_row(row_key);
+        }
+    }
+
+    /// Deletes a single column of a row on every reachable node (statistics
+    /// garbage collection: dropping over-retention samples).
+    pub fn delete_column(&self, row_key: &str, column: &str) {
+        for node in &self.nodes {
+            node.delete_column(row_key, column);
         }
     }
 

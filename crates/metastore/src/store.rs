@@ -83,6 +83,26 @@ impl NoSqlNode {
             .and_then(|col| latest(col).cloned())
     }
 
+    /// Applies `read` to the latest cell of a column **without cloning it**
+    /// — the zero-copy variant of [`Self::get_latest`] for hot point reads
+    /// (the optimiser decodes one digest per accessed object per cycle).
+    pub fn with_latest<T>(
+        &self,
+        row_key: &str,
+        column: &str,
+        read: impl FnOnce(&Cell) -> T,
+    ) -> Option<T> {
+        if !self.is_up() {
+            return None;
+        }
+        self.rows
+            .read()
+            .get(row_key)
+            .and_then(|row| row.get(column))
+            .and_then(latest)
+            .map(read)
+    }
+
     /// All versions of a column, oldest first.
     pub fn get_versions(&self, row_key: &str, column: &str) -> Vec<Cell> {
         if !self.is_up() {
@@ -102,6 +122,24 @@ impl NoSqlNode {
             return None;
         }
         self.rows.read().get(row_key).cloned()
+    }
+
+    /// The latest cell of every column of `row_key` whose name starts with
+    /// `prefix`, in column order. Wide rows mixing several column families
+    /// (class rows: lifetime samples, usage samples, per-period rollups)
+    /// can be read one family at a time without cloning the whole row.
+    pub fn latest_cells_with_prefix(&self, row_key: &str, prefix: &str) -> Vec<(String, Cell)> {
+        if !self.is_up() {
+            return Vec::new();
+        }
+        let rows = self.rows.read();
+        let Some(row) = rows.get(row_key) else {
+            return Vec::new();
+        };
+        row.range(prefix.to_string()..)
+            .take_while(|(column, _)| column.starts_with(prefix))
+            .filter_map(|(column, cells)| latest(cells).map(|c| (column.clone(), c.clone())))
+            .collect()
     }
 
     /// Removes every version of a column older than the latest one,
@@ -155,6 +193,43 @@ impl NoSqlNode {
             .keys()
             .filter(|k| k.starts_with(prefix))
             .cloned()
+            .collect()
+    }
+
+    /// Visits the latest cell of every column of every row with
+    /// `start <= key < end`, in lexicographic order, **without cloning**
+    /// rows or cells — a true range query over the ordered row map for hot
+    /// range scans (the optimiser's dirty-set fetch visits one cell per
+    /// touched object per cycle; cloning whole rows there would cost more
+    /// than the rest of the fetch combined).
+    pub fn visit_range_latest(
+        &self,
+        start: &str,
+        end: &str,
+        mut visit: impl FnMut(&str, &str, &Cell),
+    ) {
+        if !self.is_up() {
+            return;
+        }
+        for (row_key, row) in self.rows.read().range(start.to_string()..end.to_string()) {
+            for (column, cells) in row {
+                if let Some(cell) = latest(cells) {
+                    visit(row_key, column, cell);
+                }
+            }
+        }
+    }
+
+    /// Row keys with `start <= key < end`, in lexicographic order (the
+    /// keys-only variant of [`Self::range_rows`]).
+    pub fn range_keys(&self, start: &str, end: &str) -> Vec<String> {
+        if !self.is_up() {
+            return Vec::new();
+        }
+        self.rows
+            .read()
+            .range(start.to_string()..end.to_string())
+            .map(|(k, _)| k.clone())
             .collect()
     }
 

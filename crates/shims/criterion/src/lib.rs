@@ -205,6 +205,40 @@ impl Bencher {
         self.iters = iters;
     }
 
+    /// Criterion's `iter_custom`: the routine receives an iteration count
+    /// and returns the measured duration of exactly that many iterations —
+    /// letting the benchmark exclude per-iteration setup (state mutation,
+    /// cache reheating) from the measurement. The shim always asks for one
+    /// iteration at a time; the wall-clock budget bounds the *total* run,
+    /// setup included.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        if test_mode() {
+            // Smoke mode: one run, no measurement.
+            black_box(routine(1));
+            self.iters = 1;
+            return;
+        }
+        // Warm-up iteration (not recorded).
+        black_box(routine(1));
+        let budget = budget();
+        let run_start = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut best = f64::INFINITY;
+        while run_start.elapsed() < budget || iters == 0 {
+            let elapsed = routine(1);
+            total += elapsed;
+            iters += 1;
+            let per_iter = elapsed.as_nanos() as f64;
+            if per_iter < best {
+                best = per_iter;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        self.best_ns = best;
+        self.iters = iters;
+    }
+
     fn report(&self, group: &str, id: &str) {
         let label = if group.is_empty() {
             id.to_string()

@@ -105,6 +105,11 @@ pub struct PolicyRun {
     pub sla_reads_total: u64,
     /// Of those, reads whose actual latency exceeded the rule's bound.
     pub sla_read_violations: u64,
+    /// Placement subset searches the policy ran over the whole simulation
+    /// (0 for policies that do not track it). With the class-shared search
+    /// memo, a many-objects-few-classes workload reports O(classes)
+    /// searches per re-evaluation instead of O(objects).
+    pub placement_searches: u64,
 }
 
 impl PolicyRun {
@@ -445,6 +450,7 @@ pub fn run_policy_with_actual(
         write_latency: write_latency.snapshot(),
         sla_reads_total,
         sla_read_violations,
+        placement_searches: policy.placement_searches(),
     }
 }
 
@@ -717,6 +723,38 @@ mod tests {
              adaptive {} vs blind {}",
             adaptive.migrations,
             blind.migrations
+        );
+    }
+
+    #[test]
+    fn class_shared_searches_scale_with_classes_not_objects() {
+        // The many-objects-few-classes scenario: members of a class are
+        // indistinguishable (same size, same demand), so the policy's
+        // exact-input search memo collapses their searches. Scaling the
+        // object count 10× at a fixed class count must not change the
+        // number of placement searches at all.
+        let providers = catalog();
+        let small = crate::scenarios::many_objects_few_classes(12, 6);
+        let big = crate::scenarios::many_objects_few_classes(120, 6);
+
+        let mut policy = ScaliaPolicy::new(1.0);
+        let small_run = run_policy(&small, &providers, &mut policy);
+        let mut policy = ScaliaPolicy::new(1.0);
+        let big_run = run_policy(&big, &providers, &mut policy);
+
+        assert!(small_run.feasible && big_run.feasible);
+        assert!(small_run.placement_searches > 0);
+        assert_eq!(
+            small_run.placement_searches, big_run.placement_searches,
+            "searches must depend on classes, not objects"
+        );
+        // And the absolute volume stays far below one-search-per-object
+        // per re-evaluation: 120 objects over 48 periods would mean
+        // thousands of searches object-centric.
+        assert!(
+            big_run.placement_searches < 120,
+            "got {} searches for 120 objects in 6 classes",
+            big_run.placement_searches
         );
     }
 

@@ -17,7 +17,7 @@ use crate::workload::{PeriodDemand, WorkloadObject};
 use scalia_core::cost::{compute_price_weighted, PredictedUsage};
 use scalia_core::decision::DecisionPeriodController;
 use scalia_core::migration::MigrationPlan;
-use scalia_core::placement::{Placement, PlacementEngine};
+use scalia_core::placement::{Placement, PlacementDecision, PlacementEngine};
 use scalia_core::trend::TrendDetector;
 use scalia_providers::descriptor::ProviderDescriptor;
 use scalia_types::money::Money;
@@ -49,6 +49,12 @@ pub trait PlacementPolicy {
     /// (the ideal oracle is exempt — it is a lower bound).
     fn charges_migration(&self) -> bool {
         true
+    }
+
+    /// Number of placement subset searches the policy has run so far.
+    /// Policies that do not track this report 0.
+    fn placement_searches(&self) -> u64 {
+        0
     }
 }
 
@@ -196,6 +202,53 @@ fn latency_fingerprint(available: &[ProviderDescriptor]) -> u64 {
     hash
 }
 
+/// Bit-exact identity of one placement search: the period, the rule's
+/// constraint fields, the predicted usage and the available-set
+/// fingerprint. Two objects of the same class with the same demand produce
+/// the same key, so a many-objects-few-classes workload runs one search
+/// per class per re-evaluation instead of one per object — the sim-side
+/// mirror of the engine's class-centric optimisation pipeline. Distinct
+/// inputs always produce distinct keys, so memoization is behaviour-
+/// preserving.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct SearchKey {
+    period: u64,
+    rule_name: String,
+    rule_bits: [u64; 5],
+    usage_bits: [u64; 6],
+    available_fingerprint: u64,
+}
+
+impl SearchKey {
+    fn of(
+        period: u64,
+        rule: &scalia_types::rules::StorageRule,
+        usage: &PredictedUsage,
+        available: &[ProviderDescriptor],
+    ) -> Self {
+        SearchKey {
+            period,
+            rule_name: rule.name.clone(),
+            rule_bits: [
+                rule.durability.probability().to_bits(),
+                rule.availability.probability().to_bits(),
+                rule.lockin.to_bits(),
+                rule.latency_weight.to_bits(),
+                rule.zones.bits() as u64,
+            ],
+            usage_bits: [
+                usage.size.bytes(),
+                usage.bw_in.bytes(),
+                usage.bw_out.bytes(),
+                usage.reads,
+                usage.writes,
+                usage.duration_hours.to_bits(),
+            ],
+            available_fingerprint: latency_fingerprint(available),
+        }
+    }
+}
+
 /// The Scalia adaptive placement policy.
 pub struct ScaliaPolicy {
     engine: PlacementEngine,
@@ -205,6 +258,11 @@ pub struct ScaliaPolicy {
     adaptive_decision_period: bool,
     migration_gate: bool,
     state: HashMap<String, ObjectState>,
+    /// Per-period memo of exact search inputs → decision: same-class
+    /// objects with identical demand share one subset search.
+    search_memo: std::cell::RefCell<HashMap<SearchKey, Option<PlacementDecision>>>,
+    memo_period: std::cell::Cell<u64>,
+    searches: std::cell::Cell<u64>,
 }
 
 impl ScaliaPolicy {
@@ -220,7 +278,35 @@ impl ScaliaPolicy {
             adaptive_decision_period: true,
             migration_gate: true,
             state: HashMap::new(),
+            search_memo: std::cell::RefCell::new(HashMap::new()),
+            memo_period: std::cell::Cell::new(u64::MAX),
+            searches: std::cell::Cell::new(0),
         }
+    }
+
+    /// Runs (or reuses) the subset search for bit-identical inputs within
+    /// one period. The memo never crosses periods (the available set and
+    /// observations may change), so behaviour is identical to searching
+    /// every time — only the duplicate work is gone.
+    fn search_cached(
+        &self,
+        period: u64,
+        rule: &scalia_types::rules::StorageRule,
+        usage: &PredictedUsage,
+        available: &[ProviderDescriptor],
+    ) -> Option<PlacementDecision> {
+        if self.memo_period.get() != period {
+            self.search_memo.borrow_mut().clear();
+            self.memo_period.set(period);
+        }
+        let key = SearchKey::of(period, rule, usage, available);
+        if let Some(cached) = self.search_memo.borrow().get(&key) {
+            return cached.clone();
+        }
+        self.searches.set(self.searches.get() + 1);
+        let decision = self.engine.best_placement(rule, usage, available).ok();
+        self.search_memo.borrow_mut().insert(key, decision.clone());
+        decision
     }
 
     /// Overrides the trend detector (for the Figs. 8/9 parameter studies).
@@ -259,17 +345,17 @@ impl ScaliaPolicy {
     fn first_placement(
         &mut self,
         obj: &WorkloadObject,
+        period: u64,
         available: &[ProviderDescriptor],
     ) -> Option<Placement> {
         // No history yet: optimise for the expected storage-dominated usage
-        // over the default decision period.
+        // over the default decision period. Same-class objects created in
+        // the same period share one search through the memo.
         let usage = PredictedUsage::storage_only(
             obj.size,
             self.default_decision_periods as f64 * self.period_hours,
         );
-        self.engine
-            .best_placement(&obj.rule, &usage, available)
-            .ok()
+        self.search_cached(period, &obj.rule, &usage, available)
             .map(|d| d.placement)
     }
 }
@@ -279,10 +365,14 @@ impl PlacementPolicy for ScaliaPolicy {
         "Scalia".to_string()
     }
 
+    fn placement_searches(&self) -> u64 {
+        self.searches.get()
+    }
+
     fn placement_for(
         &mut self,
         obj: &WorkloadObject,
-        _period: u64,
+        period: u64,
         available: &[ProviderDescriptor],
         history: &AccessHistory,
         _actual_demand: PeriodDemand,
@@ -290,7 +380,7 @@ impl PlacementPolicy for ScaliaPolicy {
         let sampling = Duration::from_secs((self.period_hours * 3600.0) as u64);
 
         if !self.state.contains_key(&obj.id) {
-            let placement = self.first_placement(obj, available)?;
+            let placement = self.first_placement(obj, period, available)?;
             self.state.insert(
                 obj.id.clone(),
                 ObjectState {
@@ -339,7 +429,6 @@ impl PlacementPolicy for ScaliaPolicy {
         if trend_changed || catalog_changed || placement_broken || latency_shifted {
             // Optionally adapt the decision period first.
             if self.adaptive_decision_period && trend_changed {
-                let engine = &self.engine;
                 let rule = &obj.rule;
                 let size = obj.size;
                 let period_hours = self.period_hours;
@@ -349,8 +438,7 @@ impl PlacementPolicy for ScaliaPolicy {
                 controller.on_optimization(upper, |window| {
                     let periods = window.periods(sampling).max(1) as usize;
                     let usage = PredictedUsage::from_history(size, history, periods, period_hours);
-                    engine
-                        .best_placement(rule, &usage, available)
+                    self.search_cached(period, rule, &usage, available)
                         .map(|d| d.expected_cost.scale(1.0 / usage.duration_hours.max(1e-9)))
                         .unwrap_or(Money::MAX)
                 });
@@ -366,7 +454,7 @@ impl PlacementPolicy for ScaliaPolicy {
                 self.decision_periods(&temp_state)
             };
             let usage = PredictedUsage::from_history(obj.size, history, periods, self.period_hours);
-            if let Ok(decision) = self.engine.best_placement(&obj.rule, &usage, available) {
+            if let Some(decision) = self.search_cached(period, &obj.rule, &usage, available) {
                 let current_still_valid = !placement_broken;
                 let current_cost = if current_still_valid {
                     // The current placement's providers may carry stale

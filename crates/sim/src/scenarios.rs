@@ -282,6 +282,60 @@ pub fn cheap_but_slow() -> (
     (workload, catalog, actual)
 }
 
+/// The scalability scenario behind the paper's class argument (§III-A1/A2):
+/// `objects` objects spread over `classes` classes — every member of a
+/// class has the identical size and the identical demand trajectory
+/// (steady trickle, then the class's synchronized popularity spike), so
+/// class-amortised machinery (the engine's one-search-per-class optimiser,
+/// the sim policy's exact-input search memo) runs `O(classes)` placement
+/// searches per re-evaluation where object-centric machinery runs
+/// `O(objects)`.
+pub fn many_objects_few_classes(objects: usize, classes: usize) -> Workload {
+    let classes = classes.clamp(1, objects.max(1));
+    let periods = 48u64;
+    let rule = StorageRule::new(
+        "class-centric",
+        Reliability::from_percent(99.999),
+        Reliability::from_percent(99.99),
+        ZoneSet::all(),
+        0.5,
+    );
+    let mut workload_objects = Vec::with_capacity(objects);
+    for i in 0..objects {
+        let class = i % classes;
+        // One distinct discretised megabyte bucket per class.
+        let size = ByteSize::from_kb(256) + ByteSize::from_mb(class as u64);
+        // The class's spike hour is staggered so re-evaluations of
+        // different classes land in different periods.
+        let spike_at = 12 + (class as u64 * 3) % 24;
+        let demand: Vec<PeriodDemand> = (0..periods)
+            .map(|p| {
+                let reads = if p >= spike_at && p < spike_at + 4 {
+                    60
+                } else {
+                    2
+                };
+                PeriodDemand { reads, writes: 0 }
+            })
+            .collect();
+        workload_objects.push(WorkloadObject {
+            id: format!("c{class:02}-obj{i:05}"),
+            size,
+            rule: rule.clone(),
+            created_period: 0,
+            deleted_period: None,
+            demand,
+        });
+    }
+    Workload {
+        name: format!("{objects} objects in {classes} classes"),
+        objects: workload_objects,
+        periods,
+        sampling_period: Duration::HOUR,
+        events: vec![],
+    }
+}
+
 /// The per-period read counts of a single object following the reference
 /// website's pattern — the input series of the trend-detection Figs. 8
 /// (hourly samples over 7 days) and 9 (daily samples over 3 months).

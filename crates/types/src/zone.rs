@@ -71,6 +71,11 @@ impl ZoneSet {
         ZoneSet(self.0 | Self::bit(zone))
     }
 
+    /// The raw bitmask (used to fingerprint rules in cache/group keys).
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
     /// Returns `true` if the set contains `zone`.
     pub fn contains(self, zone: Zone) -> bool {
         self.0 & Self::bit(zone) != 0

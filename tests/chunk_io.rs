@@ -251,3 +251,112 @@ fn writes_and_hedged_reads_record_object_level_latency() {
     assert_eq!(infra.io_latency_snapshot(StoreOp::Get).count, 1);
     assert!(infra.io_latency_snapshot(StoreOp::Delete).count >= 1);
 }
+
+#[test]
+fn stalled_upload_is_hedged_and_the_write_replaced_without_the_straggler() {
+    // §III-D3 extended to slow-but-alive providers on the WRITE path: an
+    // upload that blows its hedge deadline (observed PUT p95 × multiplier
+    // once warm, modelled × multiplier until then) is rolled back and the
+    // write re-placed on the remaining providers — a provider stalling
+    // anomalously on PUTs cannot hold a write hostage.
+    use scalia::engine::chunk_io::{write_hedge_deadline_us, HedgeConfig};
+    use scalia::providers::latency::LatencyModel;
+
+    let cluster = ScaliaCluster::builder()
+        .datacenters(1)
+        .engines_per_datacenter(1)
+        .build();
+    let engine = cluster.engine(0);
+
+    // Prime the class's placement decision with a clean write; the second
+    // same-class put reuses the provider set that includes the (about to
+    // stall) victim.
+    let warm_meta = engine
+        .put(
+            &ObjectKey::new("wh", "warm.png"),
+            vec![1u8; 200_000].into(),
+            "image/png",
+            rule(),
+            None,
+        )
+        .unwrap();
+    let victim = warm_meta.striping.chunks[0].provider;
+
+    // Every upload so far fed the observed-write window.
+    for location in &warm_meta.striping.chunks {
+        assert!(
+            cluster
+                .infra()
+                .observed_write_snapshot(location.provider)
+                .count
+                >= 1,
+            "successful uploads must feed the write observation loop"
+        );
+    }
+
+    // The victim develops a 10-virtual-second stall on every request. The
+    // catalog is zero-latency, so the cold write deadline is the 2 ms
+    // floor — far below the stall.
+    cluster
+        .infra()
+        .backend(victim)
+        .unwrap()
+        .set_stall_us(10_000_000);
+
+    let meta = engine
+        .put(
+            &ObjectKey::new("wh", "during-stall.png"),
+            vec![2u8; 200_000].into(),
+            "image/png",
+            rule(),
+            None,
+        )
+        .unwrap();
+    assert!(
+        meta.striping.chunks.iter().all(|c| c.provider != victim),
+        "the stalled provider must be excluded from the re-placed write"
+    );
+    // The re-placed object is fully readable.
+    cluster.caches().iter().for_each(|c| c.clear());
+    assert_eq!(
+        cluster
+            .get(&ObjectKey::new("wh", "during-stall.png"))
+            .unwrap()
+            .len(),
+        200_000
+    );
+    // No chunk of the failed attempt leaked onto the victim: its footprint
+    // is exactly the warm object's single chunk.
+    let victim_backend = cluster.infra().backend(victim).unwrap();
+    assert_eq!(victim_backend.object_count(), 1, "only the warm chunk");
+
+    // Deadline adaptation: once the observed write window is warm, the
+    // deadline is grounded in the OBSERVED p95 (× multiplier) instead of
+    // the advertised model. A provider advertising 1 ms but actually
+    // writing at ~80 ms gets a realistic deadline.
+    let infra = cluster.infra();
+    let probe = warm_meta.striping.chunks[1].provider;
+    let config = HedgeConfig::default();
+    let advertised = LatencyModel::new(1, 0, 0, 7); // 1 ms, no jitter
+    let cold = write_hedge_deadline_us(infra, probe, &advertised, 100_000, &config);
+    assert_eq!(cold, 3_000, "cold: modelled 1 ms × 3");
+    for _ in 0..64 {
+        infra.record_provider_write_latency(probe, 80_000);
+    }
+    let warm = write_hedge_deadline_us(infra, probe, &advertised, 100_000, &config);
+    assert!(
+        warm >= 3 * 80_000,
+        "warm deadline {warm}µs must follow the observed p95, not the model"
+    );
+    // The fixed-deadline baseline ignores observations entirely.
+    assert_eq!(
+        write_hedge_deadline_us(
+            infra,
+            probe,
+            &advertised,
+            100_000,
+            &HedgeConfig::fixed_deadline()
+        ),
+        cold
+    );
+}

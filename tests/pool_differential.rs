@@ -89,6 +89,10 @@ fn report_merge_matches_sequential_across_pool_sizes() {
             trend_changes: (v % 7) as usize,
             placements_recomputed: (v % 5) as usize,
             migrations_executed: (v % 3) as usize,
+            searches_executed: (v % 4) as usize,
+            objects_covered: (v % 11) as usize,
+            migrations_deferred: (v % 2) as usize,
+            bytes_migrated: v % 4096,
         })
         .collect();
     let expected = partials
