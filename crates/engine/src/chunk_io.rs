@@ -30,6 +30,12 @@
 //!   and simply finds its result unneeded. Every outcome feeds the failure
 //!   detector (§III-D3) and every success feeds the provider's
 //!   observed-latency window, closing the adaptation loop.
+//! * [`write_chunks_tolerant`] — the **degraded-capable upload**: every
+//!   chunk is attempted (no abort-on-first-failure) and the write survives
+//!   with any `k ≥ m` of its `n` chunks; the failed providers come back to
+//!   the caller, which decides whether the surviving subset clears the
+//!   rule's availability floor (the degraded-write fallback of the engine's
+//!   put path).
 //! * [`delete_chunks`] — **parallel delete** with the postponed-delete
 //!   semantics for unreachable providers.
 //!
@@ -254,7 +260,7 @@ pub fn write_chunks_with(
     let abort = AtomicBool::new(false);
     let outcomes: Vec<UploadOutcome> = jobs
         .par_iter()
-        .map(|(chunk, provider)| upload_one(infra, chunk, provider, skey, &abort, config))
+        .map(|(chunk, provider)| upload_one(infra, chunk, provider, skey, Some(&abort), config))
         .collect();
 
     let mut failure: Option<(ProviderId, ScaliaError)> = None;
@@ -310,15 +316,17 @@ fn upload_one(
     chunk: &Chunk,
     provider: &ProviderDescriptor,
     skey: &str,
-    abort: &AtomicBool,
+    abort: Option<&AtomicBool>,
     config: &HedgeConfig,
 ) -> UploadOutcome {
-    if abort.load(Ordering::SeqCst) {
+    if abort.is_some_and(|a| a.load(Ordering::SeqCst)) {
         return UploadOutcome::Aborted;
     }
     let chunk_key = format!("{skey}.{}", chunk.index);
     let Some(backend) = infra.backend(provider.id) else {
-        abort.store(true, Ordering::SeqCst);
+        if let Some(abort) = abort {
+            abort.store(true, Ordering::SeqCst);
+        }
         return UploadOutcome::Failed {
             provider: provider.id,
             error: ScaliaError::ProviderUnavailable(provider.id),
@@ -344,7 +352,9 @@ fn upload_one(
             // a real, successful round-trip — evidence the deadline should
             // widen if this is the provider's new normal).
             infra.record_provider_write_latency(provider.id, us);
-            abort.store(true, Ordering::SeqCst);
+            if let Some(abort) = abort {
+                abort.store(true, Ordering::SeqCst);
+            }
             let error = ScaliaError::Internal(format!(
                 "chunk PUT to provider {} took {us}µs, past its {deadline_us}µs hedge deadline",
                 provider.id
@@ -367,7 +377,9 @@ fn upload_one(
             }
         }
         Err(error) => {
-            abort.store(true, Ordering::SeqCst);
+            if let Some(abort) = abort {
+                abort.store(true, Ordering::SeqCst);
+            }
             infra.report_provider_failure(provider.id, &error);
             UploadOutcome::Failed {
                 provider: provider.id,
@@ -375,6 +387,102 @@ fn upload_one(
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Tolerant (degraded-capable) upload
+// ---------------------------------------------------------------------------
+
+/// A tolerant parallel upload's outcome: the striping over every chunk that
+/// landed (original erasure indices preserved) plus the providers whose
+/// chunk did not.
+#[derive(Debug)]
+pub struct PartialWrite {
+    /// Striping over the surviving chunks only. Degraded iff
+    /// `striping.chunks.len()` is below the placement width.
+    pub striping: StripingMeta,
+    /// Providers whose chunk did not land, with the error each produced.
+    pub failed: Vec<(ProviderId, ScaliaError)>,
+}
+
+/// Encodes `data` for `placement` and uploads one chunk per provider in
+/// parallel **without** abort-on-first-failure: every upload is attempted
+/// and the write survives as long as at least `m` chunks land. This is the
+/// degraded-write fallback of [`crate::engine::Engine::put`] — once
+/// re-placement is exhausted, the caller checks the surviving subset
+/// against the rule's availability floor and, if it passes, commits the
+/// partial striping with a durability debt for the repair queue to
+/// backfill. If fewer than `m` chunks land, the landed ones are rolled back
+/// and the first failure is returned, exactly like [`write_chunks_with`].
+pub fn write_chunks_tolerant(
+    infra: &Infrastructure,
+    placement: &Placement,
+    skey: &str,
+    data: &Bytes,
+    config: &HedgeConfig,
+) -> std::result::Result<PartialWrite, WriteFailure> {
+    let params = placement.erasure_params();
+    let encoded = encode_object(data, params).map_err(|error| WriteFailure {
+        provider: None,
+        error,
+    })?;
+    let jobs: Vec<(&Chunk, &ProviderDescriptor)> = encoded
+        .chunks
+        .iter()
+        .zip(placement.providers.iter())
+        .collect();
+
+    let outcomes: Vec<UploadOutcome> = jobs
+        .par_iter()
+        .map(|(chunk, provider)| upload_one(infra, chunk, provider, skey, None, config))
+        .collect();
+
+    let mut uploaded: Vec<(ProviderId, String)> = Vec::new();
+    let mut locations: Vec<ChunkLocation> = Vec::with_capacity(jobs.len());
+    let mut failed: Vec<(ProviderId, ScaliaError)> = Vec::new();
+    let mut makespan_us = 0u64;
+    for outcome in outcomes {
+        match outcome {
+            UploadOutcome::Uploaded {
+                provider,
+                chunk_key,
+                index,
+                us,
+            } => {
+                uploaded.push((provider, chunk_key));
+                locations.push(ChunkLocation { index, provider });
+                makespan_us = makespan_us.max(us);
+            }
+            UploadOutcome::Failed { provider, error } => failed.push((provider, error)),
+            UploadOutcome::Aborted => {}
+        }
+    }
+
+    if locations.len() < placement.m.max(1) as usize {
+        // Not even a readable object: roll back and report like the strict
+        // path, naming the first (lowest-index) failing provider.
+        uploaded.par_iter().for_each(|(provider, chunk_key)| {
+            delete_or_postpone(infra, *provider, chunk_key);
+        });
+        let (provider, error) = failed
+            .into_iter()
+            .next()
+            .expect("fewer than m survivors implies at least one failure");
+        return Err(WriteFailure {
+            provider: Some(provider),
+            error,
+        });
+    }
+
+    infra.record_io_latency(StoreOp::Put, makespan_us);
+    Ok(PartialWrite {
+        striping: StripingMeta {
+            chunks: locations,
+            m: placement.m,
+            skey: skey.to_string(),
+        },
+        failed,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -778,8 +886,10 @@ pub fn fetch_and_reassemble(
     config: &HedgeConfig,
 ) -> Result<Bytes> {
     let striping = &meta.striping;
-    let n = striping.chunks.len();
-    let params = ErasureParams::new(striping.m, n as u32)
+    // `code_width()`, not `chunks.len()`: a degraded striping keeps the
+    // surviving chunks' original erasure indices, and the decoder must see
+    // the width those indices were encoded under.
+    let params = ErasureParams::new(striping.m, striping.code_width())
         .ok_or_else(|| ScaliaError::Internal("invalid striping metadata".into()))?;
     let chunks = fetch_chunks(infra, striping, meta.size, config)?;
     decode_object(&chunks, params, meta.size.bytes() as usize)
@@ -788,6 +898,7 @@ pub fn fetch_and_reassemble(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scalia_providers::backend::ObjectStore;
     use scalia_providers::catalog::ProviderCatalog;
     use scalia_types::time::Duration as SimDuration;
 
@@ -858,6 +969,52 @@ mod tests {
         );
         // §III-D3: the hard failure marked the provider unavailable.
         assert!(!infra.catalog().is_available(victim));
+    }
+
+    #[test]
+    fn tolerant_write_survives_a_down_provider_and_reassembles() {
+        let infra = infra();
+        let placement = placement_of(&infra, 4, 2);
+        let victim = placement.providers[2].id;
+        infra.backend(victim).unwrap().set_down(true);
+
+        let data = Bytes::from(vec![6u8; 80_000]);
+        let partial =
+            write_chunks_tolerant(&infra, &placement, "skey-t", &data, &HedgeConfig::default())
+                .unwrap();
+        assert_eq!(partial.striping.chunks.len(), 3, "3 of 4 chunks landed");
+        assert_eq!(partial.failed.len(), 1);
+        assert_eq!(partial.failed[0].0, victim);
+        assert!(partial.striping.chunks.iter().all(|c| c.provider != victim));
+        // The degraded striping reads back through the normal hedged path.
+        let chunks = fetch_chunks(
+            &infra,
+            &partial.striping,
+            ByteSize::from_bytes(80_000),
+            &HedgeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(chunks.len(), 2);
+
+        // With fewer than m survivors the tolerant write rolls back and
+        // fails like the strict one.
+        for provider in placement.providers.iter().take(3) {
+            infra.backend(provider.id).unwrap().set_down(true);
+        }
+        let err = write_chunks_tolerant(
+            &infra,
+            &placement,
+            "skey-t2",
+            &data,
+            &HedgeConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.provider.is_some());
+        let last = placement.providers[3].id;
+        assert!(
+            !infra.backend(last).unwrap().exists("skey-t2.3").unwrap(),
+            "the lone surviving chunk must be rolled back"
+        );
     }
 
     #[test]

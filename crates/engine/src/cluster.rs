@@ -13,7 +13,9 @@ use crate::cache::Cache;
 use crate::engine::Engine;
 use crate::infra::Infrastructure;
 use crate::optimizer::{OptimizationReport, PeriodicOptimizer};
+use crate::repair::{drain_repair_queue, RepairDrainReport};
 use bytes::Bytes;
+use parking_lot::Mutex;
 use scalia_core::migration::MigrationBudget;
 use scalia_core::placement::{PlacementEngine, PlacementOptions};
 use scalia_core::trend::TrendDetector;
@@ -44,6 +46,9 @@ pub struct ScaliaCluster {
     aggregator: LogAggregator,
     optimizer: PeriodicOptimizer,
     next_engine: AtomicUsize,
+    repair_budget: MigrationBudget,
+    repair_placement: PlacementEngine,
+    last_repair_drain: Mutex<RepairDrainReport>,
 }
 
 /// Builder for [`ScaliaCluster`].
@@ -170,6 +175,9 @@ impl ScaliaClusterBuilder {
             )
             .with_migration_budget(self.migration_budget),
             next_engine: AtomicUsize::new(0),
+            repair_budget: self.migration_budget,
+            repair_placement: PlacementEngine::with_options(self.placement_options),
+            last_repair_drain: Mutex::new(RepairDrainReport::default()),
         }
     }
 }
@@ -241,14 +249,29 @@ impl ScaliaCluster {
     /// Advances simulated time: charges storage at every provider, retries
     /// postponed deletes, flushes the log-aggregation pipeline into the
     /// statistics tables, garbage-collects the statistics footprint (class
-    /// sample caps, rollup retention) and runs anti-entropy across the
-    /// database replicas.
+    /// sample caps, rollup retention), drains the durability-repair queue
+    /// under the configured migration budget and runs anti-entropy across
+    /// the database replicas.
     pub fn tick(&self, now: SimTime) {
         self.infra.advance_clock(now);
         let stats = self.infra.statistics(DatacenterId::new(0));
         self.aggregator.flush(&stats, self.infra.next_timestamp());
         stats.gc_statistics(self.infra.current_period());
+        if let Ok(report) = drain_repair_queue(
+            &self.engines[0],
+            &self.infra,
+            &self.repair_placement,
+            &self.repair_budget,
+            now,
+        ) {
+            *self.last_repair_drain.lock() = report;
+        }
         self.infra.database().anti_entropy();
+    }
+
+    /// Outcome of the repair-queue drain of the most recent [`Self::tick`].
+    pub fn last_repair_drain(&self) -> RepairDrainReport {
+        *self.last_repair_drain.lock()
     }
 
     /// Runs one periodic optimisation procedure (§III-A3), class-centric:

@@ -31,6 +31,7 @@ use bytes::Bytes;
 use scalia_core::classify::ObjectClass;
 use scalia_core::cost::PredictedUsage;
 use scalia_core::placement::{Placement, PlacementEngine};
+use scalia_metastore::journal::JournalOp;
 use scalia_metastore::logagg::{AccessKind, AccessLogRecord, LogAgent};
 use scalia_types::error::{Result, ScaliaError};
 use scalia_types::ids::{DatacenterId, EngineId, ProviderId};
@@ -145,8 +146,16 @@ impl Engine {
         }
 
         // Encode and store the chunks (re-placing and retrying, bounded, if
-        // a provider fails mid-write).
-        let (version, striping) = self.place_and_write(key, &rule, &class, &usage, &data)?;
+        // a provider fails mid-write; landing *degraded* — k ≥ m chunks
+        // that still clear the rule's availability floor — when
+        // re-placement is exhausted).
+        let (version, striping, degraded_from) =
+            self.place_and_write(key, &rule, &class, &usage, &data)?;
+
+        // Chaos crash point: chunks are uploaded but nothing is committed.
+        // The write is not acked; the orphaned chunks belong to the GC
+        // sweep.
+        self.infra.crash_point("put::after-upload")?;
 
         let meta = ObjectMeta {
             key: key.clone(),
@@ -169,12 +178,25 @@ impl Engine {
         // invalidation that covers it. Chunk uploads (above) and
         // deprecated-chunk GC (below) stay outside the lock — no provider
         // round-trip happens under it.
+        // A degraded landing records its durability debt — and the repair
+        // queue entry that will backfill it to full width — atomically with
+        // the metadata commit.
+        let debt = degraded_from.map(|want| {
+            serde_json::json!({
+                "reason": "degraded-write",
+                "have": meta.striping.chunks.len(),
+                "want": want,
+            })
+        });
         let deprecated = {
             let _commit = self.infra.lock_row_commit(&meta.row_key());
-            let deprecated = self.commit_metadata(&meta)?;
+            let deprecated = self.commit_metadata_with_debt(&meta, debt)?;
             self.invalidate_everywhere(&meta.row_key());
             deprecated
         };
+        // Chaos crash point: the commit is durable but the deprecated-chunk
+        // GC below never runs — the orphan sweep reconciles the leak.
+        self.infra.crash_point("put::after-commit")?;
         for striping in &deprecated {
             self.delete_chunks(striping);
         }
@@ -193,8 +215,16 @@ impl Engine {
     /// back the chunks that already landed and reports the failed provider
     /// to the failure detector (a hard unreachability error marks it
     /// unavailable in the catalog immediately); the write is then re-placed
-    /// over the remaining providers and retried. Returns the version the
-    /// successful attempt was stored under, along with its striping.
+    /// over the remaining providers and retried.
+    ///
+    /// When re-placement is **exhausted** — attempts used up, or the search
+    /// itself finds no feasible set — the write falls back to a *degraded*
+    /// landing ([`Self::degraded_write`]) on the last placement tried:
+    /// every chunk is attempted tolerantly and the result is accepted iff
+    /// `k ≥ m` chunks landed *and* the surviving providers still clear the
+    /// rule's availability floor. Returns the version the successful
+    /// attempt was stored under, its striping, and — for a degraded landing
+    /// — the full width the repair queue must backfill to.
     fn place_and_write(
         &self,
         key: &ObjectKey,
@@ -202,10 +232,23 @@ impl Engine {
         class: &ObjectClass,
         usage: &PredictedUsage,
         data: &Bytes,
-    ) -> Result<(ObjectVersionId, StripingMeta)> {
+    ) -> Result<(ObjectVersionId, StripingMeta, Option<u32>)> {
         let mut excluded: Vec<ProviderId> = Vec::new();
+        let mut last_failed: Option<Placement> = None;
         loop {
-            let placement = self.place_excluding(rule, class, usage, &excluded)?;
+            let placement = match self.place_excluding(rule, class, usage, &excluded) {
+                Ok(placement) => placement,
+                Err(place_err) => {
+                    // Re-placement found nothing: degrade on the placement
+                    // whose upload last failed, if there was one.
+                    return match last_failed {
+                        Some(placement) => self
+                            .degraded_write(key, rule, &placement, data)
+                            .ok_or(place_err),
+                        None => Err(place_err),
+                    };
+                }
+            };
             // A fresh version — and therefore fresh chunk keys — per
             // attempt: a failed attempt's rollback may have *postponed* a
             // delete (the provider flapped down mid-rollback), and that
@@ -215,7 +258,7 @@ impl Engine {
             let version = ObjectVersionId::next(&key.row_key());
             let skey = StripingMeta::storage_key(key, version);
             match chunk_io::write_chunks(&self.infra, &placement, &skey, data) {
-                Ok(striping) => return Ok((version, striping)),
+                Ok(striping) => return Ok((version, striping, None)),
                 Err(failure) => match failure.provider {
                     // The failed provider may or may not have tripped the
                     // failure detector (e.g. a full private resource stays
@@ -223,10 +266,65 @@ impl Engine {
                     // search explicitly either way.
                     Some(provider) if excluded.len() + 1 < WRITE_ATTEMPTS => {
                         excluded.push(provider);
+                        last_failed = Some(placement);
                     }
-                    _ => return Err(failure.error),
+                    Some(_) => {
+                        // Attempts exhausted: degrade on this placement or
+                        // surface the upload error.
+                        return self
+                            .degraded_write(key, rule, &placement, data)
+                            .ok_or(failure.error);
+                    }
+                    None => return Err(failure.error),
                 },
             }
+        }
+    }
+
+    /// The degraded-write fallback: attempts every chunk of `placement`
+    /// tolerantly ([`chunk_io::write_chunks_tolerant`]) and accepts the
+    /// partial landing iff at least `m` chunks survive **and** the
+    /// surviving provider subset still meets the rule's availability floor.
+    /// Returns `None` — with every landed chunk rolled back — when the
+    /// landing is not durable enough to acknowledge.
+    fn degraded_write(
+        &self,
+        key: &ObjectKey,
+        rule: &StorageRule,
+        placement: &Placement,
+        data: &Bytes,
+    ) -> Option<(ObjectVersionId, StripingMeta, Option<u32>)> {
+        let version = ObjectVersionId::next(&key.row_key());
+        let skey = StripingMeta::storage_key(key, version);
+        let partial = chunk_io::write_chunks_tolerant(
+            &self.infra,
+            placement,
+            &skey,
+            data,
+            &HedgeConfig::default(),
+        )
+        .ok()?;
+        let want = placement.providers.len() as u32;
+        if partial.striping.chunks.len() as u32 == want {
+            // Everything landed after all (the earlier failure was
+            // transient): a full-width write, no debt.
+            return Some((version, partial.striping, None));
+        }
+        let surviving: Vec<scalia_providers::descriptor::ProviderDescriptor> = partial
+            .striping
+            .chunks
+            .iter()
+            .filter_map(|c| self.infra.catalog().get(c.provider))
+            .collect();
+        let availability =
+            scalia_core::availability::get_availability(&surviving, partial.striping.m);
+        if surviving.len() == partial.striping.chunks.len() && availability.meets(rule.availability)
+        {
+            Some((version, partial.striping, Some(want)))
+        } else {
+            // Not durable enough to acknowledge: roll the landing back.
+            chunk_io::delete_chunks(&self.infra, &partial.striping);
+            None
         }
     }
 
@@ -267,37 +365,92 @@ impl Engine {
     /// under the lock.
     #[must_use = "the returned stripings' chunks must be garbage-collected"]
     fn commit_metadata(&self, meta: &ObjectMeta) -> Result<Vec<StripingMeta>> {
+        self.commit_metadata_with_debt(meta, None)
+    }
+
+    /// [`Self::commit_metadata`], optionally recording a durability debt.
+    /// The whole commit — metadata, optimiser digest, container index,
+    /// debt column and repair-queue entry (or debt clearance), version
+    /// prunes — is one journaled transaction on the replicated store, so a
+    /// crash at any point replays to either the old or the new placement,
+    /// never a torn mixture.
+    #[must_use = "the returned stripings' chunks must be garbage-collected"]
+    fn commit_metadata_with_debt(
+        &self,
+        meta: &ObjectMeta,
+        debt: Option<serde_json::Value>,
+    ) -> Result<Vec<StripingMeta>> {
         let row_key = meta.row_key();
         let value = serde_json::to_value(meta)
             .map_err(|e| ScaliaError::Internal(format!("serialize metadata: {e}")))?;
         let timestamp = self.infra.next_timestamp();
-        self.infra
-            .database()
-            .put(&row_key, "meta", value, timestamp)?;
-        // The optimiser digest: the compact slice of the metadata the
-        // class-centric sweep needs per member (rule fingerprint, current
-        // placement, size, lifetime hints). Reading it costs a fraction of
-        // deserialising full metadata, so a steady-state optimisation cycle
-        // never touches the `meta` column of members that stay put.
-        self.infra.database().put(
-            &row_key,
-            "opt",
-            crate::optimizer::optimizer_digest(meta),
-            timestamp,
-        )?;
-        // Container index for LIST.
-        self.infra.database().put(
-            &format!("container:{}", meta.key.container),
-            &meta.key.key,
-            json!(true),
-            timestamp,
-        )?;
-
+        let mut ops = vec![
+            JournalOp::Put {
+                row_key: row_key.clone(),
+                column: "meta".to_string(),
+                value,
+                timestamp,
+            },
+            // The optimiser digest: the compact slice of the metadata the
+            // class-centric sweep needs per member (rule fingerprint,
+            // current placement, size, lifetime hints). Reading it costs a
+            // fraction of deserialising full metadata, so a steady-state
+            // optimisation cycle never touches the `meta` column of members
+            // that stay put.
+            JournalOp::Put {
+                row_key: row_key.clone(),
+                column: "opt".to_string(),
+                value: crate::optimizer::optimizer_digest(meta),
+                timestamp,
+            },
+            // Container index for LIST.
+            JournalOp::Put {
+                row_key: format!("container:{}", meta.key.container),
+                column: meta.key.key.clone(),
+                value: json!(true),
+                timestamp,
+            },
+        ];
+        match debt {
+            Some(debt_value) => {
+                ops.push(JournalOp::Put {
+                    row_key: row_key.clone(),
+                    column: "debt".to_string(),
+                    value: debt_value,
+                    timestamp,
+                });
+                ops.push(JournalOp::Put {
+                    row_key: crate::repair::queue_row_key(&row_key),
+                    column: "item".to_string(),
+                    value: crate::repair::queue_item(&meta.key, "degraded-write"),
+                    timestamp,
+                });
+                ops.push(JournalOp::Prune {
+                    row_key: crate::repair::queue_row_key(&row_key),
+                    column: "item".to_string(),
+                });
+            }
+            // A full-width commit settles any outstanding debt.
+            None => ops.push(JournalOp::DeleteColumn {
+                row_key: row_key.clone(),
+                column: "debt".to_string(),
+            }),
+        }
         // MVCC: the freshest version wins; deprecated versions are removed
-        // from the database here, their chunks by the caller.
-        let deprecated = self.infra.database().prune_old_versions(&row_key, "meta");
-        self.infra.database().prune_old_versions(&row_key, "opt");
-        Ok(deprecated
+        // from the database here, their chunks by the caller. `meta` must
+        // be the FIRST prune: the transaction's pruned-cell set
+        // deduplicates on timestamps, and a version's meta/opt/debt cells
+        // share one — insertion order makes the meta cell the survivor.
+        ops.push(JournalOp::Prune {
+            row_key: row_key.clone(),
+            column: "meta".to_string(),
+        });
+        ops.push(JournalOp::Prune {
+            row_key: row_key.clone(),
+            column: "opt".to_string(),
+        });
+        let pruned = self.infra.database().transaction(ops)?;
+        Ok(pruned
             .into_iter()
             .filter_map(|cell| serde_json::from_value::<ObjectMeta>(cell.value).ok())
             .filter(|old_meta| old_meta.version != meta.version)

@@ -16,11 +16,12 @@ use scalia_core::cost::PredictedUsage;
 use scalia_core::decision::DecisionPeriodController;
 use scalia_core::placement::{PlacementDecision, PlacementEngine};
 use scalia_metastore::model::Timestamp;
-use scalia_metastore::replication::ReplicatedStore;
+use scalia_metastore::replication::{CrashHook, ReplicatedStore};
 use scalia_metastore::stats::StatisticsStore;
 use scalia_providers::backend::{ObjectStore, OpLatencies, SimulatedStore, StoreOp};
 use scalia_providers::catalog::ProviderCatalog;
 use scalia_providers::descriptor::ProviderDescriptor;
+use scalia_providers::failure::FaultPlan;
 use scalia_types::error::ScaliaError;
 use scalia_types::ids::{DatacenterId, ProviderId};
 use scalia_types::latency::{DecayingHistogram, LatencySnapshot};
@@ -41,6 +42,40 @@ const LOCK_SHARDS: usize = 64;
 /// [`ScaliaError::ProviderUnavailable`] — trips it immediately, §III-D3).
 pub const FAILURE_DETECTOR_THRESHOLD: u32 = 3;
 
+/// Tunable knobs of the provider failure detector. The default is
+/// bit-for-bit the historical behaviour: trip after
+/// [`FAILURE_DETECTOR_THRESHOLD`] consecutive transport errors, re-probe
+/// detector-disabled providers on every clock advance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Consecutive transport-level errors before the detector trips a
+    /// provider into catalog-unavailable. Hard unreachability
+    /// ([`ScaliaError::ProviderUnavailable`]) still trips immediately and
+    /// data-level answers still never count, whatever this is set to.
+    pub transport_error_threshold: u32,
+    /// Minimum simulated time between re-probes of detector-disabled
+    /// providers. [`Duration::ZERO`] re-probes on every clock advance.
+    pub reprobe_interval: Duration,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            transport_error_threshold: FAILURE_DETECTOR_THRESHOLD,
+            reprobe_interval: Duration::ZERO,
+        }
+    }
+}
+
+/// First retry backoff of a failed pending delete (doubles per failure).
+const DELETE_BACKOFF_BASE_SECS: u64 = 60;
+
+/// Backoff ceiling of a failed pending delete.
+const DELETE_BACKOFF_CAP_SECS: u64 = 3_600;
+
+/// Spread of the deterministic per-item jitter added to delete backoff.
+const DELETE_BACKOFF_JITTER_SECS: u64 = 30;
+
 /// Minimum number of observed chunk-GET samples (across the last two
 /// observation windows) before a provider's observed-latency summary is
 /// trusted — by the catalog's placement ranking and by the hedged read's
@@ -59,13 +94,34 @@ fn shard_of(key: &str) -> usize {
 }
 
 /// A delete that could not be executed because the provider was down; it is
-/// retried when the provider recovers.
+/// retried when the provider recovers, with exponential backoff and
+/// deterministic per-item jitter after each *attempted-and-failed* retry
+/// (a retry skipped because the provider is still unreachable costs no
+/// attempt and adds no backoff).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PendingDelete {
     /// Provider holding the stale chunk.
     pub provider: ProviderId,
     /// Chunk key to delete.
     pub chunk_key: String,
+    /// Retries attempted so far (reachable provider, delete still failed).
+    pub attempts: u32,
+    /// Simulated time (seconds) before which the item is not retried.
+    pub not_before_secs: u64,
+}
+
+/// Backoff applied after retry number `attempts` (1-based) of a failed
+/// pending delete: base 60 s doubling per failure, capped at one hour, plus
+/// a deterministic jitter derived from the chunk key and attempt count so a
+/// burst of postponed deletes doesn't thunder back in lockstep.
+fn delete_backoff_secs(chunk_key: &str, attempts: u32) -> u64 {
+    let exponent = attempts.saturating_sub(1).min(6);
+    let base = DELETE_BACKOFF_BASE_SECS << exponent;
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    chunk_key.hash(&mut hasher);
+    attempts.hash(&mut hasher);
+    let jitter = hasher.finish() % DELETE_BACKOFF_JITTER_SECS;
+    (base + jitter).min(DELETE_BACKOFF_CAP_SECS)
 }
 
 /// Shared state of one Scalia deployment.
@@ -77,11 +133,23 @@ pub struct Infrastructure {
     write_seq: AtomicU64,
     sampling_period: Duration,
     pending_deletes: Mutex<Vec<PendingDelete>>,
+    /// Cumulative count of pending-delete retry *attempts* (provider
+    /// reachable, delete issued) — successful or not.
+    delete_retries: AtomicU64,
     decision_controllers: Vec<Mutex<HashMap<String, DecisionPeriodController>>>,
     row_commit_locks: Vec<Mutex<()>>,
     placement_cache: PlacementCache,
     /// Failure detector: consecutive chunk-I/O failures per provider.
     failure_counts: Mutex<HashMap<ProviderId, u32>>,
+    /// Tunable detector thresholds (defaults reproduce historical behaviour).
+    detector_config: RwLock<DetectorConfig>,
+    /// Simulated time (seconds) of the last detector re-probe pass, used to
+    /// honour [`DetectorConfig::reprobe_interval`]. `None` until the first
+    /// pass.
+    last_reprobe_secs: Mutex<Option<u64>>,
+    /// Deterministic chaos plan (crash points + transport storms); when
+    /// installed, engine-step and metastore crash points consult it.
+    fault_plan: Mutex<Option<Arc<FaultPlan>>>,
     /// Providers the detector (not an operator) marked unavailable; these
     /// are re-probed — and re-enabled when their backend responds — on
     /// every clock advance.
@@ -121,12 +189,16 @@ impl Infrastructure {
             write_seq: AtomicU64::new(0),
             sampling_period,
             pending_deletes: Mutex::new(Vec::new()),
+            delete_retries: AtomicU64::new(0),
             decision_controllers: (0..LOCK_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             row_commit_locks: (0..LOCK_SHARDS).map(|_| Mutex::new(())).collect(),
             placement_cache: PlacementCache::new(),
             failure_counts: Mutex::new(HashMap::new()),
+            detector_config: RwLock::new(DetectorConfig::default()),
+            last_reprobe_secs: Mutex::new(None),
+            fault_plan: Mutex::new(None),
             detector_disabled: Mutex::new(HashSet::new()),
             io_latencies: Mutex::new(OpLatencies::default()),
             observed_reads: Mutex::new(HashMap::new()),
@@ -209,7 +281,19 @@ impl Infrastructure {
             backend.tick(now);
         }
         self.retry_pending_deletes();
-        self.reprobe_failed_providers();
+        let interval = self.detector_config.read().reprobe_interval.secs();
+        let due = {
+            let mut last = self.last_reprobe_secs.lock();
+            let due =
+                interval == 0 || last.is_none_or(|l| now.secs().saturating_sub(l) >= interval);
+            if due {
+                *last = Some(now.secs());
+            }
+            due
+        };
+        if due {
+            self.reprobe_failed_providers();
+        }
         self.rotate_and_publish_observed_latencies();
     }
 
@@ -295,10 +379,11 @@ impl Infrastructure {
             | ScaliaError::CapacityExceeded(_)
             | ScaliaError::AuthenticationFailed(_) => false,
             _ => {
+                let threshold = self.detector_config.read().transport_error_threshold;
                 let mut counts = self.failure_counts.lock();
                 let count = counts.entry(provider).or_insert(0);
                 *count += 1;
-                *count >= FAILURE_DETECTOR_THRESHOLD
+                *count >= threshold
             }
         };
         if tripped {
@@ -481,11 +566,15 @@ impl Infrastructure {
         }
     }
 
-    /// Queues a delete that could not reach its provider.
+    /// Queues a delete that could not reach its provider. The first retry is
+    /// due immediately; backoff only accrues after a retry that reached the
+    /// provider and still failed.
     pub fn postpone_delete(&self, provider: ProviderId, chunk_key: String) {
         self.pending_deletes.lock().push(PendingDelete {
             provider,
             chunk_key,
+            attempts: 0,
+            not_before_secs: 0,
         });
     }
 
@@ -494,21 +583,96 @@ impl Infrastructure {
         self.pending_deletes.lock().len()
     }
 
-    /// Retries every postponed delete whose provider is reachable again.
+    /// Cumulative number of pending-delete retry attempts issued (the
+    /// provider was reachable and the delete was actually tried, whether or
+    /// not it succeeded). Exposed for deployment stats and tests.
+    pub fn pending_delete_retries(&self) -> u64 {
+        self.delete_retries.load(Ordering::SeqCst)
+    }
+
+    /// Retries every *due* postponed delete whose provider is reachable
+    /// again. An item whose provider is still down is kept untouched (no
+    /// attempt is charged); an item that was actually retried and failed is
+    /// re-queued with exponential backoff plus deterministic jitter (see
+    /// [`delete_backoff_secs`]).
     pub fn retry_pending_deletes(&self) {
+        let now_secs = self.clock_secs.load(Ordering::SeqCst);
         let mut pending = self.pending_deletes.lock();
         let mut remaining = Vec::new();
-        for delete in pending.drain(..) {
-            let done = self
-                .backend(delete.provider)
-                .filter(|b| b.is_up())
-                .map(|b| b.delete(&delete.chunk_key).is_ok())
-                .unwrap_or(false);
-            if !done {
+        for mut delete in pending.drain(..) {
+            if now_secs < delete.not_before_secs {
+                remaining.push(delete);
+                continue;
+            }
+            let Some(backend) = self.backend(delete.provider).filter(|b| b.is_up()) else {
+                remaining.push(delete);
+                continue;
+            };
+            self.delete_retries.fetch_add(1, Ordering::SeqCst);
+            if backend.delete(&delete.chunk_key).is_err() {
+                delete.attempts += 1;
+                delete.not_before_secs =
+                    now_secs + delete_backoff_secs(&delete.chunk_key, delete.attempts);
                 remaining.push(delete);
             }
         }
         *pending = remaining;
+    }
+
+    // ------------------------------------------------------------------
+    // Detector configuration and chaos fault plans
+    // ------------------------------------------------------------------
+
+    /// The current failure-detector configuration.
+    pub fn detector_config(&self) -> DetectorConfig {
+        *self.detector_config.read()
+    }
+
+    /// Replaces the failure-detector configuration. Takes effect on the
+    /// next reported failure / clock advance; in-flight consecutive-error
+    /// counts are kept.
+    pub fn set_detector_config(&self, config: DetectorConfig) {
+        *self.detector_config.write() = config;
+    }
+
+    /// Installs (or clears, with `None`) the deterministic chaos plan. The
+    /// plan's crash points are consulted by the engine's write path via
+    /// [`Infrastructure::crash_point`] and wired into the replicated store's
+    /// transaction crash hook; its transport storms are armed onto the
+    /// targeted provider backends immediately.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.fault_plan.lock() = plan.clone();
+        match plan {
+            Some(plan) => {
+                for storm in plan.take_storms() {
+                    if let Some(backend) = self.backend(storm.provider) {
+                        backend.inject_transport_errors(storm.ops as u64);
+                    }
+                }
+                let hook_plan = plan.clone();
+                let hook: CrashHook = Arc::new(move |label: &str| hook_plan.check(label));
+                self.database.set_crash_hook(Some(hook));
+            }
+            None => self.database.set_crash_hook(None),
+        }
+    }
+
+    /// The currently installed chaos plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_plan.lock().clone()
+    }
+
+    /// Consults the installed chaos plan at a named engine step, failing
+    /// with an injected crash if the point is armed. A no-op (always `Ok`)
+    /// without a plan.
+    pub fn crash_point(&self, label: &str) -> Result<(), ScaliaError> {
+        let plan = self.fault_plan.lock().clone();
+        if let Some(plan) = plan {
+            if plan.check(label) {
+                return Err(ScaliaError::Internal(format!("crash injected at {label}")));
+            }
+        }
+        Ok(())
     }
 
     /// The decision-period controller of an object, created on first use
@@ -614,6 +778,85 @@ mod tests {
         infra.advance_clock(SimTime::from_hours(1));
         assert_eq!(infra.pending_delete_count(), 0);
         assert!(!backend.exists("stale-chunk").unwrap());
+    }
+
+    #[test]
+    fn failed_delete_retries_back_off_then_drain() {
+        let infra = infra();
+        let target = infra.catalog().all()[0].id;
+        let backend = infra.backend(target).unwrap();
+        backend.put("stale", Bytes::from_static(b"x")).unwrap();
+        infra.postpone_delete(target, "stale".to_string());
+        assert_eq!(infra.pending_delete_retries(), 0);
+
+        // A transport storm makes the first retry reach the provider and
+        // still fail: the item is charged an attempt and backs off.
+        backend.inject_transport_errors(1);
+        infra.retry_pending_deletes();
+        assert_eq!(infra.pending_delete_count(), 1);
+        assert_eq!(infra.pending_delete_retries(), 1);
+
+        // While backing off, further retry passes don't even attempt it.
+        infra.retry_pending_deletes();
+        assert_eq!(infra.pending_delete_retries(), 1);
+
+        // First-failure backoff is at most 90 s; two minutes later the
+        // retry runs (via the clock advance) and succeeds.
+        infra.advance_clock(SimTime::from_secs(120));
+        assert_eq!(infra.pending_delete_count(), 0);
+        assert_eq!(infra.pending_delete_retries(), 2);
+        assert!(!backend.exists("stale").unwrap());
+    }
+
+    #[test]
+    fn detector_threshold_is_configurable() {
+        let infra = infra();
+        let target = infra.catalog().all()[1].id;
+        assert_eq!(infra.detector_config(), DetectorConfig::default());
+        infra.set_detector_config(DetectorConfig {
+            transport_error_threshold: 1,
+            reprobe_interval: Duration::ZERO,
+        });
+        infra.report_provider_failure(target, &ScaliaError::Internal("transport timeout".into()));
+        assert!(
+            !infra.catalog().is_available(target),
+            "threshold 1 must trip on the first soft error"
+        );
+    }
+
+    #[test]
+    fn reprobe_interval_defers_detector_recovery() {
+        let infra = infra();
+        let target = infra.catalog().all()[0].id;
+        infra.set_detector_config(DetectorConfig {
+            transport_error_threshold: FAILURE_DETECTOR_THRESHOLD,
+            reprobe_interval: Duration::from_hours(2),
+        });
+        infra.advance_clock(SimTime::from_secs(10));
+        infra.report_provider_failure(target, &ScaliaError::ProviderUnavailable(target));
+        assert!(!infra.catalog().is_available(target));
+        // The backend is up, but the next advance lands inside the re-probe
+        // interval: the provider must stay disabled.
+        infra.advance_clock(SimTime::from_hours(1));
+        assert!(!infra.catalog().is_available(target));
+        // Once the interval elapses the re-probe restores it.
+        infra.advance_clock(SimTime::from_hours(3));
+        assert!(infra.catalog().is_available(target));
+    }
+
+    #[test]
+    fn crash_points_fire_through_the_installed_plan() {
+        let infra = infra();
+        assert!(infra.crash_point("put::after-upload").is_ok(), "no plan");
+        let plan = Arc::new(FaultPlan::new());
+        plan.arm("put::after-upload");
+        infra.set_fault_plan(Some(plan.clone()));
+        assert!(infra.crash_point("put::other").is_ok());
+        assert!(infra.crash_point("put::after-upload").is_err());
+        assert!(infra.crash_point("put::after-upload").is_ok(), "one-shot");
+        assert_eq!(plan.fired(), vec!["put::after-upload".to_string()]);
+        infra.set_fault_plan(None);
+        assert!(infra.fault_plan().is_none());
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod cache;
 pub mod chunk_io;
 pub mod cluster;
 pub mod engine;
+pub mod gc;
 pub mod infra;
 pub mod optimizer;
 pub mod placement_cache;

@@ -1,4 +1,4 @@
-//! Active repair after a provider failure (§IV-E).
+//! Durability repair: a persistent, risk-prioritised repair queue (§IV-E).
 //!
 //! When a provider suffers a transient outage, Scalia may either wait for it
 //! to recover or *actively repair*: move the chunks that lived on the faulty
@@ -7,20 +7,71 @@
 //! cost-effective set may change too — in that case every chunk is
 //! re-written; otherwise only the missing chunk is.
 //!
+//! # The repair queue
+//!
+//! Repair work is *persistent*: every object that needs attention has a row
+//! `repair:{object_row_key}` in the metastore with a single `item` column
+//! holding `{container, key, reason, attempts, not_before_secs, dead}`.
+//! Entries are created by [`enqueue`] (provider outages) and by the engine's
+//! commit path itself (degraded writes record their durability debt and
+//! queue entry in the same journaled transaction as the metadata — a crash
+//! can never ack a degraded write without also queueing its backfill).
+//!
+//! [`drain_repair_queue`] runs each clock advance under the cluster's
+//! [`MigrationBudget`] and processes entries in **durability-risk order**:
+//!
+//! 1. availability deficit, descending — how far the object's *currently
+//!    reachable* chunk subset falls below its rule's availability target
+//!    (`target.probability() − get_availability(reachable, m).probability()`);
+//! 2. object size, descending — among equally-at-risk objects, repairing the
+//!    largest first recovers the most bytes of durability per pass;
+//! 3. row key, ascending — a total order, for determinism.
+//!
+//! Failed attempts back off exponentially (base 60 s doubling to a 1 h cap)
+//! with a deterministic per-item jitter, and after
+//! [`DEAD_LETTER_ATTEMPTS`] consecutive failures the entry turns *dead*: it
+//! is no longer retried but stays in the metastore and is surfaced in every
+//! [`RepairDrainReport`] — dead-lettered work is visible, never dropped.
+//! Entries resolve (queue row deleted) when the object is repaired, has
+//! become healthy on its own (the provider came back), or was deleted.
+//!
 //! Repair migrations run through [`Engine::replace_placement`], so their
 //! chunk reads and writes use the same parallel chunk-I/O layer
 //! ([`crate::chunk_io`]) as the client data path: reconstruction reads are
 //! hedged across the surviving providers and the re-written chunks fan out
-//! in parallel with rollback on failure.
+//! in parallel with rollback on failure. A successful migration commits at
+//! full width, which settles any degraded-write debt atomically.
 
 use crate::engine::Engine;
 use crate::infra::Infrastructure;
+use scalia_core::availability::get_availability;
 use scalia_core::cost::PredictedUsage;
+use scalia_core::migration::MigrationBudget;
 use scalia_core::placement::PlacementEngine;
 use scalia_types::error::{Result, ScaliaError};
 use scalia_types::ids::ProviderId;
-use scalia_types::object::ObjectMeta;
+use scalia_types::money::Money;
+use scalia_types::object::{ObjectKey, ObjectMeta};
+use scalia_types::time::SimTime;
+use serde_json::{json, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+/// Row-key prefix of repair-queue entries in the metastore.
+pub const REPAIR_QUEUE_PREFIX: &str = "repair:";
+
+/// Consecutive failed attempts after which an entry is dead-lettered.
+pub const DEAD_LETTER_ATTEMPTS: u32 = 8;
+
+/// First-retry backoff after a failed repair attempt.
+const REPAIR_BACKOFF_BASE_SECS: u64 = 60;
+
+/// Ceiling on the repair retry backoff.
+const REPAIR_BACKOFF_CAP_SECS: u64 = 3600;
+
+/// Spread of the deterministic retry jitter.
+const REPAIR_BACKOFF_JITTER_SECS: u64 = 30;
 
 /// How to react to a provider outage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,9 +93,295 @@ pub struct RepairReport {
     pub objects_failed: usize,
 }
 
-/// Scans the metadata for objects with a chunk on `failed_provider` and, for
-/// each, recomputes the best placement over the remaining providers and
-/// migrates to it.
+/// Outcome of one [`drain_repair_queue`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairDrainReport {
+    /// Queue entries examined this pass.
+    pub scanned: usize,
+    /// Entries for which a re-placement migration was attempted.
+    pub attempted: usize,
+    /// Entries repaired by a successful migration.
+    pub repaired: usize,
+    /// Entries that resolved without data movement (object healthy again,
+    /// or deleted).
+    pub resolved: usize,
+    /// Entries whose migration attempt failed this pass.
+    pub failed: usize,
+    /// Entries currently in the dead-letter state (surfaced, not retried).
+    pub dead_lettered: usize,
+    /// Entries deferred because the migration budget was exhausted.
+    pub deferred_budget: usize,
+    /// Entries deferred because their retry backoff has not elapsed.
+    pub deferred_backoff: usize,
+    /// Payload bytes re-encoded by successful repairs.
+    pub bytes_moved: u64,
+}
+
+/// A parsed repair-queue entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairQueueEntry {
+    /// The object needing repair.
+    pub key: ObjectKey,
+    /// Why it was queued (`"provider-outage"`, `"degraded-write"`, …).
+    pub reason: String,
+    /// Failed attempts so far.
+    pub attempts: u32,
+    /// Simulation second before which the entry must not be retried.
+    pub not_before_secs: u64,
+    /// Dead-lettered: no longer retried, surfaced in every drain report.
+    pub dead: bool,
+}
+
+impl RepairQueueEntry {
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(RepairQueueEntry {
+            key: ObjectKey::new(
+                value.get("container")?.as_str()?,
+                value.get("key")?.as_str()?,
+            ),
+            reason: value.get("reason")?.as_str()?.to_string(),
+            attempts: value.get("attempts").and_then(Value::as_u64).unwrap_or(0) as u32,
+            not_before_secs: value
+                .get("not_before_secs")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            dead: value.get("dead").and_then(Value::as_bool).unwrap_or(false),
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        json!({
+            "container": self.key.container,
+            "key": self.key.key,
+            "reason": self.reason,
+            "attempts": self.attempts,
+            "not_before_secs": self.not_before_secs,
+            "dead": self.dead,
+        })
+    }
+}
+
+/// The repair-queue row key of an object metadata row.
+pub fn queue_row_key(object_row_key: &str) -> String {
+    format!("{REPAIR_QUEUE_PREFIX}{object_row_key}")
+}
+
+/// A fresh queue-entry value (attempt counter zeroed, immediately due) —
+/// also used by the engine's degraded-write commit, which journals the
+/// entry in the same transaction as the metadata.
+pub fn queue_item(key: &ObjectKey, reason: &str) -> Value {
+    RepairQueueEntry {
+        key: key.clone(),
+        reason: reason.to_string(),
+        attempts: 0,
+        not_before_secs: 0,
+        dead: false,
+    }
+    .to_value()
+}
+
+/// Deterministic retry backoff: exponential from the base (exponent capped),
+/// plus a per-(item, attempt) jitter so retries of many items queued by one
+/// outage do not all come due on the same clock advance.
+fn repair_backoff_secs(queue_row: &str, attempts: u32) -> u64 {
+    let exponent = attempts.saturating_sub(1).min(6);
+    let base = REPAIR_BACKOFF_BASE_SECS << exponent;
+    let mut hasher = DefaultHasher::new();
+    queue_row.hash(&mut hasher);
+    attempts.hash(&mut hasher);
+    let jitter = hasher.finish() % REPAIR_BACKOFF_JITTER_SECS;
+    (base + jitter).min(REPAIR_BACKOFF_CAP_SECS)
+}
+
+fn first_up_node(infra: &Infrastructure) -> Result<Arc<scalia_metastore::store::NoSqlNode>> {
+    infra
+        .database()
+        .nodes()
+        .iter()
+        .find(|n| n.is_up())
+        .cloned()
+        .ok_or(ScaliaError::DatacenterUnavailable(0))
+}
+
+/// Queues an object for repair. Keeps an existing live entry untouched (so
+/// its backoff state survives re-discovery by a later outage scan); a dead
+/// entry is revived with a fresh attempt counter — a new incident earns a
+/// new round of retries.
+pub fn enqueue(infra: &Infrastructure, key: &ObjectKey, reason: &str) -> Result<()> {
+    let queue_row = queue_row_key(&key.row_key());
+    let node = first_up_node(infra)?;
+    let existing = node
+        .get_latest(&queue_row, "item")
+        .and_then(|cell| RepairQueueEntry::from_value(&cell.value));
+    if matches!(existing, Some(ref entry) if !entry.dead) {
+        return Ok(());
+    }
+    let timestamp = infra.next_timestamp();
+    infra
+        .database()
+        .put(&queue_row, "item", queue_item(key, reason), timestamp)?;
+    infra.database().prune_old_versions(&queue_row, "item");
+    Ok(())
+}
+
+/// All current repair-queue entries, keyed by queue row.
+pub fn queue_entries(infra: &Infrastructure) -> Result<Vec<(String, RepairQueueEntry)>> {
+    let node = first_up_node(infra)?;
+    Ok(node
+        .scan_prefix(REPAIR_QUEUE_PREFIX)
+        .into_iter()
+        .filter_map(|queue_row| {
+            let cell = node.get_latest(&queue_row, "item")?;
+            let entry = RepairQueueEntry::from_value(&cell.value)?;
+            Some((queue_row, entry))
+        })
+        .collect())
+}
+
+struct RepairCandidate {
+    queue_row: String,
+    entry: RepairQueueEntry,
+    meta: ObjectMeta,
+    /// `target − achieved` availability over the currently reachable chunks:
+    /// positive means the object is below its rule's floor right now.
+    deficit: f64,
+}
+
+/// Drains the repair queue once, in durability-risk order, under `budget`.
+///
+/// Every entry is either repaired, resolved, deferred (budget or backoff),
+/// failed (attempt counter bumped, backoff scheduled, dead-lettered past the
+/// attempt cap) or reported dead — never silently dropped.
+pub fn drain_repair_queue(
+    engine: &Arc<Engine>,
+    infra: &Arc<Infrastructure>,
+    placement_engine: &PlacementEngine,
+    budget: &MigrationBudget,
+    now: SimTime,
+) -> Result<RepairDrainReport> {
+    let mut report = RepairDrainReport::default();
+    let node = first_up_node(infra)?;
+    let catalog = infra.catalog();
+
+    let mut candidates: Vec<RepairCandidate> = Vec::new();
+    for (queue_row, entry) in queue_entries(infra)? {
+        report.scanned += 1;
+        if entry.dead {
+            report.dead_lettered += 1;
+            continue;
+        }
+        if entry.not_before_secs > now.secs() {
+            report.deferred_backoff += 1;
+            continue;
+        }
+        let meta = match engine.read_metadata(&entry.key) {
+            Ok(meta) => meta,
+            Err(_) => {
+                // The object is gone; its debt went with it.
+                infra.database().delete_row(&queue_row);
+                report.resolved += 1;
+                continue;
+            }
+        };
+        let reachable: Vec<_> = meta
+            .striping
+            .chunks
+            .iter()
+            .filter(|c| catalog.is_available(c.provider))
+            .filter_map(|c| catalog.get(c.provider))
+            .collect();
+        let all_reachable = reachable.len() == meta.striping.chunks.len();
+        let has_debt = node
+            .get_latest(&meta.row_key(), "debt")
+            .is_some_and(|cell| !cell.value.is_null());
+        if all_reachable && !has_debt {
+            // Healthy again (e.g. the provider recovered before we got to
+            // it) at full width: nothing to move.
+            infra.database().delete_row(&queue_row);
+            report.resolved += 1;
+            continue;
+        }
+        let achieved = get_availability(&reachable, meta.striping.m);
+        let deficit = meta.rule.availability.probability() - achieved.probability();
+        candidates.push(RepairCandidate {
+            queue_row,
+            entry,
+            meta,
+            deficit,
+        });
+    }
+
+    // Most durability risk first; size breaks ties (most bytes of durability
+    // recovered per admitted migration); row key makes the order total.
+    candidates.sort_by(|a, b| {
+        b.deficit
+            .partial_cmp(&a.deficit)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.meta.size.bytes().cmp(&a.meta.size.bytes()))
+            .then_with(|| a.queue_row.cmp(&b.queue_row))
+    });
+
+    let period_hours = infra.sampling_period().as_hours();
+    let mut ledger = budget.start();
+    for candidate in candidates {
+        let RepairCandidate {
+            queue_row,
+            mut entry,
+            meta,
+            ..
+        } = candidate;
+        // Repair is mandatory work, budgeted by bytes only: the cost
+        // dimension guards discretionary cost-optimisation migrations.
+        if !ledger.admit(meta.size.bytes(), Money::ZERO) {
+            report.deferred_budget += 1;
+            continue;
+        }
+        report.attempted += 1;
+
+        let history = infra.statistics(engine.datacenter()).history(
+            &meta.key.row_key(),
+            scalia_types::stats::DEFAULT_HISTORY_LEN,
+        );
+        let periods = 24.max(history.len());
+        let usage = PredictedUsage::from_history(meta.size, &history, periods, period_hours);
+        // Cached: objects of the same class sharing the failed provider are
+        // re-placed with one search (the outage bumped the catalog version,
+        // so no pre-outage decision can leak through).
+        let class = scalia_core::classify::ObjectClass::of(&meta.mime, meta.size);
+        let repaired = infra
+            .best_placement_cached(placement_engine, &meta.rule, class.id(), &usage)
+            .and_then(|decision| engine.replace_placement(&meta.key, &decision.placement));
+        match repaired {
+            Ok(_) => {
+                // The full-width commit settled any durability debt
+                // atomically; retire the queue entry.
+                infra.database().delete_row(&queue_row);
+                report.repaired += 1;
+                report.bytes_moved += meta.size.bytes();
+            }
+            Err(_) => {
+                report.failed += 1;
+                entry.attempts += 1;
+                entry.not_before_secs =
+                    now.secs() + repair_backoff_secs(&queue_row, entry.attempts);
+                if entry.attempts >= DEAD_LETTER_ATTEMPTS {
+                    entry.dead = true;
+                    report.dead_lettered += 1;
+                }
+                let timestamp = infra.next_timestamp();
+                infra
+                    .database()
+                    .put(&queue_row, "item", entry.to_value(), timestamp)?;
+                infra.database().prune_old_versions(&queue_row, "item");
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Scans the metadata for objects with a chunk on `failed_provider`, queues
+/// each for repair and drains the queue immediately with an unlimited
+/// budget.
 ///
 /// The provider should already be marked unavailable in the catalog (so the
 /// placement search cannot pick it again); this function does not change the
@@ -55,17 +392,9 @@ pub fn repair_provider(
     failed_provider: ProviderId,
     placement_engine: &PlacementEngine,
 ) -> Result<RepairReport> {
-    let mut report = RepairReport::default();
+    let node = first_up_node(infra)?;
 
     // Find every object whose striping references the failed provider.
-    let node = infra
-        .database()
-        .nodes()
-        .iter()
-        .find(|n| n.is_up())
-        .cloned()
-        .ok_or(ScaliaError::DatacenterUnavailable(0))?;
-
     let affected: Vec<ObjectMeta> = node
         .snapshot()
         .into_iter()
@@ -82,30 +411,21 @@ pub fn repair_provider(
         })
         .collect();
 
-    report.objects_affected = affected.len();
-
-    let period_hours = infra.sampling_period().as_hours();
-    for meta in affected {
-        let history = infra.statistics(engine.datacenter()).history(
-            &meta.key.row_key(),
-            scalia_types::stats::DEFAULT_HISTORY_LEN,
-        );
-        let periods = 24.max(history.len());
-        let usage = PredictedUsage::from_history(meta.size, &history, periods, period_hours);
-        // Cached: objects of the same class sharing the failed provider are
-        // re-placed with one search (the outage bumped the catalog version,
-        // so no pre-outage decision can leak through).
-        let class = scalia_core::classify::ObjectClass::of(&meta.mime, meta.size);
-        match infra.best_placement_cached(placement_engine, &meta.rule, class.id(), &usage) {
-            Ok(decision) => match engine.replace_placement(&meta.key, &decision.placement) {
-                Ok(_) => report.objects_repaired += 1,
-                Err(_) => report.objects_failed += 1,
-            },
-            Err(_) => report.objects_failed += 1,
-        }
+    for meta in &affected {
+        enqueue(infra, &meta.key, "provider-outage")?;
     }
-
-    Ok(report)
+    let drain = drain_repair_queue(
+        engine,
+        infra,
+        placement_engine,
+        &MigrationBudget::UNLIMITED,
+        infra.now(),
+    )?;
+    Ok(RepairReport {
+        objects_affected: affected.len(),
+        objects_repaired: drain.repaired + drain.resolved,
+        objects_failed: drain.failed,
+    })
 }
 
 #[cfg(test)]
@@ -154,6 +474,9 @@ mod tests {
         assert!(report.objects_affected >= 1);
         assert_eq!(report.objects_failed, 0);
         assert_eq!(report.objects_repaired, report.objects_affected);
+
+        // The queue drained completely.
+        assert!(queue_entries(&infra).unwrap().is_empty());
 
         // No object references the failed provider any more, and every
         // object is still readable while the provider stays down.
@@ -264,5 +587,126 @@ mod tests {
             assert_eq!(report.objects_affected, 0);
             assert_eq!(report.objects_repaired, 0);
         }
+    }
+
+    #[test]
+    fn failed_repairs_back_off_and_dead_letter_after_the_attempt_cap() {
+        let cluster = ScaliaCluster::builder().build();
+        let engine = cluster.engine(0).clone();
+        let infra = cluster.infra().clone();
+        let key = ObjectKey::new("c", "doomed.bin");
+        cluster
+            .put(&key, vec![3u8; 200_000], "application/x-tar", rule(), None)
+            .unwrap();
+        let meta = engine.read_metadata(&key).unwrap();
+
+        // Take down every provider but one chunk holder: no feasible
+        // replacement placement exists (and the object cannot even be
+        // re-read at threshold), so every repair attempt fails.
+        let holders: Vec<ProviderId> = meta.striping.providers();
+        for p in infra.catalog().all() {
+            if p.id != holders[1] {
+                infra.set_provider_down(p.id, true);
+            }
+        }
+        enqueue(&infra, &key, "provider-outage").unwrap();
+
+        let pe = PlacementEngine::new();
+        let mut now_secs = infra.now().secs();
+        for attempt in 1..=DEAD_LETTER_ATTEMPTS {
+            let report = drain_repair_queue(
+                &engine,
+                &infra,
+                &pe,
+                &MigrationBudget::UNLIMITED,
+                SimTime::from_secs(now_secs),
+            )
+            .unwrap();
+            assert_eq!(report.failed, 1, "attempt {attempt} must fail");
+            let (queue_row, entry) = queue_entries(&infra).unwrap().pop().unwrap();
+            assert_eq!(entry.attempts, attempt);
+            assert!(
+                entry.not_before_secs > now_secs,
+                "backoff must be scheduled"
+            );
+            assert_eq!(entry.dead, attempt == DEAD_LETTER_ATTEMPTS);
+            assert!(queue_row.starts_with(REPAIR_QUEUE_PREFIX));
+            // An immediate re-drain defers on backoff (or reports the dead
+            // letter) without charging an attempt.
+            let again = drain_repair_queue(
+                &engine,
+                &infra,
+                &pe,
+                &MigrationBudget::UNLIMITED,
+                SimTime::from_secs(now_secs),
+            )
+            .unwrap();
+            assert_eq!(again.failed, 0);
+            if entry.dead {
+                assert_eq!(again.dead_lettered, 1);
+            } else {
+                assert_eq!(again.deferred_backoff, 1);
+            }
+            now_secs = entry.not_before_secs;
+        }
+
+        // Dead letters persist: still surfaced, never dropped, never retried.
+        let report = drain_repair_queue(
+            &engine,
+            &infra,
+            &pe,
+            &MigrationBudget::UNLIMITED,
+            SimTime::from_secs(now_secs + 100_000),
+        )
+        .unwrap();
+        assert_eq!(report.dead_lettered, 1);
+        assert_eq!(report.attempted, 0);
+        assert_eq!(queue_entries(&infra).unwrap().len(), 1);
+
+        // Re-enqueueing after a new incident revives the dead entry.
+        enqueue(&infra, &key, "provider-outage").unwrap();
+        let (_, revived) = queue_entries(&infra).unwrap().pop().unwrap();
+        assert!(!revived.dead);
+        assert_eq!(revived.attempts, 0);
+    }
+
+    #[test]
+    fn budget_defers_low_risk_repairs_to_the_next_drain() {
+        let cluster = ScaliaCluster::builder().build();
+        let engine = cluster.engine(0).clone();
+        let infra = cluster.infra().clone();
+
+        let keys: Vec<ObjectKey> = (0..3)
+            .map(|i| ObjectKey::new("budget", format!("obj{i}.tar")))
+            .collect();
+        for key in &keys {
+            cluster
+                .put(key, vec![5u8; 400_000], "application/x-tar", rule(), None)
+                .unwrap();
+        }
+        let victim = engine.read_metadata(&keys[0]).unwrap().striping.chunks[0].provider;
+        infra.set_provider_down(victim, true);
+        for key in &keys {
+            let meta = engine.read_metadata(key).unwrap();
+            if meta.striping.chunks.iter().any(|c| c.provider == victim) {
+                enqueue(&infra, key, "provider-outage").unwrap();
+            }
+        }
+        let queued = queue_entries(&infra).unwrap().len();
+        assert!(queued >= 1);
+
+        // A 1-byte budget admits exactly one migration per drain (the first
+        // candidate is always admitted); the rest defer, not fail.
+        let budget = MigrationBudget::UNLIMITED.with_max_bytes(1);
+        let pe = PlacementEngine::new();
+        let mut total_repaired = 0;
+        for _ in 0..queued {
+            let report = drain_repair_queue(&engine, &infra, &pe, &budget, infra.now()).unwrap();
+            assert!(report.repaired <= 1);
+            assert_eq!(report.failed, 0);
+            total_repaired += report.repaired;
+        }
+        assert_eq!(total_repaired, queued);
+        assert!(queue_entries(&infra).unwrap().is_empty());
     }
 }

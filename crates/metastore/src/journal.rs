@@ -1,0 +1,244 @@
+//! Write-ahead journal for crash-consistent metadata commits.
+//!
+//! The replicated store logs every mutation *before* applying it to the
+//! database nodes, so that a crash at any point leaves enough durable intent
+//! to finish (or cleanly discard) the interrupted operation on restart.
+//!
+//! # Journal format
+//!
+//! The journal is an append-only sequence of [`JournalRecord`]s:
+//!
+//! * `Apply(op)` — a single auto-committed mutation (a statistics write, a
+//!   row deletion). Logged immediately before the mutation is applied;
+//!   replay re-applies it.
+//! * `Begin { txid, ops }` — a multi-operation transaction (the engine's
+//!   `commit_metadata`: metadata put + optimizer digest + container index +
+//!   version prunes). The *whole* op list is logged atomically before any
+//!   node sees any of it.
+//! * `Commit { txid }` — appended after every op of transaction `txid` was
+//!   applied to the nodes.
+//!
+//! Recovery ([`crate::replication::ReplicatedStore::recover`]) restores the
+//! nodes from the last checkpoint and replays the journal in order. A
+//! `Begin` without a matching `Commit` marks a transaction interrupted
+//! mid-apply: its intent is durable, so recovery **redoes** it (the paper's
+//! "either the old or the new placement" — a crash before the `Begin` record
+//! lands yields the old placement, any crash after it yields the new one).
+//! Replay is idempotent because node cells deduplicate on exact timestamps
+//! (see [`crate::model::insert_version`]) and prunes/deletes are naturally
+//! idempotent.
+//!
+//! The journal lives in memory here (the whole metastore is an in-memory
+//! reproduction); [`crate::replication::ReplicatedStore::checkpoint`] plays
+//! the role of flushing a snapshot to stable storage and truncating the
+//! committed prefix.
+
+use crate::model::{Row, Timestamp};
+use parking_lot::Mutex;
+use serde_json::Value;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One journaled mutation of the replicated store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalOp {
+    /// Write a versioned cell.
+    Put {
+        /// Row key of the mutation.
+        row_key: String,
+        /// Column written.
+        column: String,
+        /// Cell value.
+        value: Value,
+        /// Version timestamp of the cell.
+        timestamp: Timestamp,
+    },
+    /// Delete a whole row.
+    DeleteRow {
+        /// Row key to delete.
+        row_key: String,
+    },
+    /// Delete one column of a row.
+    DeleteColumn {
+        /// Row key of the column.
+        row_key: String,
+        /// Column to delete.
+        column: String,
+    },
+    /// Drop every version of a column older than its latest.
+    Prune {
+        /// Row key of the column.
+        row_key: String,
+        /// Column to prune.
+        column: String,
+    },
+}
+
+/// One record of the append-only journal (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A single auto-committed mutation.
+    Apply(JournalOp),
+    /// Start of a multi-operation transaction: the full op list, logged
+    /// before any node applies any of it.
+    Begin {
+        /// Transaction id (unique within this journal).
+        txid: u64,
+        /// The transaction's operations, in apply order.
+        ops: Vec<JournalOp>,
+    },
+    /// End of a transaction: every op of `txid` reached the nodes.
+    Commit {
+        /// Transaction id being committed.
+        txid: u64,
+    },
+}
+
+/// The append-only write-ahead journal of a replicated store.
+#[derive(Debug, Default)]
+pub struct WriteAheadJournal {
+    records: Mutex<Vec<JournalRecord>>,
+    next_txid: AtomicU64,
+}
+
+impl WriteAheadJournal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        WriteAheadJournal::default()
+    }
+
+    /// Logs a single auto-committed mutation.
+    pub fn log_apply(&self, op: JournalOp) {
+        self.records.lock().push(JournalRecord::Apply(op));
+    }
+
+    /// Logs the start of a transaction, returning its id.
+    pub fn begin(&self, ops: Vec<JournalOp>) -> u64 {
+        let txid = self.next_txid.fetch_add(1, Ordering::Relaxed);
+        self.records.lock().push(JournalRecord::Begin { txid, ops });
+        txid
+    }
+
+    /// Logs the commit of transaction `txid`.
+    pub fn commit(&self, txid: u64) {
+        self.records.lock().push(JournalRecord::Commit { txid });
+    }
+
+    /// Number of records currently in the journal.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Returns `true` if the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// A copy of every record, in append order.
+    pub fn records(&self) -> Vec<JournalRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Transaction ids that have a `Begin` but no `Commit` record.
+    pub fn uncommitted(&self) -> Vec<u64> {
+        let records = self.records.lock();
+        let committed: BTreeSet<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                JournalRecord::Commit { txid } => Some(*txid),
+                _ => None,
+            })
+            .collect();
+        records
+            .iter()
+            .filter_map(|r| match r {
+                JournalRecord::Begin { txid, .. } if !committed.contains(txid) => Some(*txid),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drops every record made durable by a checkpoint — applied singles,
+    /// committed transactions and their commits — keeping only `Begin`
+    /// records still awaiting a commit. Returns the number of records
+    /// dropped.
+    pub fn truncate_committed(&self) -> usize {
+        let mut records = self.records.lock();
+        let committed: BTreeSet<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                JournalRecord::Commit { txid } => Some(*txid),
+                _ => None,
+            })
+            .collect();
+        let before = records.len();
+        records.retain(|r| match r {
+            JournalRecord::Begin { txid, .. } => !committed.contains(txid),
+            _ => false,
+        });
+        before - records.len()
+    }
+}
+
+/// A point-in-time snapshot of every node's rows, paired with the journal
+/// truncation that made it the recovery baseline. Produced by
+/// [`crate::replication::ReplicatedStore::checkpoint`] and consumed by
+/// [`crate::replication::ReplicatedStore::recover`].
+#[derive(Debug, Clone, Default)]
+pub struct StoreCheckpoint {
+    /// Per-node row snapshots, parallel to the store's node list.
+    pub node_rows: Vec<Vec<(String, Row)>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn put(row: &str, ts: u64) -> JournalOp {
+        JournalOp::Put {
+            row_key: row.to_string(),
+            column: "c".to_string(),
+            value: json!(ts),
+            timestamp: Timestamp::new(ts, 0),
+        }
+    }
+
+    #[test]
+    fn transactions_track_commit_state() {
+        let j = WriteAheadJournal::new();
+        let t1 = j.begin(vec![put("a", 1)]);
+        let t2 = j.begin(vec![put("b", 2)]);
+        assert_ne!(t1, t2);
+        j.commit(t1);
+        assert_eq!(j.uncommitted(), vec![t2]);
+        j.commit(t2);
+        assert!(j.uncommitted().is_empty());
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn truncate_keeps_only_uncommitted_begins() {
+        let j = WriteAheadJournal::new();
+        j.log_apply(put("a", 1));
+        let t1 = j.begin(vec![put("b", 2)]);
+        j.commit(t1);
+        let t2 = j.begin(vec![put("c", 3)]);
+        let dropped = j.truncate_committed();
+        assert_eq!(dropped, 3, "apply + committed begin + commit are dropped");
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.uncommitted(), vec![t2]);
+        assert!(matches!(
+            j.records()[0],
+            JournalRecord::Begin { txid, .. } if txid == t2
+        ));
+    }
+
+    #[test]
+    fn empty_journal_is_empty() {
+        let j = WriteAheadJournal::new();
+        assert!(j.is_empty());
+        assert_eq!(j.truncate_committed(), 0);
+        assert!(j.uncommitted().is_empty());
+    }
+}

@@ -25,10 +25,14 @@
 //!   logs from engines into the statistics tables.
 //! * [`mapreduce`] — parallel map-reduce jobs over the rows of a node, used
 //!   to refresh per-class statistics.
+//! * [`journal`] — the write-ahead journal and checkpoint format that make
+//!   replicated-store mutations (and the engine's multi-op metadata
+//!   commits) atomic across a crash.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod logagg;
 pub mod mapreduce;
 pub mod model;
@@ -37,6 +41,7 @@ pub mod replication;
 pub mod stats;
 pub mod store;
 
+pub use journal::{JournalOp, JournalRecord, StoreCheckpoint, WriteAheadJournal};
 pub use logagg::{AccessLogRecord, LogAgent, LogAggregator};
 pub use model::{Cell, Timestamp};
 pub use replication::ReplicatedStore;

@@ -8,7 +8,16 @@
 //! [`NoSqlNode`]s: writes go to every reachable node, misses are recorded as
 //! hinted handoffs, and [`ReplicatedStore::anti_entropy`] reconciles nodes
 //! pairwise by merging version sets.
+//!
+//! Every mutation is additionally recorded in a [`WriteAheadJournal`] so the
+//! store survives a crash: [`ReplicatedStore::checkpoint`] snapshots the
+//! nodes and truncates the journal's committed prefix, and
+//! [`ReplicatedStore::recover`] rebuilds the nodes from a checkpoint plus a
+//! journal replay. Multi-operation commits go through
+//! [`ReplicatedStore::transaction`], whose write-ahead `Begin` record makes
+//! the whole batch atomic across a crash (see [`crate::journal`]).
 
+use crate::journal::{JournalOp, JournalRecord, StoreCheckpoint, WriteAheadJournal};
 use crate::model::{Cell, Timestamp};
 use crate::store::NoSqlNode;
 use parking_lot::Mutex;
@@ -27,10 +36,17 @@ struct Hint {
     cell: Cell,
 }
 
+/// A crash-injection hook: called with a crash-point label, returns `true`
+/// when the operation must abort *right there* with no cleanup (the chaos
+/// harness arms these through a fault plan).
+pub type CrashHook = Arc<dyn Fn(&str) -> bool + Send + Sync>;
+
 /// A store replicated across every datacenter's database node.
 pub struct ReplicatedStore {
     nodes: Vec<Arc<NoSqlNode>>,
     hints: Mutex<VecDeque<Hint>>,
+    journal: WriteAheadJournal,
+    crash_hook: Mutex<Option<CrashHook>>,
 }
 
 impl ReplicatedStore {
@@ -39,6 +55,8 @@ impl ReplicatedStore {
         ReplicatedStore {
             nodes,
             hints: Mutex::new(VecDeque::new()),
+            journal: WriteAheadJournal::new(),
+            crash_hook: Mutex::new(None),
         }
     }
 
@@ -67,8 +85,31 @@ impl ReplicatedStore {
 
     /// Writes a cell to every reachable node. Nodes that are down get a
     /// hinted handoff replayed by [`Self::anti_entropy`]. Fails only if *no*
-    /// node accepted the write.
+    /// node accepted the write. Accepted writes are recorded in the
+    /// write-ahead journal (as auto-committed redo records) so crash
+    /// recovery can replay them.
     pub fn put(
+        &self,
+        row_key: &str,
+        column: &str,
+        value: Value,
+        timestamp: Timestamp,
+    ) -> Result<()> {
+        let op = JournalOp::Put {
+            row_key: row_key.to_string(),
+            column: column.to_string(),
+            value: value.clone(),
+            timestamp,
+        };
+        self.apply_put(row_key, column, value, timestamp)?;
+        self.journal.log_apply(op);
+        Ok(())
+    }
+
+    /// Applies a cell write to the nodes (hinting the down ones) without
+    /// touching the journal — shared by the journaling front doors and the
+    /// recovery replay.
+    fn apply_put(
         &self,
         row_key: &str,
         column: &str,
@@ -95,6 +136,147 @@ impl ReplicatedStore {
             ))
         } else {
             Ok(())
+        }
+    }
+
+    /// Applies one journal op to the nodes (no journaling). Returns the
+    /// cells a `Prune` removed (union across nodes, deduplicated), empty for
+    /// the other op kinds.
+    fn apply_op(&self, op: &JournalOp) -> Result<Vec<Cell>> {
+        match op {
+            JournalOp::Put {
+                row_key,
+                column,
+                value,
+                timestamp,
+            } => self
+                .apply_put(row_key, column, value.clone(), *timestamp)
+                .map(|()| Vec::new()),
+            JournalOp::DeleteRow { row_key } => {
+                for node in &self.nodes {
+                    node.delete_row(row_key);
+                }
+                Ok(Vec::new())
+            }
+            JournalOp::DeleteColumn { row_key, column } => {
+                for node in &self.nodes {
+                    node.delete_column(row_key, column);
+                }
+                Ok(Vec::new())
+            }
+            JournalOp::Prune { row_key, column } => {
+                let mut removed: Vec<Cell> = Vec::new();
+                for node in &self.nodes {
+                    for cell in node.prune_old_versions(row_key, column) {
+                        if !removed.iter().any(|c| c.timestamp == cell.timestamp) {
+                            removed.push(cell);
+                        }
+                    }
+                }
+                removed.sort_by_key(|c| c.timestamp);
+                Ok(removed)
+            }
+        }
+    }
+
+    /// Atomically applies a batch of operations under write-ahead logging:
+    /// the whole op list is journaled as one `Begin` record before any node
+    /// sees any of it, and a `Commit` record lands only after every op
+    /// applied. A crash anywhere in between leaves a `Begin` without a
+    /// `Commit`, which [`Self::recover`] redoes — so the batch is all-or-
+    /// nothing across a crash (old state if the crash beat the `Begin`
+    /// record, new state otherwise).
+    ///
+    /// Returns the union of cells removed by the batch's `Prune` ops
+    /// (deduplicated by timestamp, sorted) — the engine deletes their
+    /// chunks.
+    ///
+    /// Crash points visited (in order): `txn::before-log`, `txn::logged`,
+    /// `txn::torn` (after the first op applied), `txn::applied`.
+    pub fn transaction(&self, ops: Vec<JournalOp>) -> Result<Vec<Cell>> {
+        self.crash_check("txn::before-log")?;
+        let txid = self.journal.begin(ops.clone());
+        self.crash_check("txn::logged")?;
+        let mut removed: Vec<Cell> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            for cell in self.apply_op(op)? {
+                if !removed.iter().any(|c| c.timestamp == cell.timestamp) {
+                    removed.push(cell);
+                }
+            }
+            if i == 0 {
+                self.crash_check("txn::torn")?;
+            }
+        }
+        self.crash_check("txn::applied")?;
+        self.journal.commit(txid);
+        removed.sort_by_key(|c| c.timestamp);
+        Ok(removed)
+    }
+
+    /// Installs a crash-injection hook (see [`CrashHook`]). The chaos
+    /// harness uses this to abort journaled operations at named points.
+    pub fn set_crash_hook(&self, hook: Option<CrashHook>) {
+        *self.crash_hook.lock() = hook;
+    }
+
+    /// Visits a crash point: aborts with an internal error when the
+    /// installed hook says the label is armed.
+    fn crash_check(&self, label: &str) -> Result<()> {
+        let hook = self.crash_hook.lock().clone();
+        match hook {
+            Some(hook) if hook(label) => {
+                Err(ScaliaError::Internal(format!("crash injected at {label}")))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The store's write-ahead journal.
+    pub fn journal(&self) -> &WriteAheadJournal {
+        &self.journal
+    }
+
+    /// Snapshots every node's rows and truncates the journal's committed
+    /// prefix — the durable baseline [`Self::recover`] restores from. Take
+    /// checkpoints at quiescent points (no in-flight transactions).
+    pub fn checkpoint(&self) -> StoreCheckpoint {
+        let node_rows = self.nodes.iter().map(|n| n.snapshot()).collect();
+        self.journal.truncate_committed();
+        StoreCheckpoint { node_rows }
+    }
+
+    /// Crash recovery: restores every node from `checkpoint` (bringing it
+    /// up), drops volatile hinted handoffs, and replays the journal in
+    /// order. Committed transactions and auto-committed singles are redone
+    /// as logged; a `Begin` without a `Commit` (a transaction interrupted by
+    /// the crash) is **redone to completion** — its intent was durable — and
+    /// then marked committed, so recovery is idempotent. After recovery the
+    /// store holds either the pre-transaction or the post-transaction state
+    /// for every interrupted commit, never a torn mixture.
+    pub fn recover(&self, checkpoint: &StoreCheckpoint) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            node.set_up(true);
+            let rows = checkpoint.node_rows.get(i).cloned().unwrap_or_default();
+            node.restore(rows);
+        }
+        self.hints.lock().clear();
+        let uncommitted = self.journal.uncommitted();
+        for record in self.journal.records() {
+            match record {
+                JournalRecord::Apply(op) => {
+                    let _ = self.apply_op(&op);
+                }
+                JournalRecord::Begin { ops, .. } => {
+                    for op in &ops {
+                        let _ = self.apply_op(op);
+                    }
+                }
+                JournalRecord::Commit { .. } => {}
+            }
+        }
+        for txid in uncommitted {
+            self.journal.commit(txid);
         }
     }
 
@@ -140,33 +322,38 @@ impl ReplicatedStore {
         Vec::new()
     }
 
-    /// Deletes a row on every reachable node.
+    /// Deletes a row on every reachable node (journaled).
     pub fn delete_row(&self, row_key: &str) {
         for node in &self.nodes {
             node.delete_row(row_key);
         }
+        self.journal.log_apply(JournalOp::DeleteRow {
+            row_key: row_key.to_string(),
+        });
     }
 
     /// Deletes a single column of a row on every reachable node (statistics
-    /// garbage collection: dropping over-retention samples).
+    /// garbage collection: dropping over-retention samples). Journaled.
     pub fn delete_column(&self, row_key: &str, column: &str) {
         for node in &self.nodes {
             node.delete_column(row_key, column);
         }
+        self.journal.log_apply(JournalOp::DeleteColumn {
+            row_key: row_key.to_string(),
+            column: column.to_string(),
+        });
     }
 
     /// Prunes deprecated versions of a column on every reachable node and
     /// returns the union of removed cells (deduplicated by timestamp).
+    /// Journaled.
     pub fn prune_old_versions(&self, row_key: &str, column: &str) -> Vec<Cell> {
-        let mut removed: Vec<Cell> = Vec::new();
-        for node in &self.nodes {
-            for cell in node.prune_old_versions(row_key, column) {
-                if !removed.iter().any(|c| c.timestamp == cell.timestamp) {
-                    removed.push(cell);
-                }
-            }
-        }
-        removed.sort_by_key(|c| c.timestamp);
+        let op = JournalOp::Prune {
+            row_key: row_key.to_string(),
+            column: column.to_string(),
+        };
+        let removed = self.apply_op(&op).unwrap_or_default();
+        self.journal.log_apply(op);
         removed
     }
 
@@ -340,5 +527,152 @@ mod tests {
         for node in s.nodes() {
             assert!(node.get_latest("r", "c").is_none());
         }
+    }
+
+    #[test]
+    fn transaction_applies_all_ops_and_returns_pruned_cells() {
+        let s = store();
+        s.put("r", "meta", json!("old"), Timestamp::new(1, 0))
+            .unwrap();
+        let removed = s
+            .transaction(vec![
+                JournalOp::Put {
+                    row_key: "r".into(),
+                    column: "meta".into(),
+                    value: json!("new"),
+                    timestamp: Timestamp::new(2, 0),
+                },
+                JournalOp::Put {
+                    row_key: "container:c".into(),
+                    column: "k".into(),
+                    value: json!(true),
+                    timestamp: Timestamp::new(2, 0),
+                },
+                JournalOp::Prune {
+                    row_key: "r".into(),
+                    column: "meta".into(),
+                },
+            ])
+            .unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].value, json!("old"));
+        for node in s.nodes() {
+            assert_eq!(node.get_versions("r", "meta").len(), 1);
+            assert_eq!(node.get_latest("r", "meta").unwrap().value, json!("new"));
+            assert!(node.get_latest("container:c", "k").is_some());
+        }
+        assert!(s.journal().uncommitted().is_empty());
+    }
+
+    #[test]
+    fn recovery_replays_journal_onto_checkpoint() {
+        let s = store();
+        s.put("a", "c", json!(1), Timestamp::new(1, 0)).unwrap();
+        let cp = s.checkpoint();
+        // Post-checkpoint history: a put, a delete, a committed transaction.
+        s.put("b", "c", json!(2), Timestamp::new(2, 0)).unwrap();
+        s.delete_row("a");
+        s.transaction(vec![JournalOp::Put {
+            row_key: "t".into(),
+            column: "c".into(),
+            value: json!(3),
+            timestamp: Timestamp::new(3, 0),
+        }])
+        .unwrap();
+        // Crash: wipe the nodes entirely, then recover.
+        for node in s.nodes() {
+            node.restore(Vec::new());
+        }
+        s.recover(&cp);
+        for node in s.nodes() {
+            assert!(node.get_latest("a", "c").is_none(), "delete replayed");
+            assert_eq!(node.get_latest("b", "c").unwrap().value, json!(2));
+            assert_eq!(node.get_latest("t", "c").unwrap().value, json!(3));
+        }
+    }
+
+    #[test]
+    fn crash_mid_transaction_recovers_to_new_state_atomically() {
+        for label in ["txn::logged", "txn::torn", "txn::applied"] {
+            let s = store();
+            s.put("r", "meta", json!("old"), Timestamp::new(1, 0))
+                .unwrap();
+            let cp = s.checkpoint();
+            let fire = label.to_string();
+            s.set_crash_hook(Some(Arc::new(move |l: &str| l == fire)));
+            let err = s
+                .transaction(vec![
+                    JournalOp::Put {
+                        row_key: "r".into(),
+                        column: "meta".into(),
+                        value: json!("new"),
+                        timestamp: Timestamp::new(2, 0),
+                    },
+                    JournalOp::Prune {
+                        row_key: "r".into(),
+                        column: "meta".into(),
+                    },
+                ])
+                .unwrap_err();
+            assert!(matches!(err, ScaliaError::Internal(_)), "{label}");
+            s.set_crash_hook(None);
+            s.recover(&cp);
+            // The Begin record was durable, so recovery redoes the whole
+            // batch: exactly one version, the new one, on every node.
+            for node in s.nodes() {
+                assert_eq!(node.get_versions("r", "meta").len(), 1, "{label}");
+                assert_eq!(
+                    node.get_latest("r", "meta").unwrap().value,
+                    json!("new"),
+                    "{label}"
+                );
+            }
+            assert!(s.journal().uncommitted().is_empty(), "{label}");
+            // Recovery is idempotent.
+            s.recover(&cp);
+            for node in s.nodes() {
+                assert_eq!(node.get_versions("r", "meta").len(), 1, "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_before_log_leaves_old_state() {
+        let s = store();
+        s.put("r", "meta", json!("old"), Timestamp::new(1, 0))
+            .unwrap();
+        let cp = s.checkpoint();
+        s.set_crash_hook(Some(Arc::new(|l: &str| l == "txn::before-log")));
+        assert!(s
+            .transaction(vec![JournalOp::Put {
+                row_key: "r".into(),
+                column: "meta".into(),
+                value: json!("new"),
+                timestamp: Timestamp::new(2, 0),
+            }])
+            .is_err());
+        s.set_crash_hook(None);
+        s.recover(&cp);
+        for node in s.nodes() {
+            assert_eq!(node.get_latest("r", "meta").unwrap().value, json!("old"));
+            assert_eq!(node.get_versions("r", "meta").len(), 1);
+        }
+    }
+
+    #[test]
+    fn checkpoint_truncates_committed_journal_prefix() {
+        let s = store();
+        for i in 0..10 {
+            s.put("r", "c", json!(i), Timestamp::new(i, 0)).unwrap();
+        }
+        assert_eq!(s.journal().len(), 10);
+        let cp = s.checkpoint();
+        assert_eq!(s.journal().len(), 0, "committed prefix dropped");
+        // Recovery from a fresh checkpoint with an empty journal is exact.
+        s.recover(&cp);
+        assert_eq!(
+            s.get_latest(DatacenterId::new(0), "r", "c").unwrap().value,
+            json!(9)
+        );
     }
 }

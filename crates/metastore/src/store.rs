@@ -264,6 +264,28 @@ impl NoSqlNode {
     pub fn row_count(&self) -> usize {
         self.rows.read().len()
     }
+
+    /// Replaces the node's entire contents with a checkpoint snapshot,
+    /// rebuilding the modified-row index from the snapshot's cell
+    /// timestamps. Crash recovery restores the checkpoint first and then
+    /// replays the write-ahead journal on top (see
+    /// `ReplicatedStore::recover`); unlike normal mutations this works even
+    /// while the node is marked down, because recovery is what brings it
+    /// back.
+    pub fn restore(&self, rows: Vec<(String, Row)>) {
+        let mut modified = BTreeMap::new();
+        for (row_key, row) in &rows {
+            let max_ts = row
+                .values()
+                .flat_map(|cells| cells.iter().map(|c| c.timestamp))
+                .max();
+            if let Some(ts) = max_ts {
+                modified.insert(row_key.clone(), ts);
+            }
+        }
+        *self.rows.write() = rows.into_iter().collect();
+        *self.modified.write() = modified;
+    }
 }
 
 #[cfg(test)]
@@ -354,6 +376,29 @@ mod tests {
         let very_recent = n.modified_since(Timestamp::new(25, 0));
         assert_eq!(very_recent, vec!["a".to_string()]);
         assert!(n.modified_since(Timestamp::new(31, 0)).is_empty());
+    }
+
+    #[test]
+    fn restore_replaces_contents_and_rebuilds_modified_index() {
+        let n = node();
+        n.put("old", "c", json!(1), Timestamp::new(5, 0));
+        let other = node();
+        other.put("a", "c", json!(10), Timestamp::new(10, 0));
+        other.put("a", "d", json!(11), Timestamp::new(12, 0));
+        other.put("b", "c", json!(20), Timestamp::new(20, 0));
+        n.restore(other.snapshot());
+        assert!(n.get_latest("old", "c").is_none(), "old contents replaced");
+        assert_eq!(n.get_latest("a", "d").unwrap().value, json!(11));
+        assert_eq!(n.row_count(), 2);
+        // The modified index reflects the snapshot's max timestamps.
+        assert_eq!(n.modified_since(Timestamp::new(13, 0)), vec!["b"]);
+        let both = n.modified_since(Timestamp::new(12, 0));
+        assert_eq!(both, vec!["a".to_string(), "b".to_string()]);
+        // Restore works on a down node (recovery brings it back by hand).
+        n.set_up(false);
+        n.restore(Vec::new());
+        n.set_up(true);
+        assert_eq!(n.row_count(), 0);
     }
 
     #[test]

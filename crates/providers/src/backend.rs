@@ -109,6 +109,9 @@ pub struct SimulatedStore {
     stall_us: AtomicU64,
     /// When set, operations really sleep their virtual latency (benches).
     real_sleep: AtomicBool,
+    /// Transport-error storm: the next N operations fail with a retryable
+    /// soft error while the provider is nominally up (chaos injection).
+    soft_faults: AtomicU64,
 }
 
 impl SimulatedStore {
@@ -137,6 +140,7 @@ impl SimulatedStore {
             }),
             stall_us: AtomicU64::new(0),
             real_sleep: AtomicBool::new(real_sleep),
+            soft_faults: AtomicU64::new(0),
         }
     }
 
@@ -245,12 +249,37 @@ impl SimulatedStore {
         }
     }
 
+    /// Starts a transport-error storm: the next `ops` operations fail with a
+    /// retryable [`ScaliaError::Internal`] error while the provider remains
+    /// nominally up — feeding the failure detector's count-to-threshold path
+    /// rather than the immediate `ProviderUnavailable` path. Zero clears any
+    /// remaining storm.
+    pub fn inject_transport_errors(&self, ops: u64) {
+        self.soft_faults.store(ops, Ordering::SeqCst);
+    }
+
+    /// Operations still covered by an injected transport-error storm.
+    pub fn pending_transport_errors(&self) -> u64 {
+        self.soft_faults.load(Ordering::SeqCst)
+    }
+
     fn check_up(&self, state: &StoreState) -> Result<()> {
         if state.manually_down || self.outages.is_down(state.now) {
-            Err(ScaliaError::ProviderUnavailable(self.descriptor.id))
-        } else {
-            Ok(())
+            return Err(ScaliaError::ProviderUnavailable(self.descriptor.id));
         }
+        // Consume one storm token per operation: the request dies on the
+        // wire before it is billed or applied.
+        if self
+            .soft_faults
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            return Err(ScaliaError::Internal(format!(
+                "injected transport error at {}",
+                self.descriptor.id
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -575,6 +604,27 @@ mod tests {
             "real-sleep mode must pay the modelled latency in wall-clock time"
         );
         s.set_real_sleep(false);
+    }
+
+    #[test]
+    fn transport_storm_fails_exactly_n_ops_then_clears() {
+        let s = store();
+        s.put("k", Bytes::from_static(b"v")).unwrap();
+        s.inject_transport_errors(3);
+        assert_eq!(s.pending_transport_errors(), 3);
+        assert!(s.is_up(), "storming provider stays nominally up");
+        for _ in 0..3 {
+            assert!(matches!(s.get("k").unwrap_err(), ScaliaError::Internal(_)));
+        }
+        assert_eq!(s.pending_transport_errors(), 0);
+        assert_eq!(s.get("k").unwrap(), Bytes::from_static(b"v"));
+        // Storms gate every operation class, and zero clears them early.
+        s.inject_transport_errors(10);
+        assert!(s.put("k2", Bytes::from_static(b"w")).is_err());
+        assert!(s.delete("k").is_err());
+        assert!(s.exists("k").is_err());
+        s.inject_transport_errors(0);
+        assert!(s.exists("k").unwrap());
     }
 
     #[test]

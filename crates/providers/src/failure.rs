@@ -1,12 +1,32 @@
-//! Outage schedules for failure injection.
+//! Outage schedules and deterministic fault plans for failure injection.
 //!
 //! The evaluation's active-repair scenario (§IV-E) takes one provider down
 //! between hour 60 and hour 120. An [`OutageSchedule`] expresses such
 //! transient failures as a list of half-open time windows and answers the
 //! question "is the provider up at time t?".
+//!
+//! Beyond whole-provider outages, the chaos harness needs *surgical* faults
+//! that reproduce bit-for-bit from a seed:
+//!
+//! * **Crash points** — named code locations (e.g. `journal::logged`) armed
+//!   through a [`FaultPlan`]. When execution reaches an armed label the
+//!   caller aborts the operation exactly there, simulating a process crash
+//!   with no cleanup. Each armed point fires once and records itself in
+//!   [`FaultPlan::fired`].
+//! * **Transport-error storms** — a provider answers its next *N* requests
+//!   with a retryable transport error while nominally up, feeding the
+//!   failure detector's count-to-threshold path (injected per backend, see
+//!   `SimulatedStore::inject_transport_errors`). A [`FaultPlan`] carries the
+//!   storm specs so a whole chaos scenario is described by one plan object.
+//! * **Torn operations** — a crash point armed *inside* a multi-step
+//!   mutation (between journal apply steps) leaves the operation half done;
+//!   recovery must complete or discard it, never leave the torn state.
 
+use scalia_types::ids::ProviderId;
 use scalia_types::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// A single outage window `[start, end)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,6 +88,94 @@ impl OutageSchedule {
             .flat_map(|w| [w.start, w.end])
             .filter(|&t| t > time)
             .min()
+    }
+}
+
+/// A transport-error storm: one provider fails its next `ops` requests with
+/// a retryable error while remaining nominally up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StormSpec {
+    /// Provider the storm targets.
+    pub provider: ProviderId,
+    /// Number of consecutive requests that fail.
+    pub ops: u32,
+}
+
+/// A deterministic chaos plan: armed crash points plus transport-error
+/// storms, shared (behind an `Arc`) between the harness and the system under
+/// test.
+///
+/// Crash points are identified by string labels. Arming a label with
+/// [`FaultPlan::arm`] makes the next visit fire; [`FaultPlan::arm_after`]
+/// skips the first `skip` visits so a later occurrence of the same label can
+/// be targeted. A fired point is disarmed (crashes are one-shot) and
+/// remembered, so a scenario can assert exactly which faults triggered.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Label → remaining visits to skip before firing (0 = fire next visit).
+    armed: Mutex<BTreeMap<String, u32>>,
+    /// Labels that fired, in firing order.
+    fired: Mutex<Vec<String>>,
+    /// Storms to apply to backends before the scenario runs.
+    storms: Mutex<Vec<StormSpec>>,
+}
+
+impl FaultPlan {
+    /// An empty plan: nothing armed, nothing fires.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Arms `label` to fire on its next visit.
+    pub fn arm(&self, label: impl Into<String>) {
+        self.arm_after(label, 0);
+    }
+
+    /// Arms `label` to fire on its `(skip + 1)`-th visit.
+    pub fn arm_after(&self, label: impl Into<String>, skip: u32) {
+        self.armed.lock().unwrap().insert(label.into(), skip);
+    }
+
+    /// Visits a crash point. Returns `true` exactly when the armed countdown
+    /// for `label` reaches zero — the caller must then abandon the operation
+    /// in place (no cleanup), simulating a crash. Unarmed labels are free.
+    pub fn check(&self, label: &str) -> bool {
+        let mut armed = self.armed.lock().unwrap();
+        match armed.get_mut(label) {
+            None => false,
+            Some(skip) if *skip > 0 => {
+                *skip -= 1;
+                false
+            }
+            Some(_) => {
+                armed.remove(label);
+                self.fired.lock().unwrap().push(label.to_string());
+                true
+            }
+        }
+    }
+
+    /// Labels that fired so far, in order.
+    pub fn fired(&self) -> Vec<String> {
+        self.fired.lock().unwrap().clone()
+    }
+
+    /// Number of crash points still armed (not yet fired).
+    pub fn armed_count(&self) -> usize {
+        self.armed.lock().unwrap().len()
+    }
+
+    /// Adds a transport-error storm to the plan.
+    pub fn add_storm(&self, provider: ProviderId, ops: u32) {
+        self.storms
+            .lock()
+            .unwrap()
+            .push(StormSpec { provider, ops });
+    }
+
+    /// Drains the planned storms (the harness applies them to backends).
+    pub fn take_storms(&self) -> Vec<StormSpec> {
+        std::mem::take(&mut *self.storms.lock().unwrap())
     }
 }
 
@@ -164,6 +272,39 @@ mod tests {
             Some(SimTime::from_hours(50))
         );
         assert_eq!(s.next_transition(SimTime::from_hours(50)), None);
+    }
+
+    #[test]
+    fn crash_points_fire_once_and_record() {
+        let plan = FaultPlan::new();
+        plan.arm("journal::logged");
+        assert!(!plan.check("journal::applied"), "unarmed label is free");
+        assert!(plan.check("journal::logged"), "armed label fires");
+        assert!(!plan.check("journal::logged"), "fired label is disarmed");
+        assert_eq!(plan.fired(), vec!["journal::logged".to_string()]);
+        assert_eq!(plan.armed_count(), 0);
+    }
+
+    #[test]
+    fn arm_after_skips_early_visits() {
+        let plan = FaultPlan::new();
+        plan.arm_after("put::uploaded", 2);
+        assert!(!plan.check("put::uploaded"));
+        assert!(!plan.check("put::uploaded"));
+        assert!(plan.check("put::uploaded"), "fires on the third visit");
+        assert!(plan.fired().contains(&"put::uploaded".to_string()));
+    }
+
+    #[test]
+    fn storms_accumulate_and_drain() {
+        let plan = FaultPlan::new();
+        plan.add_storm(ProviderId::new(2), 5);
+        plan.add_storm(ProviderId::new(3), 1);
+        let storms = plan.take_storms();
+        assert_eq!(storms.len(), 2);
+        assert_eq!(storms[0].provider, ProviderId::new(2));
+        assert_eq!(storms[0].ops, 5);
+        assert!(plan.take_storms().is_empty(), "draining empties the plan");
     }
 
     #[test]

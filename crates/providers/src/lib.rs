@@ -44,7 +44,7 @@ pub use backend::{ObjectStore, SimulatedStore};
 pub use billing::BillingMeter;
 pub use catalog::ProviderCatalog;
 pub use descriptor::{ProviderDescriptor, ProviderKind};
-pub use failure::OutageSchedule;
+pub use failure::{FaultPlan, OutageSchedule};
 pub use latency::LatencyModel;
 pub use pricing::PricingPolicy;
 pub use private::PrivateResource;

@@ -127,6 +127,22 @@ impl StripingMeta {
         self.chunks.len() as u32
     }
 
+    /// Width of the erasure code the chunks must be decoded under: for a
+    /// full striping this is `n`; for a *degraded* striping (a write that
+    /// landed with k < n chunks) the surviving chunks keep their original
+    /// erasure indices, so the width is the highest surviving index + 1.
+    /// Decoding under this width is exact — the systematic Reed–Solomon
+    /// encode-matrix row of chunk `i` depends only on `(i, m)`, never on the
+    /// total width it was encoded with.
+    pub fn code_width(&self) -> u32 {
+        self.chunks
+            .iter()
+            .map(|c| c.index + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.chunks.len() as u32)
+    }
+
     /// The providers holding chunks, in chunk-index order.
     pub fn providers(&self) -> Vec<ProviderId> {
         self.chunks.iter().map(|c| c.provider).collect()

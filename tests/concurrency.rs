@@ -500,3 +500,151 @@ fn slow_provider_writer_reader_stress_stays_consistent() {
         "every committed write must record a put makespan"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Property: repair under churn
+// ---------------------------------------------------------------------------
+
+/// Random repair-queue schedules racing client churn (overwrites, deletes,
+/// provider outages). Three properties, drawn from the durability control
+/// plane's contract:
+///
+/// * **No double repair** — a queue entry that resolved or repaired is gone;
+///   once the queue drains empty, a further drain scans and moves nothing,
+///   and re-enqueueing an already-queued live object is a no-op.
+/// * **No stranded chunks** — once capacity returns and the queue drains,
+///   no postponed delete survives and every byte at the providers belongs
+///   to a surviving version.
+/// * **Convergence** — with every provider back up, the queue empties
+///   within bounded repair cycles (nothing is silently wedged or
+///   dead-lettered by transient churn).
+mod repair_churn_props {
+    use super::*;
+    use proptest::prelude::*;
+    use scalia::engine::repair;
+    use scalia::types::time::SimTime;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn repair_under_churn_never_double_repairs_or_strands_chunks(
+            words in proptest::collection::vec(any::<u64>(), 8..20),
+        ) {
+            let cluster = ScaliaCluster::builder()
+                .datacenters(1)
+                .engines_per_datacenter(2)
+                .build();
+            let infra = cluster.infra().clone();
+            let providers: Vec<ProviderId> =
+                infra.catalog().all().iter().map(|d| d.id).collect();
+            let keys: Vec<ObjectKey> = (0..4)
+                .map(|i| ObjectKey::new("churn", format!("obj-{i}")))
+                .collect();
+            let mut alive = [false; 4];
+            let mut hour = 0u64;
+
+            for (i, key) in keys.iter().enumerate() {
+                cluster
+                    .put(key, payload(i, 8_000 + i * 1_000), "application/x-tar", rule(), None)
+                    .unwrap();
+                alive[i] = true;
+            }
+
+            for &word in &words {
+                let obj = (word % 4) as usize;
+                match (word >> 2) % 5 {
+                    0 => {
+                        // Overwrite: deprecates a version the queue may
+                        // still reference.
+                        cluster
+                            .put(
+                                &keys[obj],
+                                payload(obj + 7, 6_000 + (word >> 8) as usize % 8_000),
+                                "application/x-tar",
+                                rule(),
+                                None,
+                            )
+                            .unwrap();
+                        alive[obj] = true;
+                    }
+                    1 => {
+                        // Delete: its queue entry (if any) must resolve, not
+                        // wedge.
+                        if alive[obj] {
+                            cluster.delete(&keys[obj]).unwrap();
+                            alive[obj] = false;
+                        }
+                    }
+                    2 => {
+                        // Provider outage: enqueue every live object (the
+                        // unaffected ones must resolve without movement),
+                        // drain once while down, then recover.
+                        let down = providers[(word >> 5) as usize % providers.len()];
+                        infra.set_provider_down(down, true);
+                        for (i, key) in keys.iter().enumerate() {
+                            if alive[i] {
+                                repair::enqueue(&infra, key, "provider-outage").unwrap();
+                            }
+                        }
+                        let queued = repair::queue_entries(&infra).unwrap().len();
+                        // Re-enqueueing a live entry must not duplicate it.
+                        for (i, key) in keys.iter().enumerate() {
+                            if alive[i] {
+                                repair::enqueue(&infra, key, "provider-outage").unwrap();
+                            }
+                        }
+                        prop_assert_eq!(
+                            repair::queue_entries(&infra).unwrap().len(),
+                            queued,
+                            "enqueue must be idempotent for live entries"
+                        );
+                        hour += 1;
+                        cluster.tick(SimTime::from_hours(hour));
+                        infra.set_provider_down(down, false);
+                    }
+                    3 => {
+                        // A bare repair cycle.
+                        hour += 1;
+                        cluster.tick(SimTime::from_hours(hour));
+                    }
+                    _ => {
+                        // Enqueue a healthy object: the drain must resolve
+                        // it without moving a byte.
+                        if alive[obj] {
+                            repair::enqueue(&infra, &keys[obj], "provider-outage").unwrap();
+                        }
+                    }
+                }
+            }
+
+            // Convergence: with all providers up, the queue must drain
+            // within bounded cycles (backoffs cap at one hour).
+            for &p in &providers {
+                infra.set_provider_down(p, false);
+            }
+            let mut drained = false;
+            for _ in 0..10 {
+                hour += 2;
+                cluster.tick(SimTime::from_hours(hour));
+                if repair::queue_entries(&infra).unwrap().is_empty() {
+                    drained = true;
+                    break;
+                }
+            }
+            prop_assert!(drained, "repair queue must drain once capacity returns");
+
+            // No double repair: a drain over the empty queue scans and
+            // moves nothing.
+            hour += 2;
+            cluster.tick(SimTime::from_hours(hour));
+            let idle = cluster.last_repair_drain();
+            prop_assert_eq!(idle.scanned, 0, "resolved entries must not be revisited");
+            prop_assert_eq!(idle.repaired, 0);
+            prop_assert_eq!(idle.bytes_moved, 0);
+
+            // No stranded chunks, no leaked bytes, consistent survivors.
+            assert_quiescent_invariants(&cluster, &keys);
+        }
+    }
+}
