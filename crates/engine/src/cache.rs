@@ -31,17 +31,57 @@ use scalia_types::size::ByteSize;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// FNV-1a 64-bit digest — the cache's integrity check. Much cheaper than a
+/// cryptographic hash and plenty for what it guards against: *accidental*
+/// in-process corruption (a buggy in-place mutation of shared `Bytes`, a
+/// torn entry), not an adversary.
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in data {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One cached object plus the integrity digest recorded when it was
+/// inserted. Every hit re-derives the digest and fails closed (treats the
+/// entry as a miss) on mismatch — a corrupt cache entry must never be
+/// served when the providers still hold the true bytes.
+struct Entry {
+    data: Bytes,
+    len: usize,
+    digest: u64,
+}
+
+impl Entry {
+    fn new(data: Bytes) -> Self {
+        Entry {
+            len: data.len(),
+            digest: fnv1a64(&data),
+            data,
+        }
+    }
+
+    fn verified(&self) -> bool {
+        self.data.len() == self.len && fnv1a64(&self.data) == self.digest
+    }
+}
+
 /// Bound on per-key invalidation epochs kept; exceeding it clears the table
 /// and bumps the generation (safe: outstanding populates are skipped).
 pub const EPOCH_CAP: usize = 65_536;
 
 struct CacheInner {
-    map: HashMap<String, Bytes>,
+    map: HashMap<String, Entry>,
     /// Keys in LRU order: front = least recently used.
     order: Vec<String>,
     used: u64,
     hits: u64,
     misses: u64,
+    /// Entries dropped because their bytes no longer matched the digest
+    /// recorded at insert (served as a miss, never as corrupt data).
+    corruptions: u64,
     /// Per-key invalidation counters (low 32 bits of the epoch).
     epochs: HashMap<String, u32>,
     /// Epoch high bits; bumped whenever the per-key table is reset.
@@ -81,6 +121,7 @@ impl Cache {
                 used: 0,
                 hits: 0,
                 misses: 0,
+                corruptions: 0,
                 epochs: HashMap::new(),
                 generation: 0,
             }),
@@ -93,18 +134,39 @@ impl Cache {
     }
 
     /// Looks up an object, refreshing its recency on a hit.
+    ///
+    /// Every hit cross-checks the entry's length and FNV-1a digest against
+    /// what was recorded at insert. A mismatch **fails closed**: the corrupt
+    /// entry is dropped and the lookup reported as a miss, so the engine
+    /// refetches from the providers instead of serving damaged bytes.
     pub fn get(&self, key: &str) -> Option<Bytes> {
         let mut inner = self.inner.lock();
-        if let Some(data) = inner.map.get(key).cloned() {
-            inner.hits += 1;
-            if let Some(pos) = inner.order.iter().position(|k| k == key) {
-                let k = inner.order.remove(pos);
-                inner.order.push(k);
+        match inner.map.get(key) {
+            Some(entry) if entry.verified() => {
+                let data = entry.data.clone();
+                inner.hits += 1;
+                if let Some(pos) = inner.order.iter().position(|k| k == key) {
+                    let k = inner.order.remove(pos);
+                    inner.order.push(k);
+                }
+                Some(data)
             }
-            Some(data)
-        } else {
-            inner.misses += 1;
-            None
+            Some(_) => {
+                // Corrupt: evict, count, miss.
+                if let Some(entry) = inner.map.remove(key) {
+                    inner.used -= entry.data.len() as u64;
+                }
+                if let Some(pos) = inner.order.iter().position(|k| k == key) {
+                    inner.order.remove(pos);
+                }
+                inner.corruptions += 1;
+                inner.misses += 1;
+                None
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
         }
     }
 
@@ -143,7 +205,7 @@ impl Cache {
             return false;
         }
         if let Some(old) = inner.map.remove(key) {
-            inner.used -= old.len() as u64;
+            inner.used -= old.data.len() as u64;
             if let Some(pos) = inner.order.iter().position(|k| k == key) {
                 inner.order.remove(pos);
             }
@@ -154,10 +216,10 @@ impl Cache {
             };
             inner.order.remove(0);
             if let Some(evicted) = inner.map.remove(&victim) {
-                inner.used -= evicted.len() as u64;
+                inner.used -= evicted.data.len() as u64;
             }
         }
-        inner.map.insert(key.to_string(), data);
+        inner.map.insert(key.to_string(), Entry::new(data));
         inner.order.push(key.to_string());
         inner.used += size;
         true
@@ -169,7 +231,7 @@ impl Cache {
     pub fn invalidate(&self, key: &str) {
         let mut inner = self.inner.lock();
         if let Some(old) = inner.map.remove(key) {
-            inner.used -= old.len() as u64;
+            inner.used -= old.data.len() as u64;
         }
         if let Some(pos) = inner.order.iter().position(|k| k == key) {
             inner.order.remove(pos);
@@ -207,6 +269,29 @@ impl Cache {
     pub fn stats(&self) -> (u64, u64) {
         let inner = self.inner.lock();
         (inner.hits, inner.misses)
+    }
+
+    /// Entries dropped by the hit-path integrity check since creation.
+    pub fn corruption_count(&self) -> u64 {
+        self.inner.lock().corruptions
+    }
+
+    /// Corrupts a cached entry's bytes in place **without** updating its
+    /// recorded digest — a stand-in for in-process memory damage, used by
+    /// integrity tests. Returns whether the key was present.
+    #[doc(hidden)]
+    pub fn corrupt_entry_for_test(&self, key: &str) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(entry) = inner.map.get_mut(key) else {
+            return false;
+        };
+        let mut bytes = entry.data.to_vec();
+        match bytes.first_mut() {
+            Some(b) => *b = b.wrapping_add(1),
+            None => bytes.push(0xFF),
+        }
+        entry.data = Bytes::from(bytes);
+        true
     }
 }
 
@@ -298,6 +383,36 @@ mod tests {
         cache.clear();
         assert!(!cache.put_if_epoch("other", Bytes::from_static(b"x"), other));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn corrupt_entry_fails_closed_as_a_miss() {
+        let cache = Cache::new(ByteSize::from_kb(10));
+        cache.put("a", Bytes::from(vec![7u8; 100]));
+        cache.put("b", Bytes::from(vec![8u8; 100]));
+        assert!(cache.corrupt_entry_for_test("a"));
+        assert_eq!(cache.corruption_count(), 0, "detection happens on read");
+
+        // The damaged entry is never served: the hit path drops it and
+        // reports a miss, and the byte accounting stays exact.
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.corruption_count(), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.used_bytes(), 100);
+
+        // The healthy entry still verifies, and a re-insert of the damaged
+        // key records a fresh digest that verifies again.
+        assert_eq!(cache.get("b").unwrap(), Bytes::from(vec![8u8; 100]));
+        cache.put("a", Bytes::from(vec![9u8; 50]));
+        assert_eq!(cache.get("a").unwrap(), Bytes::from(vec![9u8; 50]));
+        assert_eq!(cache.corruption_count(), 1);
+
+        // A zero-length entry corrupts (grows a byte) and is caught by the
+        // length cross-check.
+        cache.put("empty", Bytes::new());
+        assert!(cache.corrupt_entry_for_test("empty"));
+        assert!(cache.get("empty").is_none());
+        assert_eq!(cache.corruption_count(), 2);
     }
 
     #[test]

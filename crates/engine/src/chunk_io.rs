@@ -38,6 +38,15 @@
 //!   put path).
 //! * [`delete_chunks`] — **parallel delete** with the postponed-delete
 //!   semantics for unreachable providers.
+//! * [`upload_encoded`] / [`upload_encoded_tolerant`] / [`fetch_stripe`] /
+//!   [`fetch_range`] — the **stripe-granular face** of the same machinery,
+//!   used by the staged streaming pipeline
+//!   ([`crate::streaming`]): an upload takes an already-encoded stripe (so
+//!   the pipeline can encode stripe k+1 while stripe k is in flight) and a
+//!   per-stripe chunk-key salt, and a range read decodes only the byte
+//!   window it needs from the hedged `m`-of-`n` fetch of a single stripe —
+//!   the rollback, postponed-delete and failure-detector semantics above
+//!   apply per stripe, unchanged.
 //!
 //! # Virtual time, real time
 //!
@@ -61,7 +70,9 @@ use bytes::Bytes;
 use rayon::prelude::*;
 use scalia_core::cost::{cheapest_read_providers, chunk_bytes_for};
 use scalia_core::placement::Placement;
-use scalia_erasure::codec::{decode_object, encode_object, Chunk};
+use scalia_erasure::codec::{
+    decode_object, decode_object_range, encode_object, Chunk, EncodedObject,
+};
 use scalia_providers::backend::StoreOp;
 use scalia_providers::descriptor::ProviderDescriptor;
 use scalia_providers::latency::LatencyModel;
@@ -251,6 +262,21 @@ pub fn write_chunks_with(
         provider: None,
         error,
     })?;
+    upload_encoded(infra, placement, skey, &encoded, config)
+}
+
+/// Uploads an already-encoded object's chunks, one per provider of
+/// `placement`, in parallel with abort-on-first-failure and rollback —
+/// the upload half of [`write_chunks_with`], split out so the streaming
+/// pipeline can encode stripe `k+1` while stripe `k`'s chunks are in
+/// flight.
+pub fn upload_encoded(
+    infra: &Infrastructure,
+    placement: &Placement,
+    skey: &str,
+    encoded: &EncodedObject,
+    config: &HedgeConfig,
+) -> std::result::Result<StripingMeta, WriteFailure> {
     let jobs: Vec<(&Chunk, &ProviderDescriptor)> = encoded
         .chunks
         .iter()
@@ -304,11 +330,11 @@ pub fn write_chunks_with(
     // The put's virtual makespan is the slowest chunk upload — the critical
     // path of the fan-out, not the sum of the round-trips.
     infra.record_io_latency(StoreOp::Put, makespan_us);
-    Ok(StripingMeta {
-        chunks: locations,
-        m: placement.m,
-        skey: skey.to_string(),
-    })
+    Ok(StripingMeta::single(
+        locations,
+        placement.m,
+        skey.to_string(),
+    ))
 }
 
 fn upload_one(
@@ -426,6 +452,18 @@ pub fn write_chunks_tolerant(
         provider: None,
         error,
     })?;
+    upload_encoded_tolerant(infra, placement, skey, &encoded, config)
+}
+
+/// The upload half of [`write_chunks_tolerant`] for an already-encoded
+/// object — the streaming pipeline's degraded-landing fallback per stripe.
+pub fn upload_encoded_tolerant(
+    infra: &Infrastructure,
+    placement: &Placement,
+    skey: &str,
+    encoded: &EncodedObject,
+    config: &HedgeConfig,
+) -> std::result::Result<PartialWrite, WriteFailure> {
     let jobs: Vec<(&Chunk, &ProviderDescriptor)> = encoded
         .chunks
         .iter()
@@ -476,11 +514,7 @@ pub fn write_chunks_tolerant(
 
     infra.record_io_latency(StoreOp::Put, makespan_us);
     Ok(PartialWrite {
-        striping: StripingMeta {
-            chunks: locations,
-            m: placement.m,
-            skey: skey.to_string(),
-        },
+        striping: StripingMeta::single(locations, placement.m, skey.to_string()),
         failed,
     })
 }
@@ -491,18 +525,16 @@ pub fn write_chunks_tolerant(
 
 /// Deletes every chunk of a striping in parallel, postponing chunks whose
 /// provider is unreachable ("the deletion of the chunk residing at a faulty
-/// provider is postponed until the provider recovers", §III-D3).
+/// provider is postponed until the provider recovers", §III-D3). Striped
+/// objects delete every stripe's chunks in one parallel fan-out.
 pub fn delete_chunks(infra: &Infrastructure, striping: &StripingMeta) {
-    if striping.chunks.is_empty() {
+    let refs = striping.all_chunk_refs();
+    if refs.is_empty() {
         return;
     }
-    let latencies: Vec<u64> = striping
-        .chunks
+    let latencies: Vec<u64> = refs
         .par_iter()
-        .map(|location| {
-            let chunk_key = striping.chunk_key(location.index);
-            delete_or_postpone(infra, location.provider, &chunk_key)
-        })
+        .map(|(provider, chunk_key)| delete_or_postpone(infra, *provider, chunk_key))
         .collect();
     let makespan = latencies.into_iter().max().unwrap_or(0);
     infra.record_io_latency(StoreOp::Delete, makespan);
@@ -879,20 +911,118 @@ pub fn fetch_chunks(
 }
 
 /// Fetches chunks with [`fetch_chunks`] and reassembles the object,
-/// tolerating up to `n − m` failed or straggling providers.
+/// tolerating up to `n − m` failed or straggling providers. Striped objects
+/// fetch and decode stripe by stripe — each stripe runs its own hedged
+/// `m`-of-`n` race and is checksum-verified — so the transient working set
+/// beyond the output buffer stays O(stripe), never O(object).
 pub fn fetch_and_reassemble(
     infra: &Arc<Infrastructure>,
     meta: &ObjectMeta,
     config: &HedgeConfig,
 ) -> Result<Bytes> {
     let striping = &meta.striping;
-    // `code_width()`, not `chunks.len()`: a degraded striping keeps the
-    // surviving chunks' original erasure indices, and the decoder must see
-    // the width those indices were encoded under.
-    let params = ErasureParams::new(striping.m, striping.code_width())
-        .ok_or_else(|| ScaliaError::Internal("invalid striping metadata".into()))?;
-    let chunks = fetch_chunks(infra, striping, meta.size, config)?;
-    decode_object(&chunks, params, meta.size.bytes() as usize)
+    let Some(map) = &striping.stripes else {
+        // `code_width()`, not `chunks.len()`: a degraded striping keeps the
+        // surviving chunks' original erasure indices, and the decoder must
+        // see the width those indices were encoded under.
+        let params = ErasureParams::new(striping.m, striping.code_width())
+            .ok_or_else(|| ScaliaError::Internal("invalid striping metadata".into()))?;
+        let chunks = fetch_chunks(infra, striping, meta.size, config)?;
+        return decode_object(&chunks, params, meta.size.bytes() as usize);
+    };
+    let mut out = Vec::with_capacity(map.total_len() as usize);
+    for i in 0..map.stripes.len() {
+        let stripe = fetch_stripe(infra, striping, i, config)?;
+        out.extend_from_slice(&stripe);
+    }
+    Ok(Bytes::from(out))
+}
+
+/// Fetches and decodes one stripe of a striped object with the hedged
+/// `m`-of-`n` race, verifying the stripe's recorded plaintext checksum.
+pub fn fetch_stripe(
+    infra: &Arc<Infrastructure>,
+    striping: &StripingMeta,
+    index: usize,
+    config: &HedgeConfig,
+) -> Result<Bytes> {
+    let map = striping
+        .stripes
+        .as_ref()
+        .ok_or_else(|| ScaliaError::Internal("fetch_stripe on single-stripe object".into()))?;
+    let stripe = &map.stripes[index];
+    let view = striping.stripe_view(index);
+    let params = ErasureParams::new(view.m, view.code_width())
+        .ok_or_else(|| ScaliaError::Internal("invalid stripe metadata".into()))?;
+    let chunks = fetch_chunks(infra, &view, ByteSize::from_bytes(stripe.len), config)?;
+    let bytes = decode_object(&chunks, params, stripe.len as usize)?;
+    if scalia_types::md5::md5_hex(&bytes) != stripe.checksum {
+        return Err(ScaliaError::DecodeFailed(format!(
+            "stripe {index} of {} failed its checksum",
+            striping.skey
+        )));
+    }
+    Ok(bytes)
+}
+
+/// Fetches only the chunks needed to serve the byte range
+/// `[offset, offset + len)` of an object: for a striped object just the
+/// covering stripes (each still a hedged `m`-of-`n` race); for a classic
+/// single-stripe object its one chunk set, decoded through the systematic
+/// range fast path. The result equals the same slice of a full read,
+/// clamped to the object's end — an empty or past-EOF range is empty bytes.
+pub fn fetch_range(
+    infra: &Arc<Infrastructure>,
+    meta: &ObjectMeta,
+    offset: u64,
+    len: u64,
+    config: &HedgeConfig,
+) -> Result<Bytes> {
+    let size = meta.size.bytes();
+    let end = offset.saturating_add(len).min(size);
+    if offset >= end {
+        return Ok(Bytes::new());
+    }
+    let striping = &meta.striping;
+    let Some(map) = &striping.stripes else {
+        // The single stripe IS the covering stripe: fetch its m cheapest
+        // chunks and decode only the requested range.
+        let params = ErasureParams::new(striping.m, striping.code_width())
+            .ok_or_else(|| ScaliaError::Internal("invalid striping metadata".into()))?;
+        let chunks = fetch_chunks(infra, striping, meta.size, config)?;
+        return decode_object_range(
+            &chunks,
+            params,
+            size as usize,
+            offset as usize,
+            (end - offset) as usize,
+        );
+    };
+    let mut out = Vec::with_capacity((end - offset) as usize);
+    for i in map.covering(offset, end) {
+        let stripe = &map.stripes[i];
+        let stripe_start = map.stripe_offset(i);
+        let from = offset.max(stripe_start) - stripe_start;
+        let to = (end - stripe_start).min(stripe.len);
+        if from == 0 && to == stripe.len {
+            // Whole stripe needed: decode + checksum-verify it.
+            out.extend_from_slice(&fetch_stripe(infra, striping, i, config)?);
+        } else {
+            let view = striping.stripe_view(i);
+            let params = ErasureParams::new(view.m, view.code_width())
+                .ok_or_else(|| ScaliaError::Internal("invalid stripe metadata".into()))?;
+            let chunks = fetch_chunks(infra, &view, ByteSize::from_bytes(stripe.len), config)?;
+            let bytes = decode_object_range(
+                &chunks,
+                params,
+                stripe.len as usize,
+                from as usize,
+                (to - from) as usize,
+            )?;
+            out.extend_from_slice(&bytes);
+        }
+    }
+    Ok(Bytes::from(out))
 }
 
 #[cfg(test)]

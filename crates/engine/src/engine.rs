@@ -17,6 +17,15 @@
 //!   providers), fold the object's lifetime and mean usage into its class
 //!   statistics, and drop the metadata.
 //!
+//! Large objects take the **streaming data path** instead of the
+//! whole-object write above: [`Engine::put`] routes payloads past the
+//! streaming threshold through the staged stripe pipeline in
+//! [`crate::streaming`] (encode stripe k+1 while stripe k's chunks are in
+//! flight, O(stripe) transient buffering), the same pipeline backs the
+//! explicit multipart API ([`Engine::begin_put`] → `put_part` →
+//! `complete_put`), and [`Engine::get_range`] serves byte ranges by
+//! fetching only the stripes that cover the requested window.
+//!
 //! Engines are stateless: everything they touch lives in the shared
 //! [`Infrastructure`], so adding engines scales the deployment linearly.
 //! Every provider round-trip goes through the parallel chunk-I/O layer
@@ -108,11 +117,24 @@ impl Engine {
         &self.infra
     }
 
+    /// This datacenter's cache (the one local reads are served from).
+    pub(crate) fn local_cache(&self) -> &Cache {
+        &self.local_cache
+    }
+
     // ------------------------------------------------------------------
     // Write
     // ------------------------------------------------------------------
 
     /// Stores (or overwrites) an object.
+    ///
+    /// Payloads above the streaming threshold
+    /// ([`Infrastructure::streaming_threshold_bytes`]) are routed through
+    /// the staged stripe pipeline ([`crate::streaming`]): the payload is cut
+    /// into fixed-size stripes, stripe `k + 1` is encoded while stripe `k`'s
+    /// chunks are in flight, and the pipeline's transient buffering stays
+    /// O(stripe). Smaller payloads take the classic single-stripe path,
+    /// whose on-provider layout is bit-identical to every prior release.
     pub fn put(
         &self,
         key: &ObjectKey,
@@ -121,13 +143,24 @@ impl Engine {
         rule: StorageRule,
         ttl_hint_hours: Option<f64>,
     ) -> Result<ObjectMeta> {
-        let size = ByteSize::from_bytes(data.len() as u64);
-        let class = ObjectClass::of(mime, size);
-        let stats = self.infra.statistics(self.datacenter);
+        if data.len() as u64 > self.infra.streaming_threshold_bytes() {
+            return self.put_streaming(key, data, mime, rule, ttl_hint_hours);
+        }
+        self.put_single(key, data, mime, rule, ttl_hint_hours)
+    }
 
-        // Predict the object's usage over the default decision period: use
-        // the class statistics when available (Fig. 6), otherwise assume
-        // storage only.
+    /// Predicts the object's usage over the default decision period: the
+    /// class statistics when available (Fig. 6), storage-only otherwise,
+    /// with the optimisation horizon bounded by the TTL hint. Shared by the
+    /// classic and streaming write paths so both price placements
+    /// identically.
+    pub(crate) fn predict_usage(
+        &self,
+        class: &ObjectClass,
+        size: ByteSize,
+        ttl_hint_hours: Option<f64>,
+    ) -> PredictedUsage {
+        let stats = self.infra.statistics(self.datacenter);
         let period_hours = self.infra.sampling_period().as_hours();
         let mut usage = match stats.mean_class_usage(class.id()) {
             Some(mean) => PredictedUsage::from_class_usage(
@@ -140,10 +173,27 @@ impl Engine {
                 PredictedUsage::storage_only(size, DEFAULT_DECISION_PERIODS as f64 * period_hours)
             }
         };
-        // Bound the optimisation horizon by the TTL hint, if given.
         if let Some(ttl) = ttl_hint_hours {
             usage.duration_hours = usage.duration_hours.min(ttl.max(period_hours));
         }
+        usage
+    }
+
+    /// The classic single-stripe write path: everything encoded and
+    /// uploaded as one erasure group. [`crate::streaming`]'s tail-fallback
+    /// calls this directly (routing through [`Self::put`] again could
+    /// recurse when the configured stripe size exceeds the threshold).
+    pub(crate) fn put_single(
+        &self,
+        key: &ObjectKey,
+        data: Bytes,
+        mime: &str,
+        rule: StorageRule,
+        ttl_hint_hours: Option<f64>,
+    ) -> Result<ObjectMeta> {
+        let size = ByteSize::from_bytes(data.len() as u64);
+        let class = ObjectClass::of(mime, size);
+        let usage = self.predict_usage(&class, size, ttl_hint_hours);
 
         // Encode and store the chunks (re-placing and retrying, bounded, if
         // a provider fails mid-write; landing *degraded* — k ≥ m chunks
@@ -200,13 +250,37 @@ impl Engine {
         for striping in &deprecated {
             self.delete_chunks(striping);
         }
-        stats
-            .record_object_class(&key.row_key(), class.id(), self.infra.next_timestamp())
-            .ok();
+        self.record_class_with_retry(&key.row_key(), class.id());
 
         // Log the write for the statistics pipeline.
         self.log_access(key, AccessKind::Write, size, size);
         Ok(meta)
+    }
+
+    /// Records the object's class membership in the statistics store,
+    /// retrying transient failures. The recording must not fail the put —
+    /// the object is already durably committed and readable — but silently
+    /// dropping it would strand the object outside its class group: the
+    /// class-centric optimiser sweeps members *by class row*, so an
+    /// unrecorded object is never reconsidered for migration. Each attempt
+    /// is observable via [`Infrastructure::class_record_counters`]; the
+    /// chaos label `put::record-class` injects per-attempt failures.
+    pub(crate) fn record_class_with_retry(&self, row_key: &str, class_id: &str) {
+        /// Total attempts per put (1 try + 2 retries).
+        const CLASS_RECORD_ATTEMPTS: usize = 3;
+        let stats = self.infra.statistics(self.datacenter);
+        for attempt in 0..CLASS_RECORD_ATTEMPTS {
+            let result = self.infra.crash_point("put::record-class").and_then(|()| {
+                stats.record_object_class(row_key, class_id, self.infra.next_timestamp())
+            });
+            match result {
+                Ok(()) => return,
+                Err(_) if attempt + 1 < CLASS_RECORD_ATTEMPTS => {
+                    self.infra.note_class_record_retry();
+                }
+                Err(_) => self.infra.note_class_record_failure(),
+            }
+        }
     }
 
     /// Places and uploads an object's chunks, retrying — bounded by
@@ -334,7 +408,7 @@ impl Engine {
     /// same-class writes prices one search, not one per object; retries
     /// with excluded providers search directly — the cache cannot express
     /// an ad-hoc exclusion.
-    fn place_excluding(
+    pub(crate) fn place_excluding(
         &self,
         rule: &StorageRule,
         class: &ObjectClass,
@@ -375,7 +449,7 @@ impl Engine {
     /// crash at any point replays to either the old or the new placement,
     /// never a torn mixture.
     #[must_use = "the returned stripings' chunks must be garbage-collected"]
-    fn commit_metadata_with_debt(
+    pub(crate) fn commit_metadata_with_debt(
         &self,
         meta: &ObjectMeta,
         debt: Option<serde_json::Value>,
@@ -544,29 +618,22 @@ impl Engine {
     }
 
     /// Lists the keys currently stored in a container.
+    ///
+    /// The container-index row is read through the replicated merged-row
+    /// path ([`scalia_metastore::replication::ReplicatedStore::get_row_merged`]):
+    /// per column the freshest cell across **all** up replicas wins. Reading
+    /// a single node — as this method once did — served whatever replica
+    /// happened to be first, and a node that was down during writes and came
+    /// back before anti-entropy replayed its hints would silently drop
+    /// recent puts from (or resurrect recent deletes into) the listing.
     pub fn list(&self, container: &str) -> Vec<ObjectKey> {
         let row = format!("container:{container}");
-        let Some(node) = self
-            .infra
+        self.infra
             .database()
-            .nodes()
-            .iter()
-            .find(|n| n.is_up())
-            .cloned()
-        else {
-            return Vec::new();
-        };
-        let Some(row_data) = node.get_row(&row) else {
-            return Vec::new();
-        };
-        row_data
-            .iter()
-            .filter_map(|(column, cells)| {
-                cells
-                    .last()
-                    .filter(|c| c.value == json!(true))
-                    .map(|_| ObjectKey::new(container, column.clone()))
-            })
+            .get_row_merged(&row)
+            .into_iter()
+            .filter(|(_, cell)| cell.value == json!(true))
+            .map(|(column, _)| ObjectKey::new(container, column))
             .collect()
     }
 
@@ -651,6 +718,12 @@ impl Engine {
         new_placement: &Placement,
     ) -> Result<ObjectMeta> {
         let old_meta = self.read_metadata(key)?;
+        if old_meta.striping.is_striped() {
+            // Striped objects migrate stripe by stripe (O(stripe) resident,
+            // never the whole object) through the streaming module, sharing
+            // the conditional commit below.
+            return self.replace_placement_striped(key, new_placement, old_meta);
+        }
         let data = self.fetch_and_reassemble(&old_meta)?;
 
         let version = ObjectVersionId::next(&key.row_key());
@@ -669,7 +742,22 @@ impl Engine {
             striping,
             ..old_meta.clone()
         };
+        self.commit_replacement(key, old_meta.version, &new_meta)?;
+        Ok(new_meta)
+    }
 
+    /// The conditional (optimistic) commit of a re-placement: validates that
+    /// the object is still at `old_version` under the row lock, commits
+    /// `new_meta` and invalidates the caches atomically, and garbage-collects
+    /// the deprecated versions' chunks after release. On conflict or commit
+    /// failure the **new** chunks are rolled back and the error surfaced.
+    /// Shared by the single-stripe and striped migration paths.
+    pub(crate) fn commit_replacement(
+        &self,
+        key: &ObjectKey,
+        old_version: ObjectVersionId,
+        new_meta: &ObjectMeta,
+    ) -> Result<()> {
         enum CommitOutcome {
             Committed(Vec<StripingMeta>),
             Conflicted(ObjectVersionId),
@@ -683,8 +771,8 @@ impl Engine {
         let outcome = {
             let _commit = self.infra.lock_row_commit(&key.row_key());
             match self.read_metadata(key) {
-                Ok(current) if current.version == old_meta.version => {
-                    match self.commit_metadata(&new_meta) {
+                Ok(current) if current.version == old_version => {
+                    match self.commit_metadata(new_meta) {
                         Ok(deprecated) => {
                             self.invalidate_everywhere(&key.row_key());
                             CommitOutcome::Committed(deprecated)
@@ -701,15 +789,14 @@ impl Engine {
                 for striping in &deprecated {
                     self.delete_chunks(striping);
                 }
-                Ok(new_meta)
+                Ok(())
             }
             CommitOutcome::Conflicted(current_version) => {
                 // Lost the race: roll back our chunks and report it.
                 self.delete_chunks(&new_meta.striping);
                 Err(ScaliaError::Conflict(format!(
-                    "placement of {key} moved from version {} to {current_version} \
-                     during migration",
-                    old_meta.version
+                    "placement of {key} moved from version {old_version} to {current_version} \
+                     during migration"
                 )))
             }
             CommitOutcome::Failed(err) => {
@@ -727,13 +814,19 @@ impl Engine {
             .history(&key.row_key(), scalia_types::stats::DEFAULT_HISTORY_LEN)
     }
 
-    fn invalidate_everywhere(&self, row_key: &str) {
+    pub(crate) fn invalidate_everywhere(&self, row_key: &str) {
         for cache in &self.all_caches {
             cache.invalidate(row_key);
         }
     }
 
-    fn log_access(&self, key: &ObjectKey, kind: AccessKind, bytes: ByteSize, size: ByteSize) {
+    pub(crate) fn log_access(
+        &self,
+        key: &ObjectKey,
+        kind: AccessKind,
+        bytes: ByteSize,
+        size: ByteSize,
+    ) {
         self.log_agent.log(AccessLogRecord {
             engine: self.id,
             object_row_key: key.row_key(),
@@ -1026,5 +1119,126 @@ mod tests {
                 .any(|c| c.provider == backend.descriptor().id);
             assert_eq!(holds, chosen, "provider {}", backend.descriptor().name);
         }
+    }
+
+    #[test]
+    fn list_merges_past_a_lagging_replica() {
+        // Regression for the single-replica listing bug: a node that was
+        // down during writes and came back *before* anti-entropy replayed
+        // its hints must not make `list` drop committed keys or resurrect
+        // deleted ones.
+        let cluster = cluster();
+        let engine = cluster.engine(0);
+        let db = cluster.infra().database().clone();
+        let kept = ObjectKey::new("pics", "kept.gif");
+        let doomed = ObjectKey::new("pics", "doomed.gif");
+        let fresh = ObjectKey::new("pics", "fresh.gif");
+        engine
+            .put(
+                &kept,
+                Bytes::from(vec![1u8; 1000]),
+                "image/gif",
+                rule(),
+                None,
+            )
+            .unwrap();
+        engine
+            .put(
+                &doomed,
+                Bytes::from(vec![1u8; 1000]),
+                "image/gif",
+                rule(),
+                None,
+            )
+            .unwrap();
+
+        // The local datacenter's node misses a put and a delete...
+        db.nodes()[0].set_up(false);
+        engine
+            .put(
+                &fresh,
+                Bytes::from(vec![2u8; 1000]),
+                "image/gif",
+                rule(),
+                None,
+            )
+            .unwrap();
+        engine.delete(&doomed).unwrap();
+        // ...and comes back lagging: its hints have not been replayed yet.
+        db.nodes()[0].set_up(true);
+        assert!(db.pending_hints() > 0, "the replica must really be lagging");
+
+        let mut listed = engine.list("pics");
+        listed.sort();
+        assert_eq!(
+            listed,
+            vec![fresh.clone(), kept.clone()],
+            "list must merge the freshest cells across replicas, not trust the lagging one"
+        );
+
+        // Anti-entropy settles the replica; the listing is unchanged.
+        db.anti_entropy();
+        assert_eq!(db.pending_hints(), 0);
+        let mut listed = engine.list("pics");
+        listed.sort();
+        assert_eq!(listed, vec![fresh, kept]);
+    }
+
+    #[test]
+    fn transient_class_record_failure_retries_and_does_not_strand_the_object() {
+        use scalia_providers::failure::FaultPlan;
+        use std::sync::Arc;
+
+        let cluster = cluster();
+        let engine = cluster.engine(0);
+        let infra = cluster.infra().clone();
+        let key = ObjectKey::new("docs", "classed.pdf");
+
+        // The first class-record attempt fails (injected); the retry must
+        // land the class so the optimizer's class group sees the object.
+        let plan = Arc::new(FaultPlan::new());
+        plan.arm("put::record-class");
+        infra.set_fault_plan(Some(plan.clone()));
+        let meta = engine
+            .put(
+                &key,
+                Bytes::from(vec![6u8; 150_000]),
+                "application/pdf",
+                rule(),
+                None,
+            )
+            .unwrap();
+        infra.set_fault_plan(None);
+        assert_eq!(plan.fired(), vec!["put::record-class".to_string()]);
+
+        let class = ObjectClass::of("application/pdf", meta.size);
+        let stats = infra.statistics(DatacenterId::new(0));
+        assert_eq!(
+            stats.object_class(&key.row_key()).as_deref(),
+            Some(class.id()),
+            "a transient statistics failure must not strand the object outside its class group"
+        );
+        let (retries, failures) = infra.class_record_counters();
+        assert_eq!((retries, failures), (1, 0));
+    }
+
+    #[test]
+    fn exhausted_class_record_surfaces_a_counter_without_failing_the_put() {
+        let cluster = cluster();
+        let engine = cluster.engine(0);
+        let infra = cluster.infra().clone();
+
+        // Every replica down: all attempts fail. The helper must not error
+        // (the object is already committed) but the failure must be counted.
+        for node in infra.database().nodes() {
+            node.set_up(false);
+        }
+        engine.record_class_with_retry("objects:docs/lost.pdf", "class-x");
+        for node in infra.database().nodes() {
+            node.set_up(true);
+        }
+        let (retries, failures) = infra.class_record_counters();
+        assert_eq!(failures, 1, "exhaustion must be surfaced on the counter");
+        assert_eq!(retries, 2, "two mid-loop retries before giving up");
     }
 }

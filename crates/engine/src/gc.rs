@@ -58,8 +58,12 @@ pub fn sweep_orphan_chunks(infra: &Infrastructure) -> GcReport {
                 let Ok(meta) = serde_json::from_value::<ObjectMeta>(cell.value.clone()) else {
                     continue;
                 };
-                for chunk in &meta.striping.chunks {
-                    referenced.insert(meta.striping.chunk_key(chunk.index));
+                // `all_chunk_keys`, not the top-level chunk list: a striped
+                // object's chunks live under per-stripe storage keys and its
+                // top-level list is empty — enumerating only the latter
+                // would make the sweep eat every striped object.
+                for key in meta.striping.all_chunk_keys() {
+                    referenced.insert(key);
                 }
             }
         }

@@ -170,7 +170,30 @@ pub struct Infrastructure {
     /// gap. Rotated alongside the read windows so a recovered provider is
     /// forgiven in two periods.
     observed_writes: Mutex<HashMap<ProviderId, DecayingHistogram>>,
+    /// Stripe size of the streaming put pipeline, in bytes.
+    stripe_size_bytes: AtomicU64,
+    /// Payload size above which `Engine::put` routes through the streaming
+    /// stripe pipeline instead of the classic single-stripe path.
+    streaming_threshold_bytes: AtomicU64,
+    /// Retries spent re-attempting `record_object_class` after a transient
+    /// statistics failure on the write path.
+    class_record_retries: AtomicU64,
+    /// Writes whose class tag could not be recorded even after retries —
+    /// surfaced instead of silently swallowed; the object stays readable
+    /// but the class optimizer will not group it until a later touch.
+    class_record_failures: AtomicU64,
 }
+
+/// Default stripe size of the streaming pipeline: 512 KiB keeps the
+/// pipeline's high-water buffering (one stripe encoding + one stripe of
+/// chunks in flight) comfortably under a few MiB at any realistic `n/m`.
+pub const DEFAULT_STRIPE_SIZE_BYTES: u64 = 512 * 1024;
+
+/// Default auto-streaming threshold of `Engine::put`: payloads strictly
+/// larger than this take the staged stripe pipeline; smaller payloads keep
+/// the classic single-stripe layout (bit-identical to the pre-streaming
+/// format).
+pub const DEFAULT_STREAMING_THRESHOLD_BYTES: u64 = 2 * 1024 * 1024;
 
 impl Infrastructure {
     /// Creates the infrastructure for a deployment spanning `datacenters`
@@ -203,6 +226,10 @@ impl Infrastructure {
             io_latencies: Mutex::new(OpLatencies::default()),
             observed_reads: Mutex::new(HashMap::new()),
             observed_writes: Mutex::new(HashMap::new()),
+            stripe_size_bytes: AtomicU64::new(DEFAULT_STRIPE_SIZE_BYTES),
+            streaming_threshold_bytes: AtomicU64::new(DEFAULT_STREAMING_THRESHOLD_BYTES),
+            class_record_retries: AtomicU64::new(0),
+            class_record_failures: AtomicU64::new(0),
         });
         for descriptor in catalog.all() {
             infra.ensure_backend(&descriptor);
@@ -673,6 +700,50 @@ impl Infrastructure {
             }
         }
         Ok(())
+    }
+
+    /// Stripe size of the streaming put pipeline, in bytes.
+    pub fn stripe_size_bytes(&self) -> u64 {
+        self.stripe_size_bytes.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Sets the streaming stripe size (tests and benches use small stripes
+    /// to cross stripe boundaries cheaply). Affects only objects written
+    /// after the change; every object's own stripe map is authoritative.
+    pub fn set_stripe_size_bytes(&self, bytes: u64) {
+        self.stripe_size_bytes
+            .store(bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// Payload size above which `Engine::put` streams (exclusive).
+    pub fn streaming_threshold_bytes(&self) -> u64 {
+        self.streaming_threshold_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Sets the auto-streaming threshold of `Engine::put`. `u64::MAX`
+    /// disables auto-streaming entirely (multipart stays available).
+    pub fn set_streaming_threshold_bytes(&self, bytes: u64) {
+        self.streaming_threshold_bytes
+            .store(bytes, Ordering::Relaxed);
+    }
+
+    /// Counts one retry of a transiently-failed `record_object_class`.
+    pub fn note_class_record_retry(&self) {
+        self.class_record_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one write whose class tag could not be recorded even after
+    /// retries.
+    pub fn note_class_record_failure(&self) {
+        self.class_record_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(retries, exhausted failures)` of write-path class-tag recording.
+    pub fn class_record_counters(&self) -> (u64, u64) {
+        (
+            self.class_record_retries.load(Ordering::Relaxed),
+            self.class_record_failures.load(Ordering::Relaxed),
+        )
     }
 
     /// The decision-period controller of an object, created on first use

@@ -34,6 +34,11 @@
 //! * [`optimizer`] — leader election, sharding of the recently-accessed
 //!   object set across engines, trend detection and migration execution
 //!   (§III-A3).
+//! * [`streaming`] — the staged stripe pipeline: streaming writes that
+//!   encode stripe `k + 1` while stripe `k`'s chunks are in flight, the
+//!   multipart/append API (`begin_put` / `put_part` / `complete_put`) with
+//!   a single-transaction commit of the assembled stripe map, and range
+//!   reads that fetch only the covering stripes.
 //! * [`repair`] — active repair of chunks lost to a provider outage
 //!   (§IV-E).
 //! * [`cluster`] — the multi-datacenter deployment facade and its builder.
@@ -50,6 +55,7 @@ pub mod infra;
 pub mod optimizer;
 pub mod placement_cache;
 pub mod repair;
+pub mod streaming;
 
 pub use cache::Cache;
 pub use cluster::{ScaliaCluster, ScaliaClusterBuilder};
@@ -57,6 +63,7 @@ pub use engine::Engine;
 pub use infra::Infrastructure;
 pub use optimizer::{OptimizationReport, PeriodicOptimizer};
 pub use placement_cache::{PlacementCache, PlacementCacheStats};
+pub use streaming::MultipartUpload;
 
 /// Commonly used items.
 pub mod prelude {
@@ -65,4 +72,5 @@ pub mod prelude {
     pub use crate::engine::Engine;
     pub use crate::infra::Infrastructure;
     pub use crate::optimizer::{OptimizationReport, PeriodicOptimizer};
+    pub use crate::streaming::MultipartUpload;
 }

@@ -153,8 +153,10 @@ struct MemberDigest {
 ///
 /// `1|rfp0|rfp1|rfp2|rfp3|rfp4|m|size|written_secs|ttl_bits-or-n|p0,p1,…|rule name`
 pub(crate) fn optimizer_digest(meta: &ObjectMeta) -> serde_json::Value {
-    let mut providers: Vec<u32> = meta.striping.chunks.iter().map(|c| c.provider.0).collect();
-    providers.sort_unstable();
+    // `provider_set()` is the sorted union across stripes; for classic
+    // single-stripe objects it equals the sorted chunk provider list, so
+    // pre-streaming digests are bit-identical.
+    let providers: Vec<u32> = meta.striping.provider_set().iter().map(|p| p.0).collect();
     let rfp = GroupKey::rule_fingerprint(&meta.rule);
     let providers = providers
         .iter()
@@ -224,8 +226,10 @@ impl MemberDigest {
     /// the digest column existed), keeping the deserialised metadata for
     /// the gate.
     fn from_meta(row_key: String, meta: ObjectMeta) -> MemberDigest {
-        let mut providers: Vec<u32> = meta.striping.chunks.iter().map(|c| c.provider.0).collect();
-        providers.sort_unstable();
+        // `provider_set()` (sorted union across stripes) so striped objects
+        // synthesise a non-empty placement; classic single-stripe objects
+        // yield the same sorted provider list as before.
+        let providers: Vec<u32> = meta.striping.provider_set().iter().map(|p| p.0).collect();
         MemberDigest {
             row_key,
             rule_name: meta.rule.name.clone(),
@@ -727,11 +731,15 @@ impl PeriodicOptimizer {
             };
             partial.placements_recomputed += 1;
 
+            // `provider_set()` so striped objects price their real current
+            // footprint (the top-level chunk list is empty for them); for
+            // classic objects the sorted set is the same provider multiset
+            // and `MigrationPlan::changes_placement` compares sets anyway.
             let current_providers: Vec<_> = meta
                 .striping
-                .chunks
-                .iter()
-                .filter_map(|c| infra.catalog().get(c.provider))
+                .provider_set()
+                .into_iter()
+                .filter_map(|p| infra.catalog().get(p))
                 .collect();
             let current = Placement {
                 providers: current_providers.clone(),
@@ -882,12 +890,14 @@ impl PeriodicOptimizer {
         };
         outcome.recomputed = true;
 
-        // Current placement and its expected cost over the same window.
+        // Current placement and its expected cost over the same window —
+        // via `provider_set()` so striped objects (empty top-level chunk
+        // list) price their real footprint.
         let current_providers: Vec<_> = meta
             .striping
-            .chunks
-            .iter()
-            .filter_map(|c| infra.catalog().get(c.provider))
+            .provider_set()
+            .into_iter()
+            .filter_map(|p| infra.catalog().get(p))
             .collect();
         let current = Placement {
             providers: current_providers.clone(),

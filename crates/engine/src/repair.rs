@@ -238,6 +238,39 @@ pub fn queue_entries(infra: &Infrastructure) -> Result<Vec<(String, RepairQueueE
         .collect())
 }
 
+/// Reachability and worst-case availability of a (possibly striped)
+/// striping. Each stripe of a striped object is its own `m`-of-`n` code
+/// group, so the object's durability is its *worst* stripe's — one degraded
+/// stripe degrades the whole object. Returns whether every chunk of every
+/// stripe sits on a catalog-available provider, plus the minimum achieved
+/// availability probability across stripes (a single-stripe object is its
+/// own one view).
+fn striping_health(
+    catalog: &scalia_providers::catalog::ProviderCatalog,
+    striping: &scalia_types::object::StripingMeta,
+) -> (bool, f64) {
+    let views: Vec<scalia_types::object::StripingMeta> = if striping.is_striped() {
+        (0..striping.stripe_count())
+            .map(|i| striping.stripe_view(i))
+            .collect()
+    } else {
+        vec![striping.clone()]
+    };
+    let mut all_reachable = true;
+    let mut worst = f64::INFINITY;
+    for view in &views {
+        let reachable: Vec<_> = view
+            .chunks
+            .iter()
+            .filter(|c| catalog.is_available(c.provider))
+            .filter_map(|c| catalog.get(c.provider))
+            .collect();
+        all_reachable &= reachable.len() == view.chunks.len();
+        worst = worst.min(get_availability(&reachable, view.m).probability());
+    }
+    (all_reachable, worst)
+}
+
 struct RepairCandidate {
     queue_row: String,
     entry: RepairQueueEntry,
@@ -283,14 +316,7 @@ pub fn drain_repair_queue(
                 continue;
             }
         };
-        let reachable: Vec<_> = meta
-            .striping
-            .chunks
-            .iter()
-            .filter(|c| catalog.is_available(c.provider))
-            .filter_map(|c| catalog.get(c.provider))
-            .collect();
-        let all_reachable = reachable.len() == meta.striping.chunks.len();
+        let (all_reachable, achieved) = striping_health(catalog, &meta.striping);
         let has_debt = node
             .get_latest(&meta.row_key(), "debt")
             .is_some_and(|cell| !cell.value.is_null());
@@ -301,8 +327,7 @@ pub fn drain_repair_queue(
             report.resolved += 1;
             continue;
         }
-        let achieved = get_availability(&reachable, meta.striping.m);
-        let deficit = meta.rule.availability.probability() - achieved.probability();
+        let deficit = meta.rule.availability.probability() - achieved;
         candidates.push(RepairCandidate {
             queue_row,
             entry,
@@ -403,12 +428,10 @@ pub fn repair_provider(
                 .and_then(|cells| cells.last())
                 .and_then(|cell| serde_json::from_value::<ObjectMeta>(cell.value.clone()).ok())
         })
-        .filter(|meta| {
-            meta.striping
-                .chunks
-                .iter()
-                .any(|c| c.provider == failed_provider)
-        })
+        // `provider_set()`, not the top-level chunk list: a striped object
+        // references its providers per stripe, and an outage scan that only
+        // looked at the (empty) top-level list would never repair one.
+        .filter(|meta| meta.striping.provider_set().contains(&failed_provider))
         .collect();
 
     for meta in &affected {

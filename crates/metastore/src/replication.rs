@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use scalia_types::error::{Result, ScaliaError};
 use scalia_types::ids::DatacenterId;
 use serde_json::Value;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// A pending write that could not reach a node (hinted handoff).
@@ -296,6 +296,38 @@ impl ReplicatedStore {
     pub fn get_latest(&self, local: DatacenterId, row_key: &str, column: &str) -> Option<Cell> {
         self.read_node(local)
             .and_then(|n| n.get_latest(row_key, column))
+    }
+
+    /// Reads one row from **every** up replica and merges it: per column,
+    /// the cell with the highest timestamp across all replicas wins (the
+    /// same last-write-wins rule MVCC applies within a node).
+    ///
+    /// This is the replicated read for row-shaped queries (e.g. the
+    /// container index behind LIST): [`Self::get_latest`] serves from a
+    /// *single* node, which is correct only for the node anti-entropy has
+    /// caught up — a replica that was down during writes and came back
+    /// before its hints replayed would otherwise serve arbitrarily stale
+    /// cells. Merging across replicas reads through that lag: any up node
+    /// that accepted the write supplies the fresh cell.
+    pub fn get_row_merged(&self, row_key: &str) -> BTreeMap<String, Cell> {
+        let mut merged: BTreeMap<String, Cell> = BTreeMap::new();
+        for node in self.nodes.iter().filter(|n| n.is_up()) {
+            let Some(row) = node.get_row(row_key) else {
+                continue;
+            };
+            for (column, cells) in row {
+                let Some(cell) = cells.into_iter().max_by_key(|c| c.timestamp) else {
+                    continue;
+                };
+                match merged.get(&column) {
+                    Some(existing) if existing.timestamp >= cell.timestamp => {}
+                    _ => {
+                        merged.insert(column, cell);
+                    }
+                }
+            }
+        }
+        merged
     }
 
     /// Applies `read` to the latest version of a column on the first

@@ -182,6 +182,75 @@ pub fn modelled_write_latency_us(placement: &Placement, size: ByteSize) -> u64 {
     actual_write_latency_us(placement, size, &ActualLatencies::new())
 }
 
+/// The stripes of a striped object that the byte range `[offset,
+/// offset + len)` covers, clamped to the object's end — the same covering
+/// computation the engine's `get_range` uses. Empty for an empty or
+/// past-EOF range.
+pub fn covering_stripes(
+    size: ByteSize,
+    stripe_size: u64,
+    offset: u64,
+    len: u64,
+) -> std::ops::Range<u64> {
+    let total = size.bytes();
+    let end = offset.saturating_add(len).min(total);
+    if offset >= end || stripe_size == 0 {
+        return 0..0;
+    }
+    (offset / stripe_size)..end.div_ceil(stripe_size)
+}
+
+/// Chunk round-trips a range read performs: `m` per covering stripe for a
+/// striped object (`size > stripe_size`), `m` total for a single-stripe
+/// object (the systematic range fast path still fetches one chunk set).
+pub fn range_read_chunk_fetches(
+    placement: &Placement,
+    size: ByteSize,
+    stripe_size: u64,
+    offset: u64,
+    len: u64,
+) -> u64 {
+    let covering = covering_stripes(size, stripe_size, offset, len);
+    if covering.is_empty() {
+        return 0;
+    }
+    let stripes = if size.bytes() > stripe_size {
+        covering.end - covering.start
+    } else {
+        1
+    };
+    stripes * placement.m.max(1) as u64
+}
+
+/// The modelled latency of one range read at `placement`: the engine walks
+/// the covering stripes in order (each an `m`-chunk concurrent fetch of
+/// that stripe's chunk size), so the range read costs the *sum* of the
+/// covering stripes' fetch latencies — and a sub-stripe probe of a large
+/// striped object costs one stripe's fetch, not the whole object's.
+/// Single-stripe objects fall back to the full-object read model.
+pub fn modelled_range_read_latency_us(
+    placement: &Placement,
+    size: ByteSize,
+    stripe_size: u64,
+    offset: u64,
+    len: u64,
+) -> u64 {
+    let covering = covering_stripes(size, stripe_size, offset, len);
+    if covering.is_empty() {
+        return 0;
+    }
+    let total = size.bytes();
+    if total <= stripe_size {
+        return modelled_read_latency_us(placement, size);
+    }
+    covering
+        .map(|i| {
+            let stripe_len = (total - i * stripe_size).min(stripe_size);
+            modelled_read_latency_us(placement, ByteSize::from_bytes(stripe_len))
+        })
+        .sum()
+}
+
 /// The actual latency of one write under the given overrides (slowest of
 /// the `n` parallel chunk uploads).
 fn actual_write_latency_us(placement: &Placement, size: ByteSize, actual: &ActualLatencies) -> u64 {
@@ -619,6 +688,72 @@ mod tests {
         assert!(
             write < sum,
             "parallel upload {write} must beat the sequential sum {sum}"
+        );
+    }
+
+    #[test]
+    fn covering_stripes_clamps_to_the_object() {
+        let size = ByteSize::from_bytes(4_240);
+        // Stripe size 1000 ⇒ stripes [0,1000) … [4000,4240).
+        assert_eq!(covering_stripes(size, 1000, 0, 1), 0..1);
+        assert_eq!(covering_stripes(size, 1000, 999, 2), 0..2);
+        assert_eq!(covering_stripes(size, 1000, 1000, 1000), 1..2);
+        assert_eq!(covering_stripes(size, 1000, 0, u64::MAX), 0..5);
+        assert_eq!(covering_stripes(size, 1000, 4_239, 100), 4..5);
+        // Empty and past-EOF ranges cover nothing.
+        assert_eq!(covering_stripes(size, 1000, 100, 0), 0..0);
+        assert_eq!(covering_stripes(size, 1000, 4_240, 10), 0..0);
+        assert_eq!(covering_stripes(size, 1000, 9_999, 10), 0..0);
+    }
+
+    #[test]
+    fn range_reads_charge_only_the_covering_stripes() {
+        let providers = crate::scenarios::latency_catalog(3);
+        let placement = Placement {
+            providers: providers[..3].to_vec(),
+            m: 2,
+        };
+        let stripe = 1_000u64;
+        let size = ByteSize::from_bytes(20_000); // 20 stripes
+
+        // A sub-stripe probe fetches one stripe's m chunks and costs one
+        // stripe's fetch — a small fraction of the full read.
+        assert_eq!(
+            range_read_chunk_fetches(&placement, size, stripe, 5_100, 10),
+            2
+        );
+        let probe = modelled_range_read_latency_us(&placement, size, stripe, 5_100, 10);
+        let one_stripe = modelled_read_latency_us(&placement, ByteSize::from_bytes(stripe));
+        assert_eq!(probe, one_stripe);
+
+        // The whole-object range walks every stripe sequentially.
+        assert_eq!(
+            range_read_chunk_fetches(&placement, size, stripe, 0, u64::MAX),
+            40
+        );
+        let full = modelled_range_read_latency_us(&placement, size, stripe, 0, u64::MAX);
+        assert_eq!(full, 20 * one_stripe);
+        assert!(probe * 10 < full, "probe {probe} ≪ full scan {full}");
+
+        // Empty and past-EOF ranges are free.
+        assert_eq!(
+            range_read_chunk_fetches(&placement, size, stripe, 100, 0),
+            0
+        );
+        assert_eq!(
+            modelled_range_read_latency_us(&placement, size, stripe, 30_000, 5),
+            0
+        );
+
+        // A single-stripe object falls back to the classic read model.
+        let small = ByteSize::from_bytes(700);
+        assert_eq!(
+            range_read_chunk_fetches(&placement, small, stripe, 0, 10),
+            2
+        );
+        assert_eq!(
+            modelled_range_read_latency_us(&placement, small, stripe, 0, 10),
+            modelled_read_latency_us(&placement, small)
         );
     }
 

@@ -28,30 +28,127 @@ const K: [u32; 64] = [
     0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
 ];
 
-/// Computes the MD5 digest of `data` as 16 raw bytes.
-pub fn md5(data: &[u8]) -> [u8; 16] {
-    let mut a0: u32 = 0x67452301;
-    let mut b0: u32 = 0xefcdab89;
-    let mut c0: u32 = 0x98badcfe;
-    let mut d0: u32 = 0x10325476;
+/// Incremental MD5 context: feed data in arbitrary slices with
+/// [`Md5::update`] and read the digest with [`Md5::finalize`].
+///
+/// The streaming put pipeline checksums a whole object while stripes flow
+/// through encode/upload, so the full payload is never resident; the
+/// one-shot [`md5`] below is a thin wrapper and produces identical digests.
+#[derive(Debug, Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    /// Partial block carried between `update` calls (< 64 bytes used).
+    buffer: [u8; 64],
+    buffered: usize,
+    /// Total message length in bytes.
+    len: u64,
+}
 
-    // Padding: append 0x80, then zeros, then the 64-bit little-endian
-    // message length in bits, so the total is a multiple of 64 bytes.
-    let mut msg = data.to_vec();
-    let bit_len = (data.len() as u64).wrapping_mul(8);
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
     }
-    msg.extend_from_slice(&bit_len.to_le_bytes());
+}
 
-    for block in msg.chunks_exact(64) {
+impl Md5 {
+    /// Creates a fresh context (RFC 1321 initial state).
+    pub fn new() -> Self {
+        Md5 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            buffer: [0u8; 64],
+            buffered: 0,
+            len: 0,
+        }
+    }
+
+    /// Absorbs `data`; may be called any number of times.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buffered > 0 {
+            let take = rest.len().min(64 - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            } else {
+                // `data` did not complete the carried block; it is fully
+                // buffered and must stay so.
+                return;
+            }
+        }
+        let mut chunks = rest.chunks_exact(64);
+        for block in &mut chunks {
+            let mut full = [0u8; 64];
+            full.copy_from_slice(block);
+            self.compress(&full);
+        }
+        let tail = chunks.remainder();
+        self.buffer[..tail.len()].copy_from_slice(tail);
+        self.buffered = tail.len();
+    }
+
+    /// Total number of bytes absorbed so far.
+    pub fn bytes_seen(&self) -> u64 {
+        self.len
+    }
+
+    /// Pads, runs the final block(s) and returns the 16-byte digest.
+    pub fn finalize(mut self) -> [u8; 16] {
+        // Padding: append 0x80, then zeros, then the 64-bit little-endian
+        // message length in bits, so the total is a multiple of 64 bytes.
+        let bit_len = self.len.wrapping_mul(8);
+        let mut tail = Vec::with_capacity(72);
+        tail.push(0x80);
+        while (self.buffered + tail.len()) % 64 != 56 {
+            tail.push(0);
+        }
+        tail.extend_from_slice(&bit_len.to_le_bytes());
+        // `update` would also count these bytes; feed the blocks directly.
+        let mut rest: &[u8] = &tail;
+        while !rest.is_empty() {
+            let take = rest.len().min(64 - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        debug_assert_eq!(self.buffered, 0);
+
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&self.state[0].to_le_bytes());
+        out[4..8].copy_from_slice(&self.state[1].to_le_bytes());
+        out[8..12].copy_from_slice(&self.state[2].to_le_bytes());
+        out[12..16].copy_from_slice(&self.state[3].to_le_bytes());
+        out
+    }
+
+    /// Digest as a lowercase hex string.
+    pub fn finalize_hex(self) -> String {
+        let digest = self.finalize();
+        let mut s = String::with_capacity(32);
+        for byte in digest {
+            s.push_str(&format!("{byte:02x}"));
+        }
+        s
+    }
+
+    /// One 64-byte block of the RFC 1321 compression function.
+    fn compress(&mut self, block: &[u8; 64]) {
         let mut m = [0u32; 16];
         for (i, word) in block.chunks_exact(4).enumerate() {
             m[i] = u32::from_le_bytes([word[0], word[1], word[2], word[3]]);
         }
 
-        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+        let (mut a, mut b, mut c, mut d) =
+            (self.state[0], self.state[1], self.state[2], self.state[3]);
         for i in 0..64 {
             let (f, g) = match i {
                 0..=15 => ((b & c) | (!b & d), i),
@@ -66,18 +163,18 @@ pub fn md5(data: &[u8]) -> [u8; 16] {
             b = b.wrapping_add(f.rotate_left(S[i]));
         }
 
-        a0 = a0.wrapping_add(a);
-        b0 = b0.wrapping_add(b);
-        c0 = c0.wrapping_add(c);
-        d0 = d0.wrapping_add(d);
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
     }
+}
 
-    let mut out = [0u8; 16];
-    out[0..4].copy_from_slice(&a0.to_le_bytes());
-    out[4..8].copy_from_slice(&b0.to_le_bytes());
-    out[8..12].copy_from_slice(&c0.to_le_bytes());
-    out[12..16].copy_from_slice(&d0.to_le_bytes());
-    out
+/// Computes the MD5 digest of `data` as 16 raw bytes.
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    let mut ctx = Md5::new();
+    ctx.update(data);
+    ctx.finalize()
 }
 
 /// Computes the MD5 digest of `data` as a lowercase hex string.
@@ -159,6 +256,27 @@ mod tests {
             other[0] = 0x42;
             assert_ne!(digest, md5_hex(&other));
         }
+    }
+
+    /// Incremental updates produce the same digest as the one-shot function
+    /// for every split point around block and padding boundaries.
+    #[test]
+    fn streaming_matches_one_shot_across_split_points() {
+        let data: Vec<u8> = (0..200u32).map(|i| (i * 31 % 251) as u8).collect();
+        let expected = md5(&data);
+        for split in [0, 1, 17, 55, 56, 63, 64, 65, 127, 128, 129, 199, 200] {
+            let mut ctx = Md5::new();
+            ctx.update(&data[..split]);
+            ctx.update(&data[split..]);
+            assert_eq!(ctx.finalize(), expected, "split at {split}");
+        }
+        // Many tiny updates.
+        let mut ctx = Md5::new();
+        for b in &data {
+            ctx.update(std::slice::from_ref(b));
+        }
+        assert_eq!(ctx.bytes_seen(), data.len() as u64);
+        assert_eq!(ctx.finalize_hex(), md5_hex(&data));
     }
 
     /// RFC 2202 HMAC-MD5 test vectors.

@@ -1,0 +1,732 @@
+//! Integration tests of the staged stripe pipeline: streaming puts that
+//! encode stripe k+1 while stripe k's chunks are in flight, range reads
+//! that fetch only the covering stripes, the multipart/append API with its
+//! single-transaction commit, and the layout pin for single-stripe objects.
+//!
+//! Stripe size and streaming threshold are shrunk (1000 / 2500 bytes) so a
+//! few-kilobyte payload exercises many stripes; every scenario is replayed
+//! on work-stealing pools of 1, 2 and 8 workers where parallelism could
+//! change observable state.
+
+use rayon::ThreadPool;
+use scalia::engine::gc;
+use scalia::prelude::*;
+use scalia::providers::backend::{ObjectStore, StoreOp};
+use scalia::providers::failure::FaultPlan;
+use scalia::types::md5::md5_hex;
+use std::sync::Arc;
+
+const POOL_SIZES: [usize; 3] = [1, 2, 8];
+const STRIPE: u64 = 1000;
+const THRESHOLD: u64 = 2500;
+
+/// A flexible rule (lock-in 0.5 ⇒ ≥ 2 providers).
+fn flex_rule() -> StorageRule {
+    StorageRule::new(
+        "stream-flex",
+        Reliability::from_percent(99.999),
+        Reliability::from_percent(99.99),
+        ZoneSet::all(),
+        0.5,
+    )
+}
+
+/// A wide rule: lock-in 0.2 demands all five paper-catalog providers, so a
+/// provider loss forces the degraded landing; the 99 % floor lets a
+/// four-chunk stripe be acknowledged.
+fn wide_rule() -> StorageRule {
+    StorageRule::new(
+        "stream-wide",
+        Reliability::from_percent(99.999),
+        Reliability::from_percent(99.0),
+        ZoneSet::all(),
+        0.2,
+    )
+}
+
+/// Deterministic payload bytes.
+fn payload(tag: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((tag as usize).wrapping_mul(131).wrapping_add(i) % 251) as u8)
+        .collect()
+}
+
+/// A cluster with test-sized stripes: 1000-byte stripes, payloads above
+/// 2500 bytes stream.
+fn striped_cluster() -> ScaliaCluster {
+    let cluster = ScaliaCluster::builder()
+        .datacenters(1)
+        .engines_per_datacenter(1)
+        .build();
+    cluster.infra().set_stripe_size_bytes(STRIPE);
+    cluster.infra().set_streaming_threshold_bytes(THRESHOLD);
+    cluster
+}
+
+fn clear_caches(cluster: &ScaliaCluster) {
+    for cache in cluster.caches() {
+        cache.clear();
+    }
+}
+
+fn latest_meta(infra: &Infrastructure, key: &ObjectKey) -> Option<ObjectMeta> {
+    infra
+        .database()
+        .get_latest(DatacenterId::new(0), &key.row_key(), "meta")
+        .and_then(|cell| serde_json::from_value::<ObjectMeta>(cell.value).ok())
+}
+
+fn has_debt(infra: &Infrastructure, key: &ObjectKey) -> bool {
+    infra
+        .database()
+        .get_latest(DatacenterId::new(0), &key.row_key(), "debt")
+        .is_some()
+}
+
+fn stored_at_providers(infra: &Infrastructure) -> u64 {
+    infra
+        .backends()
+        .iter()
+        .map(|b| b.stored_bytes().bytes())
+        .sum()
+}
+
+/// Exact provider footprint of a committed object, stripe-aware: per
+/// stripe (or per single-stripe object), `n` chunks of `ceil(len / m)`
+/// bytes (one byte minimum for empty payloads).
+fn expected_footprint(meta: &ObjectMeta) -> u64 {
+    match &meta.striping.stripes {
+        Some(map) => map
+            .stripes
+            .iter()
+            .map(|s| (s.len.div_ceil(s.m as u64)).max(1) * s.chunks.len() as u64)
+            .sum(),
+        None => {
+            let m = meta.striping.m as u64;
+            let n = meta.striping.chunks.len() as u64;
+            (meta.size.bytes().div_ceil(m)).max(1) * n
+        }
+    }
+}
+
+fn assert_exact_footprint(infra: &Infrastructure, keys: &[ObjectKey], context: &str) {
+    let expected: u64 = keys
+        .iter()
+        .filter_map(|k| latest_meta(infra, k))
+        .map(|m| expected_footprint(&m))
+        .sum();
+    assert_eq!(
+        stored_at_providers(infra),
+        expected,
+        "{context}: provider bytes must equal the surviving metadata footprint"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Streaming put: auto-routing, round-trip, checksum
+// ---------------------------------------------------------------------------
+
+#[test]
+fn streamed_put_round_trips_with_whole_object_checksum() {
+    let cluster = striped_cluster();
+    let key = ObjectKey::new("stream", "big.bin");
+    let data = payload(1, 10_240); // 10 full stripes + a 240-byte tail
+    let meta = cluster
+        .put(&key, data.clone(), "application/x-tar", flex_rule(), None)
+        .unwrap();
+
+    assert!(meta.striping.is_striped(), "above threshold ⇒ striped");
+    assert_eq!(meta.striping.stripe_count(), 11);
+    assert_eq!(meta.size.bytes(), 10_240);
+    assert_eq!(
+        meta.checksum,
+        md5_hex(&data),
+        "the incremental MD5 must equal the whole-payload digest"
+    );
+    let map = meta.striping.stripes.as_ref().unwrap();
+    assert_eq!(map.stripe_size, STRIPE);
+    assert!(map.stripes[..10].iter().all(|s| s.len == STRIPE));
+    assert_eq!(map.stripes[10].len, 240);
+    for (i, stripe) in map.stripes.iter().enumerate() {
+        assert_eq!(
+            stripe.checksum,
+            md5_hex(&data[i * 1000..(i * 1000 + stripe.len as usize)]),
+            "stripe {i} digest"
+        );
+    }
+
+    // Reads reassemble through the striped path, cold and cached.
+    clear_caches(&cluster);
+    assert_eq!(cluster.get(&key).unwrap().as_ref(), &data[..]);
+    assert_eq!(cluster.get(&key).unwrap().as_ref(), &data[..]);
+
+    // A payload at the threshold stays on the classic single-stripe path.
+    let small_key = ObjectKey::new("stream", "small.bin");
+    let small = payload(2, THRESHOLD as usize);
+    let small_meta = cluster
+        .put(
+            &small_key,
+            small.clone(),
+            "application/x-tar",
+            flex_rule(),
+            None,
+        )
+        .unwrap();
+    assert!(!small_meta.striping.is_striped());
+    clear_caches(&cluster);
+    assert_eq!(cluster.get(&small_key).unwrap().as_ref(), &small[..]);
+
+    // An overwrite of the striped object reclaims the old stripes' chunks.
+    let data2 = payload(3, 4_500);
+    cluster
+        .put(&key, data2.clone(), "application/x-tar", flex_rule(), None)
+        .unwrap();
+    clear_caches(&cluster);
+    assert_eq!(cluster.get(&key).unwrap().as_ref(), &data2[..]);
+    cluster.infra().retry_pending_deletes();
+    assert_exact_footprint(cluster.infra(), &[key, small_key], "after overwrite");
+}
+
+// ---------------------------------------------------------------------------
+// get_range == get()[o..o+l]: property sweep across pool sizes
+// ---------------------------------------------------------------------------
+
+/// Every (offset, len) probe compares `get_range` against the full read's
+/// slice — cold (provider path) and warm (cache path).
+fn assert_range_probes(cluster: &ScaliaCluster, key: &ObjectKey, data: &[u8]) {
+    let engine = cluster.engine(0);
+    let total = data.len() as u64;
+    let offsets = [
+        0,
+        1,
+        STRIPE - 1,
+        STRIPE,
+        STRIPE + 1,
+        total / 2,
+        total.saturating_sub(1),
+        total,
+        total + STRIPE,
+    ];
+    let lens = [
+        0,
+        1,
+        239,
+        STRIPE,
+        STRIPE + 1,
+        2 * STRIPE + 7,
+        total,
+        u64::MAX,
+    ];
+    for &offset in &offsets {
+        for &len in &lens {
+            let end = offset.saturating_add(len).min(total);
+            let expected: &[u8] = if offset >= end {
+                &[]
+            } else {
+                &data[offset as usize..end as usize]
+            };
+            clear_caches(cluster);
+            let cold = engine.get_range(key, offset, len).unwrap();
+            assert_eq!(
+                cold.as_ref(),
+                expected,
+                "cold get_range({offset}, {len}) of {total}-byte object"
+            );
+            engine.get(key).unwrap();
+            let warm = engine.get_range(key, offset, len).unwrap();
+            assert_eq!(
+                warm.as_ref(),
+                expected,
+                "cached get_range({offset}, {len}) of {total}-byte object"
+            );
+        }
+    }
+}
+
+#[test]
+fn get_range_equals_full_get_slice_across_pool_sizes() {
+    for workers in POOL_SIZES {
+        let pool = ThreadPool::new(workers);
+        pool.install(|| {
+            let cluster = striped_cluster();
+            // A striped object with a partial tail stripe...
+            let striped_key = ObjectKey::new("range", "striped.bin");
+            let striped = payload(7, 4_240);
+            cluster
+                .put(
+                    &striped_key,
+                    striped.clone(),
+                    "application/x-tar",
+                    flex_rule(),
+                    None,
+                )
+                .unwrap();
+            assert_range_probes(&cluster, &striped_key, &striped);
+            // ...and a classic single-stripe object go through the same sweep.
+            let single_key = ObjectKey::new("range", "single.bin");
+            let single = payload(8, 2_000);
+            cluster
+                .put(
+                    &single_key,
+                    single.clone(),
+                    "application/x-tar",
+                    flex_rule(),
+                    None,
+                )
+                .unwrap();
+            assert_range_probes(&cluster, &single_key, &single);
+        });
+    }
+}
+
+#[test]
+fn range_read_fetches_only_the_covering_stripes_chunks() {
+    let cluster = striped_cluster();
+    let infra = cluster.infra().clone();
+    let key = ObjectKey::new("range", "wide.bin");
+    let data = payload(9, 20_000); // 20 stripes
+    let meta = cluster
+        .put(&key, data.clone(), "application/x-tar", flex_rule(), None)
+        .unwrap();
+    let map = meta.striping.stripes.as_ref().unwrap();
+    assert_eq!(map.stripes.len(), 20);
+    let width = map.stripes[0].chunks.len() as u64;
+
+    // Chunk-level gets, summed off the per-backend histograms (the infra
+    // snapshot counts one entry per hedged fetch, not per chunk).
+    let chunk_gets = |infra: &Infrastructure| -> u64 {
+        infra
+            .backends()
+            .iter()
+            .map(|b| b.latency_snapshot(StoreOp::Get).count)
+            .sum()
+    };
+
+    // A 10-byte probe inside stripe 5 touches at most that one stripe's
+    // chunk set — not the other 19 stripes'.
+    clear_caches(&cluster);
+    let before = chunk_gets(&infra);
+    let got = cluster
+        .engine(0)
+        .get_range(&key, 5 * STRIPE + 100, 10)
+        .unwrap();
+    assert_eq!(got.as_ref(), &data[5_100..5_110]);
+    let probe_gets = chunk_gets(&infra) - before;
+    assert!(
+        probe_gets >= 1 && probe_gets <= width,
+        "a one-stripe probe must fetch at most one stripe's chunks ({probe_gets} vs width {width})"
+    );
+
+    // The full read, by contrast, visits every stripe.
+    clear_caches(&cluster);
+    let before = chunk_gets(&infra);
+    assert_eq!(cluster.get(&key).unwrap().as_ref(), &data[..]);
+    let full_gets = chunk_gets(&infra) - before;
+    assert!(
+        full_gets >= 20 * map.stripes[0].m as u64,
+        "the full read reassembles all 20 stripes"
+    );
+    assert!(probe_gets < full_gets / 10);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded streamed writes: per-stripe debt, backfill, degraded range reads
+// ---------------------------------------------------------------------------
+
+#[test]
+fn degraded_streamed_put_commits_debt_and_backfills_stripe_by_stripe() {
+    let cluster = striped_cluster();
+    let infra = cluster.infra().clone();
+    let victim = infra.catalog().all()[0].id;
+    let key = ObjectKey::new("stream", "degraded.bin");
+    let data = payload(11, 5_500); // 6 stripes (tail 500)
+
+    infra.backend(victim).unwrap().set_down(true);
+    let meta = cluster
+        .put(&key, data.clone(), "application/x-tar", wide_rule(), None)
+        .unwrap();
+    let map = meta.striping.stripes.as_ref().unwrap();
+    assert_eq!(map.stripes.len(), 6);
+    for (i, stripe) in map.stripes.iter().enumerate() {
+        assert_eq!(stripe.chunks.len(), 4, "stripe {i} lands degraded 4-of-5");
+        assert!(stripe.chunks.iter().all(|c| c.provider != victim));
+    }
+    assert!(
+        has_debt(&infra, &key),
+        "a degraded streamed commit must record durability debt"
+    );
+
+    // The acked write reads back bit-exactly — full and by range — from the
+    // degraded (k < n) stripes.
+    clear_caches(&cluster);
+    assert_eq!(cluster.get(&key).unwrap().as_ref(), &data[..]);
+    clear_caches(&cluster);
+    assert_eq!(
+        cluster
+            .engine(0)
+            .get_range(&key, 950, 2_100)
+            .unwrap()
+            .as_ref(),
+        &data[950..3_050],
+        "range reads must work on degraded objects"
+    );
+
+    // Capacity returns: one repair cycle re-places the whole object (stripe
+    // by stripe through the streaming migration path) back to full width.
+    infra.set_provider_down(victim, false);
+    cluster.tick(SimTime::from_hours(1));
+    assert_eq!(cluster.last_repair_drain().repaired, 1);
+    let healed = latest_meta(&infra, &key).unwrap();
+    let healed_map = healed.striping.stripes.as_ref().unwrap();
+    assert!(
+        healed_map.stripes.iter().all(|s| s.chunks.len() == 5),
+        "every stripe must be back to full width"
+    );
+    assert!(!has_debt(&infra, &key), "the debt column is settled");
+    clear_caches(&cluster);
+    assert_eq!(cluster.get(&key).unwrap().as_ref(), &data[..]);
+    infra.retry_pending_deletes();
+    assert_exact_footprint(&infra, &[key], "after striped backfill");
+}
+
+// ---------------------------------------------------------------------------
+// Multipart / append API
+// ---------------------------------------------------------------------------
+
+#[test]
+fn multipart_assembles_odd_sized_parts_and_commits_once() {
+    let cluster = striped_cluster();
+    let engine = cluster.engine(0);
+    let key = ObjectKey::new("parts", "assembled.bin");
+    let data = payload(13, 4_734);
+
+    let mut upload = engine.begin_put(&key, "application/x-tar", flex_rule(), None);
+    assert_eq!(upload.stripe_size(), STRIPE as usize);
+    // Parts deliberately misaligned with the stripe size, incl. an empty one.
+    let mut fed = 0usize;
+    for part_len in [1usize, 999, 2_500, 0, 1_234] {
+        upload.put_part(&data[fed..fed + part_len]).unwrap();
+        fed += part_len;
+    }
+    assert_eq!(fed, data.len());
+    assert_eq!(upload.bytes_appended(), 4_734);
+
+    // Nothing is visible before the commit.
+    assert!(engine.get(&key).is_err());
+
+    let peak = upload.peak_buffer_bytes();
+    let meta = upload.complete_put().unwrap();
+    assert_eq!(meta.size.bytes(), 4_734);
+    assert_eq!(meta.checksum, md5_hex(&data));
+    assert_eq!(meta.striping.stripe_count(), 5, "4 full stripes + 734 tail");
+    assert!(
+        peak <= 10 * STRIPE as usize,
+        "transient buffering must stay O(stripe), got {peak}"
+    );
+    clear_caches(&cluster);
+    assert_eq!(engine.get(&key).unwrap().as_ref(), &data[..]);
+    assert_eq!(
+        engine.get_range(&key, 3_000, 1_000).unwrap().as_ref(),
+        &data[3_000..4_000]
+    );
+    assert_eq!(engine.list("parts"), vec![key]);
+}
+
+#[test]
+fn multipart_below_one_stripe_falls_back_to_the_classic_layout() {
+    let cluster = striped_cluster();
+    let engine = cluster.engine(0);
+    let key = ObjectKey::new("parts", "tiny.bin");
+    let data = payload(17, 700);
+
+    let mut upload = engine.begin_put(&key, "application/x-tar", flex_rule(), None);
+    upload.put_part(&data[..300]).unwrap();
+    upload.put_part(&data[300..]).unwrap();
+    let meta = upload.complete_put().unwrap();
+    assert!(
+        !meta.striping.is_striped(),
+        "sub-stripe multipart must commit the classic single-stripe layout"
+    );
+    assert_eq!(meta.checksum, md5_hex(&data));
+    clear_caches(&cluster);
+    assert_eq!(engine.get(&key).unwrap().as_ref(), &data[..]);
+}
+
+#[test]
+fn abort_put_reclaims_every_landed_stripe() {
+    let cluster = striped_cluster();
+    let engine = cluster.engine(0);
+    let key = ObjectKey::new("parts", "aborted.bin");
+    let data = payload(19, 3_800);
+
+    let mut upload = engine.begin_put(&key, "application/x-tar", flex_rule(), None);
+    upload.put_part(&data).unwrap();
+    upload.abort_put();
+    assert!(engine.get(&key).is_err(), "nothing was ever committed");
+    cluster.infra().retry_pending_deletes();
+    assert_eq!(
+        stored_at_providers(cluster.infra()),
+        0,
+        "abort must reclaim every landed stripe chunk"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: crashes at part boundaries and around the one-transaction commit
+// ---------------------------------------------------------------------------
+
+#[test]
+fn crash_at_part_boundaries_leaves_old_object_and_no_orphans_after_gc() {
+    let cluster = striped_cluster();
+    let infra = cluster.infra().clone();
+    let db = infra.database();
+    let key = ObjectKey::new("crash", "streamed.bin");
+    let old = payload(23, 4_100);
+    cluster
+        .put(&key, old.clone(), "application/x-tar", flex_rule(), None)
+        .unwrap();
+
+    // Crash after the 1st, 3rd and 5th landed stripe of a streamed
+    // overwrite: the stripes are durable at providers but the stripe map
+    // never commits, so recovery + GC must expose exactly the old object
+    // and reclaim every orphaned stripe chunk.
+    for skip in [0u32, 2, 4] {
+        let new = payload(100 + skip as u64, 6_300);
+        let checkpoint = db.checkpoint();
+        let plan = Arc::new(FaultPlan::new());
+        plan.arm_after("put_part::after-stripe", skip);
+        infra.set_fault_plan(Some(plan.clone()));
+        let result = cluster.put(&key, new, "application/x-tar", flex_rule(), None);
+        assert!(result.is_err(), "skip={skip}: the crashed put must not ack");
+        assert_eq!(plan.fired(), vec!["put_part::after-stripe".to_string()]);
+        infra.set_fault_plan(None);
+
+        assert!(
+            stored_at_providers(&infra) > expected_footprint(&latest_meta(&infra, &key).unwrap()),
+            "skip={skip}: the crash must strand orphan stripe chunks for GC to find"
+        );
+        db.recover(&checkpoint);
+        clear_caches(&cluster);
+        infra.retry_pending_deletes();
+        gc::sweep_orphan_chunks(&infra);
+        assert_eq!(
+            cluster.get(&key).unwrap().as_ref(),
+            &old[..],
+            "skip={skip}: the old object survives untouched"
+        );
+        assert_exact_footprint(
+            &infra,
+            std::slice::from_ref(&key),
+            "after part-boundary crash",
+        );
+    }
+}
+
+#[test]
+fn crash_around_the_commit_is_old_or_new_never_torn() {
+    let cluster = striped_cluster();
+    let infra = cluster.infra().clone();
+    let db = infra.database();
+
+    // (label, does recovery expose the new object?) — same commit-point
+    // contract as the classic put: the journaled Begin record decides.
+    let matrix = [
+        ("put::after-upload", false),
+        ("txn::before-log", false),
+        ("txn::logged", true),
+        ("txn::torn", true),
+        ("put::after-commit", true),
+    ];
+    let mut keys: Vec<ObjectKey> = Vec::new();
+    for (i, (label, commits)) in matrix.iter().enumerate() {
+        let key = ObjectKey::new("crash", format!("commit-{i}.bin"));
+        let old = payload(200 + i as u64, 3_700);
+        let new = payload(300 + i as u64, 5_900);
+        cluster
+            .put(&key, old.clone(), "application/x-tar", flex_rule(), None)
+            .unwrap();
+        let checkpoint = db.checkpoint();
+        let plan = Arc::new(FaultPlan::new());
+        plan.arm(*label);
+        infra.set_fault_plan(Some(plan.clone()));
+        let result = cluster.put(&key, new.clone(), "application/x-tar", flex_rule(), None);
+        assert!(result.is_err(), "{label}: the crashed put must not ack");
+        assert_eq!(plan.fired(), vec![label.to_string()], "{label} must fire");
+        infra.set_fault_plan(None);
+
+        db.recover(&checkpoint);
+        clear_caches(&cluster);
+        infra.retry_pending_deletes();
+        gc::sweep_orphan_chunks(&infra);
+
+        let expected: &[u8] = if *commits { &new } else { &old };
+        assert_eq!(
+            cluster.get(&key).unwrap().as_ref(),
+            expected,
+            "{label}: recovery must expose exactly the old or the new object"
+        );
+        let meta = latest_meta(&infra, &key).unwrap();
+        assert_eq!(
+            meta.checksum,
+            md5_hex(expected),
+            "{label}: metadata must match the surviving payload — never torn"
+        );
+        // The multipart commit is one transaction: a crash that commits
+        // commits the *whole* stripe map.
+        if *commits {
+            assert_eq!(meta.striping.stripe_count(), 6);
+            assert_eq!(
+                meta.striping.stripes.as_ref().unwrap().stripes[5].len,
+                900,
+                "{label}: the tail stripe commits with the map"
+            );
+        }
+        keys.push(key);
+        assert_exact_footprint(&infra, &keys, "after commit-point crash");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-stripe layout pin: bit-equal to the classic path, pools 1/2/8
+// ---------------------------------------------------------------------------
+
+/// Chunk payload digests of a committed object, in chunk-index order,
+/// fetched straight off the provider backends.
+fn chunk_digests(infra: &Infrastructure, meta: &ObjectMeta) -> Vec<(u32, String)> {
+    let mut out: Vec<(u32, String)> = meta
+        .striping
+        .chunks
+        .iter()
+        .map(|c| {
+            let bytes = infra
+                .backend(c.provider)
+                .unwrap()
+                .get(&meta.striping.chunk_key(c.index))
+                .unwrap();
+            (c.index, md5_hex(&bytes))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn single_stripe_layout_is_bit_identical_across_paths_and_pool_sizes() {
+    let data = payload(31, 1_500);
+    let mut pinned: Option<(String, Vec<(u32, String)>)> = None;
+    for workers in POOL_SIZES {
+        let pool = ThreadPool::new(workers);
+        let (classic, multipart) = pool.install(|| {
+            let cluster = striped_cluster();
+            let engine = cluster.engine(0);
+            // The classic sub-threshold path...
+            let classic_key = ObjectKey::new("pin", "classic.bin");
+            let classic_meta = cluster
+                .put(
+                    &classic_key,
+                    data.clone(),
+                    "application/x-tar",
+                    flex_rule(),
+                    None,
+                )
+                .unwrap();
+            // ...and a multipart upload that never fills a stripe (stripe
+            // size raised so 1500 bytes stay single-stripe).
+            cluster.infra().set_stripe_size_bytes(4_096);
+            let mp_key = ObjectKey::new("pin", "multipart.bin");
+            let mut upload = engine.begin_put(&mp_key, "application/x-tar", flex_rule(), None);
+            upload.put_part(&data).unwrap();
+            let mp_meta = upload.complete_put().unwrap();
+            (
+                (
+                    classic_meta.clone(),
+                    chunk_digests(cluster.infra(), &classic_meta),
+                ),
+                (mp_meta.clone(), chunk_digests(cluster.infra(), &mp_meta)),
+            )
+        });
+        let (classic_meta, classic_chunks) = classic;
+        let (mp_meta, mp_chunks) = multipart;
+
+        for meta in [&classic_meta, &mp_meta] {
+            assert!(!meta.striping.is_striped());
+            // The serialized metadata carries no stripe map — byte-for-byte
+            // the pre-streaming schema.
+            let json = serde_json::to_value(&meta.striping).unwrap();
+            assert!(
+                json.get("stripes").is_none(),
+                "single-stripe striping must serialize without a stripes field"
+            );
+        }
+        assert_eq!(classic_meta.checksum, mp_meta.checksum);
+        assert_eq!(classic_meta.striping.m, mp_meta.striping.m);
+        assert_eq!(
+            classic_chunks, mp_chunks,
+            "workers={workers}: multipart fallback must produce chunk-identical bytes"
+        );
+        // And the layout is pinned across pool sizes.
+        match &pinned {
+            None => pinned = Some((classic_meta.checksum.clone(), classic_chunks)),
+            Some((checksum, chunks)) => {
+                assert_eq!(checksum, &classic_meta.checksum, "workers={workers}");
+                assert_eq!(
+                    chunks, &classic_chunks,
+                    "workers={workers}: single-stripe chunk bytes diverged across pools"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool-size independence of the whole streamed pipeline
+// ---------------------------------------------------------------------------
+
+#[test]
+fn streamed_objects_are_bit_equal_across_pool_sizes() {
+    // The staged pipeline (encode k+1 while k uploads) must not let pool
+    // scheduling leak into committed state: stripe digests, stripe shapes
+    // and payload round-trips agree exactly across 1, 2 and 8 workers.
+    let digests: Vec<String> = POOL_SIZES
+        .iter()
+        .map(|&workers| {
+            let pool = ThreadPool::new(workers);
+            pool.install(|| {
+                let cluster = striped_cluster();
+                let mut lines = Vec::new();
+                for (tag, len) in [(41u64, 3_000usize), (42, 4_240), (43, 9_999)] {
+                    let key = ObjectKey::new("pools", format!("obj-{tag}"));
+                    let data = payload(tag, len);
+                    let meta = cluster
+                        .put(&key, data.clone(), "application/x-tar", flex_rule(), None)
+                        .unwrap();
+                    clear_caches(&cluster);
+                    assert_eq!(cluster.get(&key).unwrap().as_ref(), &data[..]);
+                    let map = meta.striping.stripes.as_ref().unwrap();
+                    let stripe_lines: Vec<String> = map
+                        .stripes
+                        .iter()
+                        .map(|s| {
+                            format!(
+                                "m={} n={} len={} md5={}",
+                                s.m,
+                                s.chunks.len(),
+                                s.len,
+                                s.checksum
+                            )
+                        })
+                        .collect();
+                    lines.push(format!(
+                        "{tag}: md5={} size={} stripes=[{}]",
+                        meta.checksum,
+                        meta.size.bytes(),
+                        stripe_lines.join(", ")
+                    ));
+                }
+                lines.join("\n")
+            })
+        })
+        .collect();
+    assert_eq!(digests[0], digests[1], "pools 1 and 2 diverged");
+    assert_eq!(digests[0], digests[2], "pools 1 and 8 diverged");
+}
