@@ -1,0 +1,165 @@
+//! The deterministic traffic harness, measured end to end: a seeded
+//! multi-tenant trace (flash-crowd web tenant + steady batch tenant, with
+//! a mid-run provider outage) generated and replayed through the
+//! front-end's virtual-time executor.
+//!
+//! Every run first replays the acceptance trace **twice** and asserts the
+//! outcome digests agree — the harness's reason to exist is
+//! bit-reproducibility, so the bench refuses to publish numbers from a
+//! run that wasn't. The measured numbers (generation rate, replay rate,
+//! per-tenant completion/latency/rejection profile) are emitted to
+//! `BENCH_traffic.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scalia_frontend::FrontendConfig;
+use scalia_sim::prelude::*;
+use scalia_types::size::ByteSize;
+use std::time::Instant;
+
+/// ~20k ops over 20 virtual seconds: a flash-crowd tenant bursting 6× over
+/// a steady batch tenant, one provider down for a quarter of the run.
+fn smoke_spec() -> TrafficSpec {
+    TrafficSpec {
+        name: "bench-smoke".into(),
+        seed: 0xBEEF_CAFE,
+        horizon_us: 20_000_000,
+        slot_us: 10_000,
+        tenants: vec![
+            TenantSpec {
+                name: "web".into(),
+                weight: 3,
+                sla_us: 400_000,
+                objects: 300,
+                object_size: 1024,
+                zipf_s: 1.0,
+                mix: OpMix::read_heavy(),
+                arrivals: ArrivalPattern::FlashCrowd {
+                    base_ops_per_sec: 400.0,
+                    burst_ops_per_sec: 2_400.0,
+                    from_us: 6_000_000,
+                    to_us: 9_000_000,
+                },
+            },
+            TenantSpec {
+                name: "batch".into(),
+                weight: 1,
+                sla_us: 0,
+                objects: 200,
+                object_size: 4096,
+                zipf_s: 0.5,
+                mix: OpMix::read_heavy(),
+                arrivals: ArrivalPattern::Uniform { ops_per_sec: 300.0 },
+            },
+        ],
+        events: vec![TrafficEvent::Outage {
+            provider_index: 1,
+            from_us: 10_000_000,
+            to_us: 15_000_000,
+        }],
+        tick_every_us: 5_000_000,
+        frontend: FrontendConfig {
+            lanes: 8,
+            max_queue_depth: 1024,
+            max_tenant_queue: 512,
+            deadline_us: 0,
+            quantum: 1,
+            base_service_us: 100,
+            record_outcomes: false,
+        },
+        cache_capacity: ByteSize::from_mb(4),
+        prepopulate: true,
+    }
+}
+
+/// Generates + replays the smoke trace twice, asserts reproducibility,
+/// and publishes the measured profile to `BENCH_traffic.json`.
+fn acceptance_baseline() {
+    let spec = smoke_spec();
+
+    let gen_started = Instant::now();
+    let trace = generate_trace(&spec);
+    let gen_us = gen_started.elapsed().as_micros() as u64;
+
+    let replay_started = Instant::now();
+    let outcome = replay_trace(&spec, &trace);
+    let replay_us = replay_started.elapsed().as_micros() as u64;
+    let second = replay_trace(&spec, &trace);
+    assert_eq!(
+        outcome.digest, second.digest,
+        "the traffic harness must be bit-reproducible run to run"
+    );
+    assert_eq!(
+        outcome.report.total_submitted(),
+        trace.len() as u64,
+        "every trace op must be accounted for"
+    );
+
+    let report = &outcome.report;
+    let tenants: Vec<serde_json::Value> = report
+        .tenants
+        .iter()
+        .map(|t| {
+            serde_json::json!({
+                "name": t.name,
+                "weight": t.weight,
+                "submitted": t.submitted,
+                "completed": t.completed,
+                "rejected_queue": t.rejected_queue,
+                "rejected_deadline": t.rejected_deadline,
+                "failed": t.failed,
+                "sla_violations": t.sla_violations,
+                "p50_us": t.p50_us,
+                "p99_us": t.p99_us,
+                "p999_us": t.p999_us,
+                "throughput_ops_per_sec": t.throughput_ops_per_sec(report.clock_us),
+            })
+        })
+        .collect();
+    let baseline = serde_json::json!({
+        "bench": "traffic",
+        "trace_ops": trace.len(),
+        "virtual_horizon_us": spec.horizon_us,
+        "virtual_clock_us": report.clock_us,
+        "outcome_digest": outcome.digest,
+        "generation_us": gen_us,
+        "generation_ops_per_sec": trace.len() as f64 / (gen_us as f64 / 1e6),
+        "replay_us": replay_us,
+        "replay_ops_per_sec": trace.len() as f64 / (replay_us as f64 / 1e6),
+        "virtual_throughput_ops_per_sec": report.throughput_ops_per_sec(),
+        "peak_queued": report.peak_queued,
+        "migrations": outcome.migrations,
+        "tenants": tenants,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_traffic.json");
+    std::fs::write(path, format!("{baseline:#}\n")).unwrap();
+    eprintln!(
+        "traffic baseline: {} ops generated in {gen_us} µs, replayed in {replay_us} µs \
+         ({:.0} ops/s wall), digest {} -> {path}",
+        trace.len(),
+        trace.len() as f64 / (replay_us as f64 / 1e6),
+        outcome.digest
+    );
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    acceptance_baseline();
+
+    let mut group = c.benchmark_group("traffic");
+    group.sample_size(10);
+
+    group.bench_function("generate_20k_op_trace", |b| {
+        let spec = smoke_spec();
+        b.iter(|| generate_trace(&spec))
+    });
+
+    group.bench_function("replay_20k_op_trace", |b| {
+        let spec = smoke_spec();
+        let trace = generate_trace(&spec);
+        b.iter(|| replay_trace(&spec, &trace))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_traffic);
+criterion_main!(benches);

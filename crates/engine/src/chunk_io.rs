@@ -777,43 +777,77 @@ impl<'a> HedgedRead<'a> {
         for _ in 0..m {
             self.launch_next(0);
         }
+        // Virtual mode buffers replies until the in-flight generation has
+        // fully quiesced, then folds them in *virtual-completion* order
+        // (ties by slot index). Hedge promotions — which consume ranked
+        // candidates and stamp their launch times — thereby replay the
+        // simulated timeline deterministically, independent of which worker
+        // thread happened to report first. Real-sleep mode keeps arrival
+        // order: there the wall clock is the race.
+        let mut pending: Vec<FetchReply> = Vec::new();
         loop {
             let replies = self.board.take();
-            if !replies.is_empty() {
-                for reply in replies {
+            if self.any_real {
+                // Flushes any replies buffered before a late launch flipped
+                // the read into wall-clock mode.
+                for reply in pending.drain(..).chain(replies) {
                     self.process(reply);
                 }
+            } else {
+                pending.extend(replies);
             }
-            let outstanding = self.slots.iter().filter(|s| !s.done).count();
-            // In real-sleep mode the wall clock *is* the race: the first m
-            // arrivals win and stragglers stay detached. In virtual mode
-            // every launched fetch returns within microseconds of real
-            // time, so the whole hedge timeline is settled first and the
-            // winners are the m earliest *virtual* completions — otherwise
-            // a virtually-slow fetch would "win" merely by being processed
-            // first.
-            if self.oks.len() >= m && (self.any_real || outstanding == 0) {
-                break;
-            }
-            if outstanding == 0 {
-                if self.next_candidate < self.candidates.len() && self.oks.len() < m {
+            let undone = self.slots.iter().filter(|s| !s.done).count();
+            if !self.any_real {
+                let in_flight = undone - pending.len();
+                if in_flight > 0 {
+                    if !rayon::yield_now() {
+                        // Help the pool drain fetch tasks (essential when
+                        // the controller runs *inside* a 1-worker pool);
+                        // park briefly only when there is nothing to steal.
+                        self.board.wait_brief();
+                    }
+                    continue;
+                }
+                if !pending.is_empty() {
+                    pending.sort_by_key(|reply| {
+                        (self.slots[reply.slot].virt_start_us + reply.us, reply.slot)
+                    });
+                    for reply in std::mem::take(&mut pending) {
+                        self.process(reply);
+                    }
+                    continue; // processing may have launched hedges
+                }
+                // Quiesced with nothing buffered: the hedge timeline is
+                // settled and the winners are the m earliest *virtual*
+                // completions — otherwise a virtually-slow fetch would
+                // "win" merely by being processed first.
+                if self.oks.len() >= m {
+                    break;
+                }
+                if self.next_candidate < self.candidates.len() {
                     let frontier = self.virtual_frontier_us;
                     self.launch_next(frontier);
                     continue;
                 }
                 break; // nothing in flight, nothing left to try
             }
-            if self.any_real {
-                // Wall-clock mode: promote parity past overdue deadlines,
-                // then park until the next reply (or the short timeout).
-                self.hedge_overdue_by_wall_clock();
-                self.board.wait_brief();
-            } else if !rayon::yield_now() {
-                // Virtual mode: help the pool drain fetch tasks (essential
-                // when the controller runs *inside* a 1-worker pool); park
-                // briefly only when there is nothing to steal.
-                self.board.wait_brief();
+            // Wall-clock mode: the first m arrivals win and stragglers stay
+            // detached.
+            if self.oks.len() >= m {
+                break;
             }
+            if undone == 0 {
+                if self.next_candidate < self.candidates.len() {
+                    let frontier = self.virtual_frontier_us;
+                    self.launch_next(frontier);
+                    continue;
+                }
+                break;
+            }
+            // Promote parity past overdue deadlines, then park until the
+            // next reply (or the short timeout).
+            self.hedge_overdue_by_wall_clock();
+            self.board.wait_brief();
         }
 
         if self.oks.len() < m {

@@ -329,7 +329,7 @@ impl Engine {
             // delete fires unconditionally once the provider recovers. If
             // the retry reused the same keys, it could land a committed
             // chunk exactly where the pending delete will strike.
-            let version = ObjectVersionId::next(&key.row_key());
+            let version = self.infra.next_version(&key.row_key());
             let skey = StripingMeta::storage_key(key, version);
             match chunk_io::write_chunks(&self.infra, &placement, &skey, data) {
                 Ok(striping) => return Ok((version, striping, None)),
@@ -368,7 +368,7 @@ impl Engine {
         placement: &Placement,
         data: &Bytes,
     ) -> Option<(ObjectVersionId, StripingMeta, Option<u32>)> {
-        let version = ObjectVersionId::next(&key.row_key());
+        let version = self.infra.next_version(&key.row_key());
         let skey = StripingMeta::storage_key(key, version);
         let partial = chunk_io::write_chunks_tolerant(
             &self.infra,
@@ -726,7 +726,7 @@ impl Engine {
         }
         let data = self.fetch_and_reassemble(&old_meta)?;
 
-        let version = ObjectVersionId::next(&key.row_key());
+        let version = self.infra.next_version(&key.row_key());
         let skey = StripingMeta::storage_key(key, version);
         // Chunk uploads happen outside the commit lock (they may be slow).
         // No re-placement on failure here: the caller chose this placement

@@ -26,6 +26,7 @@ use scalia_types::error::ScaliaError;
 use scalia_types::ids::{DatacenterId, ProviderId};
 use scalia_types::latency::{DecayingHistogram, LatencySnapshot};
 use scalia_types::money::Money;
+use scalia_types::object::ObjectVersionId;
 use scalia_types::time::{Duration, SimTime};
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -157,6 +158,11 @@ pub struct Infrastructure {
     /// Deployment-wide per-operation latency histograms (virtual µs),
     /// recorded by the chunk-I/O layer per object-level put/get/delete.
     io_latencies: Mutex<OpLatencies>,
+    /// Virtual makespan of the most recent recorded operation of each
+    /// class, for [`Infrastructure::take_last_io_latency`] (indexed
+    /// put / get / delete). Meaningful to callers that serialise their
+    /// engine calls (the front-end's virtual-time executor does).
+    last_io_latencies: Mutex<[Option<u64>; 3]>,
     /// Per-provider windowed summaries of *successful* chunk-GET
     /// round-trips (virtual µs), recorded by the hedged read's fetch tasks.
     /// Rotated on every clock advance, then summarised into the catalog
@@ -182,6 +188,13 @@ pub struct Infrastructure {
     /// surfaced instead of silently swallowed; the object stays readable
     /// but the class optimizer will not group it until a later touch.
     class_record_failures: AtomicU64,
+    /// Per-deployment object-version sequence. Versions are minted from
+    /// *this* counter, not the process-global one, so the storage keys a
+    /// deployment derives (and therefore its key-salted virtual latencies)
+    /// depend only on its own operation history — the property that makes
+    /// a seeded traffic replay bit-reproducible no matter what other
+    /// clusters ran earlier in the same process.
+    version_counter: AtomicU64,
 }
 
 /// Default stripe size of the streaming pipeline: 512 KiB keeps the
@@ -224,12 +237,14 @@ impl Infrastructure {
             fault_plan: Mutex::new(None),
             detector_disabled: Mutex::new(HashSet::new()),
             io_latencies: Mutex::new(OpLatencies::default()),
+            last_io_latencies: Mutex::new([None; 3]),
             observed_reads: Mutex::new(HashMap::new()),
             observed_writes: Mutex::new(HashMap::new()),
             stripe_size_bytes: AtomicU64::new(DEFAULT_STRIPE_SIZE_BYTES),
             streaming_threshold_bytes: AtomicU64::new(DEFAULT_STREAMING_THRESHOLD_BYTES),
             class_record_retries: AtomicU64::new(0),
             class_record_failures: AtomicU64::new(0),
+            version_counter: AtomicU64::new(1),
         });
         for descriptor in catalog.all() {
             infra.ensure_backend(&descriptor);
@@ -458,11 +473,40 @@ impl Infrastructure {
     /// provider round-trips.
     pub fn record_io_latency(&self, op: StoreOp, us: u64) {
         self.io_latencies.lock().of(op).record(us);
+        self.last_io_latencies.lock()[Self::op_index(op)] = Some(us);
     }
 
     /// Percentile summary of the recorded object-level latencies of `op`.
     pub fn io_latency_snapshot(&self, op: StoreOp) -> LatencySnapshot {
         self.io_latencies.lock().of(op).snapshot()
+    }
+
+    fn op_index(op: StoreOp) -> usize {
+        match op {
+            StoreOp::Put => 0,
+            StoreOp::Get => 1,
+            StoreOp::Delete => 2,
+        }
+    }
+
+    /// The virtual makespan (µs) of the most recent object-level operation
+    /// of class `op`, consuming it — a second take before another operation
+    /// records returns `None`. Operations served without chunk I/O (cache
+    /// hits, metadata-only requests) record nothing.
+    ///
+    /// Only meaningful when the caller serialises its engine calls (the
+    /// front-end's virtual-time executor does); with concurrent callers the
+    /// value may belong to another caller's operation.
+    pub fn take_last_io_latency(&self, op: StoreOp) -> Option<u64> {
+        self.last_io_latencies.lock()[Self::op_index(op)].take()
+    }
+
+    /// Mints the next object version id from this deployment's own
+    /// sequence (see the `version_counter` field): version ids — and the
+    /// storage keys derived from them — depend only on this deployment's
+    /// operation history, never on other clusters in the same process.
+    pub fn next_version(&self, salt: &str) -> ObjectVersionId {
+        ObjectVersionId::with_counter(salt, self.version_counter.fetch_add(1, Ordering::Relaxed))
     }
 
     // ------------------------------------------------------------------

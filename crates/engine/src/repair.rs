@@ -224,6 +224,31 @@ pub fn enqueue(infra: &Infrastructure, key: &ObjectKey, reason: &str) -> Result<
     Ok(())
 }
 
+/// Operator override: re-admits every dead-lettered queue entry with a
+/// fresh attempt counter and no backoff, so the next
+/// [`drain_repair_queue`] retries it immediately. The operator calls this
+/// after fixing whatever kept the repairs failing (a provider restored, a
+/// catalog change); the entries themselves keep their original reason.
+/// Returns how many entries were re-admitted.
+pub fn requeue_dead_letters(infra: &Infrastructure) -> Result<usize> {
+    let mut revived = 0usize;
+    for (queue_row, entry) in queue_entries(infra)? {
+        if !entry.dead {
+            continue;
+        }
+        let timestamp = infra.next_timestamp();
+        infra.database().put(
+            &queue_row,
+            "item",
+            queue_item(&entry.key, &entry.reason),
+            timestamp,
+        )?;
+        infra.database().prune_old_versions(&queue_row, "item");
+        revived += 1;
+    }
+    Ok(revived)
+}
+
 /// All current repair-queue entries, keyed by queue row.
 pub fn queue_entries(infra: &Infrastructure) -> Result<Vec<(String, RepairQueueEntry)>> {
     let node = first_up_node(infra)?;
@@ -691,6 +716,82 @@ mod tests {
         let (_, revived) = queue_entries(&infra).unwrap().pop().unwrap();
         assert!(!revived.dead);
         assert_eq!(revived.attempts, 0);
+    }
+
+    #[test]
+    fn operator_requeue_readmits_dead_letters_and_the_next_drain_repairs() {
+        let cluster = ScaliaCluster::builder().build();
+        let engine = cluster.engine(0).clone();
+        let infra = cluster.infra().clone();
+        let key = ObjectKey::new("c", "revivable.bin");
+        cluster
+            .put(&key, vec![9u8; 150_000], "application/x-tar", rule(), None)
+            .unwrap();
+        let meta = engine.read_metadata(&key).unwrap();
+
+        // Same incident as the dead-letter test: every provider but one
+        // chunk holder down, so repairs fail until the attempt cap.
+        let holders: Vec<ProviderId> = meta.striping.providers();
+        for p in infra.catalog().all() {
+            if p.id != holders[1] {
+                infra.set_provider_down(p.id, true);
+            }
+        }
+        enqueue(&infra, &key, "provider-outage").unwrap();
+        assert_eq!(
+            requeue_dead_letters(&infra).unwrap(),
+            0,
+            "a live entry must not be touched by the operator override"
+        );
+
+        let pe = PlacementEngine::new();
+        let mut now_secs = infra.now().secs();
+        for _ in 1..=DEAD_LETTER_ATTEMPTS {
+            drain_repair_queue(
+                &engine,
+                &infra,
+                &pe,
+                &MigrationBudget::UNLIMITED,
+                SimTime::from_secs(now_secs),
+            )
+            .unwrap();
+            let (_, entry) = queue_entries(&infra).unwrap().pop().unwrap();
+            now_secs = entry.not_before_secs;
+        }
+        let (_, entry) = queue_entries(&infra).unwrap().pop().unwrap();
+        assert!(entry.dead, "the attempt cap must dead-letter the entry");
+
+        // Operator fixes the world — every provider back except one original
+        // chunk holder, so the object is genuinely degraded (a resolve scan
+        // is not enough; chunks must move) — and re-admits the dead letter.
+        for p in infra.catalog().all() {
+            infra.set_provider_down(p.id, p.id == holders[0]);
+        }
+        assert_eq!(requeue_dead_letters(&infra).unwrap(), 1);
+        let (_, revived) = queue_entries(&infra).unwrap().pop().unwrap();
+        assert!(!revived.dead);
+        assert_eq!(revived.attempts, 0);
+        assert_eq!(
+            revived.not_before_secs, 0,
+            "a re-admitted entry must be immediately due"
+        );
+        assert_eq!(revived.reason, "provider-outage");
+
+        // The very next drain picks it up and actually repairs it.
+        let report = drain_repair_queue(
+            &engine,
+            &infra,
+            &pe,
+            &MigrationBudget::UNLIMITED,
+            SimTime::from_secs(now_secs),
+        )
+        .unwrap();
+        assert_eq!(report.repaired, 1, "re-admitted row must be repaired");
+        assert_eq!(report.dead_lettered, 0);
+        assert!(queue_entries(&infra).unwrap().is_empty(), "entry settled");
+        let repaired = engine.read_metadata(&key).unwrap();
+        assert!(!repaired.striping.providers().contains(&holders[0]));
+        assert_eq!(engine.get(&key).unwrap().len(), 150_000);
     }
 
     #[test]

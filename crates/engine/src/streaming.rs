@@ -69,6 +69,8 @@ use scalia_types::object::{
 };
 use scalia_types::rules::StorageRule;
 use scalia_types::size::ByteSize;
+use std::borrow::Borrow;
+use std::sync::Arc;
 
 /// Bound on metadata re-reads when a range read races MVCC garbage
 /// collection (mirrors the retry bound of [`Engine::get`]).
@@ -118,8 +120,14 @@ fn is_injected_crash(err: &ScaliaError) -> bool {
 /// [`MultipartUpload::abort_put`]). Nothing is visible to readers until
 /// `complete_put` commits; an upload dropped without completing leaves at
 /// most orphaned chunks for the GC sweep, never a torn object.
-pub struct MultipartUpload<'e> {
-    engine: &'e Engine,
+///
+/// The upload is generic over how it holds its engine: [`Engine::begin_put`]
+/// borrows (`MultipartUpload<&Engine>`, the ergonomic default for inline
+/// call sites), while [`Engine::begin_put_shared`] clones an [`Arc`] so the
+/// upload can outlive the borrow — the front-end's upload-id registry keeps
+/// sessions alive across requests this way.
+pub struct MultipartUpload<E: Borrow<Engine> = Arc<Engine>> {
+    engine: E,
     key: ObjectKey,
     mime: String,
     rule: StorageRule,
@@ -166,7 +174,7 @@ impl Engine {
         mime: &str,
         rule: StorageRule,
         ttl_hint_hours: Option<f64>,
-    ) -> MultipartUpload<'_> {
+    ) -> MultipartUpload<&Engine> {
         self.begin_put_with_hint(key, mime, rule, ttl_hint_hours, None)
     }
 
@@ -180,15 +188,43 @@ impl Engine {
         rule: StorageRule,
         ttl_hint_hours: Option<f64>,
         size_hint: Option<ByteSize>,
-    ) -> MultipartUpload<'_> {
-        let stripe_size = self.infra().stripe_size_bytes().max(1) as usize;
+    ) -> MultipartUpload<&Engine> {
+        Engine::multipart(self, key, mime, rule, ttl_hint_hours, size_hint)
+    }
+
+    /// [`Engine::begin_put_with_hint`] holding the engine by [`Arc`]: the
+    /// returned upload is `'static`, so it can live in a session registry
+    /// (the front-end keeps one per client upload id) instead of being
+    /// confined to the borrow of a single call frame.
+    pub fn begin_put_shared(
+        self: &Arc<Self>,
+        key: &ObjectKey,
+        mime: &str,
+        rule: StorageRule,
+        ttl_hint_hours: Option<f64>,
+        size_hint: Option<ByteSize>,
+    ) -> MultipartUpload {
+        Engine::multipart(Arc::clone(self), key, mime, rule, ttl_hint_hours, size_hint)
+    }
+
+    /// Shared constructor behind both `begin_put` flavours.
+    fn multipart<E: Borrow<Engine>>(
+        engine: E,
+        key: &ObjectKey,
+        mime: &str,
+        rule: StorageRule,
+        ttl_hint_hours: Option<f64>,
+        size_hint: Option<ByteSize>,
+    ) -> MultipartUpload<E> {
+        let this = engine.borrow();
+        let stripe_size = this.infra().stripe_size_bytes().max(1) as usize;
         let hint = size_hint.unwrap_or(ByteSize::from_bytes(stripe_size as u64));
         let class = ObjectClass::of(mime, hint);
-        let usage = self.predict_usage(&class, hint, ttl_hint_hours);
-        let version = ObjectVersionId::next(&key.row_key());
+        let usage = this.predict_usage(&class, hint, ttl_hint_hours);
+        let version = this.infra().next_version(&key.row_key());
         let base_skey = StripingMeta::storage_key(key, version);
         MultipartUpload {
-            engine: self,
+            engine,
             key: key.clone(),
             mime: mime.to_string(),
             rule,
@@ -314,7 +350,7 @@ impl Engine {
             old_meta.striping.stripes.as_ref().ok_or_else(|| {
                 ScaliaError::Internal("striped migration of unstriped object".into())
             })?;
-        let version = ObjectVersionId::next(&key.row_key());
+        let version = self.infra().next_version(&key.row_key());
         let base_skey = StripingMeta::storage_key(key, version);
         let config = HedgeConfig::default();
         let params = new_placement.erasure_params();
@@ -377,7 +413,12 @@ impl Engine {
     }
 }
 
-impl MultipartUpload<'_> {
+impl<E: Borrow<Engine>> MultipartUpload<E> {
+    /// The engine this upload writes through.
+    fn engine(&self) -> &Engine {
+        self.engine.borrow()
+    }
+
     /// The stripe size this upload seals at, in bytes (snapshotted at
     /// [`Engine::begin_put`]).
     pub fn stripe_size(&self) -> usize {
@@ -439,7 +480,7 @@ impl MultipartUpload<'_> {
             // uploaded yet: delegate wholesale. `put_single`, not `put` —
             // re-routing could recurse when stripe size > threshold.
             let data = Bytes::from(std::mem::take(&mut self.buffer));
-            return self.engine.put_single(
+            return self.engine().put_single(
                 &self.key,
                 data,
                 &self.mime,
@@ -482,14 +523,14 @@ impl MultipartUpload<'_> {
             size,
             checksum: self.md5.clone().finalize_hex(),
             rule: self.rule.clone(),
-            written_at: self.engine.infra().now(),
+            written_at: self.engine().infra().now(),
             ttl_hint_hours: self.ttl_hint_hours,
             striping,
         };
 
         // Same crash point as the classic path: every chunk is at its
         // provider, nothing is committed.
-        self.engine.infra().crash_point("put::after-upload")?;
+        self.engine().infra().crash_point("put::after-upload")?;
 
         // One journaled transaction: metadata, optimiser digest, container
         // index, debt + repair entry (or debt clearance), MVCC prunes —
@@ -502,18 +543,18 @@ impl MultipartUpload<'_> {
             })
         });
         let deprecated = {
-            let _commit = self.engine.infra().lock_row_commit(&meta.row_key());
-            let deprecated = self.engine.commit_metadata_with_debt(&meta, debt)?;
-            self.engine.invalidate_everywhere(&meta.row_key());
+            let _commit = self.engine().infra().lock_row_commit(&meta.row_key());
+            let deprecated = self.engine().commit_metadata_with_debt(&meta, debt)?;
+            self.engine().invalidate_everywhere(&meta.row_key());
             deprecated
         };
-        self.engine.infra().crash_point("put::after-commit")?;
+        self.engine().infra().crash_point("put::after-commit")?;
         for striping in &deprecated {
-            self.engine.delete_chunks(striping);
+            self.engine().delete_chunks(striping);
         }
-        self.engine
+        self.engine()
             .record_class_with_retry(&self.key.row_key(), final_class.id());
-        self.engine
+        self.engine()
             .log_access(&self.key, AccessKind::Write, size, size);
         Ok(meta)
     }
@@ -534,7 +575,7 @@ impl MultipartUpload<'_> {
                 stripes: std::mem::take(&mut self.stripes),
             },
         );
-        chunk_io::delete_chunks(self.engine.infra(), &striping);
+        chunk_io::delete_chunks(self.engine().infra(), &striping);
     }
 
     /// Folds the pipeline's current transient footprint into the high-water
@@ -557,13 +598,14 @@ impl MultipartUpload<'_> {
     fn seal_stripe(&mut self, plain: Vec<u8>) -> Result<()> {
         let index = self.sealed;
         self.sealed += 1;
-        let placement = match self
-            .engine
-            .place_excluding(&self.rule, &self.class, &self.usage, &[])
-        {
-            Ok(placement) => placement,
-            Err(err) => self.last_placement.clone().ok_or(err)?,
-        };
+        let placement =
+            match self
+                .engine()
+                .place_excluding(&self.rule, &self.class, &self.usage, &[])
+            {
+                Ok(placement) => placement,
+                Err(err) => self.last_placement.clone().ok_or(err)?,
+            };
         self.last_placement = Some(placement.clone());
         // Charge the seal: plaintext being encoded + its encoded output +
         // whatever is already held.
@@ -571,7 +613,7 @@ impl MultipartUpload<'_> {
             plain.len() * placement.providers.len().max(1) / placement.m.max(1) as usize;
         self.note_buffered(plain.len() + encoded_estimate);
 
-        let engine = self.engine;
+        let engine = self.engine.borrow();
         let rule = &self.rule;
         let class = &self.class;
         let usage = &self.usage;
@@ -609,7 +651,9 @@ impl MultipartUpload<'_> {
             // but the stripe map is not committed — a crash here must leave
             // the previous object version intact and only orphan bytes for
             // the GC sweep.
-            self.engine.infra().crash_point("put_part::after-stripe")?;
+            self.engine()
+                .infra()
+                .crash_point("put_part::after-stripe")?;
         }
         self.in_hand = Some(fresh);
         self.note_buffered(0);
@@ -619,7 +663,7 @@ impl MultipartUpload<'_> {
     /// Lands one encoded stripe and records it.
     fn land(&mut self, stripe: EncodedStripe) -> Result<()> {
         let (meta, have, want) = land_stripe(
-            self.engine,
+            self.engine.borrow(),
             &self.rule,
             &self.class,
             &self.usage,
@@ -629,7 +673,9 @@ impl MultipartUpload<'_> {
         self.have_total += have;
         self.want_total += want;
         self.stripes.push(meta);
-        self.engine.infra().crash_point("put_part::after-stripe")?;
+        self.engine()
+            .infra()
+            .crash_point("put_part::after-stripe")?;
         Ok(())
     }
 }

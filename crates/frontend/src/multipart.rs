@@ -1,0 +1,113 @@
+//! Multipart upload sessions: S3-style upload ids over the engine's
+//! streaming [`MultipartUpload`] API.
+//!
+//! The front-end owns a registry of open uploads keyed by [`UploadId`];
+//! each session holds a `'static` [`MultipartUpload`] (the engine behind it
+//! is kept alive by an [`Arc`], via [`Engine::begin_put_shared`]). The
+//! error contract, pinned by `tests/streaming.rs`:
+//!
+//! * Part numbers are **1-based and strictly consecutive** — uploading part
+//!   `n` when part `next` is expected is
+//!   [`ScaliaError::InvalidPart`]. (The engine streams parts straight into
+//!   stripes; it cannot reorder, so the surface does not pretend to.)
+//! * `complete` and `abort` **consume** the session: any later call with
+//!   the same id — a part upload, a second complete, an abort after
+//!   complete — is [`ScaliaError::NoSuchUpload`].
+//! * Completing with zero parts commits a valid empty object.
+//! * A failed part upload poisons the session (the engine marks the upload
+//!   failed); the session stays registered so the client can still `abort`
+//!   to reclaim landed chunks.
+
+use scalia_engine::engine::Engine;
+use scalia_engine::streaming::MultipartUpload;
+use scalia_types::error::{Result, ScaliaError};
+use scalia_types::object::{ObjectKey, ObjectMeta};
+use scalia_types::rules::StorageRule;
+use scalia_types::size::ByteSize;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Opaque handle to an open multipart upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UploadId(pub(crate) u64);
+
+impl fmt::Display for UploadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mp-{}", self.0)
+    }
+}
+
+struct Session {
+    upload: MultipartUpload,
+    /// The part number the next `upload_part` must present (1-based).
+    next_part: u64,
+}
+
+/// Registry of open multipart uploads (internal to the service).
+#[derive(Default)]
+pub(crate) struct MultipartRegistry {
+    next_id: u64,
+    sessions: HashMap<u64, Session>,
+}
+
+impl MultipartRegistry {
+    pub(crate) fn create(
+        &mut self,
+        engine: &Arc<Engine>,
+        key: &ObjectKey,
+        mime: &str,
+        rule: StorageRule,
+        size_hint: Option<ByteSize>,
+    ) -> UploadId {
+        let upload = engine.begin_put_shared(key, mime, rule, None, size_hint);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(
+            id,
+            Session {
+                upload,
+                next_part: 1,
+            },
+        );
+        UploadId(id)
+    }
+
+    pub(crate) fn upload_part(
+        &mut self,
+        id: UploadId,
+        part_number: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        let session = self
+            .sessions
+            .get_mut(&id.0)
+            .ok_or_else(|| ScaliaError::NoSuchUpload(id.to_string()))?;
+        if part_number != session.next_part {
+            return Err(ScaliaError::InvalidPart(format!(
+                "expected part {}, got part {} (parts are 1-based and strictly consecutive)",
+                session.next_part, part_number
+            )));
+        }
+        session.upload.put_part(data)?;
+        session.next_part += 1;
+        Ok(())
+    }
+
+    pub(crate) fn complete(&mut self, id: UploadId) -> Result<ObjectMeta> {
+        let session = self
+            .sessions
+            .remove(&id.0)
+            .ok_or_else(|| ScaliaError::NoSuchUpload(id.to_string()))?;
+        session.upload.complete_put()
+    }
+
+    pub(crate) fn abort(&mut self, id: UploadId) -> Result<()> {
+        let session = self
+            .sessions
+            .remove(&id.0)
+            .ok_or_else(|| ScaliaError::NoSuchUpload(id.to_string()))?;
+        session.upload.abort_put();
+        Ok(())
+    }
+}

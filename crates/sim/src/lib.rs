@@ -22,6 +22,10 @@
 //!   (Figs. 12, 15, 17, 18).
 //! * [`scenarios`] — the four paper scenarios parameterised exactly as in
 //!   §IV, plus the trend-detection traces of Figs. 8 and 9.
+//! * [`traffic`] — the request-level traffic harness: seeded multi-tenant
+//!   traces (flash crowds, diurnal cycles, Zipf hot keys, mid-burst
+//!   outages, price-drop migrations) replayed in virtual time through the
+//!   front-end service's admission control and fair scheduler.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,10 +35,14 @@ pub mod experiment;
 pub mod policy;
 pub mod scenarios;
 pub mod static_sets;
+pub mod traffic;
 pub mod workload;
 
 pub use experiment::{ExperimentResult, PolicyOutcome};
 pub use policy::{IdealPolicy, PlacementPolicy, ScaliaPolicy, StaticSetPolicy};
+pub use traffic::{
+    ArrivalPattern, OpMix, TenantSpec, TraceOp, TrafficEvent, TrafficOutcome, TrafficSpec,
+};
 pub use workload::{PeriodDemand, ProviderEvent, Workload, WorkloadObject};
 
 /// Commonly used items.
@@ -43,5 +51,9 @@ pub mod prelude {
     pub use crate::policy::{IdealPolicy, PlacementPolicy, ScaliaPolicy, StaticSetPolicy};
     pub use crate::scenarios;
     pub use crate::static_sets;
+    pub use crate::traffic::{
+        generate_trace, replay_trace, run_traffic, trace_digest, ArrivalPattern, OpMix, TenantSpec,
+        TraceOp, TrafficEvent, TrafficOutcome, TrafficSpec,
+    };
     pub use crate::workload::{PeriodDemand, ProviderEvent, Workload, WorkloadObject};
 }

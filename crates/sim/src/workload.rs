@@ -168,6 +168,43 @@ pub fn pareto_popularity(n: usize, cap: f64, seed: u64) -> Vec<f64> {
     weights
 }
 
+/// Zipf popularity weights over `n` ranked items with skew exponent `s`
+/// (`w_i ∝ 1/(i+1)^s`), normalised to sum to 1. `s = 0` is uniform; around
+/// `s ≈ 1` the classic hot-key skew of web object stores appears. Used by
+/// the traffic harness to pick which object each request touches.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    let mut weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= total.max(f64::MIN_POSITIVE);
+    }
+    weights
+}
+
+/// Cumulative distribution of a weight vector, for inverse-CDF sampling:
+/// `cdf[i]` is the probability of drawing an index ≤ `i`. The last entry is
+/// forced to exactly 1 so a uniform draw in `[0, 1)` always lands.
+pub fn cumulative_distribution(weights: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf: Vec<f64> = weights
+        .iter()
+        .map(|w| {
+            acc += w;
+            acc
+        })
+        .collect();
+    if let Some(last) = cdf.last_mut() {
+        *last = 1.0;
+    }
+    cdf
+}
+
+/// Inverse-CDF sample: the smallest index whose cumulative probability
+/// covers `u ∈ [0, 1)`.
+pub fn sample_cdf(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&c| c <= u).min(cdf.len() - 1)
+}
+
 /// Distributes an expected number of requests into an integer count in a
 /// deterministic, smoothly rounding way (error diffusion), so that the total
 /// over a long run matches the expectation without randomness.
@@ -295,6 +332,24 @@ mod tests {
         // The most popular 10% of pictures draw well over 10% of traffic.
         assert!(top10 > 0.2, "top10 share = {top10}");
         assert_eq!(weights, pareto_popularity(200, 50.0, 7));
+    }
+
+    #[test]
+    fn zipf_weights_are_normalised_and_skewed() {
+        let w = zipf_weights(100, 1.0);
+        assert_eq!(w.len(), 100);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w[0] > w[99] * 50.0, "rank 1 must dwarf rank 100");
+        // s = 0 degenerates to uniform.
+        let flat = zipf_weights(10, 0.0);
+        assert!((flat[0] - flat[9]).abs() < 1e-12);
+
+        let cdf = cumulative_distribution(&w);
+        assert_eq!(*cdf.last().unwrap(), 1.0);
+        assert_eq!(sample_cdf(&cdf, 0.0), 0);
+        assert_eq!(sample_cdf(&cdf, 0.999_999_999), 99);
+        // The head of the distribution absorbs most of the mass.
+        assert!(sample_cdf(&cdf, 0.5) < 10);
     }
 
     #[test]

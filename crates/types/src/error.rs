@@ -41,6 +41,27 @@ pub enum ScaliaError {
     Conflict(String),
     /// A datacenter or database node is unreachable.
     DatacenterUnavailable(u32),
+    /// The front-end refused the request because its queues are full
+    /// (admission-control backpressure; the client should retry later).
+    Overloaded {
+        /// Operations queued when the request was refused.
+        queued: usize,
+        /// The configured queue-depth bound that was hit.
+        limit: usize,
+    },
+    /// The front-end abandoned the request because it waited in queue past
+    /// its deadline (the client has long since timed out; completing the
+    /// work would only burn capacity).
+    DeadlineExceeded {
+        /// Time the request spent queued before being abandoned, in µs.
+        waited_us: u64,
+    },
+    /// A multipart operation referenced an upload id that does not exist —
+    /// never created, already completed, or already aborted.
+    NoSuchUpload(String),
+    /// A multipart part violated the upload's part-numbering contract
+    /// (parts are 1-based and strictly consecutive).
+    InvalidPart(String),
     /// Any other internal error.
     Internal(String),
 }
@@ -65,6 +86,14 @@ impl fmt::Display for ScaliaError {
             ScaliaError::DecodeFailed(msg) => write!(f, "erasure decode failed: {msg}"),
             ScaliaError::Conflict(msg) => write!(f, "metadata conflict: {msg}"),
             ScaliaError::DatacenterUnavailable(dc) => write!(f, "datacenter dc_{dc} unavailable"),
+            ScaliaError::Overloaded { queued, limit } => {
+                write!(f, "service overloaded: {queued} ops queued (limit {limit})")
+            }
+            ScaliaError::DeadlineExceeded { waited_us } => {
+                write!(f, "deadline exceeded after {waited_us}µs in queue")
+            }
+            ScaliaError::NoSuchUpload(id) => write!(f, "no such multipart upload: {id}"),
+            ScaliaError::InvalidPart(msg) => write!(f, "invalid multipart part: {msg}"),
             ScaliaError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -94,6 +123,17 @@ mod tests {
         assert!(e.to_string().contains("Rule 1"));
         let e = ScaliaError::ProviderUnavailable(ProviderId::new(3));
         assert!(e.to_string().contains("provider_3"));
+        let e = ScaliaError::Overloaded {
+            queued: 128,
+            limit: 128,
+        };
+        assert!(e.to_string().contains("128 ops queued"));
+        let e = ScaliaError::DeadlineExceeded { waited_us: 2500 };
+        assert!(e.to_string().contains("2500µs"));
+        let e = ScaliaError::NoSuchUpload("mp-7".into());
+        assert!(e.to_string().contains("mp-7"));
+        let e = ScaliaError::InvalidPart("part 3 after part 1".into());
+        assert!(e.to_string().contains("part 3"));
     }
 
     #[test]

@@ -79,11 +79,20 @@ impl ObjectVersionId {
     /// key hash) is mixed in so ids from different objects differ even when
     /// counters align across processes.
     pub fn next(salt: &str) -> Self {
-        let counter = VERSION_COUNTER.fetch_add(1, Ordering::Relaxed) as u128;
+        Self::with_counter(salt, VERSION_COUNTER.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Builds a version id from an explicit counter draw instead of the
+    /// process-global sequence. Callers that own their own counter (e.g. a
+    /// cluster allocating versions from its infrastructure) use this so the
+    /// ids they mint — and everything derived from them, such as storage
+    /// keys — do not depend on how many versions *other* instances in the
+    /// same process have allocated.
+    pub fn with_counter(salt: &str, counter: u64) -> Self {
         let digest = md5::md5(salt.as_bytes());
         let mut hi = [0u8; 8];
         hi.copy_from_slice(&digest[..8]);
-        ObjectVersionId(((u64::from_le_bytes(hi) as u128) << 64) | counter)
+        ObjectVersionId(((u64::from_le_bytes(hi) as u128) << 64) | counter as u128)
     }
 
     /// Hex representation used in storage keys.

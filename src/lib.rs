@@ -23,8 +23,12 @@
 //!   decision-period adaptation, migration planning).
 //! * [`engine`] — the brokerage engine (S3-like API, caching layer, periodic
 //!   optimisation, active repair, multi-datacenter clusters).
+//! * [`frontend`] — the S3-flavored front-end service: admission control
+//!   (bounded in-flight ops, queue-depth backpressure, deadline rejection)
+//!   and weighted per-tenant fairness over the engine API.
 //! * [`sim`] — the evaluation simulator (workloads, static baselines, ideal
-//!   oracle, experiment runners for every figure in the paper).
+//!   oracle, experiment runners for every figure in the paper, and the
+//!   deterministic multi-tenant traffic harness).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@
 pub use scalia_core as core;
 pub use scalia_engine as engine;
 pub use scalia_erasure as erasure;
+pub use scalia_frontend as frontend;
 pub use scalia_metastore as metastore;
 pub use scalia_providers as providers;
 pub use scalia_sim as sim;
@@ -61,6 +66,7 @@ pub mod prelude {
     pub use scalia_core::prelude::*;
     pub use scalia_engine::prelude::*;
     pub use scalia_erasure::prelude::*;
+    pub use scalia_frontend::prelude::*;
     pub use scalia_metastore::prelude::*;
     pub use scalia_providers::prelude::*;
     pub use scalia_sim::prelude::*;

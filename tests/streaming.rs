@@ -730,3 +730,150 @@ fn streamed_objects_are_bit_equal_across_pool_sizes() {
     assert_eq!(digests[0], digests[1], "pools 1 and 2 diverged");
     assert_eq!(digests[0], digests[2], "pools 1 and 8 diverged");
 }
+
+// ---------------------------------------------------------------------------
+// Front-end multipart error contract (negative paths)
+// ---------------------------------------------------------------------------
+
+fn frontend_over(cluster: ScaliaCluster) -> (FrontendService, TenantId) {
+    let mut frontend = FrontendService::new(Arc::new(cluster), FrontendConfig::default());
+    let tenant = frontend.register_tenant("mp-tenant", 1, 0, flex_rule());
+    (frontend, tenant)
+}
+
+#[test]
+fn multipart_ops_after_complete_are_no_such_upload() {
+    let (mut frontend, tenant) = frontend_over(striped_cluster());
+    let key = ObjectKey::new("mp", "after-complete");
+    let id = frontend.create_multipart(tenant, &key, "application/x-tar", None);
+    frontend.upload_part(id, 1, &payload(1, 3_000)).unwrap();
+    frontend.complete_multipart(id).unwrap();
+
+    // The id died with the complete: every later verb must say so, and the
+    // second complete must not commit a second version.
+    assert!(matches!(
+        frontend.upload_part(id, 2, b"late"),
+        Err(ScaliaError::NoSuchUpload(_))
+    ));
+    assert!(matches!(
+        frontend.complete_multipart(id),
+        Err(ScaliaError::NoSuchUpload(_))
+    ));
+    assert!(matches!(
+        frontend.abort_multipart(id),
+        Err(ScaliaError::NoSuchUpload(_))
+    ));
+    // The committed object is intact.
+    assert_eq!(
+        frontend.get_object(&key).unwrap().as_ref(),
+        &payload(1, 3_000)[..]
+    );
+}
+
+#[test]
+fn multipart_ops_after_abort_are_no_such_upload() {
+    let (mut frontend, tenant) = frontend_over(striped_cluster());
+    let key = ObjectKey::new("mp", "after-abort");
+    let id = frontend.create_multipart(tenant, &key, "application/x-tar", None);
+    frontend.upload_part(id, 1, &payload(2, 3_000)).unwrap();
+    frontend.abort_multipart(id).unwrap();
+
+    assert!(matches!(
+        frontend.upload_part(id, 2, b"late"),
+        Err(ScaliaError::NoSuchUpload(_))
+    ));
+    assert!(matches!(
+        frontend.complete_multipart(id),
+        Err(ScaliaError::NoSuchUpload(_))
+    ));
+    // Nothing was committed and nothing leaked at the providers.
+    assert!(frontend.get_object(&key).is_err());
+    assert_exact_footprint(frontend.cluster().infra(), &[], "after multipart abort");
+}
+
+#[test]
+fn multipart_rejects_out_of_order_and_duplicate_parts() {
+    let (mut frontend, tenant) = frontend_over(striped_cluster());
+    let key = ObjectKey::new("mp", "out-of-order");
+    let id = frontend.create_multipart(tenant, &key, "application/x-tar", None);
+
+    // Parts are 1-based: part 0 and a skipped-ahead part are both invalid.
+    assert!(matches!(
+        frontend.upload_part(id, 0, b"zero"),
+        Err(ScaliaError::InvalidPart(_))
+    ));
+    assert!(matches!(
+        frontend.upload_part(id, 2, b"skip"),
+        Err(ScaliaError::InvalidPart(_))
+    ));
+    frontend.upload_part(id, 1, &payload(3, 1_000)).unwrap();
+    // Replaying part 1 is invalid too — the cursor moved to part 2.
+    assert!(matches!(
+        frontend.upload_part(id, 1, b"again"),
+        Err(ScaliaError::InvalidPart(_))
+    ));
+    // A rejected part number does not poison the session.
+    frontend.upload_part(id, 2, &payload(4, 1_000)).unwrap();
+    let meta = frontend.complete_multipart(id).unwrap();
+    assert_eq!(meta.size.bytes(), 2_000);
+}
+
+#[test]
+fn multipart_zero_part_complete_commits_an_empty_object() {
+    let (mut frontend, tenant) = frontend_over(striped_cluster());
+    let key = ObjectKey::new("mp", "empty");
+    let id = frontend.create_multipart(tenant, &key, "text/plain", None);
+    let meta = frontend.complete_multipart(id).unwrap();
+    assert_eq!(meta.size.bytes(), 0);
+    assert_eq!(meta.checksum, md5_hex(b""));
+    assert_eq!(frontend.get_object(&key).unwrap().len(), 0);
+    // The empty object lists and deletes like any other.
+    assert!(frontend.list_bucket("mp").contains(&key));
+    frontend.delete_object(&key).unwrap();
+    assert!(frontend.get_object(&key).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate ranges on classic (single-stripe) objects
+// ---------------------------------------------------------------------------
+
+#[test]
+fn degenerate_ranges_on_classic_objects_fetch_no_chunks() {
+    let cluster = striped_cluster();
+    let key = ObjectKey::new("ranges", "classic");
+    let size = (THRESHOLD / 2) as usize; // comfortably below the streaming cut-over
+    let data = payload(9, size);
+    let meta = cluster
+        .put(&key, data.clone(), "image/png", flex_rule(), None)
+        .unwrap();
+    assert!(
+        meta.striping.stripes.is_none(),
+        "object this small must take the classic layout"
+    );
+    clear_caches(&cluster);
+
+    let engine = &cluster.engines()[0];
+    let infra = cluster.infra();
+    let gets_before = infra.io_latency_snapshot(StoreOp::Get).count;
+    let size = size as u64;
+
+    // Empty and past-EOF ranges resolve from metadata alone: empty bytes,
+    // zero chunk fetches, zero recorded GET makespans.
+    for (offset, len) in [(0, 0), (size, 0), (size, 10), (size + 1, 4), (u64::MAX, 1)] {
+        let slice = engine.get_range(&key, offset, len).unwrap();
+        assert!(
+            slice.is_empty(),
+            "range [{offset}, +{len}) of a {size}-byte object must be empty"
+        );
+    }
+    assert_eq!(
+        infra.io_latency_snapshot(StoreOp::Get).count,
+        gets_before,
+        "degenerate ranges must not touch providers"
+    );
+
+    // A range clipped by EOF still fetches and still agrees with the slice.
+    let tail = engine.get_range(&key, size - 100, 1_000).unwrap();
+    assert_eq!(tail.as_ref(), &data[size as usize - 100..]);
+    assert!(infra.io_latency_snapshot(StoreOp::Get).count > gets_before);
+}
