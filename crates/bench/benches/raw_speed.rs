@@ -1,0 +1,449 @@
+//! The raw-speed floor, measured: GF(256) kernel throughput per tier and
+//! length, the 1 MiB Reed-Solomon parity core (wide kernel vs the scalar
+//! seed kernel — the ≥ 4× acceptance gate), the work-stealing pool's
+//! spawn/steal microcosts, pool scaling on an optimization-cycle and a
+//! map-reduce workload at 1 vs 4 workers, and the 16–20-provider
+//! placement search with and without pairwise dominance pruning (vs the
+//! recorded 4.98 ms PR 1 baseline at 16 providers).
+//!
+//! Every measured number is published to `BENCH_raw_speed.json` at the
+//! repo root. Two acceptance gates are asserted inline (so a CI bench
+//! smoke run fails loudly rather than recording a regression):
+//!
+//! * `rs_parity_1mib`: wide kernel ≥ 4× over the scalar seed kernel;
+//! * `search_16`: dominance-pruned search beats the 4.98 ms baseline.
+//!
+//! The ≥ 2×-at-4-workers pool-scaling gate is only asserted when the
+//! runner actually exposes ≥ 4 hardware threads; on smaller runners the
+//! JSON records `"gate": "skipped (single-core runner)"` and the numbers
+//! so a multi-core acceptance run is a re-run, not a code change
+//! (`available_parallelism` is always recorded).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayon::prelude::*;
+use rayon::ThreadPool;
+use scalia_core::cost::PredictedUsage;
+use scalia_core::placement::{exhaustive_search_without_dominance, PlacementEngine};
+use scalia_erasure::gf256::{self, Kernel};
+use scalia_providers::catalog::{azure, google, rackspace, s3_high, s3_low};
+use scalia_providers::descriptor::ProviderDescriptor;
+use scalia_providers::pricing::PricingPolicy;
+use scalia_providers::sla::ProviderSla;
+use scalia_types::ids::ProviderId;
+use scalia_types::reliability::Reliability;
+use scalia_types::rules::StorageRule;
+use scalia_types::size::ByteSize;
+use scalia_types::zone::{Zone, ZoneSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Best-of-3 wall time of `iters` runs of `f`, as per-iteration µs.
+fn time_per_iter_us(iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e6 / iters as f64);
+    }
+    best
+}
+
+fn gib_per_sec(bytes: usize, per_iter_us: f64) -> f64 {
+    bytes as f64 / (per_iter_us / 1e6) / (1u64 << 30) as f64
+}
+
+// ---------------------------------------------------------------- gf256 --
+
+/// Per-tier kernel throughput across lengths (odd length included so the
+/// tail path is always exercised), plus the scalar reference.
+fn gf256_section() -> serde_json::Value {
+    let mut rows = Vec::new();
+    for len in [4096usize, 65536, (1 << 20) - 7, 1 << 20] {
+        let src: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+        let mut acc = vec![0u8; len];
+        let iters = ((32 << 20) / len).max(8);
+        let mut tiers = serde_json::Map::new();
+        for kernel in [Kernel::Gfni, Kernel::Avx2, Kernel::Portable] {
+            if !gf256::mul_slice_xor_with(kernel, 143, &src, &mut acc) {
+                continue;
+            }
+            let us = time_per_iter_us(iters, || {
+                gf256::mul_slice_xor_with(kernel, black_box(143), &src, &mut acc);
+                black_box(acc[0]);
+            });
+            tiers.insert(
+                kernel.name().to_string(),
+                serde_json::json!(gib_per_sec(len, us)),
+            );
+        }
+        let auto_us = time_per_iter_us(iters, || {
+            gf256::mul_slice_xor(black_box(143), &src, &mut acc);
+            black_box(acc[0]);
+        });
+        let ref_us = time_per_iter_us(iters.min(64), || {
+            gf256::mul_slice_xor_reference(black_box(143), &src, &mut acc);
+            black_box(acc[0]);
+        });
+        rows.push(serde_json::json!({
+            "len_bytes": len,
+            "auto_gib_per_sec": gib_per_sec(len, auto_us),
+            "reference_gib_per_sec": gib_per_sec(len, ref_us),
+            "auto_speedup_vs_reference": ref_us / auto_us,
+            "tiers_gib_per_sec": tiers,
+        }));
+    }
+    serde_json::json!({
+        "active_kernel": gf256::active_kernel().name(),
+        "lengths": rows,
+    })
+}
+
+/// The 1 MiB Reed-Solomon parity core: a (4+2) stripe over 256 KiB
+/// shards, parity rows accumulated with `mul_slice_xor` (what
+/// `rs::ReedSolomon::encode` runs per row) vs the identical loop on the
+/// scalar seed kernel. Returns the JSON row; asserts the ≥ 4× gate.
+fn rs_parity_section() -> serde_json::Value {
+    const M: usize = 4; // data shards
+    const R: usize = 2; // parity rows
+    let shard = (1usize << 20) / M;
+    let data: Vec<Vec<u8>> = (0..M)
+        .map(|s| (0..shard).map(|i| ((i * 31) ^ (s * 97)) as u8).collect())
+        .collect();
+    // Arbitrary nonzero coefficients — every coefficient costs the same
+    // through the table/nibble formulations, so the timing matches the
+    // Vandermonde rows the real encoder uses.
+    let coeff = |r: usize, s: usize| -> u8 { (r * M + s + 3) as u8 };
+    let mut parity = vec![vec![0u8; shard]; R];
+
+    let wide_us = time_per_iter_us(24, || {
+        for (r, row) in parity.iter_mut().enumerate() {
+            row.fill(0);
+            for (s, d) in data.iter().enumerate() {
+                gf256::mul_slice_xor(coeff(r, s), d, row);
+            }
+        }
+        black_box(parity[0][0]);
+    });
+    let scalar_us = time_per_iter_us(8, || {
+        for (r, row) in parity.iter_mut().enumerate() {
+            row.fill(0);
+            for (s, d) in data.iter().enumerate() {
+                gf256::mul_slice_xor_reference(coeff(r, s), d, row);
+            }
+        }
+        black_box(parity[0][0]);
+    });
+    let speedup = scalar_us / wide_us;
+    assert!(
+        speedup >= 4.0,
+        "1 MiB parity-core gate: wide kernel {speedup:.2}x over scalar (need >= 4x)"
+    );
+    serde_json::json!({
+        "stripe": format!("{M}+{R} x {shard} B"),
+        "wide_us_per_stripe": wide_us,
+        "scalar_us_per_stripe": scalar_us,
+        "wide_gib_per_sec": gib_per_sec(M * R * shard, wide_us),
+        "speedup": speedup,
+        "gate_min_speedup": 4.0,
+        "gate": "pass",
+    })
+}
+
+// ----------------------------------------------------------------- pool --
+
+/// Spawn/steal microcosts: fire-and-forget task churn through the
+/// Chase-Lev locals + Vyukov injector, drained by help-while-waiting.
+fn pool_spawn_section() -> serde_json::Value {
+    const TASKS: usize = 20_000;
+    let mut rows = Vec::new();
+    for workers in [1usize, 4] {
+        let pool = ThreadPool::new(workers);
+        let us = time_per_iter_us(5, || {
+            pool.install(|| {
+                let done = std::sync::Arc::new(AtomicUsize::new(0));
+                for _ in 0..TASKS {
+                    let done = done.clone();
+                    rayon::spawn(move || {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                while done.load(Ordering::Relaxed) < TASKS {
+                    rayon::yield_now();
+                }
+            });
+        });
+        rows.push(serde_json::json!({
+            "workers": workers,
+            "tasks": TASKS,
+            "ns_per_task": us * 1e3 / TASKS as f64,
+            "tasks_per_sec": TASKS as f64 / (us / 1e6),
+        }));
+    }
+    serde_json::json!(rows)
+}
+
+/// Deterministic per-item work for the map-reduce scaling workload.
+fn churn(mut x: u64) -> u64 {
+    for _ in 0..64 {
+        x = x.wrapping_add(0x9e3779b97f4a7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 27;
+    }
+    x
+}
+
+fn bench_catalog(n: usize) -> Vec<ProviderDescriptor> {
+    let mut v = vec![
+        s3_high(ProviderId::new(0)),
+        s3_low(ProviderId::new(1)),
+        rackspace(ProviderId::new(2)),
+        azure(ProviderId::new(3)),
+        google(ProviderId::new(4)),
+    ];
+    for i in 5..n as u32 {
+        v.push(ProviderDescriptor::public(
+            ProviderId::new(i),
+            format!("P{i}"),
+            "synthetic provider",
+            ProviderSla::from_percent(99.9999, 99.9),
+            PricingPolicy::from_dollars(
+                0.09 + 0.005 * i as f64,
+                0.10,
+                0.14 + 0.002 * i as f64,
+                0.01,
+            ),
+            ZoneSet::of(&[Zone::US, Zone::EU]),
+        ));
+    }
+    v.truncate(n);
+    v
+}
+
+fn bench_rule() -> StorageRule {
+    StorageRule::new(
+        "bench",
+        Reliability::from_percent(99.999),
+        Reliability::from_percent(99.99),
+        ZoneSet::all(),
+        0.5,
+    )
+}
+
+fn bench_usage(reads: u64) -> PredictedUsage {
+    PredictedUsage {
+        size: ByteSize::from_mb(1),
+        bw_in: ByteSize::from_mb(1),
+        bw_out: ByteSize::from_mb(reads),
+        reads,
+        writes: 1,
+        duration_hours: 24.0,
+    }
+}
+
+/// Pool scaling at 1 vs 4 workers on the two acceptance workloads: a
+/// map-reduce sweep (hash churn over 200k items) and an
+/// optimization-cycle (32 independent placement searches over a
+/// 12-provider catalog, the per-object work of the optimizer's sweep).
+/// The ≥ 2× gate only applies when the runner has ≥ 4 hardware threads.
+fn pool_scaling_section() -> serde_json::Value {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let map_reduce = |pool: &ThreadPool| {
+        pool.install(|| {
+            (0..200_000u64)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(churn)
+                .reduce(|| 0u64, u64::wrapping_add)
+        })
+    };
+    let catalog = bench_catalog(12);
+    let rule = bench_rule();
+    let optimization_cycle = |pool: &ThreadPool| {
+        pool.install(|| {
+            (0..32u64)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|i| {
+                    let engine = PlacementEngine::new();
+                    let usage = bench_usage(100 + i * 40);
+                    engine
+                        .best_placement(&rule, &usage, &catalog)
+                        .unwrap()
+                        .expected_cost
+                        .nanos()
+                })
+                .reduce(|| 0i64, i64::wrapping_add)
+        })
+    };
+
+    let mut workloads = Vec::new();
+    for (name, run) in [
+        ("map_reduce", &map_reduce as &dyn Fn(&ThreadPool) -> _),
+        (
+            "optimization_cycle",
+            &(|p: &ThreadPool| {
+                optimization_cycle(p);
+                0u64
+            }) as &dyn Fn(&ThreadPool) -> _,
+        ),
+    ] {
+        let pool1 = ThreadPool::new(1);
+        let pool4 = ThreadPool::new(4);
+        let us1 = time_per_iter_us(3, || {
+            black_box(run(&pool1));
+        });
+        let us4 = time_per_iter_us(3, || {
+            black_box(run(&pool4));
+        });
+        let speedup = us1 / us4;
+        let gate = if parallelism >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "{name}: 4-worker speedup {speedup:.2}x on a {parallelism}-thread runner (need >= 2x)"
+            );
+            "pass".to_string()
+        } else {
+            format!("skipped (single-core runner: available_parallelism = {parallelism})")
+        };
+        workloads.push(serde_json::json!({
+            "workload": name,
+            "one_worker_us": us1,
+            "four_worker_us": us4,
+            "speedup_at_4_workers": speedup,
+            "gate_min_speedup": 2.0,
+            "gate": gate,
+        }));
+    }
+    serde_json::json!({
+        "available_parallelism": parallelism,
+        "workloads": workloads,
+    })
+}
+
+// ------------------------------------------------------------ placement --
+
+/// The 16–20-provider search with and without pairwise dominance pruning
+/// (identical answers, differential-tested; here only the node count
+/// differs). 16 providers is the configuration PR 1 recorded at 4.98 ms —
+/// the acceptance gate is "improves on that baseline".
+fn placement_section() -> serde_json::Value {
+    const BASELINE_16_MS: f64 = 4.98;
+    let rule = bench_rule();
+    let usage = bench_usage(500);
+    let mut rows = Vec::new();
+    for n in [16usize, 18, 20] {
+        let catalog = bench_catalog(n);
+        let engine = PlacementEngine::new();
+        // The two searches must agree before their times are comparable.
+        let pruned = engine.best_placement(&rule, &usage, &catalog).unwrap();
+        let unpruned = exhaustive_search_without_dominance(&rule, &usage, &catalog).unwrap();
+        assert_eq!(pruned.expected_cost, unpruned.expected_cost);
+        assert_eq!(
+            pruned.placement.provider_ids(),
+            unpruned.placement.provider_ids()
+        );
+
+        let with_us = time_per_iter_us(10, || {
+            black_box(engine.best_placement(&rule, &usage, &catalog).unwrap());
+        });
+        let without_us = time_per_iter_us(5, || {
+            black_box(exhaustive_search_without_dominance(&rule, &usage, &catalog).unwrap());
+        });
+        let mut row = serde_json::Map::new();
+        row.insert("providers".into(), serde_json::json!(n));
+        row.insert("with_dominance_ms".into(), serde_json::json!(with_us / 1e3));
+        row.insert(
+            "without_dominance_ms".into(),
+            serde_json::json!(without_us / 1e3),
+        );
+        row.insert(
+            "dominance_speedup".into(),
+            serde_json::json!(without_us / with_us),
+        );
+        if n == 16 {
+            let with_ms = with_us / 1e3;
+            assert!(
+                with_ms < BASELINE_16_MS,
+                "16-provider gate: {with_ms:.3} ms must beat the {BASELINE_16_MS} ms baseline"
+            );
+            row.insert("baseline_ms".into(), serde_json::json!(BASELINE_16_MS));
+            row.insert(
+                "speedup_vs_baseline".into(),
+                serde_json::json!(BASELINE_16_MS / with_ms),
+            );
+            row.insert("gate".into(), serde_json::json!("pass"));
+        }
+        rows.push(serde_json::Value::Object(row));
+    }
+    serde_json::json!(rows)
+}
+
+/// Runs every section once, publishes `BENCH_raw_speed.json`, and
+/// asserts the acceptance gates.
+fn raw_speed_baseline() {
+    let gf256 = gf256_section();
+    let parity = rs_parity_section();
+    let spawn = pool_spawn_section();
+    let scaling = pool_scaling_section();
+    let placement = placement_section();
+    let report = serde_json::json!({
+        "bench": "raw_speed",
+        "gf256": gf256,
+        "rs_parity_1mib": parity,
+        "pool_spawn": spawn,
+        "pool_scaling": scaling,
+        "placement_search": placement,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_raw_speed.json");
+    std::fs::write(path, format!("{report:#}\n")).unwrap();
+    eprintln!(
+        "raw_speed baseline: kernel {} | parity {:.1}x | search-16 {:.3} ms -> {path}",
+        gf256::active_kernel().name(),
+        report["rs_parity_1mib"]["speedup"].as_f64().unwrap_or(0.0),
+        report["placement_search"]
+            .as_array()
+            .and_then(|rows| rows.first())
+            .and_then(|r| r["with_dominance_ms"].as_f64())
+            .unwrap_or(0.0),
+    );
+}
+
+fn bench_raw_speed(c: &mut Criterion) {
+    raw_speed_baseline();
+
+    let mut group = c.benchmark_group("raw_speed");
+    group.sample_size(20);
+
+    let len = 1usize << 20;
+    let src: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+    let mut acc = vec![0u8; len];
+    group.bench_function("gf256_wide_1MiB", |b| {
+        b.iter(|| {
+            gf256::mul_slice_xor(black_box(143), &src, &mut acc);
+            black_box(acc[0])
+        })
+    });
+
+    for n in [16usize, 20] {
+        let catalog = bench_catalog(n);
+        let rule = bench_rule();
+        let usage = bench_usage(500);
+        let engine = PlacementEngine::new();
+        group.bench_with_input(BenchmarkId::new("search_dominance", n), &n, |b, _| {
+            b.iter(|| engine.best_placement(&rule, &usage, &catalog).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("search_no_dominance", n), &n, |b, _| {
+            b.iter(|| exhaustive_search_without_dominance(&rule, &usage, &catalog).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_speed);
+criterion_main!(benches);

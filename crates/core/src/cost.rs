@@ -352,6 +352,29 @@ impl PriceTables {
         }
     }
 
+    /// Whether the usage the tables were built for has a read path at all.
+    pub(crate) fn has_reads(&self) -> bool {
+        self.has_reads
+    }
+
+    /// Provider `p`'s storage + inbound-bandwidth + write-ops term at
+    /// threshold `m` — the exact `Money` the pricer adds for `p`'s
+    /// membership. Used by the dominance precomputation.
+    pub(crate) fn base_term(&self, p: usize, m: u32) -> Money {
+        self.base[p * self.n_m + (m - 1) as usize]
+    }
+
+    /// Provider `p`'s read-path billing term at threshold `m` (what it adds
+    /// if selected to serve reads).
+    pub(crate) fn read_term(&self, p: usize, m: u32) -> Money {
+        self.read[p * self.n_m + (m - 1) as usize]
+    }
+
+    /// Provider `p`'s read-selection ranking key at threshold `m`.
+    pub(crate) fn rank_term(&self, p: usize, m: u32) -> Money {
+        self.rank[p * self.n_m + (m - 1) as usize]
+    }
+
     /// Prices the set given by `members` (provider indices into the
     /// `providers` slice the tables were built from, in the tie-breaking
     /// order) at threshold `m`. `scratch` is reused across calls.

@@ -29,16 +29,41 @@
 //!
 //! * **Pruning.** A partial set `S` can only grow more expensive: every
 //!   completion costs at least `Σ_{p∈S} lb(p)` plus an admissible floor on
-//!   the read-path cost (`bw_out · min rate + read ops · min rate`, plus —
-//!   under a latency-pricing rule — `weight · reads · min latency` over the
-//!   candidates at their smallest possible chunk, so the latency term never
-//!   weakens exactness of the pruning).
+//!   the read-path cost. The floor is **read-path-aware**: any completion
+//!   through child `i` draws its members from the DFS path plus the sorted
+//!   suffix `i..`, so the floor uses `bw_out · min rate + read ops · min
+//!   rate` (plus — under a latency-pricing rule — `weight · reads · min
+//!   latency-unit` at the smallest possible chunk) minimised over *exactly
+//!   that* path ∪ suffix set (suffix minima precomputed, path minima
+//!   maintained per depth), never over the whole catalog — strictly
+//!   tighter as the DFS descends, and monotone across sorted siblings.
 //!   Whenever that optimistic bound exceeds the incumbent, the entire
 //!   subtree is skipped; because siblings are sorted by `lb`, the remaining
 //!   siblings can be skipped too. Subtrees that cannot reach the rule's
 //!   lock-in minimum set size are skipped as well. Bounds are floored (with
 //!   a nano-dollar safety margin) so rounding can never prune an optimum,
 //!   and pruning is strict (`>` only), so cost *ties* are always explored.
+//!
+//! * **Pairwise provider dominance.** Before the DFS, every ordered
+//!   candidate pair is tested for *strict dominance*: `p` dominates `q`
+//!   when their SLAs are identical (so substituting one for the other
+//!   leaves every survival distribution — and hence the chosen threshold —
+//!   unchanged), `p`'s chunk-size constraint is no stricter, `p`'s
+//!   membership term is **strictly** cheaper at every threshold, and — when
+//!   the usage has a read path — `p` ranks strictly ahead of `q` with a no-
+//!   larger billed read term at every threshold, *and* `p` is
+//!   read-coherent against the whole candidate pool (whenever `p` ranks at
+//!   or below any third candidate `w`, its read term is also no larger —
+//!   this covers the case where substituting `p` displaces `w`, not `q`,
+//!   from the read selection). Under those conditions any feasible set
+//!   containing `q` but not `p` is *strictly* beaten by the same set with
+//!   `p` swapped in, so the DFS never **branches on** `q` unless every
+//!   dominator of `q` is already on the path (dominators are restricted to
+//!   earlier-sorted candidates, which the ascending-order DFS can actually
+//!   have placed on the path). Sets containing both survive — dominance is
+//!   a closure rule, not an exclusion — which is what keeps the search
+//!   exact, including the lexicographic tie-break: the swap argument is
+//!   strict, so no minimum-cost set is ever skipped.
 //!
 //! * **Tie-breaking.** The seed enumerated subsets in increasing-bitmask
 //!   order and kept the first cheapest set. The branch-and-bound tracks the
@@ -237,7 +262,7 @@ impl PlacementEngine {
         usage: &PredictedUsage,
         providers: &[ProviderDescriptor],
     ) -> Option<PlacementDecision> {
-        branch_and_bound(rule, usage, providers)
+        branch_and_bound(rule, usage, providers, true)
     }
 
     /// Evaluates one candidate provider set against every constraint of the
@@ -250,6 +275,18 @@ impl PlacementEngine {
         let mut rank_scratch = Vec::new();
         evaluate_candidate(rule, usage, pset, &mut rank_scratch)
     }
+}
+
+/// The exact subset search with dominance pruning disabled — identical
+/// answers, strictly more nodes visited. Exposed (doc-hidden) for
+/// benchmarks and A/B tests that measure the pruning itself.
+#[doc(hidden)]
+pub fn exhaustive_search_without_dominance(
+    rule: &StorageRule,
+    usage: &PredictedUsage,
+    providers: &[ProviderDescriptor],
+) -> Option<PlacementDecision> {
+    branch_and_bound(rule, usage, providers, false)
 }
 
 /// Evaluates one candidate set over borrowed descriptors with a reusable
@@ -313,6 +350,11 @@ struct Candidate<'a> {
     orig_bit: u64,
     lower_bound: Money,
     min_m: u32,
+    /// The quantized per-read latency penalty at the smallest possible
+    /// chunk (`m = n_cand`): this candidate's admissible floor on what it
+    /// would bill per read if it ever served reads. `Money::ZERO` when the
+    /// rule does not price latency.
+    unit_floor: Money,
 }
 
 /// Admissible lower bound on what including `provider` adds to any feasible
@@ -333,44 +375,111 @@ fn provider_lower_bound(
     Money::from_nanos(((dollars * 1e9).floor() as i64 - 64).max(0))
 }
 
-/// Admissible floor on the read-path cost of *any* feasible set: the whole
-/// predicted outbound volume must leave through some providers (at the
-/// cheapest catalog rate, at best), at least one provider bills the read
-/// operations, and — when the rule prices latency — at least one read
-/// provider pays the latency penalty.
+/// Admissible floor on the read-path cost of any completion of the current
+/// DFS node through child `i`: every such set draws its members from the
+/// path (the `depth` providers already placed) plus the sorted suffix
+/// `i..`, so the whole predicted outbound volume leaves at no less than
+/// the cheapest such rate, at least one such provider bills the read
+/// operations, and — under a latency-pricing rule — at least one read
+/// provider pays a per-read penalty no smaller than the cheapest quantized
+/// unit over path ∪ suffix.
 ///
 /// The latency floor is built from the *same quantized per-read unit* the
-/// pricer bills ([`per_read_latency_penalty`] rounds to nano-dollars
-/// before scaling by `reads`), evaluated at each provider's fastest
-/// possible chunk (the `m = |candidates|` threshold: expected latency is
+/// pricer bills ([`crate::cost::per_read_latency_penalty`] rounds to
+/// nano-dollars before scaling by `reads`), evaluated at each provider's
+/// fastest possible chunk (the `m = n_cand` threshold: expected latency is
 /// monotone in payload bytes, observed summaries are payload-independent,
 /// and the nano-dollar rounding preserves monotonicity) — a floor computed
 /// from the un-quantized f64 product could exceed the billed penalty by up
 /// to half a nano-dollar *per read* and prune an optimal subtree.
-fn read_cost_floor(candidates: &[Candidate<'_>], usage: &PredictedUsage, weight: f64) -> Money {
-    if usage.reads == 0 && usage.bw_out.is_zero() {
+///
+/// The suffix minima shrink toward the identity as `i` grows, so the floor
+/// is monotone non-decreasing in `i` — which keeps the sorted-sibling
+/// `break` in [`dfs`] admissible.
+fn read_floor_at(state: &SearchState<'_>, i: usize, depth: usize) -> Money {
+    if !state.has_read_path {
         return Money::ZERO;
     }
-    let min_bw = candidates
-        .iter()
-        .map(|c| c.provider.pricing.bandwidth_out_gb.dollars())
-        .fold(f64::INFINITY, f64::min);
-    let min_ops = candidates
-        .iter()
-        .map(|c| c.provider.pricing.ops_per_1000.dollars())
-        .fold(f64::INFINITY, f64::min);
-    let dollars = min_bw * usage.bw_out.as_gb() + min_ops * (usage.reads as f64 / 1000.0);
+    // `i < n_cand` whenever this is called, so the suffix is nonempty and
+    // both minima are finite even at depth 0.
+    let min_bw = state.path_min_bw[depth].min(state.suffix_min_bw[i]);
+    let min_ops = state.path_min_ops[depth].min(state.suffix_min_ops[i]);
+    let dollars = min_bw * state.usage_out_gb + min_ops * (state.usage_reads as f64 / 1000.0);
     let mut floor = Money::from_nanos(((dollars * 1e9).floor() as i64 - 64).max(0));
-    if weight > 0.0 {
-        let min_chunk = crate::cost::chunk_bytes_for(usage.size, candidates.len() as u32);
-        let min_unit = candidates
-            .iter()
-            .map(|c| crate::cost::per_read_latency_penalty(c.provider, min_chunk, weight))
-            .min()
-            .unwrap_or(Money::ZERO);
-        floor += min_unit.scale(usage.reads as f64);
+    if state.latency_weight > 0.0 {
+        let unit = state.path_min_unit[depth].min(state.suffix_min_unit[i]);
+        floor += unit.scale(state.usage_reads as f64);
     }
     floor
+}
+
+/// Computes, for each sorted candidate, the bitmask (over *sorted*
+/// indices) of earlier-sorted candidates that strictly dominate it — the
+/// precomputation behind the closure rule (see the module docs for the
+/// exactness argument). Dominators are restricted to earlier-sorted
+/// candidates on purpose: the ascending-order DFS can only ever have
+/// placed those on the path by the time it considers branching here.
+fn compute_dominators(candidates: &[Candidate<'_>], tables: &PriceTables) -> Vec<u64> {
+    let n = candidates.len();
+    let mut dominators = vec![0u64; n];
+    if n < 2 {
+        return dominators;
+    }
+    let n_m = n as u32;
+    let has_reads = tables.has_reads();
+    // Read coherence of `a` against the whole pool: substituting `a` into
+    // a set may displace some *third* member `w` from the read selection —
+    // that displacement only provably saves money if, whenever `a` ranks
+    // at or below `w`, `a`'s billed read term is also no larger. Without a
+    // read path the selection does not exist and coherence is vacuous.
+    let coherent: Vec<bool> = (0..n)
+        .map(|a| {
+            !has_reads
+                || (0..n).filter(|&w| w != a).all(|w| {
+                    (1..=n_m).all(|m| {
+                        tables.rank_term(a, m) > tables.rank_term(w, m)
+                            || tables.read_term(a, m) <= tables.read_term(w, m)
+                    })
+                })
+        })
+        .collect();
+    for b in 1..n {
+        for a in 0..b {
+            let (pa, pb) = (candidates[a].provider, candidates[b].provider);
+            // Identical SLAs keep both survival distributions — and hence
+            // the chosen threshold — unchanged under substitution.
+            if pa.sla.durability.probability() != pb.sla.durability.probability()
+                || pa.sla.availability.probability() != pb.sla.availability.probability()
+            {
+                continue;
+            }
+            // `a` must accept every chunk size `b` accepts.
+            if candidates[a].min_m > candidates[b].min_m {
+                continue;
+            }
+            if !coherent[a] {
+                continue;
+            }
+            // Strictly cheaper membership term at every threshold — strict
+            // so the swap argument beats cost *ties* and the lexicographic
+            // tie-break never loses a minimum-cost set.
+            if !(1..=n_m).all(|m| tables.base_term(a, m) < tables.base_term(b, m)) {
+                continue;
+            }
+            // Read path: `a` must rank strictly ahead (so it enters the
+            // read selection whenever `b` would have) and bill no more.
+            if has_reads
+                && !(1..=n_m).all(|m| {
+                    tables.rank_term(a, m) < tables.rank_term(b, m)
+                        && tables.read_term(a, m) <= tables.read_term(b, m)
+                })
+            {
+                continue;
+            }
+            dominators[b] |= 1u64 << a;
+        }
+    }
+    dominators
 }
 
 struct SearchState<'a> {
@@ -379,7 +488,29 @@ struct SearchState<'a> {
     /// Per-(candidate, threshold) price terms; pricing a set is integer
     /// adds plus one selection.
     tables: PriceTables,
-    read_floor: Money,
+    /// Read-path floor ingredients (see [`read_floor_at`]).
+    /// `has_read_path` short-circuits the floor to zero for
+    /// write/storage-only usage.
+    has_read_path: bool,
+    usage_out_gb: f64,
+    usage_reads: u64,
+    latency_weight: f64,
+    /// Minima over the sorted suffix `i..` of the outbound-bandwidth rate,
+    /// the ops rate, and the quantized per-read latency unit; entry
+    /// `n_cand` is the identity (`∞` / `Money::MAX`).
+    suffix_min_bw: Vec<f64>,
+    suffix_min_ops: Vec<f64>,
+    suffix_min_unit: Vec<Money>,
+    /// The same minima over the current DFS path, per depth; entry 0 is
+    /// the identity. Like the distribution stacks, backtracking needs no
+    /// undo — levels above the parent depth are scratch.
+    path_min_bw: Vec<f64>,
+    path_min_ops: Vec<f64>,
+    path_min_unit: Vec<Money>,
+    /// `dominators[i]` = bitmask over *sorted* indices of the
+    /// earlier-sorted candidates that strictly dominate candidate `i`
+    /// (all zeros when dominance pruning is disabled).
+    dominators: Vec<u64>,
     min_set: usize,
     /// Required durability probability, for subtree feasibility pruning.
     required_durability: f64,
@@ -409,10 +540,13 @@ struct SearchState<'a> {
 }
 
 /// The exact branch-and-bound subset search. See the module docs.
+/// `use_dominance` toggles the pairwise-dominance closure rule — both
+/// settings return identical answers; disabling it only visits more nodes.
 fn branch_and_bound(
     rule: &StorageRule,
     usage: &PredictedUsage,
     providers: &[ProviderDescriptor],
+    use_dominance: bool,
 ) -> Option<PlacementDecision> {
     let n_all = providers.len();
     if n_all == 0 {
@@ -443,6 +577,7 @@ fn branch_and_bound(
         }
     }
     let n_cand = eligible.len();
+    let min_read_chunk = crate::cost::chunk_bytes_for(usage.size, n_cand as u32);
     let mut candidates: Vec<Candidate<'_>> = eligible
         .into_iter()
         .map(|(i, p)| Candidate {
@@ -454,6 +589,11 @@ fn branch_and_bound(
             min_m: (1..=n_cand as u32)
                 .find(|&m| p.accepts_chunk(usage.size.div_ceil(m as usize)))
                 .expect("filtered providers accept the smallest chunk"),
+            unit_floor: if rule.latency_weight > 0.0 {
+                crate::cost::per_read_latency_penalty(p, min_read_chunk, rule.latency_weight)
+            } else {
+                Money::ZERO
+            },
         })
         .collect();
     // Cheapest-bound first: cheap sets are explored early, shrinking the
@@ -474,14 +614,39 @@ fn branch_and_bound(
             suffix_fail[i + 1] * (1.0 - candidates[i].provider.sla.durability.probability());
     }
 
-    let read_floor = read_cost_floor(&candidates, usage, rule.latency_weight);
+    // Suffix minima of the read-path floor ingredients, in sorted order.
+    let mut suffix_min_bw = vec![f64::INFINITY; n_cand + 1];
+    let mut suffix_min_ops = vec![f64::INFINITY; n_cand + 1];
+    let mut suffix_min_unit = vec![Money::MAX; n_cand + 1];
+    for i in (0..n_cand).rev() {
+        let p = candidates[i].provider;
+        suffix_min_bw[i] = suffix_min_bw[i + 1].min(p.pricing.bandwidth_out_gb.dollars());
+        suffix_min_ops[i] = suffix_min_ops[i + 1].min(p.pricing.ops_per_1000.dollars());
+        suffix_min_unit[i] = suffix_min_unit[i + 1].min(candidates[i].unit_floor);
+    }
+
     let cand_refs: Vec<&ProviderDescriptor> = candidates.iter().map(|c| c.provider).collect();
     let tables = PriceTables::build(&cand_refs, n_cand, usage, rule.latency_weight);
+    let dominators = if use_dominance {
+        compute_dominators(&candidates, &tables)
+    } else {
+        vec![0u64; n_cand]
+    };
     let mut state = SearchState {
         rule,
         candidates,
         tables,
-        read_floor,
+        has_read_path: usage.reads > 0 || !usage.bw_out.is_zero(),
+        usage_out_gb: usage.bw_out.as_gb(),
+        usage_reads: usage.reads,
+        latency_weight: rule.latency_weight,
+        suffix_min_bw,
+        suffix_min_ops,
+        suffix_min_unit,
+        path_min_bw: vec![f64::INFINITY; n_cand + 1],
+        path_min_ops: vec![f64::INFINITY; n_cand + 1],
+        path_min_unit: vec![Money::MAX; n_cand + 1],
+        dominators,
         min_set: rule.min_providers(),
         required_durability: rule.durability.probability(),
         suffix_fail,
@@ -496,7 +661,7 @@ fn branch_and_bound(
         best_mask: u64::MAX,
         best_m: 0,
     };
-    dfs(&mut state, 0, Money::ZERO, 0, 0);
+    dfs(&mut state, 0, Money::ZERO, 0, 0, 0);
 
     if state.best_mask == u64::MAX {
         return None;
@@ -513,7 +678,14 @@ fn branch_and_bound(
     })
 }
 
-fn dfs(state: &mut SearchState<'_>, start: usize, partial_lb: Money, mask: u64, depth: usize) {
+fn dfs(
+    state: &mut SearchState<'_>,
+    start: usize,
+    partial_lb: Money,
+    mask: u64,
+    depth: usize,
+    sorted_mask: u64,
+) {
     for i in start..state.candidates.len() {
         // Not enough providers left to ever satisfy the lock-in minimum.
         if depth + (state.candidates.len() - i) < state.min_set {
@@ -528,19 +700,35 @@ fn dfs(state: &mut SearchState<'_>, start: usize, partial_lb: Money, mask: u64, 
         if best_durability + 1e-9 < state.required_durability {
             break;
         }
+        // Closure rule: never branch on a dominated candidate unless every
+        // one of its (earlier-sorted) dominators already sits on the path
+        // — each set completed from such a branch is strictly beaten by
+        // the same set with a missing dominator swapped in, and that
+        // swapped set lives in a subtree the DFS does visit.
+        if state.dominators[i] & !sorted_mask != 0 {
+            continue;
+        }
         let with_i = partial_lb + state.candidates[i].lower_bound;
         // Admissible optimistic cost of every completion through this
         // child. Strictly greater than the incumbent ⇒ the child subtree
         // cannot contain the optimum (ties are kept, so the bitmask
         // tie-break still sees every minimum-cost set). Siblings are
-        // sorted by lower bound, so the rest of the loop is hopeless too.
-        if with_i + state.read_floor > state.best_price {
+        // sorted by lower bound and the read floor is monotone in `i`, so
+        // the rest of the loop is hopeless too.
+        if with_i + read_floor_at(state, i, depth) > state.best_price {
             break;
         }
         let child_mask = mask | state.candidates[i].orig_bit;
         descend(state, i, depth);
         evaluate_node(state, child_mask, depth + 1);
-        dfs(state, i + 1, with_i, child_mask, depth + 1);
+        dfs(
+            state,
+            i + 1,
+            with_i,
+            child_mask,
+            depth + 1,
+            sorted_mask | (1u64 << i),
+        );
         backtrack(state, i);
     }
 }
@@ -559,6 +747,11 @@ fn descend(state: &mut SearchState<'_>, i: usize, depth: usize) {
     state.fail_prod[depth + 1] =
         state.fail_prod[depth] * (1.0 - provider.sla.durability.probability());
     state.minm_stack[depth + 1] = state.minm_stack[depth].max(state.candidates[i].min_m);
+    state.path_min_bw[depth + 1] =
+        state.path_min_bw[depth].min(provider.pricing.bandwidth_out_gb.dollars());
+    state.path_min_ops[depth + 1] =
+        state.path_min_ops[depth].min(provider.pricing.ops_per_1000.dollars());
+    state.path_min_unit[depth + 1] = state.path_min_unit[depth].min(state.candidates[i].unit_floor);
 
     // Insertion position by original catalog order (bits are monotone in
     // catalog position).

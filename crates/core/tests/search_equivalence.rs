@@ -370,3 +370,145 @@ fn twelve_provider_weighted_catalog_matches_reference() {
         }
     }
 }
+
+// Dominance pruning is a pure node-count optimisation: with it on and
+// off the branch-and-bound must return bit-identical decisions (cost,
+// provider set, threshold) and agree on feasibility. Random catalogs
+// draw SLAs from a handful of tiers, so equal-SLA pairs — the only ones
+// dominance can engage on — occur constantly.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn dominance_pruned_search_is_bit_identical(seed in any::<u64>(), n in 1usize..10) {
+        let catalog = random_catalog(seed, n);
+        let rule = random_rule(seed ^ 0xD0D0_D0D0_D0D0_D0D0);
+        let usage = random_usage(seed ^ 0x5EED_5EED_5EED_5EED);
+        let with = PlacementEngine::new().best_placement(&rule, &usage, &catalog);
+        let without =
+            scalia_core::placement::exhaustive_search_without_dominance(&rule, &usage, &catalog);
+        match (with, without) {
+            (Err(_), None) => {}
+            (Ok(with), Some(without)) => {
+                prop_assert_eq!(
+                    with.placement.provider_ids(),
+                    without.placement.provider_ids()
+                );
+                prop_assert_eq!(with.placement.m, without.placement.m);
+                prop_assert_eq!(with.expected_cost, without.expected_cost);
+            }
+            (with, without) => panic!(
+                "feasibility mismatch: pruned {:?} vs unpruned {:?}",
+                with.map(|d| d.placement.label()),
+                without.map(|d| d.placement.label())
+            ),
+        }
+    }
+
+    /// The same pin with the latency term engaged, where dominance also
+    /// has to respect the rank and read tables.
+    #[test]
+    fn dominance_pruned_weighted_search_is_bit_identical(
+        seed in any::<u64>(),
+        n in 1usize..9,
+        weight_idx in 0usize..4,
+    ) {
+        let weight = [0.0001, 0.01, 1.0, 100.0][weight_idx];
+        let catalog = random_latency_catalog(seed, n);
+        let rule = random_rule(seed ^ 0xBEEF_BEEF_BEEF_BEEF).with_latency_weight(weight);
+        let usage = random_usage(seed ^ 0xFACE_FACE_FACE_FACE);
+        let with = PlacementEngine::new().best_placement(&rule, &usage, &catalog);
+        let without =
+            scalia_core::placement::exhaustive_search_without_dominance(&rule, &usage, &catalog);
+        match (with, without) {
+            (Err(_), None) => {}
+            (Ok(with), Some(without)) => {
+                prop_assert_eq!(
+                    with.placement.provider_ids(),
+                    without.placement.provider_ids()
+                );
+                prop_assert_eq!(with.placement.m, without.placement.m);
+                prop_assert_eq!(with.expected_cost, without.expected_cost);
+            }
+            (with, without) => panic!(
+                "feasibility mismatch: pruned {:?} vs unpruned {:?}",
+                with.map(|d| d.placement.label()),
+                without.map(|d| d.placement.label())
+            ),
+        }
+    }
+}
+
+/// A catalog built to *maximally* engage dominance: nine providers share
+/// one SLA and form a strict price chain (each strictly cheaper than the
+/// next on every term), so all but the cheapest few should be skipped.
+/// The answer is pinned against the seed's full combinatorial enumeration
+/// — including a read-heavy usage where the read-selection displacement
+/// case matters, and a chunk-capped member that breaks the `min_m`
+/// precondition for some pairs.
+#[test]
+fn equal_sla_dominance_chain_matches_reference() {
+    use scalia_providers::catalog::{azure, google, rackspace, s3_high, s3_low};
+    let mut catalog = vec![
+        s3_high(ProviderId::new(0)),
+        s3_low(ProviderId::new(1)),
+        rackspace(ProviderId::new(2)),
+        azure(ProviderId::new(3)),
+        google(ProviderId::new(4)),
+    ];
+    for i in 5..14u32 {
+        let mut p = ProviderDescriptor::public(
+            ProviderId::new(i),
+            format!("C{i}"),
+            "chain provider",
+            ProviderSla::from_percent(99.9999, 99.9),
+            PricingPolicy::from_dollars(
+                0.08 + 0.004 * i as f64,
+                0.09 + 0.001 * i as f64,
+                0.12 + 0.003 * i as f64,
+                0.005 + 0.001 * i as f64,
+            ),
+            ZoneSet::of(&[Zone::US, Zone::EU]),
+        );
+        if i == 9 {
+            // A chunk cap makes min_m(9) > min_m(cheaper chain members),
+            // so the cheaper members still dominate it, but it dominates
+            // nothing with a smaller min_m.
+            p = p.with_max_chunk_size(ByteSize::from_kb(300));
+        }
+        catalog.push(p);
+    }
+    let rule = StorageRule::new(
+        "chain",
+        Reliability::from_percent(99.999),
+        Reliability::from_percent(99.99),
+        ZoneSet::all(),
+        0.5,
+    );
+    for usage in [
+        PredictedUsage::storage_only(ByteSize::from_mb(1), 24.0),
+        PredictedUsage {
+            size: ByteSize::from_mb(1),
+            bw_in: ByteSize::from_mb(1),
+            bw_out: ByteSize::from_mb(2000),
+            reads: 2000,
+            writes: 1,
+            duration_hours: 24.0,
+        },
+    ] {
+        let fast = PlacementEngine::new()
+            .best_placement(&rule, &usage, &catalog)
+            .unwrap();
+        let unpruned =
+            scalia_core::placement::exhaustive_search_without_dominance(&rule, &usage, &catalog)
+                .unwrap();
+        let slow = reference::exhaustive_search_combinatorial(&rule, &usage, &catalog).unwrap();
+        assert_eq!(fast.placement.provider_ids(), slow.placement.provider_ids());
+        assert_eq!(fast.placement.m, slow.placement.m);
+        assert_eq!(fast.expected_cost, slow.expected_cost);
+        assert_eq!(
+            unpruned.placement.provider_ids(),
+            slow.placement.provider_ids()
+        );
+        assert_eq!(unpruned.expected_cost, slow.expected_cost);
+    }
+}

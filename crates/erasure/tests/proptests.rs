@@ -2,11 +2,44 @@
 
 use proptest::prelude::*;
 use scalia_erasure::codec::{decode_object, encode_object};
+use scalia_erasure::gf256;
 use scalia_erasure::rs::ReedSolomon;
 use scalia_types::ErasureParams;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The wide `mul_slice_xor` kernel agrees with the seed's per-byte
+    /// reference for arbitrary coefficient, length and offset — including
+    /// slices shorter than the 64-byte wide threshold and tails that are
+    /// not 8- or 32-byte aligned.
+    #[test]
+    fn wide_kernel_matches_reference(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        acc_seed in proptest::collection::vec(any::<u8>(), 0..4096),
+        c in any::<u8>(),
+        offset in 0usize..16,
+    ) {
+        let len = data.len().min(acc_seed.len());
+        let offset = offset.min(len);
+        let slice = &data[offset..len];
+        let base = &acc_seed[offset..len];
+
+        let mut expect = base.to_vec();
+        gf256::mul_slice_xor_reference(c, slice, &mut expect);
+
+        let mut auto = base.to_vec();
+        gf256::mul_slice_xor(c, slice, &mut auto);
+        prop_assert_eq!(&auto, &expect);
+
+        // Each tier individually (skipped when unsupported on this CPU).
+        for tier in [gf256::Kernel::Gfni, gf256::Kernel::Avx2, gf256::Kernel::Portable] {
+            let mut got = base.to_vec();
+            if gf256::mul_slice_xor_with(tier, c, slice, &mut got) {
+                prop_assert_eq!(&got, &expect, "tier {}", tier.name());
+            }
+        }
+    }
 
     /// Encoding then decoding from a random m-subset of chunks reproduces the
     /// original data for random (m, n) and random payloads.

@@ -22,6 +22,7 @@
 //! to `1` short-circuits every adaptor to inline sequential execution — the
 //! offline build's original behaviour, kept green in CI.
 
+mod deque;
 mod iter;
 mod pool;
 

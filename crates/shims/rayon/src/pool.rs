@@ -5,18 +5,27 @@
 //! A pool owns `N` worker threads (`N` from [`ThreadPoolBuilder::num_threads`],
 //! the `SCALIA_POOL_WORKERS` / `RAYON_NUM_THREADS` environment variables, or
 //! `std::thread::available_parallelism()` for the global pool). Tasks live in
-//! two kinds of queues:
+//! two kinds of **lock-free** queues (see [`crate::deque`] for the
+//! algorithms and memory-ordering arguments):
 //!
-//! * a shared **injector** that external (non-worker) threads push into, and
-//! * one **local deque per worker**. A worker pushes tasks it spawns (nested
-//!   parallelism) to the *back* of its own deque and pops from the *back*
-//!   (LIFO, keeps the working set hot); thieves steal from the *front*
-//!   (FIFO, takes the oldest — and usually largest — pending task).
+//! * a shared **injector** — a bounded MPMC ring (Vyukov) with an overflow
+//!   spill — that external (non-worker) threads push into, and
+//! * one **Chase–Lev deque per worker**. The deque is single-owner: only
+//!   worker `i` ever pushes or pops `locals[i]` (enforced by
+//!   [`PoolState::home_index`], which identifies the calling thread), and it
+//!   does so at the *bottom* (LIFO, keeps the working set hot) with no
+//!   atomic RMW on the common path. Any other thread steals from the *top*
+//!   (FIFO, takes the oldest — and usually largest — pending task) with one
+//!   CAS per steal. Retired grow-buffers are reclaimed only at pool
+//!   teardown, after every thread has quiesced — the bounded-tasks
+//!   lifecycle that lets the deque skip epochs and hazard pointers.
 //!
-//! A worker looks for work in this order: own deque → injector → steal from
-//! the other workers (scanning from its own index so thieves spread out).
+//! A worker looks for work in this order: own deque (bottom) → injector →
+//! steal from the other workers (scanning from its own index so thieves
+//! spread out; a lost steal race is retried a bounded number of times).
 //! Idle workers park on a condvar with a bounded timeout; every push bumps
-//! an atomic pending-task counter and notifies, and the timeout makes the
+//! an atomic pending-task counter *before* the task is enqueued (so the
+//! counter never under-counts) and notifies, and the timeout makes the
 //! design immune to lost wakeups.
 //!
 //! # Scopes, blocking and deadlock-freedom
@@ -49,12 +58,13 @@
 //! whole process and is torn down by process exit (its threads are daemons —
 //! they hold no state that needs unwinding).
 
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use crate::deque::{ChaseLev, Injector, Steal};
 
 /// A unit of work. Scoped tasks are lifetime-erased to `'static`; soundness
 /// is provided by [`Scope::execute`] not returning before they all finish.
@@ -64,12 +74,17 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 /// counter + notify makes wakeups prompt; the timeout is only a safety net.
 const PARK_TIMEOUT: Duration = Duration::from_millis(10);
 
+/// How many times a thief re-attempts one victim after losing a steal race
+/// before moving to the next victim. A lost CAS means somebody *else* made
+/// progress, so a small bound suffices; callers re-scan or park anyway.
+const STEAL_RETRIES: usize = 4;
+
 /// Shared state of one pool (workers and external callers both hold it).
 pub(crate) struct PoolState {
-    /// Queue external threads push into.
-    injector: Mutex<VecDeque<Task>>,
-    /// One local deque per worker (owner: back; thieves: front).
-    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Lock-free MPMC queue external threads push into.
+    injector: Injector<Task>,
+    /// One Chase–Lev deque per worker (owner: bottom; thieves: top).
+    locals: Vec<ChaseLev<Task>>,
     /// Tasks pushed but not yet popped, used by sleepers to decide to wake.
     pending: AtomicUsize,
     /// Set when the owning `ThreadPool` is dropped.
@@ -82,8 +97,8 @@ pub(crate) struct PoolState {
 impl PoolState {
     fn new(workers: usize) -> Arc<Self> {
         Arc::new(PoolState {
-            injector: Mutex::new(VecDeque::new()),
-            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Injector::new(),
+            locals: (0..workers).map(|_| ChaseLev::new()).collect(),
             pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             sleep_lock: Mutex::new(()),
@@ -98,11 +113,16 @@ impl PoolState {
 
     /// Pushes a task, preferring the current worker's own deque.
     fn push(&self, task: Task) {
-        match self.home_index() {
-            Some(index) => self.locals[index].lock().unwrap().push_back(task),
-            None => self.injector.lock().unwrap().push_back(task),
-        }
+        // Count first, enqueue second: `pending` then never under-counts,
+        // so the shutdown drain check (`pending == 0`) cannot pass while an
+        // enqueue is still in flight.
         self.pending.fetch_add(1, Ordering::SeqCst);
+        match self.home_index() {
+            // Owner push: `home_index` proved the current thread IS worker
+            // `index` of this pool, the deque's unique owner.
+            Some(index) => self.locals[index].push(Box::new(task)),
+            None => self.injector.push(Box::new(task)),
+        }
         // Waking everyone is wasteful for one task, but pushes are batched
         // (one per chunk) and correctness beats finesse in a shim.
         let _guard = self.sleep_lock.lock().unwrap();
@@ -113,14 +133,15 @@ impl PoolState {
     /// (workers); external helpers pass `None`.
     fn find_task(&self, home: Option<usize>) -> Option<Task> {
         if let Some(index) = home {
-            if let Some(task) = self.locals[index].lock().unwrap().pop_back() {
+            // Owner pop: same single-owner argument as in `push`.
+            if let Some(task) = self.locals[index].pop() {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
-                return Some(task);
+                return Some(*task);
             }
         }
-        if let Some(task) = self.injector.lock().unwrap().pop_front() {
+        if let Some(task) = self.injector.pop() {
             self.pending.fetch_sub(1, Ordering::SeqCst);
-            return Some(task);
+            return Some(*task);
         }
         let n = self.locals.len();
         let start = home.map(|i| i + 1).unwrap_or(0);
@@ -129,9 +150,15 @@ impl PoolState {
             if Some(victim) == home {
                 continue;
             }
-            if let Some(task) = self.locals[victim].lock().unwrap().pop_front() {
-                self.pending.fetch_sub(1, Ordering::SeqCst);
-                return Some(task);
+            for _ in 0..STEAL_RETRIES {
+                match self.locals[victim].steal() {
+                    Steal::Success(task) => {
+                        self.pending.fetch_sub(1, Ordering::SeqCst);
+                        return Some(*task);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => std::hint::spin_loop(),
+                }
             }
         }
         None

@@ -76,13 +76,19 @@ impl LatencyHistogram {
 
     /// Records `n` identical samples (used by the simulator, which knows how
     /// many identical requests a period served).
+    ///
+    /// All counters saturate instead of wrapping: a wrapped `count` would
+    /// fall below the bucket mass and corrupt every percentile rank, while
+    /// a saturated histogram merely stops distinguishing "astronomically
+    /// many" from "even more" (and its mean becomes a lower bound).
     pub fn record_n(&mut self, us: u64, n: u64) {
         if n == 0 {
             return;
         }
-        self.buckets[bucket_of(us)] += n;
-        self.count += n;
-        self.total_us += us as u128 * n as u128;
+        let b = bucket_of(us);
+        self.buckets[b] = self.buckets[b].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.total_us = self.total_us.saturating_add(us as u128 * n as u128);
         self.max_us = self.max_us.max(us);
     }
 
@@ -92,11 +98,14 @@ impl LatencyHistogram {
     }
 
     /// Exact mean of the recorded samples, in microseconds (0 if empty).
+    /// Clamped to the exact max: once `count` saturates while `total_us`
+    /// keeps accumulating, the raw quotient could exceed the largest
+    /// sample ever seen, which no true mean can.
     pub fn mean_us(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
-            self.total_us as f64 / self.count as f64
+            (self.total_us as f64 / self.count as f64).min(self.max_us as f64)
         }
     }
 
@@ -117,7 +126,9 @@ impl LatencyHistogram {
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (bucket, &n) in self.buckets.iter().enumerate() {
-            seen += n;
+            // Saturating: several saturated buckets must not wrap `seen`
+            // back below the rank and walk past the right bucket.
+            seen = seen.saturating_add(n);
             if seen >= rank {
                 if bucket == BUCKETS - 1 {
                     // The overflow bucket has no finite upper bound of its
@@ -131,13 +142,17 @@ impl LatencyHistogram {
         self.max_us
     }
 
-    /// Folds another histogram into this one.
+    /// Folds another histogram into this one. Saturating, like
+    /// [`record_n`](Self::record_n): two near-full histograms must merge
+    /// into a full one, never wrap into a small one (wrapping `count`
+    /// below the bucket mass would corrupt every percentile rank — and
+    /// [`DecayingHistogram`] merges its two windows on *every* query).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
-        self.count += other.count;
-        self.total_us += other.total_us;
+        self.count = self.count.saturating_add(other.count);
+        self.total_us = self.total_us.saturating_add(other.total_us);
         self.max_us = self.max_us.max(other.max_us);
     }
 
@@ -190,9 +205,11 @@ impl DecayingHistogram {
         self.previous = std::mem::take(&mut self.current);
     }
 
-    /// Number of samples in the last two windows.
+    /// Number of samples in the last two windows. Saturating, like the
+    /// underlying histograms: two saturated windows report `u64::MAX`,
+    /// not a wrapped (small) total.
     pub fn count(&self) -> u64 {
-        self.current.count() + self.previous.count()
+        self.current.count().saturating_add(self.previous.count())
     }
 
     /// The `p`-th percentile over the last two windows (same ≤ 2× bucket
@@ -366,6 +383,60 @@ mod tests {
         d.rotate();
         assert_eq!(d.count(), 0);
         assert_eq!(d.snapshot().p95_us, 0);
+    }
+
+    #[test]
+    fn counts_saturate_instead_of_wrapping() {
+        // Near-overflow recording: the counters must pin at u64::MAX (a
+        // wrapped count would drop below the bucket mass and corrupt
+        // every percentile rank; in debug builds the old `+=` panicked).
+        let mut h = LatencyHistogram::new();
+        h.record_n(100, u64::MAX);
+        h.record_n(100, u64::MAX);
+        h.record_n(7, 3);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.max_us(), 100);
+        // Percentiles stay well-defined and clamped to the exact max.
+        assert_eq!(h.percentile_us(99.0), 100);
+        assert!(h.mean_us() <= 100.0);
+    }
+
+    #[test]
+    fn merge_of_two_near_full_histograms_saturates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_n(50, u64::MAX - 1);
+        b.record_n(4000, u64::MAX - 1);
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX, "merge must saturate, not wrap");
+        assert_eq!(a.max_us(), 4000);
+        // With both buckets saturated the running rank scan crosses
+        // several u64::MAX buckets; `seen` must not wrap either.
+        assert!(a.percentile_us(99.0) <= 4000);
+        assert!(a.percentile_us(1.0) >= 50);
+    }
+
+    #[test]
+    fn decaying_windows_with_saturated_counts_stay_consistent() {
+        // The decaying summary merges its two windows on every query: two
+        // saturated windows must combine into a saturated union, and the
+        // overflow bucket (samples ≥ 2^62 µs) must keep reporting the
+        // exact max rather than a fabricated power of two.
+        let mut d = DecayingHistogram::new();
+        d.record_n(u64::MAX - 3, u64::MAX);
+        d.rotate();
+        d.record_n(u64::MAX - 5, u64::MAX);
+        assert_eq!(d.count(), u64::MAX);
+        assert_eq!(
+            d.percentile_us(99.9),
+            u64::MAX - 3,
+            "overflow bucket → exact max"
+        );
+        assert_eq!(d.snapshot().max_us, u64::MAX - 3);
+        // Eviction still works after saturation.
+        d.rotate();
+        d.rotate();
+        assert_eq!(d.count(), 0);
     }
 
     #[test]
